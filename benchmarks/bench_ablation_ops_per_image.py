@@ -1,0 +1,97 @@
+"""Experiment A2 — sensitivity to operations per edited image.
+
+Table 2 reports the "average number of operations within an edited
+image" as a first-class dataset parameter: rule application cost scales
+with it for RBM, while BWM's short-circuited clusters pay nothing.
+Expectation: both methods slow as sequences lengthen, with RBM's slope
+steeper (the absolute BWM saving grows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_result
+from repro.bench.reporting import format_table
+from repro.bench.runner import measure_methods
+from repro.bench.timing import percent_faster
+from repro.workloads.datasets import build_database
+from repro.workloads.queries import make_query_workload
+from repro.workloads.table2 import HELMET_PARAMETERS
+
+OPS_COUNTS = (2, 5, 10, 20)
+SCALE = 0.35
+QUERY_COUNT = 12
+
+
+def _point(ops: int):
+    rng = np.random.default_rng([BENCH_SEED + 8, ops])
+    database = build_database(
+        HELMET_PARAMETERS.scaled(SCALE),
+        rng,
+        edited_percentage=60.0,
+        ops_per_edited=ops,
+    )
+    queries = make_query_workload(database, rng, QUERY_COUNT)
+    return database, queries
+
+
+@pytest.fixture(scope="module", params=OPS_COUNTS, ids=lambda o: f"ops{o}")
+def point(request):
+    return request.param, _point(request.param)
+
+
+@pytest.mark.parametrize("method", ["rbm", "bwm"])
+def test_ops_per_image_sensitivity(benchmark, point, method):
+    """Query batch time at one ops-per-edited-image setting."""
+    _, (database, queries) = point
+
+    def run_batch():
+        return sum(len(database.range_query(q, method=method)) for q in queries)
+
+    benchmark(run_batch)
+
+
+def test_report_ablation_ops(benchmark):
+    """Render the A2 sweep: per-query times vs. sequence length."""
+
+    def sweep():
+        rows = []
+        for ops in OPS_COUNTS:
+            database, queries = _point(ops)
+            measurements = measure_methods(database, queries, repeats=5)
+            rbm_ms = measurements["rbm"].mean_seconds * 1e3
+            bwm_ms = measurements["bwm"].mean_seconds * 1e3
+            rows.append(
+                (
+                    ops,
+                    f"{rbm_ms:.3f}",
+                    f"{bwm_ms:.3f}",
+                    f"{percent_faster(rbm_ms, bwm_ms):+.2f}%",
+                    measurements["rbm"].stats.rules_applied,
+                    measurements["bwm"].stats.rules_applied,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        (
+            "ops/image",
+            "RBM ms/query",
+            "BWM ms/query",
+            "BWM faster by",
+            "RBM rules",
+            "BWM rules",
+        ),
+        rows,
+    )
+    write_result(
+        "ablation_ops_per_image.txt",
+        "A2. Query time vs. average operations per edited image\n" + table,
+    )
+    # Rule work scales with sequence length for both, RBM strictly more.
+    assert rows[-1][4] > rows[0][4]
+    for row in rows:
+        assert row[5] <= row[4]

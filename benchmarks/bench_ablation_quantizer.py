@@ -1,0 +1,99 @@
+"""Experiment A7 — quantizer granularity: precision vs. cost.
+
+§3.1 calls the number of divisions "system-dependent".  Granularity
+trades off two effects for the conservative methods:
+
+* finer bins make the *binary* filtering more selective, but
+* bound widths for *edited* images are driven by region sizes, so finer
+  bins mostly shrink the true fractions relative to the (unchanged)
+  widening, keeping more edited images un-prunable.
+
+Measured: query time and the precision of the conservative result set
+(|exact| / |conservative|, over matched edited images) at 2, 4, and 8
+divisions per channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_result
+from repro.bench.reporting import format_table
+from repro.bench.runner import measure_methods
+from repro.color.quantization import UniformQuantizer
+from repro.workloads.datasets import build_database
+from repro.workloads.queries import make_query_workload
+from repro.workloads.table2 import HELMET_PARAMETERS
+
+DIVISIONS = (2, 4, 8)
+SCALE = 0.25
+QUERY_COUNT = 10
+
+
+def _point(divisions: int):
+    rng = np.random.default_rng([BENCH_SEED + 20, divisions])
+    database = build_database(
+        HELMET_PARAMETERS.scaled(SCALE),
+        rng,
+        quantizer=UniformQuantizer(divisions, "rgb"),
+    )
+    queries = make_query_workload(database, rng, QUERY_COUNT)
+    return database, queries
+
+
+@pytest.fixture(scope="module", params=DIVISIONS, ids=lambda d: f"div{d}")
+def point(request):
+    return request.param, _point(request.param)
+
+
+def test_bwm_cost_by_granularity(benchmark, point):
+    """BWM query batch at one quantizer granularity."""
+    _, (database, queries) = point
+
+    def run_batch():
+        return sum(len(database.range_query(q)) for q in queries)
+
+    benchmark(run_batch)
+
+
+def test_report_ablation_quantizer(benchmark):
+    """Render A7: time and conservative-set precision per granularity."""
+
+    def sweep():
+        rows = []
+        for divisions in DIVISIONS:
+            database, queries = _point(divisions)
+            measurements = measure_methods(
+                database, queries, methods=("bwm",), repeats=3
+            )
+            conservative_total = 0
+            exact_total = 0
+            for query in queries:
+                conservative = database.range_query(query).matches
+                exact = database.range_query(query, method="instantiate").matches
+                assert exact <= conservative  # invariant 3, per granularity
+                conservative_total += len(conservative)
+                exact_total += len(exact)
+            precision = exact_total / conservative_total if conservative_total else 1.0
+            rows.append(
+                (
+                    divisions,
+                    divisions ** 3,
+                    f"{measurements['bwm'].mean_seconds * 1e3:.3f}",
+                    f"{precision:.2%}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ("divisions", "bins", "BWM ms/query", "precision (exact/conservative)"),
+        rows,
+    )
+    write_result(
+        "ablation_quantizer.txt",
+        "A7. Quantizer granularity: query cost and conservative precision\n"
+        + table,
+    )
+    assert len(rows) == len(DIVISIONS)

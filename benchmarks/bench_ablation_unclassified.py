@@ -1,0 +1,95 @@
+"""Experiment A1 — sensitivity to the non-bound-widening fraction.
+
+§5 attributes BWM's shrinking advantage to edited images whose rules are
+not bound-widening: "Each edited image containing a non bound-widening
+operation requires the same processing cost as the algorithm of Section
+3.  If many of the edited images fall into this category, the added cost
+of the data structure actually hurts the performance."
+
+This ablation holds the database shape fixed and sweeps the
+bound-widening fraction from 1.0 (all of Main) down to 0.0 (all
+Unclassified), timing both methods.  Expectation: the BWM advantage
+decays toward zero as the fraction drops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_result
+from repro.bench.reporting import format_table
+from repro.bench.runner import measure_methods
+from repro.bench.timing import percent_faster
+from repro.workloads.datasets import build_database
+from repro.workloads.queries import make_query_workload
+from repro.workloads.table2 import HELMET_PARAMETERS
+
+FRACTIONS = (1.0, 0.8, 0.5, 0.2, 0.0)
+SCALE = 0.35
+QUERY_COUNT = 12
+
+
+def _point(fraction: float):
+    rng = np.random.default_rng([BENCH_SEED + 7, int(fraction * 100)])
+    database = build_database(
+        HELMET_PARAMETERS.scaled(SCALE),
+        rng,
+        edited_percentage=60.0,
+        bound_widening_fraction=fraction,
+    )
+    queries = make_query_workload(database, rng, QUERY_COUNT)
+    return database, queries
+
+
+@pytest.fixture(scope="module", params=FRACTIONS, ids=lambda f: f"bw{f:.1f}")
+def point(request):
+    return request.param, _point(request.param)
+
+
+@pytest.mark.parametrize("method", ["rbm", "bwm"])
+def test_unclassified_sensitivity(benchmark, point, method):
+    """Query batch time at one bound-widening fraction."""
+    _, (database, queries) = point
+
+    def run_batch():
+        return sum(len(database.range_query(q, method=method)) for q in queries)
+
+    benchmark(run_batch)
+
+
+def test_report_ablation_unclassified(benchmark):
+    """Render the A1 sweep: BWM advantage vs. bound-widening fraction."""
+
+    def sweep():
+        rows = []
+        for fraction in FRACTIONS:
+            database, queries = _point(fraction)
+            measurements = measure_methods(database, queries, repeats=5)
+            advantage = percent_faster(
+                measurements["rbm"].mean_seconds, measurements["bwm"].mean_seconds
+            )
+            rows.append(
+                (
+                    f"{fraction:.1f}",
+                    database.structure_summary()["unclassified"],
+                    f"{measurements['rbm'].mean_seconds * 1e3:.3f}",
+                    f"{measurements['bwm'].mean_seconds * 1e3:.3f}",
+                    f"{advantage:+.2f}%",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ("BW fraction", "unclassified", "RBM ms/query", "BWM ms/query", "BWM faster by"),
+        rows,
+    )
+    write_result(
+        "ablation_unclassified.txt",
+        "A1. BWM advantage vs. fraction of bound-widening edited images\n" + table,
+    )
+    # The §5 mechanism: all-widening beats all-unclassified on advantage.
+    first_advantage = float(rows[0][-1].rstrip("%"))
+    last_advantage = float(rows[-1][-1].rstrip("%"))
+    assert first_advantage > last_advantage

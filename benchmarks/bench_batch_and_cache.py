@@ -1,0 +1,117 @@
+"""Experiment A8 — engineering extensions: batch processing and caching.
+
+Neither appears in the paper; both are natural systems-level follow-ups
+the library implements, measured here against the per-query baseline:
+
+* **batch processing** shares each edited image's BOUNDS walk across all
+  queries on the same bin (`repro.core.batch`);
+* the **bounds cache** memoizes (image, bin) intervals across queries,
+  invalidated on catalog changes.
+
+Expectation: for a workload with repeated bins, batch < single, and a
+warm cache approaches pure histogram-check cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_result
+from repro.bench.reporting import format_table
+from repro.bench.timing import time_call
+from repro.db.database import MultimediaDatabase
+from repro.workloads.datasets import build_database
+from repro.workloads.queries import make_query_workload
+from repro.workloads.table2 import HELMET_PARAMETERS
+
+SCALE = 0.25
+QUERY_COUNT = 20
+
+
+def _build(bounds_cache: bool = False):
+    rng = np.random.default_rng(BENCH_SEED + 21)
+    database = build_database(HELMET_PARAMETERS.scaled(SCALE), rng)
+    if not bounds_cache:
+        return database
+    cached = MultimediaDatabase(bounds_cache=True)
+    for image_id in database.catalog.binary_ids():
+        cached.insert_image(database.instantiate(image_id), image_id=image_id)
+    for image_id in database.catalog.edited_ids():
+        cached.insert_edited(
+            database.catalog.sequence_of(image_id), image_id=image_id
+        )
+    return cached
+
+
+@pytest.fixture(scope="module")
+def setup():
+    database = _build()
+    rng = np.random.default_rng(BENCH_SEED + 22)
+    queries = make_query_workload(database, rng, QUERY_COUNT)
+    return database, queries
+
+
+def test_single_query_baseline(benchmark, setup):
+    """One-at-a-time BWM (the paper's processing model)."""
+    database, queries = setup
+
+    def run_batch():
+        return [database.range_query(q) for q in queries]
+
+    benchmark(run_batch)
+
+
+def test_batch_processing(benchmark, setup):
+    """The whole workload in one catalog pass."""
+    database, queries = setup
+
+    def run_batch():
+        return database.range_query_batch(queries)
+
+    benchmark(run_batch)
+
+
+def test_warm_bounds_cache(benchmark, setup):
+    """Per-query processing against a warm bounds cache."""
+    _, queries = setup
+    cached = _build(bounds_cache=True)
+    for query in queries:  # warm
+        cached.range_query(query)
+
+    def run_batch():
+        return [cached.range_query(q) for q in queries]
+
+    benchmark(run_batch)
+
+
+def test_report_batch_and_cache(benchmark, setup):
+    """Render A8 and check result equality across all three paths."""
+    database, queries = setup
+    cached = _build(bounds_cache=True)
+
+    def measure():
+        single = time_call(lambda: [database.range_query(q) for q in queries])
+        batch = time_call(lambda: database.range_query_batch(queries))
+        _ = [cached.range_query(q) for q in queries]  # warm the cache
+        warm = time_call(lambda: [cached.range_query(q) for q in queries])
+
+        single_sets = [r.matches for r in single.value]
+        assert [r.matches for r in batch.value] == single_sets
+        assert [r.matches for r in warm.value] == single_sets
+        return [
+            ("per-query BWM", f"{single.seconds * 1e3 / len(queries):.3f}"),
+            ("batch BWM", f"{batch.seconds * 1e3 / len(queries):.3f}"),
+            ("per-query BWM, warm cache", f"{warm.seconds * 1e3 / len(queries):.3f}"),
+        ]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(("strategy", "ms/query"), rows)
+    write_result(
+        "batch_and_cache.txt",
+        "A8. Engineering extensions vs. per-query processing "
+        f"({QUERY_COUNT} queries)\n" + table,
+    )
+    times = [float(ms) for _, ms in rows]
+    assert times[1] <= times[0] * 1.05  # batch no slower than single
+    assert times[2] <= times[0]         # warm cache strictly helps

@@ -1,0 +1,81 @@
+"""Experiment F3 — Figure 3: range query time vs. % edited (helmets).
+
+Two layers, matching how the paper presents the result:
+
+* per-point benchmarks: the same query batch timed under RBM ("w/out
+  Data Structure") and BWM ("with Data Structure") on databases whose
+  percentage of edit-sequence images sweeps the figure's x-axis;
+* the full-figure report: the harness sweep rendered in the paper's
+  series form (written to ``results/figure3.txt``), including the §5
+  headline statistic (BWM faster by ~33% on helmets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.bench.reporting import render_ascii_chart, render_figure, render_series_csv
+from repro.bench.runner import run_figure_sweep
+from repro.workloads.datasets import build_database
+from repro.workloads.queries import make_query_workload
+from repro.workloads.table2 import HELMET_PARAMETERS
+
+PERCENTAGES = (10.0, 25.0, 50.0, 75.0, 90.0)
+QUERIES_PER_POINT = 16
+
+
+def _database_at(percentage: float):
+    rng = np.random.default_rng([BENCH_SEED, int(percentage * 100)])
+    database = build_database(
+        HELMET_PARAMETERS.scaled(BENCH_SCALE), rng, edited_percentage=percentage
+    )
+    queries = make_query_workload(database, rng, QUERIES_PER_POINT)
+    return database, queries
+
+
+@pytest.fixture(scope="module", params=PERCENTAGES, ids=lambda p: f"{p:.0f}pct")
+def point(request):
+    return _database_at(request.param)
+
+
+@pytest.mark.parametrize("method", ["rbm", "bwm"])
+def test_helmet_range_queries(benchmark, point, method):
+    """One figure point: the query batch under one method."""
+    database, queries = point
+
+    def run_batch():
+        return sum(
+            len(database.range_query(query, method=method)) for query in queries
+        )
+
+    total = benchmark(run_batch)
+    assert total >= 0
+
+
+def test_report_figure3(benchmark):
+    """Regenerate the full Figure 3 sweep and its paper-style rendering."""
+
+    def sweep():
+        return run_figure_sweep(
+            HELMET_PARAMETERS,
+            seed=BENCH_SEED,
+            scale=BENCH_SCALE,
+            queries_per_point=QUERIES_PER_POINT,
+            edited_percentages=PERCENTAGES,
+            repeats=5,
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "figure3.txt",
+        render_figure(result, 3) + "\n\n" + render_ascii_chart(result),
+    )
+    write_result("figure3.csv", render_series_csv(result))
+
+    # The paper's qualitative claims, asserted: BWM wins on average...
+    assert result.average_percent_faster > 0
+    # ...and BWM never loses badly at any single point.
+    for point_result in result.points:
+        assert point_result.seconds("bwm") < point_result.seconds("rbm") * 1.35

@@ -1,0 +1,70 @@
+"""Experiment F4 — Figure 4: range query time vs. % edited (flags).
+
+Same structure as the Figure 3 bench over the flag dataset; the §5
+headline for flags is a smaller average advantage (~22%) than helmets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.bench.reporting import render_ascii_chart, render_figure, render_series_csv
+from repro.bench.runner import run_figure_sweep
+from repro.workloads.datasets import build_database
+from repro.workloads.queries import make_query_workload
+from repro.workloads.table2 import FLAG_PARAMETERS
+
+PERCENTAGES = (10.0, 25.0, 50.0, 75.0, 90.0)
+QUERIES_PER_POINT = 16
+
+
+@pytest.fixture(scope="module", params=PERCENTAGES, ids=lambda p: f"{p:.0f}pct")
+def point(request):
+    percentage = request.param
+    rng = np.random.default_rng([BENCH_SEED + 1, int(percentage * 100)])
+    database = build_database(
+        FLAG_PARAMETERS.scaled(BENCH_SCALE), rng, edited_percentage=percentage
+    )
+    queries = make_query_workload(database, rng, QUERIES_PER_POINT)
+    return database, queries
+
+
+@pytest.mark.parametrize("method", ["rbm", "bwm"])
+def test_flag_range_queries(benchmark, point, method):
+    """One figure point: the query batch under one method."""
+    database, queries = point
+
+    def run_batch():
+        return sum(
+            len(database.range_query(query, method=method)) for query in queries
+        )
+
+    total = benchmark(run_batch)
+    assert total >= 0
+
+
+def test_report_figure4(benchmark):
+    """Regenerate the full Figure 4 sweep and its paper-style rendering."""
+
+    def sweep():
+        return run_figure_sweep(
+            FLAG_PARAMETERS,
+            seed=BENCH_SEED + 1,
+            scale=BENCH_SCALE,
+            queries_per_point=QUERIES_PER_POINT,
+            edited_percentages=PERCENTAGES,
+            repeats=5,
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "figure4.txt",
+        render_figure(result, 4) + "\n\n" + render_ascii_chart(result),
+    )
+    write_result("figure4.csv", render_series_csv(result))
+
+    assert result.average_percent_faster > 0
+    for point_result in result.points:
+        assert point_result.seconds("bwm") < point_result.seconds("rbm") * 1.35

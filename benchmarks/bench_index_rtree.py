@@ -1,0 +1,126 @@
+"""Experiment A4 — R-tree vs. linear scan on the conventional path.
+
+§3.1/§4 motivate BWM by analogy with multidimensional indexes over
+histogram space.  This bench measures that conventional path itself:
+single-bin slab range queries and kNN over binary-image histograms,
+R-tree vs. linear scan, plus build cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_result
+from repro.bench.reporting import format_table
+from repro.bench.timing import time_call
+from repro.index.linear import LinearIndex
+from repro.index.mbr import MBR
+from repro.index.rtree import RTree
+from repro.index.vafile import VAFile
+
+POINT_COUNT = 2000
+DIMENSIONS = 8  # a histogram-like dimensionality that R-trees still handle
+
+
+def _points():
+    rng = np.random.default_rng(BENCH_SEED + 9)
+    # Sparse, histogram-like vectors: a few heavy bins, the rest near zero.
+    raw = rng.dirichlet(alpha=[0.3] * DIMENSIONS, size=POINT_COUNT)
+    return raw
+
+
+@pytest.fixture(scope="module")
+def built_indexes():
+    points = _points()
+    rtree = RTree(max_entries=16)
+    linear = LinearIndex()
+    vafile = VAFile(bits=5)
+    for index, point in enumerate(points):
+        rtree.insert_point(point, index)
+        linear.insert_point(point, index)
+        vafile.insert_point(point, index)
+    return points, rtree, linear, vafile
+
+
+def _slab_queries(count=50):
+    rng = np.random.default_rng(BENCH_SEED + 10)
+    queries = []
+    for _ in range(count):
+        axis = int(rng.integers(DIMENSIONS))
+        low = float(rng.uniform(0.0, 0.6))
+        queries.append(
+            MBR.slab(DIMENSIONS, axis, low, low + 0.25, domain_lo=0.0, domain_hi=1.0)
+        )
+    return queries
+
+
+@pytest.mark.parametrize("kind", ["rtree", "linear", "vafile"])
+def test_slab_range_queries(benchmark, built_indexes, kind):
+    """Single-bin range queries (the §3.1 conventional path)."""
+    _, rtree, linear, vafile = built_indexes
+    index = {"rtree": rtree, "linear": linear, "vafile": vafile}[kind]
+    queries = _slab_queries()
+
+    def run_batch():
+        return sum(len(index.search(query)) for query in queries)
+
+    total = benchmark(run_batch)
+    assert total > 0
+
+
+@pytest.mark.parametrize("kind", ["rtree", "linear", "vafile"])
+def test_knn_queries(benchmark, built_indexes, kind):
+    """10-NN queries over histogram points."""
+    points, rtree, linear, vafile = built_indexes
+    index = {"rtree": rtree, "linear": linear, "vafile": vafile}[kind]
+    rng = np.random.default_rng(BENCH_SEED + 11)
+    query_points = rng.dirichlet(alpha=[0.3] * DIMENSIONS, size=20)
+
+    def run_batch():
+        return sum(len(index.nearest(point, k=10)) for point in query_points)
+
+    assert benchmark(run_batch) == 200
+
+
+def test_rtree_build_cost(benchmark):
+    """Bulk insertion cost of the R-tree."""
+    points = _points()
+
+    def build():
+        tree = RTree(max_entries=16)
+        for index, point in enumerate(points):
+            tree.insert_point(point, index)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(tree) == POINT_COUNT
+
+
+def test_report_index_comparison(benchmark, built_indexes):
+    """Render A4: verify identical answers, record the timing table."""
+    _, rtree, linear, vafile = built_indexes
+    queries = _slab_queries()
+
+    def compare():
+        rows = []
+        for name, index in (
+            ("rtree", rtree), ("linear", linear), ("vafile", vafile)
+        ):
+            timed = time_call(
+                lambda idx=index: [sorted(idx.search(q)) for q in queries]
+            )
+            rows.append((name, f"{timed.seconds * 1e3:.3f}", len(queries)))
+        # Same answers from all access methods.
+        rtree_answers = [sorted(rtree.search(q)) for q in queries]
+        linear_answers = [sorted(linear.search(q)) for q in queries]
+        vafile_answers = [sorted(vafile.search(q)) for q in queries]
+        assert rtree_answers == linear_answers == vafile_answers
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    table = format_table(("access method", "batch ms", "queries"), rows)
+    write_result(
+        "index_rtree.txt",
+        "A4. Conventional histogram access path: R-tree vs. VA-file vs. linear\n" + table,
+    )

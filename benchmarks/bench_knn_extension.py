@@ -1,0 +1,85 @@
+"""Experiment A5 — §6 future work: nearest-neighbor queries.
+
+"more testing is needed to verify the effects of the proposed data
+structure on systems that ... permit other types of queries including
+nearest neighbor searches."  This extension applies the same BOUNDS
+machinery to kNN: per-bin intervals give an L1 distance lower bound that
+prunes edited images without instantiating them.
+
+Compared strategies: binary-only (conventional), exhaustive instantiate,
+and bounds-pruned.  The pruned strategy must return exactly the
+exhaustive answer while instantiating fewer images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_result
+from repro.bench.reporting import format_table
+from repro.workloads.datasets import build_database
+from repro.workloads.flags import make_flag
+from repro.workloads.table2 import FLAG_PARAMETERS
+
+K = 5
+SCALE = 0.1  # kNN instantiates rasters; keep the database moderate
+
+
+@pytest.fixture(scope="module")
+def knn_setup():
+    rng = np.random.default_rng(BENCH_SEED + 12)
+    database = build_database(FLAG_PARAMETERS.scaled(SCALE), rng)
+    queries = [make_flag(rng) for _ in range(5)]
+    return database, queries
+
+
+@pytest.mark.parametrize("method", ["binary", "exact", "bounded"])
+def test_knn_strategies(benchmark, knn_setup, method):
+    """kNN query batch under one strategy."""
+    database, queries = knn_setup
+
+    def run_batch():
+        return [database.knn(image, K, method=method) for image in queries]
+
+    results = benchmark(run_batch)
+    assert all(len(result.neighbors) == K for result in results)
+
+
+def test_report_knn_extension(benchmark, knn_setup):
+    """Render A5: result parity and instantiation counts."""
+    database, queries = knn_setup
+
+    def measure():
+        rows = []
+        edited_total = database.catalog.edited_count
+        instantiated = 0
+        for image in queries:
+            exact = database.knn(image, K, method="exact")
+            bounded = database.knn(image, K, method="bounded")
+            assert [round(d, 9) for d, _ in exact.neighbors] == [
+                round(d, 9) for d, _ in bounded.neighbors
+            ]
+            instantiated += bounded.stats.edited_instantiated
+        rows.append(
+            (
+                "exact",
+                edited_total * len(queries),
+                f"{edited_total * len(queries)}",
+            )
+        )
+        rows.append(("bounded", edited_total * len(queries), f"{instantiated}"))
+        return rows, instantiated, edited_total * len(queries)
+
+    rows, instantiated, possible = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        ("strategy", "edited candidates", "edited instantiated"), rows
+    )
+    write_result(
+        "knn_extension.txt",
+        "A5. kNN over the augmented database: bounds-based pruning\n"
+        + table
+        + f"\npruned {100.0 * (1 - instantiated / possible):.1f}% of instantiations "
+        "with identical results",
+    )
+    assert instantiated < possible

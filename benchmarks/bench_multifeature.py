@@ -1,0 +1,119 @@
+"""Experiment A9 — §6 feature extensions: texture and shape.
+
+"it will be necessary to develop approaches for other common features
+besides color, such as texture and shape."  This bench measures what the
+extensions buy on the §1 road-sign domain: signs of the *same class*
+share colors (that is the convention), so color alone cannot separate a
+prohibition ring from a prohibition disc — shape can.
+
+Protocol: a database of colored shapes (square / bar / frame per color),
+all with *exactly equal* foreground pixel counts, so same-color items
+have identical color histograms; probes are translated copies.
+Retrieval accuracy = top-1 returns an image of the probe's shape class,
+compared across weight settings.  Color alone is at chance by
+construction; shape features resolve it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_result
+from repro.bench.reporting import format_table
+from repro.db.database import MultimediaDatabase
+from repro.db.multifeature import FeatureWeights, MultiFeatureSearch
+from repro.images.generators import draw_rect
+from repro.images.geometry import Rect
+from repro.images.raster import Image
+
+WHITE = (255, 255, 255)
+COLORS = ((200, 16, 46), (0, 40, 104), (0, 122, 61))
+#: Three shapes with *exactly* 144 foreground pixels each, so same-color
+#: items have identical color histograms and only structure differs.
+SHAPES = ("square", "bar", "frame")
+
+
+def make_item(color, shape, x, y):
+    image = Image.filled(34, 34, WHITE)
+    if shape == "square":  # 12 x 12 = 144
+        draw_rect(image, Rect(x - 6, y - 6, x + 6, y + 6), color)
+    elif shape == "bar":  # 6 x 24 = 144
+        draw_rect(image, Rect(x - 3, y - 12, x + 3, y + 12), color)
+    else:  # frame: 15x15 minus 9x9 = 144
+        draw_rect(image, Rect(x - 7, y - 7, x + 8, y + 8), color)
+        draw_rect(image, Rect(x - 4, y - 4, x + 5, y + 5), WHITE)
+    return image
+
+
+@pytest.fixture(scope="module")
+def setup():
+    database = MultimediaDatabase()
+    labels = {}
+    for color_index, color in enumerate(COLORS):
+        for shape in SHAPES:
+            image_id = database.insert_image(
+                make_item(color, shape, 17, 17), image_id=f"{shape}-{color_index}"
+            )
+            labels[image_id] = shape
+    rng = np.random.default_rng(BENCH_SEED + 30)
+    probes = []
+    for _ in range(30):
+        color = COLORS[int(rng.integers(len(COLORS)))]
+        shape = SHAPES[int(rng.integers(len(SHAPES)))]
+        x = int(rng.integers(14, 21))
+        y = int(rng.integers(14, 21))
+        probes.append((shape, make_item(color, shape, x, y)))
+    return database, labels, probes
+
+
+def _accuracy(database, labels, probes, weights):
+    search = MultiFeatureSearch(database)
+    hits = 0
+    for true_shape, probe in probes:
+        (_, best_id), = search.knn(probe, 1, weights)
+        hits += labels[best_id] == true_shape
+    return hits / len(probes)
+
+
+@pytest.mark.parametrize(
+    "name,weights",
+    [
+        ("color", FeatureWeights(color=1.0)),
+        ("color+shape", FeatureWeights(color=0.3, shape=1.0)),
+        ("color+texture+shape", FeatureWeights(color=0.3, texture=0.3, shape=1.0)),
+    ],
+)
+def test_multifeature_knn_cost(benchmark, setup, name, weights):
+    """Cost of one probe's kNN under each weighting."""
+    database, labels, probes = setup
+    search = MultiFeatureSearch(database)
+    search.knn(probes[0][1], 1, weights)  # warm the feature cache
+
+    benchmark(lambda: search.knn(probes[0][1], 3, weights))
+
+
+def test_report_multifeature(benchmark, setup):
+    """Render A9: shape-class accuracy per feature weighting."""
+    database, labels, probes = setup
+
+    def measure():
+        rows = []
+        for name, weights in (
+            ("color only", FeatureWeights(color=1.0)),
+            ("color + shape", FeatureWeights(color=0.3, shape=1.0)),
+            ("color + texture + shape", FeatureWeights(color=0.3, texture=0.3, shape=1.0)),
+        ):
+            rows.append((name, f"{_accuracy(database, labels, probes, weights):.1%}"))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(("features", "top-1 shape accuracy"), rows)
+    write_result(
+        "multifeature.txt",
+        "A9. Shape-class retrieval accuracy on same-color objects\n" + table,
+    )
+    color_only = float(rows[0][1].rstrip("%"))
+    with_shape = float(rows[1][1].rstrip("%"))
+    assert with_shape >= color_only
+    assert with_shape > 90.0

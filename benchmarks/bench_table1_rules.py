@@ -1,0 +1,85 @@
+"""Experiment T1 — Table 1: the per-operation bound rules.
+
+Table 1 is a specification, not a measurement, so this bench does two
+things: it regenerates the table (the rule descriptions, written to
+``results/table1.txt``) and micro-times one rule application per
+operation kind — the unit of work whose repetition RBM pays for and BWM
+avoids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.bench.reporting import format_table
+from repro.color.quantization import UniformQuantizer
+from repro.core.rules import RuleContext, apply_rule, describe_rule, initial_state
+from repro.editing.operations import Combine, Define, Merge, Modify, Mutate
+from repro.images.geometry import Rect
+
+QUANTIZER = UniformQuantizer(4, "rgb")
+
+OPERATIONS = {
+    "define": Define(Rect(2, 2, 30, 30)),
+    "combine": Combine.box(),
+    "modify": Modify((0, 0, 0), (255, 255, 255)),
+    "mutate_scale": Mutate.scale(2),
+    "mutate_rigid": Mutate.translation(5, 5),
+    "merge_null": Merge(None),
+    "merge_target": Merge("target", 3, 3),
+}
+
+
+def make_context():
+    return RuleContext(
+        quantizer=QUANTIZER,
+        bin_index=0,
+        fill_color=(0, 0, 0),
+        resolve_target=lambda target_id, bin_index: (10, 20, 40, 40),
+    )
+
+
+def make_state():
+    state = initial_state(400, 48, 48)
+    return apply_rule(state, Define(Rect(4, 4, 20, 20)), make_context())
+
+
+@pytest.mark.parametrize("name", sorted(OPERATIONS))
+def test_rule_application_cost(benchmark, name):
+    """Micro-benchmark: one Table 1 rule application."""
+    state = make_state()
+    op = OPERATIONS[name]
+    ctx = make_context()
+    result = benchmark(apply_rule, state, op, ctx)
+    assert 0 <= result.lo <= result.hi <= result.total
+
+
+def test_regenerate_table1(benchmark):
+    """Render Table 1 (rule effects per operation and condition)."""
+
+    def render() -> str:
+        rows = []
+        for op in (
+            Define(Rect(0, 0, 1, 1)),
+            Combine.box(),
+            Modify((0, 0, 0), (1, 1, 1)),
+            Mutate.translation(1, 1),
+            Merge(None),
+        ):
+            condition, min_effect, max_effect, total_effect = describe_rule(op)
+            rows.append(
+                (type(op).__name__, condition, min_effect, max_effect, total_effect)
+            )
+        table = format_table(
+            ("Operation", "Conditions", "Min in HB", "Max in HB", "Total pixels"),
+            rows,
+        )
+        return (
+            "Table 1. Rules for adjusting bounds on numbers of pixels in "
+            "histogram bin HB\n" + table
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_result("table1.txt", text)
+    assert "Combine" in text and "Merge" in text

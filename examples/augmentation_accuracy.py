@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Database augmentation and retrieval accuracy (§2's motivation).
+
+Shows the false-negative problem directly: a darkened photo of a stored
+flag fails to retrieve the original from an un-augmented database, but
+succeeds once the database is augmented with lighting-variant edit
+sequences — without changing any feature-extraction code, which is §2's
+selling point.
+
+Run: python examples/augmentation_accuracy.py
+"""
+
+import numpy as np
+
+from repro.db import MultimediaDatabase, augment_with_distortions
+from repro.images.generators import darken
+from repro.workloads import make_flag_collection
+
+
+def recall_at_k(db, base_ids, rng, k=3, trials=30, factor=0.55):
+    """How often a darkened query finds its source among the top k."""
+    hits = 0
+    for _ in range(trials):
+        source = base_ids[int(rng.integers(len(base_ids)))]
+        query = darken(db.instantiate(source), factor)
+        result = db.knn(query, k, method="exact")
+        found = set(result.ids())
+        for image_id in result.ids():
+            record = db.catalog.record(image_id)
+            if record.format == "edited":
+                found.add(record.base_id)  # the §2 connection
+        hits += source in found
+    return hits / trials
+
+
+def main():
+    rng = np.random.default_rng(3)
+    flags = make_flag_collection(rng, 30)
+
+    # Un-augmented database: only binary images.
+    plain = MultimediaDatabase()
+    plain_ids = [plain.insert_image(flag) for flag in flags]
+
+    # Augmented database: same flags plus distortion-variant sequences.
+    augmented = MultimediaDatabase()
+    augmented_ids = [augmented.insert_image(flag) for flag in flags]
+    for base_id in augmented_ids:
+        # Lighting variants across the range §2's application expects.
+        augment_with_distortions(
+            augmented, base_id, darken_factors=(0.85, 0.7, 0.55, 0.4)
+        )
+
+    report = augmented.storage_report(include_instantiated=True)
+    print(f"augmentation cost: {report.edited_sequence_bytes:,} bytes of edit "
+          f"sequences (rasters would need "
+          f"{report.edited_if_instantiated_bytes:,} bytes)")
+
+    print(f"\n{'darkening':>10} {'recall, plain DB':>18} {'recall, augmented':>18}")
+    for factor in (0.85, 0.7, 0.55, 0.4):
+        plain_recall = recall_at_k(
+            plain, plain_ids, np.random.default_rng(5), factor=factor
+        )
+        augmented_recall = recall_at_k(
+            augmented, augmented_ids, np.random.default_rng(5), factor=factor
+        )
+        print(f"{factor:>10.2f} {plain_recall:>17.0%} {augmented_recall:>18.0%}")
+
+    print("\nfewer false negatives, zero changes to feature extraction — "
+          "the §2 argument.")
+
+
+if __name__ == "__main__":
+    main()

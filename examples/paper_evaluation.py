@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §5 evaluation in one run.
+
+Prints Table 2 and the Figure 3/4 series (RBM vs. BWM execution time
+against the percentage of images stored as editing operations) plus the
+§5 headline averages.  A smaller default scale keeps the run to a couple
+of minutes; pass a scale factor to change it.
+
+Run: python examples/paper_evaluation.py [scale]
+"""
+
+import sys
+
+from repro.bench import render_figure, render_table2, run_figure_sweep
+from repro.workloads import FLAG_PARAMETERS, HELMET_PARAMETERS
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    queries = 12
+
+    print(render_table2(HELMET_PARAMETERS.scaled(scale), FLAG_PARAMETERS.scaled(scale)))
+    print()
+
+    helmet = run_figure_sweep(
+        HELMET_PARAMETERS, scale=scale, queries_per_point=queries, repeats=3
+    )
+    print(render_figure(helmet, 3))
+    print()
+
+    flag = run_figure_sweep(
+        FLAG_PARAMETERS, seed=2007, scale=scale, queries_per_point=queries, repeats=3
+    )
+    print(render_figure(flag, 4))
+    print()
+
+    print("§5 headline comparison (paper -> this run):")
+    print(f"  helmet: BWM 33.07% faster -> {helmet.average_percent_faster:.2f}% faster")
+    print(f"  flag:   BWM 22.08% faster -> {flag.average_percent_faster:.2f}% faster")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: an augmented MMDBMS in ~40 lines.
+
+Builds a tiny flag database, augments it with edited variants stored as
+edit sequences, and runs the paper's example query — "Retrieve all
+images that are at least 25% blue" — under all three processing methods.
+
+Run: python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import MultimediaDatabase
+from repro.color.names import FLAG_PALETTE
+from repro.workloads import make_flag
+
+rng = np.random.default_rng(42)
+db = MultimediaDatabase()
+
+# 1. Insert binary images; features (color histograms) are extracted on
+#    insertion, exactly as §1 describes.
+base_ids = [db.insert_image(make_flag(rng)) for _ in range(8)]
+print(f"inserted {len(base_ids)} binary flag images")
+
+# 2. Augment: each base gets edited versions stored as operation
+#    sequences (blurs, recolors, crops, shifts...), not as rasters.
+for base_id in base_ids:
+    db.augment(base_id, rng, variants=3, palette=FLAG_PALETTE,
+               merge_target_pool=base_ids)
+summary = db.structure_summary()
+print(f"augmented: {summary['edited_images']} edited images "
+      f"({summary['main_edited']} bound-widening, "
+      f"{summary['unclassified']} unclassified)")
+
+# 3. The paper's example query, in plain text.  BWM (the paper's
+#    contribution) is the default processing method.
+result = db.text_query("retrieve all images that are at least 25% blue")
+print(f"\n'at least 25% blue' -> {len(result)} matches: "
+      f"{list(result.sorted_ids())[:6]}{' ...' if len(result) > 6 else ''}")
+
+# 4. The three methods agree on binary images; RBM/BWM are conservative
+#    (no false negatives) for edited ones, without ever instantiating.
+for method in ("bwm", "rbm", "instantiate"):
+    r = db.text_query("at least 25% blue", method=method)
+    print(f"  {method:<11} -> {len(r)} matches, "
+          f"{r.stats.rules_applied} rule applications")
+
+# 5. Storage: this is why edited images are stored as sequences.
+report = db.storage_report(include_instantiated=True)
+print(f"\nedited images on disk: {report.edited_sequence_bytes:,} bytes as "
+      f"sequences vs {report.edited_if_instantiated_bytes:,} bytes as rasters "
+      f"({100 * report.savings_ratio:.1f}%)")

@@ -1,0 +1,11 @@
+"""Setup shim: enables legacy editable installs on offline hosts.
+
+The project metadata lives in pyproject.toml; this file exists because
+PEP 660 editable installs require the ``wheel`` package, which offline
+environments may lack.  ``pip install -e . --no-use-pep517`` then uses
+the classic setuptools develop path through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Evaluation harness: timing, figure sweeps, paper-style reports."""
+
+from repro.bench.runner import (
+    DEFAULT_EDITED_PERCENTAGES,
+    MethodMeasurement,
+    SweepPoint,
+    SweepResult,
+    measure_methods,
+    run_figure_sweep,
+)
+from repro.bench.reporting import (
+    format_table,
+    render_ascii_chart,
+    render_figure,
+    render_series_csv,
+    render_table2,
+)
+from repro.bench.timing import TimedRun, mean, percent_faster, time_call
+
+__all__ = [
+    "DEFAULT_EDITED_PERCENTAGES",
+    "MethodMeasurement",
+    "SweepPoint",
+    "SweepResult",
+    "TimedRun",
+    "format_table",
+    "mean",
+    "measure_methods",
+    "percent_faster",
+    "render_ascii_chart",
+    "render_figure",
+    "render_series_csv",
+    "render_table2",
+    "run_figure_sweep",
+    "time_call",
+]

@@ -1,0 +1,113 @@
+"""Paper-style rendering of sweep results and tables."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.bench.runner import SweepResult
+from repro.workloads.table2 import DatasetParameters, table2_rows
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_cells = [h.ljust(w) for h, w in zip(headers, widths)]
+    lines.append("  ".join(header_cells).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        cells = [str(value).ljust(width) for value, width in zip(row, widths)]
+        lines.append("  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def render_figure(result: SweepResult, figure_number: int) -> str:
+    """Print one figure's series the way the paper's charts tabulate.
+
+    Columns: edited percentage, RBM time ("w/out Data Structure"), BWM
+    time ("with Data Structure"), and the per-point speedup.
+    """
+    rows: List[Tuple[object, ...]] = []
+    for point in result.points:
+        rows.append(
+            (
+                f"{point.edited_percentage:.0f}%",
+                f"{point.seconds('rbm') * 1e3:.3f}",
+                f"{point.seconds('bwm') * 1e3:.3f}",
+                f"{point.bwm_percent_faster:+.2f}%",
+                point.unclassified_images,
+            )
+        )
+    table = format_table(
+        (
+            "% edited",
+            "RBM ms/query (w/out DS)",
+            "BWM ms/query (with DS)",
+            "BWM faster by",
+            "unclassified",
+        ),
+        rows,
+    )
+    title = (
+        f"Figure {figure_number}. Range query time vs. percentage of images "
+        f"stored as editing operations ({result.dataset} data set)"
+    )
+    footer = (
+        f"average: BWM {result.average_percent_faster:.2f}% faster than RBM "
+        f"over {result.queries_per_point} queries/point"
+    )
+    return f"{title}\n{table}\n{footer}"
+
+
+def render_table2(
+    helmet: DatasetParameters, flag: DatasetParameters
+) -> str:
+    """Print Table 2 in the paper's layout."""
+    rows = [
+        (description, helmet_value, flag_value)
+        for description, helmet_value, flag_value in table2_rows(helmet, flag)
+    ]
+    table = format_table(("Description", "Helmet", "Flag"), rows)
+    return (
+        "Table 2. Default values of parameters used in performance evaluation\n"
+        + table
+    )
+
+
+def render_ascii_chart(
+    result: SweepResult,
+    methods: Sequence[str] = ("rbm", "bwm"),
+    width: int = 50,
+) -> str:
+    """A plain-text bar chart of the sweep — the figures, visually.
+
+    One bar per (point, method), scaled to the slowest measurement, so
+    the RBM/BWM gap and the growth along the x-axis read at a glance in
+    a terminal or a results file.
+    """
+    peak = max(
+        point.seconds(method) for point in result.points for method in methods
+    )
+    if peak <= 0:
+        return "(no timing data)"
+    lines = []
+    for point in result.points:
+        for method in methods:
+            seconds = point.seconds(method)
+            bar = "#" * max(1, int(round(seconds / peak * width)))
+            label = f"{point.edited_percentage:>3.0f}% {method:<4}"
+            lines.append(f"{label} |{bar:<{width}}| {seconds * 1e3:8.3f} ms")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_series_csv(result: SweepResult, methods: Sequence[str] = ("rbm", "bwm")) -> str:
+    """Machine-readable CSV of the sweep (for external plotting)."""
+    lines = ["edited_percentage," + ",".join(f"{m}_seconds" for m in methods)]
+    for point in result.points:
+        values = ",".join(f"{point.seconds(method):.9f}" for method in methods)
+        lines.append(f"{point.edited_percentage:.1f},{values}")
+    return "\n".join(lines)

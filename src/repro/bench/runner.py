@@ -1,0 +1,170 @@
+"""The Figure 3/4 sweep runner.
+
+One sweep point = one database built with a given *percentage of images
+stored as editing operations*, timed over the same query workload with
+and without the proposed data structure (BWM vs. RBM).  A sweep is the
+full x-axis of one figure; :mod:`repro.bench.reporting` prints it in the
+paper's series form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.timing import mean, percent_faster, time_call
+from repro.core.query import QueryStats, RangeQuery
+from repro.db.database import MultimediaDatabase
+from repro.errors import WorkloadError
+from repro.workloads.datasets import build_database
+from repro.workloads.queries import make_query_workload
+from repro.workloads.table2 import DatasetParameters
+
+#: The x-axis of Figures 3 and 4.
+DEFAULT_EDITED_PERCENTAGES = (10.0, 25.0, 50.0, 75.0, 90.0)
+
+
+@dataclass(frozen=True)
+class MethodMeasurement:
+    """Average per-query time and aggregated work for one method."""
+
+    method: str
+    mean_seconds: float
+    total_matches: int
+    stats: QueryStats
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis point: measurements for every method on one database."""
+
+    edited_percentage: float
+    database_size: int
+    edited_images: int
+    unclassified_images: int
+    measurements: Dict[str, MethodMeasurement]
+
+    def seconds(self, method: str) -> float:
+        """Mean per-query seconds for a method."""
+        return self.measurements[method].mean_seconds
+
+    @property
+    def bwm_percent_faster(self) -> float:
+        """The paper's headline statistic at this point."""
+        return percent_faster(self.seconds("rbm"), self.seconds("bwm"))
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full figure: sweep points plus workload metadata."""
+
+    dataset: str
+    points: Tuple[SweepPoint, ...]
+    queries_per_point: int
+
+    def series(self, method: str) -> List[Tuple[float, float]]:
+        """``(edited_percentage, mean_seconds)`` pairs for one curve."""
+        return [(p.edited_percentage, p.seconds(method)) for p in self.points]
+
+    @property
+    def average_percent_faster(self) -> float:
+        """BWM's average advantage over RBM across the sweep (§5 headline)."""
+        return mean([p.bwm_percent_faster for p in self.points])
+
+
+def measure_methods(
+    database: MultimediaDatabase,
+    queries: Sequence[RangeQuery],
+    methods: Sequence[str] = ("rbm", "bwm"),
+    repeats: int = 1,
+) -> Dict[str, MethodMeasurement]:
+    """Time a query batch under each method on one database.
+
+    Every method sees the identical query list; results are also checked
+    for set equality between rbm and bwm as a guard (the equivalence
+    property, enforced even while benchmarking).
+    """
+    if repeats < 1:
+        raise WorkloadError("repeats must be at least 1")
+    measurements: Dict[str, MethodMeasurement] = {}
+    reference_sizes: Optional[List[int]] = None
+
+    for method in methods:
+        stats = QueryStats()
+        match_counts: List[int] = []
+        batch_seconds: List[float] = []
+        # With multiple repeats the first pass is a warmup (caches, memory
+        # allocator); the representative batch time is the *best* repeat,
+        # the standard way to strip scheduler/allocator noise from a
+        # deterministic workload.
+        timed_repeats = range(-1, repeats) if repeats > 1 else range(repeats)
+        for repeat in timed_repeats:
+            match_counts = []
+            batch_total = 0.0
+            for query in queries:
+                timed = time_call(lambda q=query: database.range_query(q, method=method))
+                result = timed.value
+                match_counts.append(len(result))
+                batch_total += timed.seconds
+                if repeat == 0:
+                    stats.merge(result.stats)
+            if repeat >= 0:
+                batch_seconds.append(batch_total)
+        if method in ("rbm", "bwm"):
+            if reference_sizes is None:
+                reference_sizes = match_counts
+            elif match_counts != reference_sizes:
+                raise WorkloadError(
+                    "rbm and bwm disagreed on result sizes — equivalence violated"
+                )
+        measurements[method] = MethodMeasurement(
+            method=method,
+            mean_seconds=min(batch_seconds) / len(queries),
+            total_matches=sum(match_counts),
+            stats=stats,
+        )
+    return measurements
+
+
+def run_figure_sweep(
+    params: DatasetParameters,
+    seed: int = 2006,
+    edited_percentages: Sequence[float] = DEFAULT_EDITED_PERCENTAGES,
+    queries_per_point: int = 30,
+    methods: Sequence[str] = ("rbm", "bwm"),
+    scale: float = 1.0,
+    repeats: int = 1,
+) -> SweepResult:
+    """Reproduce one figure: sweep the edited percentage, time each method.
+
+    The query workload is regenerated per point from the same seed stream
+    so each database sees queries matched to its own contents (as the
+    prototype's random queries were), while the whole sweep stays
+    reproducible from ``seed``.
+    """
+    scaled = params.scaled(scale)
+    points: List[SweepPoint] = []
+    for percentage in edited_percentages:
+        rng = np.random.default_rng([seed, int(percentage * 100)])
+        database = build_database(scaled, rng, edited_percentage=percentage)
+        queries = make_query_workload(database, rng, queries_per_point)
+        measurements = measure_methods(
+            database, queries, methods=methods, repeats=repeats
+        )
+        summary = database.structure_summary()
+        points.append(
+            SweepPoint(
+                edited_percentage=percentage,
+                database_size=len(database),
+                edited_images=summary["edited_images"],
+                unclassified_images=summary["unclassified"],
+                measurements=measurements,
+            )
+        )
+    return SweepResult(
+        dataset=scaled.name,
+        points=tuple(points),
+        queries_per_point=queries_per_point,
+    )

@@ -1,0 +1,41 @@
+"""Timing primitives for the evaluation harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """Wall-clock seconds plus the callable's return value."""
+
+    seconds: float
+    value: object
+
+
+def time_call(fn: Callable[[], T]) -> TimedRun:
+    """Time one call with the monotonic performance counter."""
+    start = time.perf_counter()
+    value = fn()
+    return TimedRun(time.perf_counter() - start, value)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def percent_faster(baseline: float, improved: float) -> float:
+    """How much faster ``improved`` is than ``baseline``, in percent.
+
+    This is the statistic the paper's §5 headline uses ("BWM allows the
+    system to process the queries an average of 33.07% faster"):
+    ``100 * (baseline - improved) / baseline``.
+    """
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

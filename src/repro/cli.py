@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the workflow of the paper's prototype:
+
+``build``     generate a flag/helmet database and save it to a directory
+``info``      structure summary and storage accounting of a saved database
+``query``     run a text query ("at least 25% blue") against a saved database
+``knn``       nearest neighbors of a ppm image against a saved database
+``check``     integrity verification of a saved database
+``evaluate``  regenerate Table 2 and the Figure 3/4 series
+
+All commands are plain functions over the public API, so they double as
+integration smoke tests (see ``tests/test_cli.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bench.reporting import render_figure, render_table2
+from repro.bench.runner import run_figure_sweep
+from repro.db.persistence import load_database, save_database
+from repro.errors import ReproError
+from repro.images.ppm import read_ppm
+from repro.workloads.datasets import build_database
+from repro.workloads.table2 import FLAG_PARAMETERS, HELMET_PARAMETERS
+
+_DATASETS = {"flag": FLAG_PARAMETERS, "helmet": HELMET_PARAMETERS}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Color-based retrieval over edit-sequence image storage "
+        "(Brown & Gruenwald, ICDE 2006 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="generate and save a database")
+    build.add_argument("directory", help="output directory")
+    build.add_argument("--dataset", choices=sorted(_DATASETS), default="flag")
+    build.add_argument("--scale", type=float, default=0.2,
+                       help="Table 2 scale factor (default 0.2)")
+    build.add_argument("--seed", type=int, default=2006)
+    build.add_argument("--edited-percentage", type=float, default=None,
+                       help="override the binary/edited split (0-100)")
+
+    info = commands.add_parser("info", help="summarize a saved database")
+    info.add_argument("directory")
+    info.add_argument("--storage", action="store_true",
+                      help="include the instantiated-raster comparison (slow)")
+
+    query = commands.add_parser("query", help="run a text query")
+    query.add_argument("directory")
+    query.add_argument("text", help='e.g. "at least 25%% blue"')
+    query.add_argument("--method", choices=("bwm", "rbm", "instantiate"),
+                       default="bwm")
+    query.add_argument("--expand", action="store_true",
+                       help="also return bases of matching edited images")
+
+    knn = commands.add_parser("knn", help="nearest neighbors of a ppm image")
+    knn.add_argument("directory")
+    knn.add_argument("image", help="query image (ppm/pgm file)")
+    knn.add_argument("-k", type=int, default=5)
+    knn.add_argument("--method", choices=("binary", "exact", "bounded", "intersection"),
+                     default="bounded")
+
+    check = commands.add_parser("check", help="verify database integrity")
+    check.add_argument("directory")
+    check.add_argument("--fast", action="store_true",
+                       help="skip histogram recomputation")
+
+    evaluate = commands.add_parser(
+        "evaluate", help="regenerate Table 2 and the Figure 3/4 series"
+    )
+    evaluate.add_argument("--scale", type=float, default=0.25)
+    evaluate.add_argument("--queries", type=int, default=12)
+    evaluate.add_argument("--seed", type=int, default=2006)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_build(args: argparse.Namespace, out) -> int:
+    params = _DATASETS[args.dataset].scaled(args.scale)
+    rng = np.random.default_rng(args.seed)
+    database = build_database(
+        params, rng, edited_percentage=args.edited_percentage
+    )
+    root = save_database(database, args.directory)
+    summary = database.structure_summary()
+    print(f"built {args.dataset} database at {root}", file=out)
+    for key, value in summary.items():
+        print(f"  {key}: {value}", file=out)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace, out) -> int:
+    database = load_database(args.directory)
+    print(f"quantizer: {database.quantizer.describe()}", file=out)
+    for key, value in database.structure_summary().items():
+        print(f"  {key}: {value}", file=out)
+    report = database.storage_report(include_instantiated=args.storage)
+    print(report.describe(), file=out)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    database = load_database(args.directory)
+    result = database.text_query(
+        args.text, method=args.method, expand_to_bases=args.expand
+    )
+    print(f"{len(result)} matches ({args.method}):", file=out)
+    for image_id in result.sorted_ids():
+        print(f"  {image_id}", file=out)
+    print(
+        f"work: {result.stats.histograms_checked} histograms, "
+        f"{result.stats.bounds_computed} BOUNDS, "
+        f"{result.stats.rules_applied} rules",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_knn(args: argparse.Namespace, out) -> int:
+    database = load_database(args.directory)
+    query_image = read_ppm(args.image)
+    result = database.knn(query_image, args.k, method=args.method)
+    print(f"{len(result.neighbors)} nearest neighbors ({args.method}):", file=out)
+    for score, image_id in result.neighbors:
+        print(f"  {image_id}  {score:.4f}", file=out)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace, out) -> int:
+    database = load_database(args.directory)
+    problems = database.verify_integrity(recompute_histograms=not args.fast)
+    if problems:
+        print(f"{len(problems)} integrity problems:", file=out)
+        for problem in problems:
+            print(f"  {problem}", file=out)
+        return 2
+    print("integrity check passed", file=out)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace, out) -> int:
+    helmet = HELMET_PARAMETERS.scaled(args.scale)
+    flag = FLAG_PARAMETERS.scaled(args.scale)
+    print(render_table2(helmet, flag), file=out)
+    print(file=out)
+    helmet_sweep = run_figure_sweep(
+        HELMET_PARAMETERS, seed=args.seed, scale=args.scale,
+        queries_per_point=args.queries, repeats=3,
+    )
+    print(render_figure(helmet_sweep, 3), file=out)
+    print(file=out)
+    flag_sweep = run_figure_sweep(
+        FLAG_PARAMETERS, seed=args.seed + 1, scale=args.scale,
+        queries_per_point=args.queries, repeats=3,
+    )
+    print(render_figure(flag_sweep, 4), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "build": _cmd_build,
+    "check": _cmd_check,
+    "info": _cmd_info,
+    "query": _cmd_query,
+    "knn": _cmd_knn,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g.
+        # ``| head``): the Unix convention is to exit quietly.  Redirect
+        # stdout to devnull so the interpreter's shutdown flush does not
+        # trip over the closed pipe.
+        import os
+
+        try:
+            sys.stdout = open(os.devnull, "w")  # noqa: SIM115 - lives to exit
+        except OSError:
+            pass
+        return 0

@@ -1,0 +1,75 @@
+"""Named colors for the text query language and dataset palettes.
+
+The paper's example query is "Retrieve all images that are at least 25%
+blue"; mapping the word *blue* to a histogram bin requires a canonical RGB
+value per color name.  The palette below contains the colors that dominate
+world flags and American football helmets — the two evaluation domains —
+plus the basic CSS-style primaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ColorError
+
+#: Canonical RGB value per supported color name.
+NAMED_COLORS: Dict[str, Tuple[int, int, int]] = {
+    "black": (0, 0, 0),
+    "white": (255, 255, 255),
+    "red": (200, 16, 46),        # flag red (e.g. US old glory red)
+    "green": (0, 122, 61),       # flag green
+    "blue": (0, 40, 104),        # flag navy blue
+    "lightblue": (117, 170, 219),
+    "yellow": (255, 205, 0),     # flag gold
+    "gold": (201, 151, 0),
+    "orange": (243, 112, 33),
+    "purple": (84, 0, 125),
+    "maroon": (122, 0, 25),
+    "navy": (0, 0, 102),
+    "gray": (128, 128, 128),
+    "silver": (192, 192, 192),
+    "brown": (121, 68, 28),
+    "crimson": (165, 28, 48),
+    "teal": (0, 128, 128),
+}
+
+#: The subset that reads as a "flag palette" for the flag generator.
+FLAG_PALETTE = (
+    NAMED_COLORS["red"],
+    NAMED_COLORS["white"],
+    NAMED_COLORS["blue"],
+    NAMED_COLORS["green"],
+    NAMED_COLORS["yellow"],
+    NAMED_COLORS["black"],
+    NAMED_COLORS["orange"],
+    NAMED_COLORS["lightblue"],
+)
+
+#: Team colors for the helmet generator.
+HELMET_PALETTE = (
+    NAMED_COLORS["crimson"],
+    NAMED_COLORS["navy"],
+    NAMED_COLORS["gold"],
+    NAMED_COLORS["white"],
+    NAMED_COLORS["black"],
+    NAMED_COLORS["orange"],
+    NAMED_COLORS["purple"],
+    NAMED_COLORS["maroon"],
+    NAMED_COLORS["silver"],
+    NAMED_COLORS["green"],
+)
+
+
+def color_by_name(name: str) -> Tuple[int, int, int]:
+    """Look up a named color; raises :class:`ColorError` for unknown names."""
+    key = name.strip().lower()
+    if key not in NAMED_COLORS:
+        known = ", ".join(sorted(NAMED_COLORS))
+        raise ColorError(f"unknown color name {name!r}; known: {known}")
+    return NAMED_COLORS[key]
+
+
+def is_known_color(name: str) -> bool:
+    """True when ``name`` is a supported color word."""
+    return name.strip().lower() in NAMED_COLORS

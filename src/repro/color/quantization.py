@@ -1,0 +1,136 @@
+"""Uniform color quantizers.
+
+Section 3.1: bin colors "are usually obtained by uniformly quantizing the
+space of a color model such as RGB, HSV, or Luv into a system-dependent
+number of divisions".  A :class:`UniformQuantizer` divides each channel of
+the chosen space into a fixed number of equal cells; a histogram bin is a
+cell, indexed either by its ``(i, j, k)`` cell coordinates or by a flat
+integer index.
+
+The quantizer is the contract shared by feature extraction (histograms)
+and the Table 1 rules: a rule only needs ``bin_of(color)`` to decide
+whether ``RGB_old``/``RGB_new`` map to the queried bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.color.spaces import channel_ranges, convert_pixels, validate_space
+from repro.errors import ColorError
+from repro.images.raster import validate_color
+
+BinIndex = int
+
+
+@dataclass(frozen=True)
+class UniformQuantizer:
+    """Uniformly quantizes a color space into ``divisions^3`` bins.
+
+    Parameters
+    ----------
+    divisions:
+        Number of cells per channel (so ``divisions ** 3`` bins total).
+        The paper's prototypes used small division counts; 4 (64 bins) is
+        the library default set in :mod:`repro.db.database`.
+    space:
+        One of ``"rgb"``, ``"hsv"``, ``"luv"``.
+    """
+
+    divisions: int = 4
+    space: str = "rgb"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.divisions <= 256:
+            raise ColorError(f"divisions must be in [1, 256], got {self.divisions}")
+        object.__setattr__(self, "space", validate_space(self.space))
+
+    # ------------------------------------------------------------------
+    @property
+    def bin_count(self) -> int:
+        """Total number of histogram bins."""
+        return self.divisions ** 3
+
+    def bin_of(self, color: Iterable[int]) -> BinIndex:
+        """Flat bin index of a single RGB color.
+
+        Memoized per (quantizer, color): the Table 1 Modify rule calls
+        this on every rule application, typically over a small palette.
+        """
+        return _bin_of_cached(self, validate_color(color))
+
+    def bin_indices(self, rgb_pixels: np.ndarray) -> np.ndarray:
+        """Flat bin indices for an ``(..., 3)`` uint8 RGB array."""
+        coords = convert_pixels(rgb_pixels, self.space)
+        cells = np.empty(coords.shape, dtype=np.int64)
+        for channel, (low, high) in enumerate(channel_ranges(self.space)):
+            span = high - low
+            scaled = (coords[..., channel] - low) / span * self.divisions
+            cells[..., channel] = np.clip(
+                np.floor(scaled).astype(np.int64), 0, self.divisions - 1
+            )
+        return (
+            cells[..., 0] * self.divisions * self.divisions
+            + cells[..., 1] * self.divisions
+            + cells[..., 2]
+        )
+
+    def cell_of(self, bin_index: BinIndex) -> Tuple[int, int, int]:
+        """Inverse of the flat indexing: ``(i, j, k)`` cell coordinates."""
+        self.validate_bin(bin_index)
+        per_plane = self.divisions * self.divisions
+        i = bin_index // per_plane
+        j = (bin_index % per_plane) // self.divisions
+        k = bin_index % self.divisions
+        return (i, j, k)
+
+    def representative_rgb(self, bin_index: BinIndex) -> Tuple[int, int, int]:
+        """An RGB color guaranteed to map to ``bin_index``.
+
+        For the RGB space the cell center is exact.  For HSV/Luv the cell
+        center may be outside the RGB gamut, so this searches a coarse
+        RGB lattice for a color landing in the bin and raises
+        :class:`ColorError` when the bin is empty of RGB colors (possible
+        for out-of-gamut Luv cells).
+        """
+        self.validate_bin(bin_index)
+        if self.space == "rgb":
+            i, j, k = self.cell_of(bin_index)
+            cell_width = 256.0 / self.divisions
+            color = tuple(
+                min(255, int((axis + 0.5) * cell_width)) for axis in (i, j, k)
+            )
+            return color  # type: ignore[return-value]
+        lattice = np.linspace(0, 255, num=16, dtype=np.uint8)
+        grid = np.stack(np.meshgrid(lattice, lattice, lattice, indexing="ij"), axis=-1)
+        flat = grid.reshape(-1, 3)
+        bins = self.bin_indices(flat)
+        matches = np.nonzero(bins == bin_index)[0]
+        if matches.size == 0:
+            raise ColorError(
+                f"bin {bin_index} of {self.space} quantizer contains no RGB colors"
+            )
+        r, g, b = flat[matches[0]]
+        return (int(r), int(g), int(b))
+
+    def validate_bin(self, bin_index: int) -> int:
+        """Raise unless ``bin_index`` addresses a real bin."""
+        if not 0 <= bin_index < self.bin_count:
+            raise ColorError(
+                f"bin {bin_index} outside [0, {self.bin_count}) for {self!r}"
+            )
+        return bin_index
+
+    def describe(self) -> str:
+        """Human-readable summary used by catalogs and reports."""
+        return f"{self.space}/{self.divisions}^3={self.bin_count} bins"
+
+
+@lru_cache(maxsize=65536)
+def _bin_of_cached(quantizer: UniformQuantizer, rgb: Tuple[int, int, int]) -> int:
+    pixel = np.array([rgb], dtype=np.uint8)
+    return int(quantizer.bin_indices(pixel)[0])

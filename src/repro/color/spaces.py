@@ -1,0 +1,153 @@
+"""Color space conversions (RGB, HSV, CIE Luv).
+
+Section 3.1 of the paper quantizes "the space of a color model such as
+RGB, HSV, or Luv"; the quantizers in :mod:`repro.color.quantization`
+therefore work over any of the three.  Conversions are implemented from
+the standard definitions (sRGB primaries, D65 white point for Luv) and
+vectorized over whole images.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ColorError
+
+#: Supported color-space identifiers.
+COLOR_SPACES = ("rgb", "hsv", "luv")
+
+#: D65 reference white in XYZ, normalized to Y = 100.
+_WHITE_XYZ = (95.047, 100.0, 108.883)
+
+#: sRGB -> XYZ linear transform (D65).
+_RGB_TO_XYZ = np.array(
+    [
+        [0.4124564, 0.3575761, 0.1804375],
+        [0.2126729, 0.7151522, 0.0721750],
+        [0.0193339, 0.1191920, 0.9503041],
+    ]
+)
+
+
+def validate_space(space: str) -> str:
+    """Normalize and validate a color-space name."""
+    name = space.lower()
+    if name not in COLOR_SPACES:
+        raise ColorError(f"unknown color space {space!r}; expected one of {COLOR_SPACES}")
+    return name
+
+
+# ----------------------------------------------------------------------
+# HSV
+# ----------------------------------------------------------------------
+def rgb_to_hsv(rgb: np.ndarray) -> np.ndarray:
+    """Convert an ``(..., 3)`` uint8 RGB array to float HSV.
+
+    Output ranges: H in [0, 360), S in [0, 1], V in [0, 1].
+    """
+    arr = np.asarray(rgb, dtype=np.float64) / 255.0
+    r, g, b = arr[..., 0], arr[..., 1], arr[..., 2]
+    maxc = arr.max(axis=-1)
+    minc = arr.min(axis=-1)
+    delta = maxc - minc
+
+    hue = np.zeros_like(maxc)
+    nonzero = delta > 0
+    r_is_max = nonzero & (maxc == r)
+    g_is_max = nonzero & (maxc == g) & ~r_is_max
+    b_is_max = nonzero & ~r_is_max & ~g_is_max
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        hue[r_is_max] = (60.0 * ((g - b) / delta))[r_is_max] % 360.0
+        hue[g_is_max] = (60.0 * ((b - r) / delta) + 120.0)[g_is_max]
+        hue[b_is_max] = (60.0 * ((r - g) / delta) + 240.0)[b_is_max]
+
+    saturation = np.divide(
+        delta, maxc, out=np.zeros_like(maxc), where=maxc > 0
+    )
+    return np.stack([hue, saturation, maxc], axis=-1)
+
+
+def hsv_to_rgb(hsv: np.ndarray) -> np.ndarray:
+    """Convert float HSV (H in [0,360), S,V in [0,1]) back to uint8 RGB."""
+    arr = np.asarray(hsv, dtype=np.float64)
+    h, s, v = arr[..., 0] % 360.0, arr[..., 1], arr[..., 2]
+    sector = np.floor(h / 60.0).astype(np.int64) % 6
+    fraction = h / 60.0 - np.floor(h / 60.0)
+    p = v * (1.0 - s)
+    q = v * (1.0 - s * fraction)
+    t = v * (1.0 - s * (1.0 - fraction))
+
+    r = np.choose(sector, [v, q, p, p, t, v])
+    g = np.choose(sector, [t, v, v, q, p, p])
+    b = np.choose(sector, [p, p, t, v, v, q])
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.clip(np.round(rgb * 255.0), 0, 255).astype(np.uint8)
+
+
+# ----------------------------------------------------------------------
+# CIE Luv
+# ----------------------------------------------------------------------
+def _srgb_to_linear(channel: np.ndarray) -> np.ndarray:
+    low = channel <= 0.04045
+    out = np.empty_like(channel)
+    out[low] = channel[low] / 12.92
+    out[~low] = ((channel[~low] + 0.055) / 1.055) ** 2.4
+    return out
+
+
+def rgb_to_luv(rgb: np.ndarray) -> np.ndarray:
+    """Convert ``(..., 3)`` uint8 RGB to CIE 1976 L*u*v* (D65 white).
+
+    Output ranges approximately: L* in [0, 100], u* in [-134, 220],
+    v* in [-140, 122].
+    """
+    arr = np.asarray(rgb, dtype=np.float64) / 255.0
+    linear = _srgb_to_linear(arr)
+    xyz = linear @ _RGB_TO_XYZ.T * 100.0
+    x, y, z = xyz[..., 0], xyz[..., 1], xyz[..., 2]
+
+    xw, yw, zw = _WHITE_XYZ
+    denom = x + 15.0 * y + 3.0 * z
+    denom_w = xw + 15.0 * yw + 3.0 * zw
+    with np.errstate(divide="ignore", invalid="ignore"):
+        u_prime = np.where(denom > 0, 4.0 * x / denom, 0.0)
+        v_prime = np.where(denom > 0, 9.0 * y / denom, 0.0)
+    u_prime_w = 4.0 * xw / denom_w
+    v_prime_w = 9.0 * yw / denom_w
+
+    y_ratio = y / yw
+    cube_root_domain = y_ratio > (6.0 / 29.0) ** 3
+    lightness = np.where(
+        cube_root_domain,
+        116.0 * np.cbrt(y_ratio) - 16.0,
+        (29.0 / 3.0) ** 3 * y_ratio,
+    )
+    u_star = 13.0 * lightness * (u_prime - u_prime_w)
+    v_star = 13.0 * lightness * (v_prime - v_prime_w)
+    return np.stack([lightness, u_star, v_star], axis=-1)
+
+
+#: Channel value ranges per color space, used by uniform quantizers.
+CHANNEL_RANGES = {
+    "rgb": ((0.0, 256.0), (0.0, 256.0), (0.0, 256.0)),
+    "hsv": ((0.0, 360.0), (0.0, 1.0 + 1e-9), (0.0, 1.0 + 1e-9)),
+    "luv": ((0.0, 100.0 + 1e-9), (-134.0, 221.0), (-140.0, 123.0)),
+}
+
+
+def convert_pixels(rgb: np.ndarray, space: str) -> np.ndarray:
+    """Map uint8 RGB pixels into ``space`` coordinates as float64."""
+    name = validate_space(space)
+    if name == "rgb":
+        return np.asarray(rgb, dtype=np.float64)
+    if name == "hsv":
+        return rgb_to_hsv(rgb)
+    return rgb_to_luv(rgb)
+
+
+def channel_ranges(space: str) -> Tuple[Tuple[float, float], ...]:
+    """Per-channel (low, high) bounds for uniform quantization."""
+    return CHANNEL_RANGES[validate_space(space)]

@@ -1,0 +1,49 @@
+"""The paper's contribution: Table 1 rules, BOUNDS, RBM, and BWM."""
+
+from repro.core.bounds import BoundsEngine, BoundsStore, PixelBounds
+from repro.core.bwm import BWMProcessor, BWMStructure
+from repro.core.classify import (
+    first_non_widening,
+    is_bound_widening,
+    sequence_is_bound_widening,
+)
+from repro.core.batch import BatchBWMProcessor, BatchRBMProcessor
+from repro.core.query import (
+    CatalogView,
+    ConjunctiveQuery,
+    QueryResult,
+    QueryStats,
+    RangeQuery,
+)
+from repro.core.rbm import RBMProcessor
+from repro.core.rules import (
+    RuleContext,
+    RuleState,
+    apply_rule,
+    describe_rule,
+    initial_state,
+)
+
+__all__ = [
+    "BWMProcessor",
+    "BWMStructure",
+    "BoundsEngine",
+    "BatchBWMProcessor",
+    "BatchRBMProcessor",
+    "BoundsStore",
+    "CatalogView",
+    "ConjunctiveQuery",
+    "PixelBounds",
+    "QueryResult",
+    "QueryStats",
+    "RBMProcessor",
+    "RangeQuery",
+    "RuleContext",
+    "RuleState",
+    "apply_rule",
+    "describe_rule",
+    "first_non_widening",
+    "initial_state",
+    "is_bound_widening",
+    "sequence_is_bound_widening",
+]

@@ -1,0 +1,142 @@
+"""Batch range-query processing.
+
+A retrieval front-end (or the evaluation harness) frequently submits many
+range queries at once.  Processing them together amortizes the per-image
+catalog walk: each binary histogram is fetched once and checked against
+every query, and each edited image's BOUNDS walk is shared across all
+queries on the *same bin* (the rule walk depends only on the bin, so the
+resulting interval can be tested against every query range for free).
+
+The result sets are identical to running the queries one at a time with
+the same method — property-tested in ``tests/core/test_batch.py``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from repro.core.bounds import BoundsEngine
+from repro.core.bwm import BWMStructure
+from repro.core.query import CatalogView, QueryResult, QueryStats, RangeQuery
+from repro.errors import QueryError
+
+
+def _group_by_bin(queries: Sequence[RangeQuery]) -> Dict[int, List[int]]:
+    """Map each queried bin to the indices of the queries using it."""
+    groups: Dict[int, List[int]] = defaultdict(list)
+    for position, query in enumerate(queries):
+        groups[query.bin_index].append(position)
+    return groups
+
+
+class BatchRBMProcessor:
+    """RBM over a batch: one BOUNDS walk per (edited image, distinct bin)."""
+
+    name = "rbm-batch"
+
+    def __init__(self, view: CatalogView, engine: BoundsEngine) -> None:
+        self._view = view
+        self._engine = engine
+
+    def process_batch(self, queries: Sequence[RangeQuery]) -> List[QueryResult]:
+        """Results in query order; identical sets to one-at-a-time RBM."""
+        if not queries:
+            raise QueryError("empty query batch")
+        groups = _group_by_bin(queries)
+        matches: List[set] = [set() for _ in queries]
+        stats = QueryStats()
+
+        for image_id in self._view.binary_ids():
+            histogram = self._view.histogram_of(image_id)
+            stats.histograms_checked += 1
+            for bin_index, positions in groups.items():
+                fraction = histogram.fraction(bin_index)
+                for position in positions:
+                    query = queries[position]
+                    if query.pct_min <= fraction <= query.pct_max:
+                        matches[position].add(image_id)
+
+        for image_id in self._view.edited_ids():
+            for bin_index, positions in groups.items():
+                rules_before = self._engine.rules_applied
+                bounds = self._engine.bounds(image_id, bin_index)
+                stats.bounds_computed += 1
+                stats.rules_applied += self._engine.rules_applied - rules_before
+                for position in positions:
+                    query = queries[position]
+                    if bounds.overlaps(query.pct_min, query.pct_max):
+                        matches[position].add(image_id)
+
+        return [QueryResult(frozenset(found), stats) for found in matches]
+
+
+class BatchBWMProcessor:
+    """BWM over a batch, sharing BOUNDS walks across same-bin queries.
+
+    Per cluster, the base histogram is checked against every query; only
+    queries the base fails need per-member BOUNDS, and those walks are
+    shared per distinct bin among the failing queries.
+    """
+
+    name = "bwm-batch"
+
+    def __init__(
+        self,
+        structure: BWMStructure,
+        view: CatalogView,
+        engine: BoundsEngine,
+    ) -> None:
+        self._structure = structure
+        self._view = view
+        self._engine = engine
+
+    def process_batch(self, queries: Sequence[RangeQuery]) -> List[QueryResult]:
+        """Results in query order; identical sets to one-at-a-time BWM."""
+        if not queries:
+            raise QueryError("empty query batch")
+        groups = _group_by_bin(queries)
+        matches: List[set] = [set() for _ in queries]
+        stats = QueryStats()
+
+        for base_id, cluster in self._structure.clusters():
+            histogram = self._view.histogram_of(base_id)
+            stats.histograms_checked += 1
+            failing_by_bin: Dict[int, List[int]] = {}
+            for bin_index, positions in groups.items():
+                fraction = histogram.fraction(bin_index)
+                for position in positions:
+                    query = queries[position]
+                    if query.pct_min <= fraction <= query.pct_max:
+                        matches[position].add(base_id)
+                        matches[position].update(cluster)
+                        stats.clusters_short_circuited += 1
+                        stats.edited_accepted_without_rules += len(cluster)
+                    else:
+                        failing_by_bin.setdefault(bin_index, []).append(position)
+            if not failing_by_bin or not cluster:
+                continue
+            for edited_id in cluster:
+                for bin_index, positions in failing_by_bin.items():
+                    bounds = self._shared_bounds(edited_id, bin_index, stats)
+                    for position in positions:
+                        query = queries[position]
+                        if bounds.overlaps(query.pct_min, query.pct_max):
+                            matches[position].add(edited_id)
+
+        for edited_id in self._structure.unclassified:
+            for bin_index, positions in groups.items():
+                bounds = self._shared_bounds(edited_id, bin_index, stats)
+                for position in positions:
+                    query = queries[position]
+                    if bounds.overlaps(query.pct_min, query.pct_max):
+                        matches[position].add(edited_id)
+
+        return [QueryResult(frozenset(found), stats) for found in matches]
+
+    def _shared_bounds(self, edited_id: str, bin_index: int, stats: QueryStats):
+        rules_before = self._engine.rules_applied
+        bounds = self._engine.bounds(edited_id, bin_index)
+        stats.bounds_computed += 1
+        stats.rules_applied += self._engine.rules_applied - rules_before
+        return bounds

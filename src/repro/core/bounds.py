@@ -1,0 +1,233 @@
+"""The BOUNDS algorithm: interval of possible bin fractions for an image.
+
+§3.2: "A system could access the value of the histogram bin for the
+referenced base image given in the storage format of E, and then use the
+above rules to determine how the associated editing operations modify that
+value. ... The range [BOUND_min/imagesize, BOUND_max/imagesize] represents
+the bounds on the percentage of pixels in image E that map to bin HB."
+
+:class:`BoundsEngine` walks an edit sequence with the Table 1 rules,
+resolving Merge targets through a pluggable store.  Targets that are
+themselves edited images are handled by recursing (with cycle detection
+and a depth limit) — an extension beyond the paper, which assumed binary
+targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Protocol, Tuple, Union
+
+from repro.color.histogram import ColorHistogram
+from repro.color.quantization import UniformQuantizer
+from repro.core.rules import RuleContext, RuleState, apply_rule
+from repro.editing.sequence import EditSequence
+from repro.errors import RuleError, UnknownObjectError
+from repro.images.geometry import Rect
+from repro.images.raster import ColorTuple
+
+
+class BoundsStore(Protocol):
+    """What the bounds engine needs from the database catalog.
+
+    ``lookup_for_bounds(image_id)`` returns either a
+    ``(histogram, height, width)`` triple for a binary image or the
+    :class:`EditSequence` of an edited image.  The MMDBMS catalog in
+    :mod:`repro.db.catalog` implements this protocol.
+    """
+
+    def lookup_for_bounds(
+        self, image_id: str
+    ) -> Union[Tuple[ColorHistogram, int, int], EditSequence]:
+        """``(histogram, h, w)`` for binary images, sequence for edited."""
+        ...
+
+
+@dataclass(frozen=True)
+class PixelBounds:
+    """Result of the BOUNDS algorithm for one (image, bin) pair."""
+
+    lo: int
+    hi: int
+    height: int
+    width: int
+
+    @property
+    def total(self) -> int:
+        """Pixel count of the (possibly hypothetical) edited image."""
+        return self.height * self.width
+
+    @property
+    def fraction_lo(self) -> float:
+        """``BOUND_min / imagesize``."""
+        return self.lo / self.total
+
+    @property
+    def fraction_hi(self) -> float:
+        """``BOUND_max / imagesize``."""
+        return self.hi / self.total
+
+    def overlaps(self, pct_min: float, pct_max: float) -> bool:
+        """True when the bounds interval intersects ``[pct_min, pct_max]``.
+
+        This is the §3.2 pruning test: an image whose interval misses the
+        query range *cannot* satisfy the query; overlap means "maybe".
+        """
+        if pct_min > pct_max:
+            raise RuleError(f"empty query range [{pct_min}, {pct_max}]")
+        return self.fraction_lo <= pct_max and self.fraction_hi >= pct_min
+
+    def contains_fraction(self, fraction: float, tol: float = 1e-12) -> bool:
+        """True when ``fraction`` lies within the bounds (soundness check)."""
+        return self.fraction_lo - tol <= fraction <= self.fraction_hi + tol
+
+    @staticmethod
+    def exact(count: int, height: int, width: int) -> "PixelBounds":
+        """Degenerate bounds for a binary image's exact histogram value."""
+        return PixelBounds(count, count, height, width)
+
+
+class BoundsEngine:
+    """Applies the Table 1 rules to edit sequences, resolving targets.
+
+    Parameters
+    ----------
+    store:
+        A :class:`BoundsStore` (typically the MMDBMS catalog).
+    quantizer:
+        The histogram quantizer shared by the whole database.
+    fill_color:
+        Must match the :class:`repro.editing.executor.EditExecutor` fill
+        used to instantiate images, or soundness is lost.
+    max_depth:
+        Limit on Merge-target recursion through chains of edited images.
+    """
+
+    def __init__(
+        self,
+        store: BoundsStore,
+        quantizer: UniformQuantizer,
+        fill_color: ColorTuple = (0, 0, 0),
+        max_depth: int = 8,
+        cache_enabled: bool = False,
+    ) -> None:
+        if max_depth < 1:
+            raise RuleError("max_depth must be at least 1")
+        self._store = store
+        self._quantizer = quantizer
+        self._fill_color = fill_color
+        self._max_depth = max_depth
+        #: Count of rule applications since construction; the performance
+        #: evaluation reports this as the work metric alongside wall time.
+        self.rules_applied = 0
+        #: Optional (image_id, bin) -> PixelBounds memo.  Off by default
+        #: so the performance evaluation measures the algorithms, not the
+        #: cache; the owning database invalidates it on catalog changes.
+        self.cache_enabled = cache_enabled
+        self._cache: dict = {}
+        self.cache_hits = 0
+
+    @property
+    def quantizer(self) -> UniformQuantizer:
+        """The quantizer whose bins the bounds refer to."""
+        return self._quantizer
+
+    # ------------------------------------------------------------------
+    def bounds(self, image_id: str, bin_index: int) -> PixelBounds:
+        """BOUNDS for a stored image (exact for binary, interval for edited)."""
+        if self.cache_enabled:
+            key = (image_id, bin_index)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            result = self._bounds_inner(
+                image_id, bin_index, frozenset(), self._max_depth
+            )
+            self._cache[key] = result
+            return result
+        return self._bounds_inner(image_id, bin_index, frozenset(), self._max_depth)
+
+    def invalidate_cache(self) -> None:
+        """Drop every memoized interval (call after any catalog change).
+
+        Invalidation is whole-cache rather than per-id because an edited
+        image's bounds can depend on other images through Merge targets;
+        the owning database calls this on every insert or delete.
+        """
+        self._cache.clear()
+
+    def sequence_bounds(
+        self, sequence: EditSequence, bin_index: int
+    ) -> PixelBounds:
+        """BOUNDS for an ad-hoc sequence whose base/targets are in the store."""
+        return self._sequence_bounds_inner(
+            sequence, bin_index, frozenset(), self._max_depth
+        )
+
+    def fraction_bounds(self, image_id: str, bin_index: int) -> Tuple[float, float]:
+        """Convenience: ``(BOUND_min/size, BOUND_max/size)``."""
+        result = self.bounds(image_id, bin_index)
+        return (result.fraction_lo, result.fraction_hi)
+
+    # ------------------------------------------------------------------
+    def _bounds_inner(
+        self,
+        image_id: str,
+        bin_index: int,
+        visiting: FrozenSet[str],
+        depth: int,
+    ) -> PixelBounds:
+        if image_id in visiting:
+            raise RuleError(f"cyclic Merge reference through {image_id!r}")
+        if depth <= 0:
+            raise RuleError(
+                f"Merge recursion deeper than {self._max_depth} at {image_id!r}"
+            )
+        record = self._store.lookup_for_bounds(image_id)
+        if isinstance(record, tuple):
+            histogram, height, width = record
+            self._quantizer.validate_bin(bin_index)
+            return PixelBounds.exact(histogram.count(bin_index), height, width)
+        if isinstance(record, EditSequence):
+            return self._sequence_bounds_inner(
+                record, bin_index, visiting | {image_id}, depth
+            )
+        raise UnknownObjectError(f"unexpected store record for {image_id!r}")
+
+    def _sequence_bounds_inner(
+        self,
+        sequence: EditSequence,
+        bin_index: int,
+        visiting: FrozenSet[str],
+        depth: int,
+    ) -> PixelBounds:
+        base = self._bounds_inner(sequence.base_id, bin_index, visiting, depth - 1)
+        # A base that is itself an edited image (chained sequences) starts
+        # the walk from its interval rather than an exact count; for binary
+        # bases lo == hi and this matches initial_state exactly.
+        state = RuleState(
+            lo=base.lo,
+            hi=base.hi,
+            height=base.height,
+            width=base.width,
+            dr=Rect(0, 0, base.height, base.width),
+        )
+
+        def resolve(target_id: str, target_bin: int) -> Tuple[int, int, int, int]:
+            inner = self._bounds_inner(
+                target_id, target_bin, visiting, depth - 1
+            )
+            return (inner.lo, inner.hi, inner.height, inner.width)
+
+        ctx = RuleContext(
+            quantizer=self._quantizer,
+            bin_index=self._quantizer.validate_bin(bin_index),
+            fill_color=self._fill_color,
+            resolve_target=resolve,
+        )
+        for op in sequence.operations:
+            state = apply_rule(state, op, ctx)
+            self.rules_applied += 1
+        state.validate()
+        return PixelBounds(state.lo, state.hi, state.height, state.width)

@@ -1,0 +1,104 @@
+"""Bound-widening classification (§4 of the paper).
+
+A rule is *bound-widening* when applying it can only grow the percentage
+interval ``[lo/total, hi/total]`` — formally, the post-rule interval
+always contains the pre-rule interval.  §4's argument: if every operation
+of an edited image has a bound-widening rule and the base image's exact
+fraction (a degenerate interval inside the query range) starts the walk,
+the final interval must still intersect the query range, so the rules
+never need to be applied for that image.
+
+Classification is *static* — it looks only at the operation parameters,
+exactly as the paper's Figure 1 insertion algorithm does ("access rule
+for the next operation in E; if the rule is not bound-widening, mark E").
+
+Per-operation classification (proofs in the function docstrings):
+
+=========================  =================================
+Operation                  Bound-widening?
+=========================  =================================
+Define                     yes (no histogram effect)
+Combine                    yes
+Modify                     yes
+Mutate, rigid body         yes
+Mutate, integer axis scale yes (percentages preserved)
+Mutate, general affine     **no** (conservatively unclassified)
+Merge, target NULL         yes
+Merge, target not NULL     **no**
+=========================  =================================
+
+Putting an operation in the "no" bucket is always safe — BWM simply runs
+the full rules for the image (the Unclassified component).  The converse
+is load-bearing: every "yes" must truly widen, or BWM's shortcut could
+disagree with RBM.  The property suite checks this against
+:mod:`repro.core.rules` directly.
+"""
+
+from __future__ import annotations
+
+from repro.editing.operations import (
+    Combine,
+    Define,
+    Merge,
+    Modify,
+    Mutate,
+    Operation,
+)
+from repro.editing.sequence import EditSequence
+from repro.errors import RuleError
+
+
+def is_bound_widening(op: Operation) -> bool:
+    """True when the rule for ``op`` can only widen the percentage interval.
+
+    * **Define** — leaves ``lo``, ``hi``, and the size untouched.
+    * **Combine** — ``lo -= |DR|``, ``hi += |DR|``, size unchanged: pure
+      widening.
+    * **Modify** — in every condition branch one bound moves outward (or
+      nothing changes), size unchanged.
+    * **Mutate** — a rigid-body matrix always takes the pixel-move rule,
+      which widens by the source/destination union at constant size.  An
+      integer axis scale either scales all three counters by the same
+      factor (whole-image case: percentage interval *equal*, hence
+      trivially contained) or falls into the pixel-move rule (widening).
+      Any other matrix is conservatively unclassified, matching the
+      paper's treatment of general warps.
+    * **Merge NULL** — crops to the DR.  With ``d = |DR|``, ``E`` the old
+      total, the new interval is
+      ``[max(0, lo - (E - d)) / d, min(hi, d) / d]``.
+      Containment of the old interval: if ``hi <= d`` then
+      ``min(hi, d)/d = hi/d >= hi/E``; else the upper bound is 1.  If
+      ``lo <= E - d`` the lower bound is 0; else
+      ``(lo - (E - d))/d <= lo/E`` because cross-multiplying gives
+      ``E*lo - E(E - d) <= d*lo``, i.e. ``lo(E - d) <= E(E - d)``, true
+      since ``lo <= E``.  So NULL-Merge always widens.
+    * **Merge non-NULL** — splices in target content and border fill; the
+      percentage interval can move anywhere.  Not bound-widening.
+    """
+    if isinstance(op, (Define, Combine, Modify)):
+        return True
+    if isinstance(op, Mutate):
+        return op.matrix.is_rigid_body() or op.matrix.is_integer_scale()
+    if isinstance(op, Merge):
+        return op.is_crop
+    raise RuleError(f"cannot classify {op!r}")
+
+
+def sequence_is_bound_widening(sequence: EditSequence) -> bool:
+    """True when *every* operation of the sequence is bound-widening.
+
+    This is the Figure 1 insertion test deciding Main vs. Unclassified.
+    """
+    return all(is_bound_widening(op) for op in sequence.operations)
+
+
+def first_non_widening(sequence: EditSequence) -> int:
+    """Index of the first non-bound-widening operation, or ``-1``.
+
+    Mirrors Figure 1's early-exit loop (step 3 stops scanning at the
+    first non-widening rule); exposed for diagnostics and tests.
+    """
+    for index, op in enumerate(sequence.operations):
+        if not is_bound_widening(op):
+            return index
+    return -1

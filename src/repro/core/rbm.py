@@ -1,0 +1,54 @@
+"""RBM — the Rule-Based Method query processor (paper §3, the baseline).
+
+"When using RBM for determining if an edited image satisfies a given
+color-based query, it is necessary to access each of the image's editing
+operations and apply the corresponding rules.  Thus, this approach must
+access every edited image in a database as well as every editing
+operation within each image description" (§4).
+
+That is exactly what this processor does:
+
+1. every binary image's histogram is checked against the query range;
+2. every edited image gets a full BOUNDS walk (all rules applied) and is
+   accepted when its interval overlaps the query range.
+
+BWM (:mod:`repro.core.bwm`) produces the identical result set while
+skipping step 2's rule applications for favorable images.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import BoundsEngine
+from repro.core.query import CatalogView, QueryResult, QueryStats, RangeQuery
+
+
+class RBMProcessor:
+    """Linear-scan range-query processor applying rules for every edited image."""
+
+    #: Identifier used by reports and the method registry.
+    name = "rbm"
+
+    def __init__(self, view: CatalogView, engine: BoundsEngine) -> None:
+        self._view = view
+        self._engine = engine
+
+    def process(self, query: RangeQuery) -> QueryResult:
+        """Execute ``query``, returning matches and work counters."""
+        stats = QueryStats()
+        matches = set()
+
+        for image_id in self._view.binary_ids():
+            histogram = self._view.histogram_of(image_id)
+            stats.histograms_checked += 1
+            if query.matches_histogram(histogram):
+                matches.add(image_id)
+
+        for image_id in self._view.edited_ids():
+            rules_before = self._engine.rules_applied
+            bounds = self._engine.bounds(image_id, query.bin_index)
+            stats.bounds_computed += 1
+            stats.rules_applied += self._engine.rules_applied - rules_before
+            if bounds.overlaps(query.pct_min, query.pct_max):
+                matches.add(image_id)
+
+        return QueryResult(frozenset(matches), stats)

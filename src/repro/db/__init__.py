@@ -1,0 +1,59 @@
+"""The MMDBMS: catalog, storage, facade, similarity search, persistence."""
+
+from repro.db.augmentation import (
+    augment_image,
+    augment_with_distortions,
+    plan_distortion_sequences,
+    plan_variant_sequences,
+)
+from repro.db.catalog import Catalog
+from repro.db.integrity import require_integrity, verify_integrity
+from repro.db.database import KNN_METHODS, RANGE_METHODS, MultimediaDatabase
+from repro.db.multifeature import FeatureWeights, MultiFeatureSearch
+from repro.db.persistence import load_database, save_database
+from repro.db.processors import (
+    InstantiateProcessor,
+    KNNResult,
+    KNNStats,
+    SimilaritySearch,
+)
+from repro.db.records import (
+    BINARY_FORMAT,
+    EDITED_FORMAT,
+    BinaryImageRecord,
+    EditedImageRecord,
+    ImageRecord,
+)
+from repro.db.statistics import BinStatistics, DatabaseStatistics, QueryExplanation
+from repro.db.storage import StorageReport, measure_storage
+
+__all__ = [
+    "BINARY_FORMAT",
+    "BinaryImageRecord",
+    "BinStatistics",
+    "Catalog",
+    "DatabaseStatistics",
+    "EDITED_FORMAT",
+    "EditedImageRecord",
+    "FeatureWeights",
+    "ImageRecord",
+    "InstantiateProcessor",
+    "KNNResult",
+    "KNNStats",
+    "KNN_METHODS",
+    "MultiFeatureSearch",
+    "MultimediaDatabase",
+    "QueryExplanation",
+    "RANGE_METHODS",
+    "SimilaritySearch",
+    "StorageReport",
+    "augment_image",
+    "augment_with_distortions",
+    "load_database",
+    "measure_storage",
+    "plan_distortion_sequences",
+    "plan_variant_sequences",
+    "require_integrity",
+    "save_database",
+    "verify_integrity",
+]

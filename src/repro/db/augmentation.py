@@ -1,0 +1,171 @@
+"""Database augmentation: inserting edited versions of base images (§2).
+
+"For each image object z in the database, the system will store z along
+with a set of images created by transforming z using sequences of editing
+operations."  :func:`augment_image` builds that set for one base image
+from the recipe pool, controlling the bound-widening mix — the knob the
+paper's Table 2 reports and the A1 ablation sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.editing.recipes import build_variant
+from repro.editing.sequence import EditSequence
+from repro.errors import WorkloadError
+from repro.images.raster import ColorTuple
+
+
+def plan_variant_sequences(
+    rng: np.random.Generator,
+    base_id: str,
+    height: int,
+    width: int,
+    palette: Sequence[ColorTuple],
+    variants: int,
+    bound_widening_fraction: float = 0.8,
+    merge_target_pool: Sequence[str] = (),
+) -> List[EditSequence]:
+    """Edit sequences for ``variants`` derived versions of one base image.
+
+    ``bound_widening_fraction`` of the variants (rounded) use only
+    bound-widening operations; the remainder contain at least one
+    non-widening operation (a general warp, or a Merge onto a random
+    image from ``merge_target_pool`` when one is supplied).
+    """
+    if variants < 0:
+        raise WorkloadError("variant count must be non-negative")
+    if not 0.0 <= bound_widening_fraction <= 1.0:
+        raise WorkloadError(
+            f"bound_widening_fraction must be in [0, 1], got {bound_widening_fraction}"
+        )
+    widening_count = int(round(variants * bound_widening_fraction))
+    sequences: List[EditSequence] = []
+    for index in range(variants):
+        wants_widening = index < widening_count
+        target: Optional[str] = None
+        if not wants_widening and merge_target_pool:
+            target = merge_target_pool[int(rng.integers(len(merge_target_pool)))]
+        operations = build_variant(
+            rng, height, width, palette, bound_widening=wants_widening,
+            merge_target=target,
+        )
+        sequences.append(EditSequence(base_id, tuple(operations)))
+    return sequences
+
+
+def darkened_color(color: ColorTuple, factor: float) -> ColorTuple:
+    """The color a lighting change of ``factor`` maps ``color`` to."""
+    return tuple(int(round(component * factor)) for component in color)  # type: ignore[return-value]
+
+
+def plan_distortion_sequences(
+    image: "Image",  # noqa: F821 - raster type, imported lazily below
+    base_id: str,
+    darken_factor: float = 0.55,
+) -> List[EditSequence]:
+    """Edit sequences simulating the §2 matching failures for one base.
+
+    The paper's motivating example is an object photographed "under
+    varying lighting conditions or under varying settings": augmenting
+    with variants that *mimic those distortions* is what lets a distorted
+    query match.  Three targeted variants per base:
+
+    * **darkened** — every distinct color Modify-ed to its darkened value
+      (a global lighting change expressed in the operation algebra);
+    * **blurred** — two whole-image Combines (defocus);
+    * **cropped** — the central region via Define + NULL Merge.
+
+    A color is skipped when its darkened value collides with another
+    color still awaiting translation (a later Modify would double-map the
+    already-darkened pixels); with photographic palettes this is rare.
+    """
+    from repro.editing.operations import Combine, Define, Merge, Modify
+    from repro.images.geometry import Rect
+
+    if not 0.0 < darken_factor <= 1.0:
+        raise WorkloadError(f"darken factor must be in (0, 1], got {darken_factor}")
+    full = Define(Rect(0, 0, image.height, image.width))
+
+    colors = list(image.distinct_colors())
+    pending = set(colors)
+    darken_ops: List[object] = [full]
+    for color in colors:
+        pending.discard(color)
+        target = darkened_color(color, darken_factor)
+        if target in pending:
+            continue
+        if target != color:
+            darken_ops.append(Modify(color, target))
+
+    blur_ops = [full, Combine.box(), Combine.box()]
+
+    margin_x = max(1, image.height // 5)
+    margin_y = max(1, image.width // 5)
+    crop_ops = [
+        Define(Rect(margin_x, margin_y, image.height, image.width)),
+        Merge(None),
+    ]
+
+    return [
+        EditSequence(base_id, tuple(darken_ops)),
+        EditSequence(base_id, tuple(blur_ops)),
+        EditSequence(base_id, tuple(crop_ops)),
+    ]
+
+
+def augment_with_distortions(
+    database: "MultimediaDatabase",  # noqa: F821 - facade type, avoids import cycle
+    base_id: str,
+    darken_factors: Sequence[float] = (0.55,),
+) -> List[str]:
+    """Insert distortion variants of ``base_id``; returns their ids.
+
+    One darkened variant per factor (covering the range of lighting
+    changes the application expects), plus one blurred and one cropped
+    variant.
+    """
+    base = database.catalog.binary_record(base_id)
+    if not darken_factors:
+        raise WorkloadError("at least one darken factor is required")
+    inserted: List[str] = []
+    for index, factor in enumerate(darken_factors):
+        sequences = plan_distortion_sequences(base.image, base_id, factor)
+        if index == 0:
+            chosen = sequences  # darken + blur + crop
+        else:
+            chosen = sequences[:1]  # only the darken variant differs
+        inserted.extend(database.insert_edited(s) for s in chosen)
+    return inserted
+
+
+def augment_image(
+    database: "MultimediaDatabase",  # noqa: F821 - facade type, avoids import cycle
+    base_id: str,
+    rng: np.random.Generator,
+    variants: int,
+    palette: Sequence[ColorTuple],
+    bound_widening_fraction: float = 0.8,
+    merge_target_pool: Sequence[str] = (),
+) -> List[str]:
+    """Insert ``variants`` edited versions of ``base_id``; returns their ids.
+
+    The Merge target pool is filtered to exclude the base itself so the
+    derivation graph stays acyclic.
+    """
+    base = database.catalog.binary_record(base_id)
+    targets = [t for t in merge_target_pool if t != base_id]
+    sequences = plan_variant_sequences(
+        rng,
+        base_id,
+        base.image.height,
+        base.image.width,
+        palette,
+        variants,
+        bound_widening_fraction=bound_widening_fraction,
+        merge_target_pool=targets,
+    )
+    return [database.insert_edited(sequence) for sequence in sequences]

@@ -1,0 +1,454 @@
+"""`MultimediaDatabase` — the MMDBMS facade tying every subsystem together.
+
+One object owns the catalog, the histogram quantizer, the edit executor,
+the bounds engine, the BWM structure (maintained incrementally on every
+insert, per Figure 1), and the conventional multidimensional index over
+binary-image histograms.  Everything the examples and benchmarks do goes
+through this API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.color.histogram import ColorHistogram
+from repro.color.names import color_by_name
+from repro.color.quantization import UniformQuantizer
+from repro.core.bounds import BoundsEngine, PixelBounds
+from repro.core.bwm import BWMProcessor, BWMStructure
+from repro.core.query import ConjunctiveQuery, QueryResult, RangeQuery
+from repro.core.rbm import RBMProcessor
+from repro.db.augmentation import augment_image
+from repro.db.catalog import Catalog
+from repro.db.processors import (
+    InstantiateProcessor,
+    KNNResult,
+    SimilaritySearch,
+)
+from repro.db.records import BinaryImageRecord, EditedImageRecord
+from repro.db.storage import StorageReport, measure_storage
+from repro.editing.executor import EditExecutor
+from repro.editing.sequence import EditSequence
+from repro.errors import QueryError
+from repro.images.raster import ColorTuple, Image, validate_color
+from repro.index.linear import LinearIndex
+from repro.index.mbr import MBR
+from repro.index.rtree import RTree
+from repro.index.vafile import VAFile
+
+#: Supported range-query processing methods.
+RANGE_METHODS = ("bwm", "rbm", "instantiate")
+
+#: Supported kNN strategies.
+KNN_METHODS = ("binary", "exact", "bounded", "intersection")
+
+
+class MultimediaDatabase:
+    """An augmented MMDBMS storing rasters and edit sequences.
+
+    Parameters
+    ----------
+    quantizer:
+        Histogram quantizer shared by all features; defaults to the
+        paper-scale RGB quantizer with 4 divisions per channel (64 bins).
+    fill_color:
+        Fill used by Mutate/Merge semantics (executor *and* rules).
+    index_kind:
+        ``"rtree"`` (default), ``"vafile"``, or ``"linear"`` — the
+        conventional access method over binary-image histograms.
+    bounds_cache:
+        Memoize BOUNDS intervals per (image, bin), invalidated on any
+        catalog change.  Off by default so benchmarks measure the
+        algorithms themselves.
+    """
+
+    def __init__(
+        self,
+        quantizer: Optional[UniformQuantizer] = None,
+        fill_color: Sequence[int] = (0, 0, 0),
+        index_kind: str = "rtree",
+        bounds_cache: bool = False,
+    ) -> None:
+        self.quantizer = quantizer if quantizer is not None else UniformQuantizer(4, "rgb")
+        self.fill_color: ColorTuple = validate_color(fill_color)
+        self.catalog = Catalog()
+        self.executor = EditExecutor(resolve=self.instantiate, fill_color=self.fill_color)
+        self.engine = BoundsEngine(
+            self.catalog,
+            self.quantizer,
+            fill_color=self.fill_color,
+            cache_enabled=bounds_cache,
+        )
+        self.bwm_structure = BWMStructure()
+        if index_kind == "rtree":
+            self.histogram_index: Union[RTree, LinearIndex, VAFile] = RTree(
+                max_entries=8
+            )
+        elif index_kind == "vafile":
+            self.histogram_index = VAFile(bits=4)
+        elif index_kind == "linear":
+            self.histogram_index = LinearIndex()
+        else:
+            raise QueryError(f"unknown index kind {index_kind!r}")
+
+        self._rbm = RBMProcessor(self.catalog, self.engine)
+        self._bwm = BWMProcessor(self.bwm_structure, self.catalog, self.engine)
+        self._instantiate_processor = InstantiateProcessor(
+            self.catalog, self.instantiate
+        )
+        self._similarity = SimilaritySearch(
+            self.catalog, self.engine, self.instantiate
+        )
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert_image(self, image: Image, image_id: Optional[str] = None) -> str:
+        """Store a binary image: extract features, index, open a BWM cluster."""
+        assigned = image_id if image_id is not None else self.catalog.allocate_id("img")
+        histogram = ColorHistogram.of_image(image, self.quantizer)
+        self.catalog.add_binary(BinaryImageRecord(assigned, image.copy(), histogram))
+        self.bwm_structure.insert_binary(assigned)
+        self.histogram_index.insert_point(histogram.fractions(), assigned)
+        return assigned
+
+    def insert_edited(
+        self, sequence: EditSequence, image_id: Optional[str] = None
+    ) -> str:
+        """Store an edited image as its sequence; file it per Figure 1."""
+        assigned = image_id if image_id is not None else self.catalog.allocate_id("edit")
+        self.catalog.add_edited(EditedImageRecord(assigned, sequence))
+        self.bwm_structure.insert_edited(assigned, sequence)
+        self.engine.invalidate_cache()
+        return assigned
+
+    def delete_edited(self, image_id: str) -> None:
+        """Remove an edited image from the catalog and BWM structure."""
+        self.catalog.remove_edited(image_id)
+        self.bwm_structure.remove_edited(image_id)
+        self.engine.invalidate_cache()
+
+    def delete_image(self, image_id: str) -> None:
+        """Remove a binary image.
+
+        Fails (leaving everything intact) while derived images or Merge
+        targets still reference it — delete those first.
+        """
+        record = self.catalog.binary_record(image_id)
+        self.catalog.remove_binary(image_id)
+        self.bwm_structure.remove_binary(image_id)
+        self.histogram_index.delete(
+            MBR.point(record.histogram.fractions()), image_id
+        )
+        self.engine.invalidate_cache()
+
+    def update_image(self, image_id: str, image: Image) -> None:
+        """Replace a binary image's raster in place.
+
+        Features are re-extracted, the histogram index entry is moved,
+        and cached bounds are invalidated; derived edit sequences keep
+        referencing the id and now instantiate against the new raster
+        (the §2 links are by identity, not content).
+        """
+        old = self.catalog.binary_record(image_id)
+        histogram = ColorHistogram.of_image(image, self.quantizer)
+        old_point = MBR.point(old.histogram.fractions())
+
+        old.image = image.copy()
+        old.histogram = histogram
+        self.histogram_index.delete(old_point, image_id)
+        self.histogram_index.insert_point(histogram.fractions(), image_id)
+        self.engine.invalidate_cache()
+
+    def augment(
+        self,
+        base_id: str,
+        rng: np.random.Generator,
+        variants: int,
+        palette: Sequence[ColorTuple],
+        bound_widening_fraction: float = 0.8,
+        merge_target_pool: Sequence[str] = (),
+    ) -> List[str]:
+        """§2 augmentation: insert ``variants`` edited versions of a base."""
+        return augment_image(
+            self,
+            base_id,
+            rng,
+            variants,
+            palette,
+            bound_widening_fraction=bound_widening_fraction,
+            merge_target_pool=merge_target_pool,
+        )
+
+    # ------------------------------------------------------------------
+    # Object access
+    # ------------------------------------------------------------------
+    def instantiate(self, image_id: str) -> Image:
+        """Materialize any stored image (copy for binary, executed for edited)."""
+        record = self.catalog.record(image_id)
+        if isinstance(record, BinaryImageRecord):
+            return record.image.copy()
+        base = self.instantiate(record.sequence.base_id)
+        return self.executor.instantiate(base, record.sequence)
+
+    def exact_histogram(self, image_id: str) -> ColorHistogram:
+        """Exact histogram (instantiates edited images — expensive)."""
+        record = self.catalog.record(image_id)
+        if isinstance(record, BinaryImageRecord):
+            return record.histogram
+        return ColorHistogram.of_image(self.instantiate(image_id), self.quantizer)
+
+    def bounds(self, image_id: str, bin_index: int) -> PixelBounds:
+        """BOUNDS interval for any stored image and bin."""
+        return self.engine.bounds(image_id, bin_index)
+
+    def edited_versions_of(self, base_id: str) -> Tuple[str, ...]:
+        """The §2 derivation links from a base image."""
+        return self.catalog.derived_from(base_id)
+
+    def base_of(self, edited_id: str) -> str:
+        """The referenced base image of an edited image."""
+        return self.catalog.edited_record(edited_id).base_id
+
+    # ------------------------------------------------------------------
+    # Range queries
+    # ------------------------------------------------------------------
+    def range_query(
+        self,
+        query: RangeQuery,
+        method: str = "bwm",
+        expand_to_bases: bool = False,
+    ) -> QueryResult:
+        """Process a color range query with the chosen method.
+
+        ``expand_to_bases`` applies the §2 connection: when an edited
+        image matches, its base image joins the result even if the base's
+        own features do not match.
+        """
+        processor = {
+            "bwm": self._bwm,
+            "rbm": self._rbm,
+            "instantiate": self._instantiate_processor,
+        }.get(method)
+        if processor is None:
+            raise QueryError(f"unknown method {method!r}; expected one of {RANGE_METHODS}")
+        self.quantizer.validate_bin(query.bin_index)
+        result = processor.process(query)
+        if not expand_to_bases:
+            return result
+        expanded = set(result.matches)
+        for image_id in result.matches:
+            record = self.catalog.record(image_id)
+            if isinstance(record, EditedImageRecord):
+                expanded.add(record.base_id)
+        return QueryResult(frozenset(expanded), result.stats)
+
+    def range_query_color(
+        self,
+        color: Union[str, Sequence[int]],
+        pct_min: float,
+        pct_max: float = 1.0,
+        method: str = "bwm",
+        expand_to_bases: bool = False,
+    ) -> QueryResult:
+        """Range query by color name or RGB triple ("at least 25% blue")."""
+        rgb = color_by_name(color) if isinstance(color, str) else validate_color(color)
+        query = RangeQuery(self.quantizer.bin_of(rgb), pct_min, pct_max)
+        return self.range_query(query, method=method, expand_to_bases=expand_to_bases)
+
+    def range_query_batch(
+        self, queries: Sequence[RangeQuery], method: str = "bwm"
+    ) -> List[QueryResult]:
+        """Process many range queries in one catalog pass.
+
+        Results (in query order) are identical to per-query processing;
+        BOUNDS walks are shared across queries on the same bin, so a
+        front-end submitting a burst of queries pays each edited image's
+        rules at most once per distinct bin.
+        """
+        from repro.core.batch import BatchBWMProcessor, BatchRBMProcessor
+
+        for query in queries:
+            self.quantizer.validate_bin(query.bin_index)
+        if method == "bwm":
+            processor = BatchBWMProcessor(
+                self.bwm_structure, self.catalog, self.engine
+            )
+        elif method == "rbm":
+            processor = BatchRBMProcessor(self.catalog, self.engine)
+        else:
+            raise QueryError(
+                f"batch processing supports 'bwm' and 'rbm', not {method!r}"
+            )
+        return processor.process_batch(queries)
+
+    def conjunctive_query(
+        self,
+        query: ConjunctiveQuery,
+        method: str = "bwm",
+        expand_to_bases: bool = False,
+    ) -> QueryResult:
+        """Process a conjunction of range constraints (AND semantics).
+
+        Conservative composition: the per-constraint conservative result
+        sets are intersected, which preserves the no-false-negative
+        guarantee (see :class:`repro.core.query.ConjunctiveQuery`).
+        """
+        if method in ("bwm", "rbm"):
+            results = self.range_query_batch(list(query.constraints), method=method)
+        else:
+            results = [
+                self.range_query(constraint, method=method)
+                for constraint in query.constraints
+            ]
+        matches = set(results[0].matches)
+        stats = results[0].stats
+        for result in results[1:]:
+            matches &= result.matches
+        combined = QueryResult(frozenset(matches), stats)
+        if not expand_to_bases:
+            return combined
+        expanded = set(combined.matches)
+        for image_id in combined.matches:
+            record = self.catalog.record(image_id)
+            if isinstance(record, EditedImageRecord):
+                expanded.add(record.base_id)
+        return QueryResult(frozenset(expanded), stats)
+
+    def text_query(
+        self,
+        text: str,
+        method: str = "bwm",
+        expand_to_bases: bool = False,
+    ) -> QueryResult:
+        """Process a natural-language query like the paper's example
+        "Retrieve all images that are at least 25% blue".
+
+        Conjunctions are supported: "at least 20% red and at most 10%
+        blue" intersects the constraints (no false negatives preserved).
+        """
+        from repro.querylang.parser import parse_conjunctive_query
+
+        parsed_constraints = parse_conjunctive_query(text)
+        constraints = tuple(
+            RangeQuery(self.quantizer.bin_of(p.rgb), p.pct_min, p.pct_max)
+            for p in parsed_constraints
+        )
+        if len(constraints) == 1:
+            return self.range_query(
+                constraints[0], method=method, expand_to_bases=expand_to_bases
+            )
+        return self.conjunctive_query(
+            ConjunctiveQuery(constraints),
+            method=method,
+            expand_to_bases=expand_to_bases,
+        )
+
+    def indexed_binary_range_query(
+        self, query: RangeQuery
+    ) -> List[str]:
+        """Conventional path: binary images only, via the histogram index.
+
+        A single-bin range query is a slab in histogram space (§3.1's
+        "sections of the multidimensional data space").
+        """
+        self.quantizer.validate_bin(query.bin_index)
+        slab = MBR.slab(
+            self.quantizer.bin_count,
+            query.bin_index,
+            query.pct_min,
+            query.pct_max,
+            domain_lo=0.0,
+            domain_hi=1.0,
+        )
+        return sorted(self.histogram_index.search(slab))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Similarity queries (A5 extension)
+    # ------------------------------------------------------------------
+    def knn(
+        self,
+        query: Union[Image, ColorHistogram],
+        k: int,
+        method: str = "bounded",
+    ) -> KNNResult:
+        """k nearest neighbors by L1 histogram distance."""
+        histogram = (
+            ColorHistogram.of_image(query, self.quantizer)
+            if isinstance(query, Image)
+            else query
+        )
+        if histogram.quantizer != self.quantizer:
+            raise QueryError("query histogram uses a different quantizer")
+        strategy = {
+            "binary": self._similarity.knn_binary,
+            "exact": self._similarity.knn_exact,
+            "bounded": self._similarity.knn_bounded,
+            "intersection": self._similarity.knn_intersection,
+        }.get(method)
+        if strategy is None:
+            raise QueryError(f"unknown method {method!r}; expected one of {KNN_METHODS}")
+        return strategy(histogram, k)
+
+    def similarity_range(
+        self,
+        query: Union[Image, ColorHistogram],
+        epsilon: float,
+    ) -> KNNResult:
+        """All images within L1 distance ``epsilon`` of the query.
+
+        Edited images are instantiated only when their BOUNDS intervals
+        cannot exclude them (same pruning idea as the bounded kNN).
+        """
+        histogram = (
+            ColorHistogram.of_image(query, self.quantizer)
+            if isinstance(query, Image)
+            else query
+        )
+        if histogram.quantizer != self.quantizer:
+            raise QueryError("query histogram uses a different quantizer")
+        return self._similarity.range_search(histogram, epsilon)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def explain(self, query: RangeQuery) -> "QueryExplanation":
+        """Dry-run EXPLAIN of how BWM would process ``query`` (no rules run)."""
+        from repro.db.statistics import DatabaseStatistics
+
+        statistics = DatabaseStatistics(self)
+        return statistics.explain(query)
+
+    def verify_integrity(self, recompute_histograms: bool = True):
+        """Cross-check catalog/BWM/index/histogram consistency.
+
+        Returns a list of problem descriptions (empty when healthy).
+        """
+        from repro.db.integrity import verify_integrity
+
+        return verify_integrity(self, recompute_histograms=recompute_histograms)
+
+    def storage_report(self, include_instantiated: bool = False) -> StorageReport:
+        """Byte-level storage accounting (A3)."""
+        instantiate = self.instantiate if include_instantiated else None
+        return measure_storage(self.catalog, instantiate)
+
+    def structure_summary(self) -> Dict[str, int]:
+        """Counts describing the BWM structure (Table 2's bottom rows)."""
+        return {
+            "binary_images": self.catalog.binary_count,
+            "edited_images": self.catalog.edited_count,
+            "main_clusters": len(self.bwm_structure.main),
+            "main_edited": self.bwm_structure.main_edited_count,
+            "unclassified": self.bwm_structure.unclassified_count,
+        }
+
+    def __len__(self) -> int:
+        return len(self.catalog)
+
+    def ids(self) -> Iterable[str]:
+        """Every stored image id (binary first, then edited)."""
+        yield from self.catalog.binary_ids()
+        yield from self.catalog.edited_ids()

@@ -1,0 +1,170 @@
+"""Integrity checking — the MMDBMS's CHECK utility.
+
+A database is spread over four structures that must stay mutually
+consistent: the catalog (records and derivation links), the BWM
+structure (Main clusters + Unclassified), the histogram index, and the
+stored histograms themselves.  :func:`verify_integrity` cross-checks all
+of them and returns a list of human-readable problems (empty when the
+database is healthy).
+
+Checks performed:
+
+1. every catalog edited image appears in exactly one BWM component, and
+   its placement matches its classification (bound-widening with a
+   binary base -> Main; anything else -> Unclassified);
+2. every BWM entry refers to a catalog record of the right format;
+3. derivation links agree with the stored sequences' base references;
+4. every referenced id (bases, Merge targets) exists, and the reference
+   graph is acyclic;
+5. the histogram index holds exactly the binary images;
+6. stored histograms match their raster (full recomputation — the
+   expensive check, skippable).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.color.histogram import ColorHistogram
+from repro.errors import DatabaseError
+
+
+def verify_integrity(
+    database: "MultimediaDatabase",  # noqa: F821 - facade type, avoids import cycle
+    recompute_histograms: bool = True,
+) -> List[str]:
+    """Cross-check the database's structures; returns found problems."""
+    problems: List[str] = []
+    catalog = database.catalog
+    structure = database.bwm_structure
+
+    binary_ids = set(catalog.binary_ids())
+    edited_ids = set(catalog.edited_ids())
+
+    # --- 1 & 2: BWM component placement matches classification --------
+    main_members: Set[str] = set()
+    for base_id, cluster in structure.clusters():
+        if base_id not in binary_ids:
+            problems.append(f"BWM Main cluster key {base_id!r} is not a binary image")
+        for edited_id in cluster:
+            if edited_id in main_members:
+                problems.append(f"edited image {edited_id!r} in two Main clusters")
+            main_members.add(edited_id)
+            if edited_id not in edited_ids:
+                problems.append(
+                    f"BWM Main member {edited_id!r} is not a catalog edited image"
+                )
+    unclassified = set(structure.unclassified)
+    if main_members & unclassified:
+        problems.append(
+            f"images in both components: {sorted(main_members & unclassified)}"
+        )
+    placed = main_members | unclassified
+    for edited_id in edited_ids - placed:
+        problems.append(f"edited image {edited_id!r} missing from the BWM structure")
+    for edited_id in unclassified - edited_ids:
+        problems.append(
+            f"BWM Unclassified member {edited_id!r} is not a catalog edited image"
+        )
+
+    from repro.core.classify import sequence_is_bound_widening
+
+    for edited_id in edited_ids & placed:
+        sequence = catalog.sequence_of(edited_id)
+        should_be_main = (
+            sequence_is_bound_widening(sequence) and sequence.base_id in binary_ids
+        )
+        is_main = edited_id in main_members
+        if should_be_main != is_main:
+            where = "Main" if is_main else "Unclassified"
+            problems.append(
+                f"edited image {edited_id!r} misplaced in {where} "
+                f"(classification says {'Main' if should_be_main else 'Unclassified'})"
+            )
+        if is_main and edited_id in main_members:
+            expected_cluster = sequence.base_id
+            if edited_id not in structure.main.get(expected_cluster, []):
+                problems.append(
+                    f"edited image {edited_id!r} filed under the wrong cluster"
+                )
+
+    # --- 3: derivation links match sequences ---------------------------
+    for base_id in binary_ids | edited_ids:
+        for child_id in catalog.derived_from(base_id):
+            if child_id not in edited_ids:
+                problems.append(
+                    f"derivation link {base_id!r} -> {child_id!r} dangles"
+                )
+            elif catalog.sequence_of(child_id).base_id != base_id:
+                problems.append(
+                    f"derivation link {base_id!r} -> {child_id!r} disagrees "
+                    "with the stored sequence"
+                )
+    for edited_id in edited_ids:
+        base_id = catalog.sequence_of(edited_id).base_id
+        if edited_id not in catalog.derived_from(base_id):
+            problems.append(
+                f"sequence of {edited_id!r} references {base_id!r} but the "
+                "derivation link is missing"
+            )
+
+    # --- 4: references exist and the graph is acyclic ------------------
+    for edited_id in edited_ids:
+        for referenced in catalog.sequence_of(edited_id).referenced_ids():
+            if not catalog.contains(referenced):
+                problems.append(
+                    f"edited image {edited_id!r} references missing {referenced!r}"
+                )
+    problems.extend(_find_cycles(catalog, edited_ids))
+
+    # --- 5: histogram index coverage -----------------------------------
+    index_size = len(database.histogram_index)
+    if index_size != len(binary_ids):
+        problems.append(
+            f"histogram index holds {index_size} entries for "
+            f"{len(binary_ids)} binary images"
+        )
+
+    # --- 6: histograms match rasters ------------------------------------
+    if recompute_histograms:
+        for image_id in binary_ids:
+            record = catalog.binary_record(image_id)
+            recomputed = ColorHistogram.of_image(record.image, database.quantizer)
+            if recomputed != record.histogram:
+                problems.append(
+                    f"stored histogram of {image_id!r} does not match its raster"
+                )
+
+    return problems
+
+
+def _find_cycles(catalog, edited_ids: Set[str]) -> List[str]:
+    problems: List[str] = []
+    WHITE, GRAY, BLACK = 0, 1, 2
+    state = {image_id: WHITE for image_id in edited_ids}
+
+    def visit(image_id: str, path: List[str]) -> None:
+        state[image_id] = GRAY
+        for referenced in catalog.sequence_of(image_id).referenced_ids():
+            if referenced not in state:
+                continue  # binary images terminate every path
+            if state[referenced] == GRAY:
+                cycle = path + [image_id, referenced]
+                problems.append(f"reference cycle: {' -> '.join(cycle)}")
+            elif state[referenced] == WHITE:
+                visit(referenced, path + [image_id])
+        state[image_id] = BLACK
+
+    for image_id in edited_ids:
+        if state[image_id] == WHITE:
+            visit(image_id, [])
+    return problems
+
+
+def require_integrity(database: "MultimediaDatabase") -> None:  # noqa: F821
+    """Raise :class:`DatabaseError` listing problems, if any."""
+    problems = verify_integrity(database)
+    if problems:
+        raise DatabaseError(
+            "integrity check failed:\n  " + "\n  ".join(problems)
+        )

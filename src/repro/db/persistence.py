@@ -1,0 +1,97 @@
+"""Directory persistence for a :class:`MultimediaDatabase`.
+
+Layout mirrors the paper's prototype (ppm files plus operation lists,
+no commercial DBMS underneath)::
+
+    <root>/
+      catalog.json          quantizer config, fill color, insertion order
+      binary/<id>.ppm       rasters (binary P6 ppm)
+      edited/<id>.eseq      serialized edit sequences
+
+Loading replays insertions in the recorded order, so histograms, the BWM
+structure, and the histogram index are rebuilt exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.color.quantization import UniformQuantizer
+from repro.db.database import MultimediaDatabase
+from repro.editing.sequence import EditSequence
+from repro.errors import PersistenceError
+from repro.images.ppm import read_ppm, write_ppm
+
+_FORMAT_VERSION = 1
+
+
+def save_database(database: MultimediaDatabase, root: Union[str, Path]) -> Path:
+    """Write the database under ``root`` (created if missing)."""
+    base = Path(root)
+    binary_dir = base / "binary"
+    edited_dir = base / "edited"
+    binary_dir.mkdir(parents=True, exist_ok=True)
+    edited_dir.mkdir(parents=True, exist_ok=True)
+
+    binary_ids = list(database.catalog.binary_ids())
+    edited_ids = list(database.catalog.edited_ids())
+    for image_id in binary_ids:
+        record = database.catalog.binary_record(image_id)
+        write_ppm(record.image, binary_dir / f"{image_id}.ppm")
+    for image_id in edited_ids:
+        record = database.catalog.edited_record(image_id)
+        (edited_dir / f"{image_id}.eseq").write_text(
+            record.sequence.serialize(), encoding="utf-8"
+        )
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "quantizer": {
+            "divisions": database.quantizer.divisions,
+            "space": database.quantizer.space,
+        },
+        "fill_color": list(database.fill_color),
+        "binary_ids": binary_ids,
+        "edited_ids": edited_ids,
+    }
+    (base / "catalog.json").write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    return base
+
+
+def load_database(root: Union[str, Path]) -> MultimediaDatabase:
+    """Rebuild a database saved by :func:`save_database`."""
+    base = Path(root)
+    manifest_path = base / "catalog.json"
+    if not manifest_path.is_file():
+        raise PersistenceError(f"no catalog.json under {base}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"corrupt catalog.json: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise PersistenceError(f"unsupported format version {version!r}")
+
+    quantizer = UniformQuantizer(
+        divisions=int(manifest["quantizer"]["divisions"]),
+        space=str(manifest["quantizer"]["space"]),
+    )
+    database = MultimediaDatabase(
+        quantizer=quantizer, fill_color=tuple(manifest["fill_color"])
+    )
+    for image_id in manifest["binary_ids"]:
+        path = base / "binary" / f"{image_id}.ppm"
+        if not path.is_file():
+            raise PersistenceError(f"missing raster file {path}")
+        database.insert_image(read_ppm(path), image_id=image_id)
+    for image_id in manifest["edited_ids"]:
+        path = base / "edited" / f"{image_id}.eseq"
+        if not path.is_file():
+            raise PersistenceError(f"missing sequence file {path}")
+        sequence = EditSequence.parse(path.read_text(encoding="utf-8"))
+        database.insert_edited(sequence, image_id=image_id)
+    return database

@@ -1,0 +1,301 @@
+"""Additional query processors: ground truth and similarity search.
+
+* :class:`InstantiateProcessor` — the naive method both papers argue
+  against: materialize every edited image, extract its histogram, check
+  exactly.  It is the ground truth for accuracy tests (RBM/BWM may return
+  supersets — "this approach may increase the number of false positives
+  ... it will decrease the number of false negatives", §2) and the cost
+  ceiling for benchmarks.
+
+* :class:`SimilaritySearch` — kNN over the augmented database (§6 future
+  work, experiment A5) with three strategies: binary-only via the
+  multidimensional index, exhaustive instantiation, and bounds-based
+  pruning that instantiates only edited images whose BOUNDS intervals
+  cannot be excluded.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.color.histogram import ColorHistogram
+from repro.color.similarity import l1_distance, l1_lower_bound
+from repro.core.bounds import BoundsEngine
+from repro.core.query import QueryResult, QueryStats, RangeQuery
+from repro.db.catalog import Catalog
+from repro.errors import QueryError
+from repro.images.raster import Image
+
+#: Instantiates an edited image id into a raster.
+Instantiator = Callable[[str], Image]
+
+
+class InstantiateProcessor:
+    """Ground-truth range-query processor (materializes edited images)."""
+
+    #: Identifier used by reports and the method registry.
+    name = "instantiate"
+
+    def __init__(self, catalog: Catalog, instantiate: Instantiator) -> None:
+        self._catalog = catalog
+        self._instantiate = instantiate
+
+    def process(self, query: RangeQuery) -> QueryResult:
+        """Execute ``query`` exactly, instantiating every edited image."""
+        stats = QueryStats()
+        matches = set()
+        quantizer = None
+
+        for image_id in self._catalog.binary_ids():
+            histogram = self._catalog.histogram_of(image_id)
+            quantizer = histogram.quantizer
+            stats.histograms_checked += 1
+            if query.matches_histogram(histogram):
+                matches.add(image_id)
+
+        for image_id in self._catalog.edited_ids():
+            if quantizer is None:
+                raise QueryError("cannot instantiate-query a database with no binary images")
+            image = self._instantiate(image_id)
+            histogram = ColorHistogram.of_image(image, quantizer)
+            stats.histograms_checked += 1
+            if query.matches_histogram(histogram):
+                matches.add(image_id)
+
+        return QueryResult(frozenset(matches), stats)
+
+
+@dataclass
+class KNNStats:
+    """Work counters for one kNN execution."""
+
+    candidates_considered: int = 0
+    edited_pruned: int = 0
+    edited_instantiated: int = 0
+
+
+@dataclass(frozen=True)
+class KNNResult:
+    """Ranked ``(distance, image_id)`` pairs plus work counters."""
+
+    neighbors: Tuple[Tuple[float, str], ...]
+    stats: KNNStats = field(default_factory=KNNStats)
+
+    def ids(self) -> Tuple[str, ...]:
+        """Neighbor ids in ascending distance order."""
+        return tuple(image_id for _, image_id in self.neighbors)
+
+
+class SimilaritySearch:
+    """kNN by L1 distance over normalized histograms."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        engine: BoundsEngine,
+        instantiate: Instantiator,
+    ) -> None:
+        self._catalog = catalog
+        self._engine = engine
+        self._instantiate = instantiate
+
+    # ------------------------------------------------------------------
+    def knn_binary(self, query: ColorHistogram, k: int) -> KNNResult:
+        """kNN over binary images only (the conventional CBIR path)."""
+        self._validate_k(k)
+        stats = KNNStats()
+        heap: List[Tuple[float, str]] = []
+        for image_id in self._catalog.binary_ids():
+            stats.candidates_considered += 1
+            distance = l1_distance(query, self._catalog.histogram_of(image_id))
+            heap.append((distance, image_id))
+        return KNNResult(tuple(sorted(heap)[:k]), stats)
+
+    def knn_exact(self, query: ColorHistogram, k: int) -> KNNResult:
+        """Exhaustive kNN over the full augmented database."""
+        self._validate_k(k)
+        stats = KNNStats()
+        scored: List[Tuple[float, str]] = []
+        for image_id in self._catalog.binary_ids():
+            stats.candidates_considered += 1
+            scored.append(
+                (l1_distance(query, self._catalog.histogram_of(image_id)), image_id)
+            )
+        for image_id in self._catalog.edited_ids():
+            stats.candidates_considered += 1
+            stats.edited_instantiated += 1
+            histogram = ColorHistogram.of_image(
+                self._instantiate(image_id), query.quantizer
+            )
+            scored.append((l1_distance(query, histogram), image_id))
+        return KNNResult(tuple(sorted(scored)[:k]), stats)
+
+    def knn_bounded(self, query: ColorHistogram, k: int) -> KNNResult:
+        """kNN instantiating only edited images the bounds cannot exclude.
+
+        Strategy (the A5 extension):
+
+        1. rank all binary images exactly (cheap — histograms stored);
+        2. per edited image, compute per-bin BOUNDS intervals and an L1
+           *lower bound* on its distance to the query;
+        3. process edited images in ascending lower-bound order,
+           instantiating one at a time; stop as soon as the next lower
+           bound exceeds the current k-th best distance — no remaining
+           image can improve the result.
+        """
+        self._validate_k(k)
+        stats = KNNStats()
+        query_fractions = query.fractions()
+        bin_count = query.quantizer.bin_count
+
+        best: List[Tuple[float, str]] = []
+        for image_id in self._catalog.binary_ids():
+            stats.candidates_considered += 1
+            best.append(
+                (l1_distance(query, self._catalog.histogram_of(image_id)), image_id)
+            )
+        best.sort()
+
+        candidates: List[Tuple[float, str]] = []
+        for image_id in self._catalog.edited_ids():
+            stats.candidates_considered += 1
+            lower = np.empty(bin_count)
+            upper = np.empty(bin_count)
+            for bin_index in range(bin_count):
+                bounds = self._engine.bounds(image_id, bin_index)
+                lower[bin_index] = bounds.fraction_lo
+                upper[bin_index] = bounds.fraction_hi
+            candidates.append(
+                (l1_lower_bound(query_fractions, lower, upper), image_id)
+            )
+        heapq.heapify(candidates)
+
+        while candidates:
+            bound, image_id = heapq.heappop(candidates)
+            kth_distance = best[k - 1][0] if len(best) >= k else float("inf")
+            if bound > kth_distance:
+                stats.edited_pruned += 1 + len(candidates)
+                break
+            stats.edited_instantiated += 1
+            histogram = ColorHistogram.of_image(
+                self._instantiate(image_id), query.quantizer
+            )
+            distance = l1_distance(query, histogram)
+            best.append((distance, image_id))
+            best.sort()
+        return KNNResult(tuple(best[:k]), stats)
+
+    def range_search(
+        self, query: ColorHistogram, epsilon: float
+    ) -> KNNResult:
+        """All images within L1 distance ``epsilon`` of ``query``.
+
+        The similarity-range companion to kNN: binary images are checked
+        exactly; an edited image is instantiated only when its per-bin
+        BOUNDS intervals admit a distance at or below ``epsilon`` (its
+        L1 lower bound does not exceed the threshold).  Returns matches
+        ascending by distance.
+        """
+        if epsilon < 0:
+            raise QueryError(f"epsilon must be non-negative, got {epsilon}")
+        stats = KNNStats()
+        query_fractions = query.fractions()
+        bin_count = query.quantizer.bin_count
+
+        matches: List[Tuple[float, str]] = []
+        for image_id in self._catalog.binary_ids():
+            stats.candidates_considered += 1
+            distance = l1_distance(query, self._catalog.histogram_of(image_id))
+            if distance <= epsilon:
+                matches.append((distance, image_id))
+
+        for image_id in self._catalog.edited_ids():
+            stats.candidates_considered += 1
+            lower = np.empty(bin_count)
+            upper = np.empty(bin_count)
+            for bin_index in range(bin_count):
+                bounds = self._engine.bounds(image_id, bin_index)
+                lower[bin_index] = bounds.fraction_lo
+                upper[bin_index] = bounds.fraction_hi
+            if l1_lower_bound(query_fractions, lower, upper) > epsilon:
+                stats.edited_pruned += 1
+                continue
+            stats.edited_instantiated += 1
+            histogram = ColorHistogram.of_image(
+                self._instantiate(image_id), query.quantizer
+            )
+            distance = l1_distance(query, histogram)
+            if distance <= epsilon:
+                matches.append((distance, image_id))
+
+        return KNNResult(tuple(sorted(matches)), stats)
+
+    def knn_intersection(self, query: ColorHistogram, k: int) -> KNNResult:
+        """kNN ranked by histogram *intersection* (paper eq. 1), pruned.
+
+        Ranking by the Swain-Ballard intersection instead of L1 distance
+        (the two orders coincide for equal-total normalized histograms,
+        but intersection is the paper's primary similarity).  Pruning
+        mirrors :meth:`knn_bounded` with the sign flipped: an edited
+        image whose intersection *upper bound* (from per-bin fraction
+        upper bounds) is below the current k-th best similarity cannot
+        enter the result.
+        """
+        from repro.color.similarity import (
+            histogram_intersection,
+            intersection_upper_bound,
+        )
+
+        self._validate_k(k)
+        stats = KNNStats()
+        query_fractions = query.fractions()
+        bin_count = query.quantizer.bin_count
+
+        best: List[Tuple[float, str]] = []
+        for image_id in self._catalog.binary_ids():
+            stats.candidates_considered += 1
+            similarity = histogram_intersection(
+                query, self._catalog.histogram_of(image_id)
+            )
+            best.append((-similarity, image_id))
+        best.sort()
+
+        candidates: List[Tuple[float, str]] = []
+        for image_id in self._catalog.edited_ids():
+            stats.candidates_considered += 1
+            upper = np.empty(bin_count)
+            for bin_index in range(bin_count):
+                upper[bin_index] = self._engine.bounds(
+                    image_id, bin_index
+                ).fraction_hi
+            bound = intersection_upper_bound(query_fractions, upper)
+            candidates.append((-bound, image_id))
+        heapq.heapify(candidates)
+
+        while candidates:
+            negative_bound, image_id = heapq.heappop(candidates)
+            kth_similarity = -best[k - 1][0] if len(best) >= k else -1.0
+            if -negative_bound < kth_similarity:
+                stats.edited_pruned += 1 + len(candidates)
+                break
+            stats.edited_instantiated += 1
+            histogram = ColorHistogram.of_image(
+                self._instantiate(image_id), query.quantizer
+            )
+            similarity = histogram_intersection(query, histogram)
+            best.append((-similarity, image_id))
+            best.sort()
+
+        neighbors = tuple(
+            (-negative, image_id) for negative, image_id in best[:k]
+        )
+        return KNNResult(neighbors, stats)
+
+    @staticmethod
+    def _validate_k(k: int) -> None:
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")

@@ -1,0 +1,74 @@
+"""Catalog records for the two storage formats.
+
+§2: the MMDBMS "will store images conventionally and as sequences of
+editing operations".  A :class:`BinaryImageRecord` holds a raster plus
+its extracted histogram (features are extracted at insertion time, §1);
+an :class:`EditedImageRecord` holds only the edit sequence — instantiating
+it is deliberately *not* free, which is the entire premise of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.color.histogram import ColorHistogram
+from repro.editing.sequence import EditSequence
+from repro.errors import DatabaseError
+from repro.images.ppm import binary_size_bytes
+from repro.images.raster import Image
+
+#: Storage format tags.
+BINARY_FORMAT = "binary"
+EDITED_FORMAT = "edited"
+
+
+@dataclass
+class BinaryImageRecord:
+    """An image stored in the conventional binary (raster) format."""
+
+    image_id: str
+    image: Image
+    histogram: ColorHistogram
+
+    format = BINARY_FORMAT
+
+    def __post_init__(self) -> None:
+        if not self.image_id:
+            raise DatabaseError("image ids must be non-empty")
+        if self.histogram.total != self.image.size:
+            raise DatabaseError(
+                f"histogram total {self.histogram.total} does not match image "
+                f"size {self.image.size} for {self.image_id!r}"
+            )
+
+    def storage_size_bytes(self) -> int:
+        """Bytes the raster occupies in its binary storage format (P6 ppm)."""
+        return binary_size_bytes(self.image)
+
+
+@dataclass
+class EditedImageRecord:
+    """An image stored as a sequence of editing operations."""
+
+    image_id: str
+    sequence: EditSequence
+
+    format = EDITED_FORMAT
+
+    def __post_init__(self) -> None:
+        if not self.image_id:
+            raise DatabaseError("image ids must be non-empty")
+
+    @property
+    def base_id(self) -> str:
+        """The referenced base image id."""
+        return self.sequence.base_id
+
+    def storage_size_bytes(self) -> int:
+        """Bytes of the serialized edit sequence."""
+        return self.sequence.storage_size_bytes()
+
+
+#: Union of the two record types.
+ImageRecord = Union[BinaryImageRecord, EditedImageRecord]

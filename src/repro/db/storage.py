@@ -1,0 +1,99 @@
+"""Storage accounting: the §2 space-saving argument, quantified.
+
+"an image stored as a set of editing operations will consume much less
+space than the same image stored in a conventional binary format."  A
+:class:`StorageReport` measures exactly that over a catalog: bytes used
+by the binary rasters, bytes used by edit sequences, and the bytes the
+same edited images *would* occupy if instantiated and stored as rasters
+(experiment A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.db.catalog import Catalog
+from repro.images.ppm import binary_size_bytes
+from repro.images.raster import Image
+
+#: Instantiates an edited image id (provided by the database facade).
+Instantiator = Callable[[str], Image]
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Byte-level accounting of a catalog's storage."""
+
+    binary_images: int
+    edited_images: int
+    binary_bytes: int
+    edited_sequence_bytes: int
+    edited_if_instantiated_bytes: Optional[int] = None
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes actually stored (rasters + sequences)."""
+        return self.binary_bytes + self.edited_sequence_bytes
+
+    @property
+    def bytes_saved(self) -> Optional[int]:
+        """Bytes saved by edit-sequence storage vs. storing rasters."""
+        if self.edited_if_instantiated_bytes is None:
+            return None
+        return self.edited_if_instantiated_bytes - self.edited_sequence_bytes
+
+    @property
+    def savings_ratio(self) -> Optional[float]:
+        """Sequence bytes as a fraction of the raster bytes they replace."""
+        if self.edited_if_instantiated_bytes in (None, 0):
+            return None
+        return self.edited_sequence_bytes / self.edited_if_instantiated_bytes
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"binary images:  {self.binary_images:6d}  ({self.binary_bytes:,} bytes)",
+            f"edited images:  {self.edited_images:6d}  "
+            f"({self.edited_sequence_bytes:,} bytes as sequences)",
+        ]
+        if self.edited_if_instantiated_bytes is not None:
+            lines.append(
+                f"same edited images as rasters: "
+                f"{self.edited_if_instantiated_bytes:,} bytes "
+                f"(sequences use {100.0 * (self.savings_ratio or 0):.2f}%)"
+            )
+        lines.append(f"total stored: {self.total_bytes:,} bytes")
+        return "\n".join(lines)
+
+
+def measure_storage(
+    catalog: Catalog, instantiate: Optional[Instantiator] = None
+) -> StorageReport:
+    """Account the catalog's storage.
+
+    With ``instantiate`` provided, also materializes every edited image to
+    measure the raster bytes that edit-sequence storage avoids (this is
+    the expensive half and is only done for the A3 experiment).
+    """
+    binary_bytes = sum(
+        catalog.binary_record(image_id).storage_size_bytes()
+        for image_id in catalog.binary_ids()
+    )
+    sequence_bytes = sum(
+        catalog.edited_record(image_id).storage_size_bytes()
+        for image_id in catalog.edited_ids()
+    )
+    instantiated_bytes: Optional[int] = None
+    if instantiate is not None:
+        instantiated_bytes = sum(
+            binary_size_bytes(instantiate(image_id))
+            for image_id in catalog.edited_ids()
+        )
+    return StorageReport(
+        binary_images=catalog.binary_count,
+        edited_images=catalog.edited_count,
+        binary_bytes=binary_bytes,
+        edited_sequence_bytes=sequence_bytes,
+        edited_if_instantiated_bytes=instantiated_bytes,
+    )

@@ -1,0 +1,63 @@
+"""Editing-operation substrate: the five-op algebra, sequences, executor."""
+
+from repro.editing.executor import (
+    EditExecutor,
+    ExecutionState,
+    combine_region,
+    merge_canvas_geometry,
+)
+from repro.editing.operations import (
+    COMBINE,
+    DEFINE,
+    MERGE,
+    MODIFY,
+    MUTATE,
+    OPERATION_KINDS,
+    Combine,
+    Define,
+    Merge,
+    Modify,
+    Mutate,
+    Operation,
+    ensure_operation,
+)
+from repro.editing.optimizer import (
+    OptimizationReport,
+    optimize_database,
+    optimize_operations,
+    optimize_sequence,
+)
+from repro.editing.recipes import (
+    BOUND_WIDENING_RECIPES,
+    NON_WIDENING_RECIPES,
+    build_variant,
+)
+from repro.editing.sequence import EditSequence
+
+__all__ = [
+    "BOUND_WIDENING_RECIPES",
+    "COMBINE",
+    "Combine",
+    "DEFINE",
+    "Define",
+    "EditExecutor",
+    "EditSequence",
+    "ExecutionState",
+    "MERGE",
+    "MODIFY",
+    "MUTATE",
+    "Merge",
+    "Modify",
+    "Mutate",
+    "NON_WIDENING_RECIPES",
+    "OptimizationReport",
+    "OPERATION_KINDS",
+    "Operation",
+    "build_variant",
+    "combine_region",
+    "ensure_operation",
+    "merge_canvas_geometry",
+    "optimize_database",
+    "optimize_operations",
+    "optimize_sequence",
+]

@@ -1,0 +1,266 @@
+"""Executable semantics of the editing operations (instantiation).
+
+"Such an image can be instantiated by accessing the referenced base image
+and sequentially executing the associated editing operations" (§2).  This
+module is that instantiation engine.  The Table 1 rules in
+:mod:`repro.core.rules` are *sound abstractions of exactly these
+semantics* — the property suite checks that the rule bounds always contain
+the histogram of the image this executor produces — so every semantic
+choice here is mirrored there:
+
+* the Defined Region (DR) starts as the whole base image and is clipped
+  to the current canvas after every ``Define``;
+* ``Combine`` averages the 3x3 neighborhood of the *pre-operation* image
+  with edge-clamped padding, writing only DR pixels;
+* ``Mutate`` distinguishes whole-image integer scales (exact pixel
+  replication), and otherwise forward-maps DR pixels (rounded), vacating
+  the DR to the fill color before writing destinations, clipped to the
+  canvas; afterwards the DR becomes the clipped bounding box of the
+  transformed region;
+* ``Merge`` with a NULL target crops the DR into a fresh image; with a
+  target it pastes the DR into the (possibly expanded) target canvas at
+  the given offset, new area taking the fill color.  After either form
+  the DR resets to the whole result image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.editing.operations import (
+    Combine,
+    Define,
+    Merge,
+    Modify,
+    Mutate,
+    Operation,
+)
+from repro.editing.sequence import EditSequence
+from repro.errors import ExecutionError
+from repro.images.geometry import EMPTY_RECT, Rect, transform_rect_bbox
+from repro.images.raster import ColorTuple, Image, validate_color
+
+#: Resolves a Merge target id to its instantiated image.
+TargetResolver = Callable[[str], Image]
+
+
+@dataclass
+class ExecutionState:
+    """Current canvas and Defined Region while executing a sequence."""
+
+    image: Image
+    dr: Rect
+
+    @staticmethod
+    def initial(base: Image) -> "ExecutionState":
+        """Start state: the base image with the DR covering all of it."""
+        return ExecutionState(base.copy(), base.bounds)
+
+
+class EditExecutor:
+    """Instantiates edit sequences against base images.
+
+    Parameters
+    ----------
+    resolve:
+        Callback mapping a Merge target id to an :class:`Image`.  Only
+        needed when sequences contain non-NULL Merges; omitted, such a
+        sequence raises :class:`ExecutionError`.
+    fill_color:
+        Color written into vacated/uncovered pixels by Mutate and Merge.
+        The bound rules receive the same color so its bin is accounted.
+    """
+
+    def __init__(
+        self,
+        resolve: Optional[TargetResolver] = None,
+        fill_color: Sequence[int] = (0, 0, 0),
+    ) -> None:
+        self._resolve = resolve
+        self.fill_color: ColorTuple = validate_color(fill_color)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def instantiate(self, base: Image, sequence: EditSequence) -> Image:
+        """Execute every operation of ``sequence`` against ``base``."""
+        state = ExecutionState.initial(base)
+        for position, op in enumerate(sequence.operations):
+            try:
+                state = self.apply_operation(state, op)
+            except ExecutionError as exc:
+                raise ExecutionError(
+                    f"operation {position} ({op!r}) of sequence on "
+                    f"{sequence.base_id!r}: {exc}"
+                ) from exc
+        return state.image
+
+    def apply_operation(self, state: ExecutionState, op: Operation) -> ExecutionState:
+        """Apply one operation, returning the next state."""
+        if isinstance(op, Define):
+            return self._apply_define(state, op)
+        if isinstance(op, Combine):
+            return self._apply_combine(state, op)
+        if isinstance(op, Modify):
+            return self._apply_modify(state, op)
+        if isinstance(op, Mutate):
+            return self._apply_mutate(state, op)
+        if isinstance(op, Merge):
+            return self._apply_merge(state, op)
+        raise ExecutionError(f"unknown operation {op!r}")
+
+    # ------------------------------------------------------------------
+    # Per-operation semantics
+    # ------------------------------------------------------------------
+    def _apply_define(self, state: ExecutionState, op: Define) -> ExecutionState:
+        dr = op.rect.clip(state.image.height, state.image.width)
+        return ExecutionState(state.image, dr)
+
+    def _apply_combine(self, state: ExecutionState, op: Combine) -> ExecutionState:
+        if state.dr.is_empty:
+            return state
+        blurred = combine_region(state.image, state.dr, op.weights)
+        return ExecutionState(blurred, state.dr)
+
+    def _apply_modify(self, state: ExecutionState, op: Modify) -> ExecutionState:
+        if state.dr.is_empty:
+            return state
+        image = state.image.copy()
+        region = image.region(state.dr)
+        mask = (region == np.array(op.rgb_old, dtype=np.uint8)).all(axis=2)
+        region[mask] = np.array(op.rgb_new, dtype=np.uint8)
+        return ExecutionState(image, state.dr)
+
+    def _apply_mutate(self, state: ExecutionState, op: Mutate) -> ExecutionState:
+        if state.dr.is_empty:
+            return state
+        bounds = state.image.bounds
+        if op.is_whole_image_scale(state.dr, bounds) and op.matrix.is_integer_scale():
+            return self._apply_integer_scale(state, op)
+        return self._apply_pixel_move(state, op)
+
+    def _apply_integer_scale(self, state: ExecutionState, op: Mutate) -> ExecutionState:
+        sx = int(round(op.matrix.m11))
+        sy = int(round(op.matrix.m22))
+        scaled = np.repeat(np.repeat(state.image.pixels, sx, axis=0), sy, axis=1)
+        image = Image(scaled, copy=False)
+        return ExecutionState(image, image.bounds)
+
+    def _apply_pixel_move(self, state: ExecutionState, op: Mutate) -> ExecutionState:
+        source = state.image
+        dr = state.dr
+        matrix = op.matrix
+
+        xs, ys = np.meshgrid(
+            np.arange(dr.x1, dr.x2), np.arange(dr.y1, dr.y2), indexing="ij"
+        )
+        xs = xs.reshape(-1)
+        ys = ys.reshape(-1)
+        tx = np.floor(matrix.m11 * xs + matrix.m12 * ys + matrix.m13 + 0.5).astype(np.int64)
+        ty = np.floor(matrix.m21 * xs + matrix.m22 * ys + matrix.m23 + 0.5).astype(np.int64)
+
+        result = source.copy()
+        # Vacate the source region first so a transform that writes back
+        # over part of the DR keeps the moved content, not the fill.
+        result.pixels[dr.x1:dr.x2, dr.y1:dr.y2] = np.array(
+            self.fill_color, dtype=np.uint8
+        )
+        inside = (
+            (tx >= 0) & (tx < source.height) & (ty >= 0) & (ty < source.width)
+        )
+        moved_colors = source.pixels[xs[inside], ys[inside]]
+        result.pixels[tx[inside], ty[inside]] = moved_colors
+
+        new_dr = transform_rect_bbox(dr, matrix).clip(source.height, source.width)
+        return ExecutionState(result, new_dr)
+
+    def _apply_merge(self, state: ExecutionState, op: Merge) -> ExecutionState:
+        if state.dr.is_empty:
+            raise ExecutionError("Merge requires a non-empty Defined Region")
+        dr_content = state.image.crop(state.dr)
+        if op.is_crop:
+            return ExecutionState(dr_content, dr_content.bounds)
+
+        if self._resolve is None:
+            raise ExecutionError(
+                f"Merge target {op.target_id!r} requires a target resolver"
+            )
+        target = self._resolve(op.target_id)
+        canvas_h, canvas_w, ox, oy = merge_canvas_geometry(
+            dr_content.height, dr_content.width, target.height, target.width, op.x, op.y
+        )
+        canvas = Image.filled(canvas_h, canvas_w, self.fill_color)
+        canvas.paste(target, -ox, -oy)
+        canvas.paste(dr_content, op.x - ox, op.y - oy)
+        return ExecutionState(canvas, canvas.bounds)
+
+
+def merge_canvas_geometry(
+    dr_height: int,
+    dr_width: int,
+    target_height: int,
+    target_width: int,
+    x: int,
+    y: int,
+) -> Tuple[int, int, int, int]:
+    """Result canvas size and origin shift for a non-NULL Merge.
+
+    Implements Table 1's dimension formula: the canvas is the bounding box
+    of the target placed at the origin and the DR placed at ``(x, y)``.
+    Returns ``(height, width, origin_x, origin_y)`` where the origin is
+    the canvas coordinate of the target's former ``(0, 0)`` negated (i.e.
+    canvas position ``p`` holds original position ``p + origin``).
+
+    Shared by the executor and the Merge rule so both agree on the
+    resulting image size.
+    """
+    ox = min(x, 0)
+    oy = min(y, 0)
+    height = max(x + dr_height, target_height) - ox
+    width = max(y + dr_width, target_width) - oy
+    return (height, width, ox, oy)
+
+
+def combine_region(
+    image: Image,
+    rect: Rect,
+    weights: Sequence[float],
+) -> Image:
+    """Blur the pixels of ``rect`` with a 3x3 weighted average.
+
+    Neighborhoods are taken from the *original* image (a Combine is not
+    applied progressively) with edge-clamped padding; weights are
+    normalized to sum to one; channel results round half-up.  Exposed as
+    a function because the synthetic-image generators reuse it.
+    """
+    region = rect.clip(image.height, image.width)
+    if region.is_empty:
+        return image.copy()
+    kernel = np.asarray(list(weights), dtype=np.float64).reshape(3, 3)
+    total = kernel.sum()
+    if total <= 0:
+        raise ExecutionError("Combine weights must have positive sum")
+    kernel = kernel / total
+
+    padded = np.pad(
+        image.pixels.astype(np.float64), ((1, 1), (1, 1), (0, 0)), mode="edge"
+    )
+    accumulated = np.zeros(
+        (region.height, region.width, 3), dtype=np.float64
+    )
+    for dx in range(3):
+        for dy in range(3):
+            window = padded[
+                region.x1 + dx:region.x2 + dx,
+                region.y1 + dy:region.y2 + dy,
+            ]
+            accumulated += kernel[dx, dy] * window
+
+    result = image.copy()
+    result.pixels[region.x1:region.x2, region.y1:region.y2] = np.clip(
+        np.floor(accumulated + 0.5), 0, 255
+    ).astype(np.uint8)
+    return result

@@ -1,0 +1,223 @@
+"""The five-operation image editing algebra of Speegle et al. [2, 20].
+
+The paper restricts edit sequences to five operations, chosen because they
+are *complete* — combinable to perform any image transformation one pixel
+at a time [2]:
+
+``Define(x1, y1, x2, y2)``
+    Select the Defined Region (DR) that subsequent operations act on.
+
+``Combine(c1..c9)``
+    Blur: each DR pixel becomes the weighted average of its 3x3
+    neighborhood with weights ``c1..c9`` (row-major, ``c5`` the center).
+
+``Modify(rgb_old, rgb_new)``
+    Recolor: DR pixels exactly matching ``rgb_old`` become ``rgb_new``.
+
+``Mutate(m11..m33)``
+    Rearrange: move DR pixels through an affine matrix (rotation, scale,
+    translation of items within the image).
+
+``Merge(target, x, y)``
+    Copy the DR into ``target`` at ``(x, y)``.  A ``None`` target means
+    "into a fresh image", i.e. a crop of the DR.
+
+Operations are immutable value objects; executable semantics live in
+:mod:`repro.editing.executor` and histogram-bound semantics in
+:mod:`repro.core.rules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.errors import OperationError
+from repro.images.geometry import AffineMatrix, Rect
+from repro.images.raster import ColorTuple, validate_color
+
+#: Type tags used by serialization and dispatch tables.
+DEFINE = "define"
+COMBINE = "combine"
+MODIFY = "modify"
+MUTATE = "mutate"
+MERGE = "merge"
+
+
+@dataclass(frozen=True)
+class Define:
+    """Select the Defined Region for subsequent operations.
+
+    Coordinates follow :class:`repro.images.Rect` conventions (half-open,
+    row-major).  The region is clipped to the current image at execution
+    time, so a Define may legally extend past the image edge.
+    """
+
+    rect: Rect
+
+    kind = DEFINE
+
+    def __post_init__(self) -> None:
+        if self.rect.is_empty:
+            raise OperationError("Define requires a non-empty region")
+
+    @staticmethod
+    def of(x1: int, y1: int, x2: int, y2: int) -> "Define":
+        """Convenience constructor from corner coordinates."""
+        return Define(Rect(x1, y1, x2, y2))
+
+    def __repr__(self) -> str:
+        r = self.rect
+        return f"Define({r.x1}, {r.y1}, {r.x2}, {r.y2})"
+
+
+@dataclass(frozen=True)
+class Combine:
+    """Blur the DR with a 3x3 weighted-average kernel.
+
+    Weights are row-major ``(c1..c9)``; they must be non-negative with a
+    positive sum (the executor normalizes).  ``Combine.box()`` gives the
+    uniform blur used throughout the workloads.
+    """
+
+    weights: Tuple[float, float, float, float, float, float, float, float, float]
+
+    kind = COMBINE
+
+    def __post_init__(self) -> None:
+        weights = tuple(float(w) for w in self.weights)
+        if len(weights) != 9:
+            raise OperationError(f"Combine needs 9 weights, got {len(weights)}")
+        if any(w < 0 for w in weights):
+            raise OperationError("Combine weights must be non-negative")
+        if sum(weights) <= 0:
+            raise OperationError("Combine weights must have positive sum")
+        object.__setattr__(self, "weights", weights)
+
+    @staticmethod
+    def box() -> "Combine":
+        """The uniform 3x3 box blur."""
+        return Combine(tuple([1.0] * 9))
+
+    def __repr__(self) -> str:
+        return f"Combine({', '.join(f'{w:g}' for w in self.weights)})"
+
+
+@dataclass(frozen=True)
+class Modify:
+    """Recolor DR pixels equal to ``rgb_old`` into ``rgb_new``."""
+
+    rgb_old: ColorTuple
+    rgb_new: ColorTuple
+
+    kind = MODIFY
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rgb_old", validate_color(self.rgb_old))
+        object.__setattr__(self, "rgb_new", validate_color(self.rgb_new))
+
+    def __repr__(self) -> str:
+        return f"Modify({self.rgb_old} -> {self.rgb_new})"
+
+
+@dataclass(frozen=True)
+class Mutate:
+    """Move DR pixels through an affine matrix.
+
+    The three sub-cases the Table 1 rules distinguish are exposed as
+    predicates so both the executor and the rules classify identically:
+
+    * :meth:`is_whole_image_scale` (given the DR and image bounds):
+      the "DR contains image" row — image dimensions scale;
+    * ``matrix.is_rigid_body()``: the rigid-body row — pixels move, image
+      dimensions unchanged;
+    * anything else is a general affine warp (not bound-widening).
+    """
+
+    matrix: AffineMatrix
+
+    kind = MUTATE
+
+    def __post_init__(self) -> None:
+        if abs(self.matrix.determinant) < 1e-12:
+            raise OperationError("Mutate matrix must be invertible")
+
+    @staticmethod
+    def translation(dx: int, dy: int) -> "Mutate":
+        """Rigid-body translation of the DR."""
+        return Mutate(AffineMatrix.translation(dx, dy))
+
+    @staticmethod
+    def rotation_90(quarter_turns: int, cx: float = 0.0, cy: float = 0.0) -> "Mutate":
+        """Rigid-body quarter-turn rotation about ``(cx, cy)``."""
+        return Mutate(AffineMatrix.rotation_90(quarter_turns, cx, cy))
+
+    @staticmethod
+    def rotation(radians: float, cx: float = 0.0, cy: float = 0.0) -> "Mutate":
+        """Rigid-body rotation by an arbitrary angle about ``(cx, cy)``."""
+        return Mutate(AffineMatrix.rotation(radians, cx, cy))
+
+    @staticmethod
+    def scale(sx: float, sy: Optional[float] = None) -> "Mutate":
+        """Axis-aligned scale (whole-image when the DR covers the image)."""
+        return Mutate(AffineMatrix.scale(sx, sy))
+
+    def is_whole_image_scale(self, dr: Rect, image_bounds: Rect) -> bool:
+        """True for the Table 1 "DR contains image" scale case."""
+        return self.matrix.is_axis_scale() and dr.contains(image_bounds)
+
+    def __repr__(self) -> str:
+        return f"Mutate({self.matrix!r})"
+
+
+@dataclass(frozen=True)
+class Merge:
+    """Copy the DR into ``target_id`` at ``(x, y)``.
+
+    ``target_id is None`` crops the DR into a fresh image (the paper's
+    "target is NULL" case).  Otherwise ``target_id`` names another stored
+    image; the result canvas is the target expanded just enough to hold
+    the pasted DR (the Table 1 dimension formula), with uncovered new
+    area taking the executor's fill color.
+    """
+
+    target_id: Optional[str]
+    x: int = 0
+    y: int = 0
+
+    kind = MERGE
+
+    def __post_init__(self) -> None:
+        if self.target_id is not None and not str(self.target_id):
+            raise OperationError("Merge target id must be a non-empty string or None")
+        object.__setattr__(self, "x", int(self.x))
+        object.__setattr__(self, "y", int(self.y))
+
+    @property
+    def is_crop(self) -> bool:
+        """True for the NULL-target (crop) form."""
+        return self.target_id is None
+
+    def __repr__(self) -> str:
+        target = "NULL" if self.is_crop else self.target_id
+        return f"Merge({target}, {self.x}, {self.y})"
+
+
+#: Union of the five operation types.
+Operation = Union[Define, Combine, Modify, Mutate, Merge]
+
+#: All operation classes keyed by kind tag.
+OPERATION_KINDS = {
+    DEFINE: Define,
+    COMBINE: Combine,
+    MODIFY: Modify,
+    MUTATE: Mutate,
+    MERGE: Merge,
+}
+
+
+def ensure_operation(value: object) -> Operation:
+    """Validate that ``value`` is one of the five operations."""
+    if isinstance(value, (Define, Combine, Modify, Mutate, Merge)):
+        return value
+    raise OperationError(f"not an editing operation: {value!r}")

@@ -1,0 +1,179 @@
+"""Unconstrained random edit sequences for property-based testing.
+
+Unlike the curated recipes in :mod:`repro.editing.recipes`, these
+generators explore the operation space adversarially: arbitrary regions
+(including ones extending past the image), arbitrary kernel weights,
+colors present or absent from the image, chained crops and scales.  The
+rule-soundness property suite instantiates each generated sequence and
+checks the BOUNDS interval contains the true histogram fraction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.editing.executor import merge_canvas_geometry
+from repro.editing.operations import (
+    Combine,
+    Define,
+    Merge,
+    Modify,
+    Mutate,
+    Operation,
+)
+from repro.editing.sequence import EditSequence
+from repro.images.geometry import AffineMatrix, Rect, transform_rect_bbox
+from repro.images.raster import ColorTuple
+
+
+def random_define(
+    rng: np.random.Generator, height: int, width: int, allow_overhang: bool = True
+) -> Define:
+    """A random Define, optionally allowed to extend past the image."""
+    slack = max(height, width) // 2 if allow_overhang else 0
+    x1 = int(rng.integers(-slack, height))
+    y1 = int(rng.integers(-slack, width))
+    x2 = int(rng.integers(x1 + 1, height + slack + 1))
+    y2 = int(rng.integers(y1 + 1, width + slack + 1))
+    return Define(Rect(x1, y1, x2, y2))
+
+
+def random_combine(rng: np.random.Generator) -> Combine:
+    """A random non-negative 3x3 kernel with positive sum."""
+    weights = rng.uniform(0.0, 1.0, size=9)
+    weights[4] = max(weights[4], 0.05)  # guarantee a positive sum
+    return Combine(tuple(float(w) for w in weights))
+
+
+def random_modify(
+    rng: np.random.Generator, colors_in_image: Sequence[ColorTuple]
+) -> Modify:
+    """A Modify whose old color is sometimes present, sometimes not."""
+    if colors_in_image and rng.random() < 0.7:
+        old = colors_in_image[int(rng.integers(len(colors_in_image)))]
+    else:
+        old = tuple(int(v) for v in rng.integers(0, 256, size=3))
+    new = tuple(int(v) for v in rng.integers(0, 256, size=3))
+    return Modify(old, new)
+
+
+def random_mutate(rng: np.random.Generator, height: int, width: int) -> Mutate:
+    """One of: translation, quarter-turn rotation, integer scale, general warp."""
+    choice = int(rng.integers(4))
+    if choice == 0:
+        dx = int(rng.integers(-height, height + 1))
+        dy = int(rng.integers(-width, width + 1))
+        return Mutate.translation(dx, dy)
+    if choice == 1:
+        return Mutate.rotation_90(
+            int(rng.integers(1, 4)),
+            cx=float(rng.integers(0, height)),
+            cy=float(rng.integers(0, width)),
+        )
+    if choice == 2:
+        return Mutate.scale(int(rng.integers(1, 3)))
+    shear = float(rng.uniform(-0.5, 0.5))
+    sx = float(rng.uniform(0.6, 1.6))
+    sy = float(rng.uniform(0.6, 1.6))
+    return Mutate(AffineMatrix(sx, shear, 0.0, 0.0, sy, 0.0))
+
+
+def random_operation(
+    rng: np.random.Generator,
+    height: int,
+    width: int,
+    colors_in_image: Sequence[ColorTuple],
+    merge_targets: Sequence[str] = (),
+    allow_crop: bool = True,
+) -> Operation:
+    """One random operation of any kind permitted by the arguments."""
+    kinds = ["define", "combine", "modify", "mutate"]
+    if allow_crop:
+        kinds.append("crop")
+    if merge_targets:
+        kinds.append("merge")
+    kind = kinds[int(rng.integers(len(kinds)))]
+    if kind == "define":
+        return random_define(rng, height, width)
+    if kind == "combine":
+        return random_combine(rng)
+    if kind == "modify":
+        return random_modify(rng, colors_in_image)
+    if kind == "mutate":
+        return random_mutate(rng, height, width)
+    if kind == "crop":
+        return Merge(None)
+    target = merge_targets[int(rng.integers(len(merge_targets)))]
+    x = int(rng.integers(-height // 2, height))
+    y = int(rng.integers(-width // 2, width))
+    return Merge(target, x, y)
+
+
+def random_sequence(
+    rng: np.random.Generator,
+    base_id: str,
+    height: int,
+    width: int,
+    colors_in_image: Sequence[ColorTuple],
+    length: Optional[int] = None,
+    merge_targets: Optional[Mapping[str, Tuple[int, int]]] = None,
+    max_pixels: int = 1 << 16,
+) -> EditSequence:
+    """A random sequence that is always executable.
+
+    Image dimensions and the Defined Region are tracked *exactly* through
+    the sequence — the geometry of every operation is deterministic, the
+    same fact the Table 1 rules exploit — so the generator never emits a
+    Merge on an empty DR (the executor's only hard error) and can cap the
+    result size via ``max_pixels``.
+
+    ``merge_targets`` maps target ids to their ``(height, width)`` so the
+    post-Merge canvas geometry stays exact.
+    """
+    targets = dict(merge_targets or {})
+    op_count = length if length is not None else int(rng.integers(1, 8))
+    ops: List[Operation] = []
+    cur_h, cur_w = height, width
+    dr = Rect(0, 0, cur_h, cur_w)
+
+    for _ in range(op_count):
+        op = random_operation(
+            rng,
+            cur_h,
+            cur_w,
+            colors_in_image,
+            merge_targets=tuple(targets),
+            allow_crop=not dr.is_empty,
+        )
+        if isinstance(op, Merge) and dr.is_empty:
+            op = random_define(rng, cur_h, cur_w, allow_overhang=False)
+        if isinstance(op, Mutate) and op.matrix.is_integer_scale():
+            scale = int(round(op.matrix.m11)) * int(round(op.matrix.m22))
+            if dr.contains(Rect(0, 0, cur_h, cur_w)) and cur_h * cur_w * scale > max_pixels:
+                op = Mutate.scale(1)
+        ops.append(op)
+
+        # Mirror the executor's geometry step for step.
+        if isinstance(op, Define):
+            dr = op.rect.clip(cur_h, cur_w)
+        elif isinstance(op, Mutate) and not dr.is_empty:
+            bounds = Rect(0, 0, cur_h, cur_w)
+            if op.is_whole_image_scale(dr, bounds) and op.matrix.is_integer_scale():
+                cur_h *= int(round(op.matrix.m11))
+                cur_w *= int(round(op.matrix.m22))
+                dr = Rect(0, 0, cur_h, cur_w)
+            else:
+                dr = transform_rect_bbox(dr, op.matrix).clip(cur_h, cur_w)
+        elif isinstance(op, Merge):
+            if op.is_crop:
+                cur_h, cur_w = dr.height, dr.width
+            else:
+                t_h, t_w = targets[op.target_id]
+                cur_h, cur_w, _, _ = merge_canvas_geometry(
+                    dr.height, dr.width, t_h, t_w, op.x, op.y
+                )
+            dr = Rect(0, 0, cur_h, cur_w)
+
+    return EditSequence(base_id, tuple(ops))

@@ -1,0 +1,211 @@
+"""Augmentation recipes: the edited variants inserted per base image.
+
+§2: "when an image x is inserted into such a CBIR system, several edited
+versions of image x should be added to the underlying database as well."
+These recipes are the library's standard set of "several edited versions":
+each returns the operations for one realistic variant of a base image of
+known dimensions.  Recipes are grouped by whether every operation is
+bound-widening, because the evaluation controls the mix (Table 2's
+BW-only vs. non-BW counts).
+
+All recipes take the base dimensions plus an RNG so parameters vary per
+image while remaining reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.editing.operations import (
+    Combine,
+    Define,
+    Merge,
+    Modify,
+    Mutate,
+    Operation,
+)
+from repro.errors import WorkloadError
+from repro.images.geometry import AffineMatrix, Rect
+from repro.images.raster import ColorTuple
+
+#: A recipe maps (rng, height, width, palette) to an operation list.
+Recipe = Callable[[np.random.Generator, int, int, Sequence[ColorTuple]], List[Operation]]
+
+
+def _random_subrect(
+    rng: np.random.Generator, height: int, width: int, min_side: int = 2
+) -> Rect:
+    """A uniformly random rectangle of at least ``min_side`` per side."""
+    if height < min_side or width < min_side:
+        raise WorkloadError(f"image {height}x{width} too small for sub-rectangles")
+    x1 = int(rng.integers(0, height - min_side + 1))
+    y1 = int(rng.integers(0, width - min_side + 1))
+    x2 = int(rng.integers(x1 + min_side, height + 1))
+    y2 = int(rng.integers(y1 + min_side, width + 1))
+    return Rect(x1, y1, x2, y2)
+
+
+def _pick_color(
+    rng: np.random.Generator, palette: Sequence[ColorTuple]
+) -> ColorTuple:
+    if not palette:
+        raise WorkloadError("recipes require a non-empty palette")
+    return palette[int(rng.integers(len(palette)))]
+
+
+# ----------------------------------------------------------------------
+# Bound-widening recipes (Main-component candidates)
+# ----------------------------------------------------------------------
+def recipe_regional_blur(
+    rng: np.random.Generator, height: int, width: int, palette: Sequence[ColorTuple]
+) -> List[Operation]:
+    """Blur a random region — simulates defocus/weathering."""
+    return [Define(_random_subrect(rng, height, width)), Combine.box()]
+
+
+def recipe_recolor(
+    rng: np.random.Generator, height: int, width: int, palette: Sequence[ColorTuple]
+) -> List[Operation]:
+    """Swap one palette color for another inside a region."""
+    old = _pick_color(rng, palette)
+    new = _pick_color(rng, palette)
+    return [Define(_random_subrect(rng, height, width)), Modify(old, new)]
+
+
+def recipe_multi_recolor(
+    rng: np.random.Generator, height: int, width: int, palette: Sequence[ColorTuple]
+) -> List[Operation]:
+    """Several Modify steps over the full image — a palette variation."""
+    ops: List[Operation] = [Define(Rect(0, 0, height, width))]
+    for _ in range(3):
+        ops.append(Modify(_pick_color(rng, palette), _pick_color(rng, palette)))
+    return ops
+
+
+def recipe_crop(
+    rng: np.random.Generator, height: int, width: int, palette: Sequence[ColorTuple]
+) -> List[Operation]:
+    """Crop to a random region (Merge with NULL target)."""
+    min_side = max(2, min(height, width) // 3)
+    return [Define(_random_subrect(rng, height, width, min_side)), Merge(None)]
+
+
+def recipe_shift(
+    rng: np.random.Generator, height: int, width: int, palette: Sequence[ColorTuple]
+) -> List[Operation]:
+    """Translate a region within the canvas (rigid-body Mutate)."""
+    region = _random_subrect(rng, height, width)
+    dx = int(rng.integers(-region.x1, height - region.x2 + 1))
+    dy = int(rng.integers(-region.y1, width - region.y2 + 1))
+    return [Define(region), Mutate.translation(dx, dy)]
+
+
+def recipe_upscale(
+    rng: np.random.Generator, height: int, width: int, palette: Sequence[ColorTuple]
+) -> List[Operation]:
+    """Integer whole-image upscale (thumbnail-to-full simulation)."""
+    factor = int(rng.integers(2, 4))
+    return [Define(Rect(0, 0, height, width)), Mutate.scale(factor)]
+
+
+def recipe_blur_then_recolor(
+    rng: np.random.Generator, height: int, width: int, palette: Sequence[ColorTuple]
+) -> List[Operation]:
+    """A longer bound-widening chain: blur, then recolor, then shift."""
+    ops = recipe_regional_blur(rng, height, width, palette)
+    ops += recipe_recolor(rng, height, width, palette)
+    ops += recipe_shift(rng, height, width, palette)
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Non-bound-widening recipes (Unclassified-component candidates)
+# ----------------------------------------------------------------------
+def recipe_paste_onto(
+    target_id: str,
+) -> Recipe:
+    """Copy a region onto another database image (Merge with target).
+
+    Returns a recipe closed over the target id, since targets are ids of
+    other stored images rather than raster parameters.
+    """
+
+    def build(
+        rng: np.random.Generator, height: int, width: int, palette: Sequence[ColorTuple]
+    ) -> List[Operation]:
+        region = _random_subrect(rng, height, width)
+        x = int(rng.integers(-region.height // 2, height))
+        y = int(rng.integers(-region.width // 2, width))
+        return [Define(region), Merge(target_id, x, y)]
+
+    return build
+
+
+def recipe_shear(
+    rng: np.random.Generator, height: int, width: int, palette: Sequence[ColorTuple]
+) -> List[Operation]:
+    """A shear-and-stretch warp of a region — a general affine.
+
+    The slight stretch keeps the determinant away from 1 so the static
+    classifier (which treats any ``|det| = 1`` matrix as rigid-body)
+    files the variant as non-bound-widening.
+    """
+    region = _random_subrect(rng, height, width)
+    shear = float(rng.uniform(0.2, 0.6))
+    stretch = float(rng.uniform(1.1, 1.4))
+    matrix = AffineMatrix(stretch, shear, 0.0, 0.0, 1.0, 0.0)
+    return [Define(region), Mutate(matrix)]
+
+
+def recipe_nonuniform_stretch(
+    rng: np.random.Generator, height: int, width: int, palette: Sequence[ColorTuple]
+) -> List[Operation]:
+    """A fractional in-place stretch of a region — general affine."""
+    region = _random_subrect(rng, height, width)
+    factor = float(rng.uniform(1.1, 1.6))
+    matrix = AffineMatrix(factor, 0.0, 0.0, 0.0, 1.0, 0.0)
+    return [Define(region), Mutate(matrix)]
+
+
+#: The standard bound-widening recipe pool (parameterless recipes).
+BOUND_WIDENING_RECIPES: Tuple[Recipe, ...] = (
+    recipe_regional_blur,
+    recipe_recolor,
+    recipe_multi_recolor,
+    recipe_crop,
+    recipe_shift,
+    recipe_upscale,
+    recipe_blur_then_recolor,
+)
+
+#: Non-bound-widening recipes that need no Merge target.
+NON_WIDENING_RECIPES: Tuple[Recipe, ...] = (
+    recipe_shear,
+    recipe_nonuniform_stretch,
+)
+
+
+def build_variant(
+    rng: np.random.Generator,
+    height: int,
+    width: int,
+    palette: Sequence[ColorTuple],
+    bound_widening: bool,
+    merge_target: Optional[str] = None,
+) -> List[Operation]:
+    """One random variant's operations, of the requested classification.
+
+    When ``bound_widening`` is false and ``merge_target`` is provided, the
+    pool also includes a Merge-onto-target recipe, matching the paper's
+    mixture of unclassified causes.
+    """
+    if bound_widening:
+        recipe = BOUND_WIDENING_RECIPES[int(rng.integers(len(BOUND_WIDENING_RECIPES)))]
+        return recipe(rng, height, width, palette)
+    pool: List[Recipe] = list(NON_WIDENING_RECIPES)
+    if merge_target is not None:
+        pool.append(recipe_paste_onto(merge_target))
+    recipe = pool[int(rng.integers(len(pool)))]
+    return recipe(rng, height, width, palette)

@@ -1,0 +1,189 @@
+"""Edit sequences: the storage format for derived images.
+
+Section 2: "if an image *e* is created by editing an original base image
+object *b*, the edited image is stored as a reference to *b* along with
+the sequence of operations used to change *b* into *e*."
+
+An :class:`EditSequence` is exactly that pair, plus a line-oriented text
+serialization used by the storage manager both for persistence and for
+byte-level storage accounting (the space-saving argument of §2).
+
+Serialization format (one operation per line, space-separated fields)::
+
+    base <base_id>
+    define x1 y1 x2 y2
+    combine c1 c2 c3 c4 c5 c6 c7 c8 c9
+    modify r g b -> r g b
+    mutate m11 m12 m13 m21 m22 m23 m31 m32 m33
+    merge <target_id>|NULL x y
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.editing.operations import (
+    Combine,
+    Define,
+    Merge,
+    Modify,
+    Mutate,
+    Operation,
+    ensure_operation,
+)
+from repro.errors import SequenceError
+from repro.images.geometry import AffineMatrix, Rect
+
+
+@dataclass(frozen=True)
+class EditSequence:
+    """Immutable ``(base image reference, operations)`` pair."""
+
+    base_id: str
+    operations: Tuple[Operation, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.base_id:
+            raise SequenceError("edit sequences must reference a base image")
+        ops = tuple(ensure_operation(op) for op in self.operations)
+        object.__setattr__(self, "operations", ops)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def extended(self, *operations: Operation) -> "EditSequence":
+        """A new sequence with ``operations`` appended."""
+        return EditSequence(self.base_id, self.operations + tuple(operations))
+
+    def merge_targets(self) -> Tuple[str, ...]:
+        """Ids of all non-NULL Merge targets, in order of appearance."""
+        return tuple(
+            op.target_id
+            for op in self.operations
+            if isinstance(op, Merge) and op.target_id is not None
+        )
+
+    def referenced_ids(self) -> Tuple[str, ...]:
+        """Every stored-image id this sequence depends on (base + targets)."""
+        return (self.base_id,) + self.merge_targets()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def serialize(self) -> str:
+        """Render the line-oriented text format."""
+        lines = [f"base {self.base_id}"]
+        for op in self.operations:
+            lines.append(_serialize_operation(op))
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def parse(text: str) -> "EditSequence":
+        """Parse the text format produced by :meth:`serialize`."""
+        base_id: Optional[str] = None
+        operations: List[Operation] = []
+        for line_number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                keyword, _, rest = line.partition(" ")
+                if keyword == "base":
+                    if base_id is not None:
+                        raise SequenceError("duplicate base line")
+                    base_id = rest.strip()
+                    if not base_id:
+                        raise SequenceError("empty base id")
+                else:
+                    operations.append(_parse_operation(keyword, rest))
+            except SequenceError as exc:
+                raise SequenceError(f"line {line_number}: {exc}") from exc
+        if base_id is None:
+            raise SequenceError("missing 'base <id>' line")
+        return EditSequence(base_id, tuple(operations))
+
+    def storage_size_bytes(self) -> int:
+        """Bytes consumed by the serialized form.
+
+        This is the number the storage-savings experiment (A3) compares
+        against :func:`repro.images.binary_size_bytes`.
+        """
+        return len(self.serialize().encode("utf-8"))
+
+    def __repr__(self) -> str:
+        return f"EditSequence(base={self.base_id!r}, ops={len(self.operations)})"
+
+
+# ----------------------------------------------------------------------
+# Per-operation (de)serialization helpers
+# ----------------------------------------------------------------------
+def _serialize_operation(op: Operation) -> str:
+    if isinstance(op, Define):
+        r = op.rect
+        return f"define {r.x1} {r.y1} {r.x2} {r.y2}"
+    if isinstance(op, Combine):
+        return "combine " + " ".join(repr(w) for w in op.weights)
+    if isinstance(op, Modify):
+        old = " ".join(str(c) for c in op.rgb_old)
+        new = " ".join(str(c) for c in op.rgb_new)
+        return f"modify {old} -> {new}"
+    if isinstance(op, Mutate):
+        return "mutate " + " ".join(repr(v) for v in op.matrix.as_tuple())
+    if isinstance(op, Merge):
+        target = "NULL" if op.target_id is None else op.target_id
+        return f"merge {target} {op.x} {op.y}"
+    raise SequenceError(f"unknown operation {op!r}")
+
+
+def _ints(rest: str, count: int, what: str) -> Sequence[int]:
+    tokens = rest.split()
+    if len(tokens) != count:
+        raise SequenceError(f"{what} expects {count} integers, got {len(tokens)}")
+    try:
+        return [int(t) for t in tokens]
+    except ValueError as exc:
+        raise SequenceError(f"{what}: non-integer token") from exc
+
+
+def _floats(rest: str, count: int, what: str) -> Sequence[float]:
+    tokens = rest.split()
+    if len(tokens) != count:
+        raise SequenceError(f"{what} expects {count} numbers, got {len(tokens)}")
+    try:
+        return [float(t) for t in tokens]
+    except ValueError as exc:
+        raise SequenceError(f"{what}: non-numeric token") from exc
+
+
+def _parse_operation(keyword: str, rest: str) -> Operation:
+    if keyword == "define":
+        x1, y1, x2, y2 = _ints(rest, 4, "define")
+        return Define(Rect(x1, y1, x2, y2))
+    if keyword == "combine":
+        return Combine(tuple(_floats(rest, 9, "combine")))
+    if keyword == "modify":
+        old_text, arrow, new_text = rest.partition("->")
+        if not arrow:
+            raise SequenceError("modify expects 'r g b -> r g b'")
+        old = _ints(old_text, 3, "modify old color")
+        new = _ints(new_text, 3, "modify new color")
+        return Modify(tuple(old), tuple(new))
+    if keyword == "mutate":
+        values = _floats(rest, 9, "mutate")
+        return Mutate(AffineMatrix(*values))
+    if keyword == "merge":
+        tokens = rest.split()
+        if len(tokens) != 3:
+            raise SequenceError("merge expects '<target>|NULL x y'")
+        target = None if tokens[0] == "NULL" else tokens[0]
+        try:
+            x, y = int(tokens[1]), int(tokens[2])
+        except ValueError as exc:
+            raise SequenceError("merge coordinates must be integers") from exc
+        return Merge(target, x, y)
+    raise SequenceError(f"unknown operation keyword {keyword!r}")

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers embedding the MMDBMS can catch one base class.  The subclasses map
+onto the subsystems described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ImageError(ReproError):
+    """Raised for invalid raster images (bad shape, dtype, or bounds)."""
+
+
+class CodecError(ReproError):
+    """Raised when encoding or decoding an image file format fails."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid rectangles or regions."""
+
+
+class ColorError(ReproError):
+    """Raised for invalid colors, color spaces, or quantizer parameters."""
+
+
+class HistogramError(ReproError):
+    """Raised for invalid histograms or incompatible histogram pairs."""
+
+
+class OperationError(ReproError):
+    """Raised for invalid editing operations or parameters."""
+
+
+class SequenceError(ReproError):
+    """Raised when an edit sequence is malformed or cannot be parsed."""
+
+
+class ExecutionError(ReproError):
+    """Raised when instantiating an edit sequence fails."""
+
+
+class RuleError(ReproError):
+    """Raised when a Table 1 rule cannot be applied."""
+
+
+class IndexError_(ReproError):
+    """Raised for R-tree misuse.
+
+    The trailing underscore avoids shadowing the builtin ``IndexError``
+    while keeping the subsystem naming convention.
+    """
+
+
+class DatabaseError(ReproError):
+    """Raised for catalog/storage level failures in the MMDBMS."""
+
+
+class UnknownObjectError(DatabaseError):
+    """Raised when an object id is not present in the catalog."""
+
+
+class DuplicateObjectError(DatabaseError):
+    """Raised when inserting an object id that already exists."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries (range, kNN, or text)."""
+
+
+class ParseError(QueryError):
+    """Raised when the text query language parser rejects its input."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a synthetic dataset or workload cannot be built."""
+
+
+class PersistenceError(DatabaseError):
+    """Raised when saving or loading a database directory fails."""

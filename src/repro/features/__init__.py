@@ -1,0 +1,29 @@
+"""Non-color features (§6 future work): texture (LBP) and shape (Hu)."""
+
+from repro.features.shape import (
+    ShapeSignature,
+    central_moments,
+    foreground_mask,
+    hu_invariants,
+    shape_distance,
+)
+from repro.features.texture import (
+    UNIFORM_BINS,
+    TextureSignature,
+    lbp_codes,
+    luminance,
+    texture_distance,
+)
+
+__all__ = [
+    "ShapeSignature",
+    "TextureSignature",
+    "UNIFORM_BINS",
+    "central_moments",
+    "foreground_mask",
+    "hu_invariants",
+    "lbp_codes",
+    "luminance",
+    "shape_distance",
+    "texture_distance",
+]

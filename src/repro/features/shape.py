@@ -1,0 +1,149 @@
+"""Shape features: central image moments and Hu invariants.
+
+The other half of §6's future work, and the feature the §1 road-sign
+motivation pairs with color ("specific color and shape-based conventions
+for classifying different types of signs").  A shape signature is the
+vector of the seven Hu moment invariants of a *foreground mask*:
+
+* the mask separates the object from the background (by default, any
+  pixel whose color differs from the most common border color);
+* raw moments -> central moments (translation invariant) -> normalized
+  central moments (scale invariant) -> Hu's seven combinations
+  (rotation invariant);
+* signatures compare with L1 over log-compressed values (the usual
+  ``-sign(h) * log10 |h|`` transform that tames the dynamic range).
+
+Invariance is property-tested against this library's own Mutate
+executor: translating, integer-scaling, or quarter-rotating an image
+through actual edit operations leaves the signature (nearly) unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import HistogramError
+from repro.images.raster import Image
+
+
+def foreground_mask(image: Image) -> np.ndarray:
+    """Boolean mask of non-background pixels.
+
+    The background color is estimated as the most frequent color on the
+    image border — robust for the object-on-backdrop images (helmets,
+    signs) this feature targets.
+    """
+    pixels = image.pixels
+    border = np.concatenate(
+        [
+            pixels[0, :].reshape(-1, 3),
+            pixels[-1, :].reshape(-1, 3),
+            pixels[:, 0].reshape(-1, 3),
+            pixels[:, -1].reshape(-1, 3),
+        ]
+    )
+    colors, counts = np.unique(border, axis=0, return_counts=True)
+    background = colors[int(np.argmax(counts))]
+    return ~(pixels == background).all(axis=2)
+
+
+def raw_moment(mask: np.ndarray, p: int, q: int) -> float:
+    """Raw image moment ``M_pq`` of a boolean mask."""
+    xs = np.arange(mask.shape[0], dtype=np.float64)[:, None]
+    ys = np.arange(mask.shape[1], dtype=np.float64)[None, :]
+    return float((mask * (xs ** p) * (ys ** q)).sum())
+
+
+def central_moments(mask: np.ndarray) -> dict:
+    """Central moments ``mu_pq`` up to order 3, keyed ``(p, q)``."""
+    m00 = raw_moment(mask, 0, 0)
+    if m00 == 0:
+        raise HistogramError("empty foreground: no shape to describe")
+    cx = raw_moment(mask, 1, 0) / m00
+    cy = raw_moment(mask, 0, 1) / m00
+    xs = np.arange(mask.shape[0], dtype=np.float64)[:, None] - cx
+    ys = np.arange(mask.shape[1], dtype=np.float64)[None, :] - cy
+    moments = {}
+    for p in range(4):
+        for q in range(4):
+            if p + q <= 3:
+                moments[(p, q)] = float((mask * (xs ** p) * (ys ** q)).sum())
+    return moments
+
+
+def hu_invariants(mask: np.ndarray) -> Tuple[float, ...]:
+    """Hu's seven rotation/scale/translation invariants of a mask."""
+    mu = central_moments(mask)
+    m00 = mu[(0, 0)]
+
+    def eta(p: int, q: int) -> float:
+        return mu[(p, q)] / (m00 ** (1 + (p + q) / 2.0))
+
+    n20, n02, n11 = eta(2, 0), eta(0, 2), eta(1, 1)
+    n30, n03 = eta(3, 0), eta(0, 3)
+    n21, n12 = eta(2, 1), eta(1, 2)
+
+    h1 = n20 + n02
+    h2 = (n20 - n02) ** 2 + 4 * n11 ** 2
+    h3 = (n30 - 3 * n12) ** 2 + (3 * n21 - n03) ** 2
+    h4 = (n30 + n12) ** 2 + (n21 + n03) ** 2
+    h5 = (n30 - 3 * n12) * (n30 + n12) * (
+        (n30 + n12) ** 2 - 3 * (n21 + n03) ** 2
+    ) + (3 * n21 - n03) * (n21 + n03) * (
+        3 * (n30 + n12) ** 2 - (n21 + n03) ** 2
+    )
+    h6 = (n20 - n02) * ((n30 + n12) ** 2 - (n21 + n03) ** 2) + 4 * n11 * (
+        n30 + n12
+    ) * (n21 + n03)
+    h7 = (3 * n21 - n03) * (n30 + n12) * (
+        (n30 + n12) ** 2 - 3 * (n21 + n03) ** 2
+    ) - (n30 - 3 * n12) * (n21 + n03) * (
+        3 * (n30 + n12) ** 2 - (n21 + n03) ** 2
+    )
+    return (h1, h2, h3, h4, h5, h6, h7)
+
+
+def _log_compress(values: Tuple[float, ...]) -> np.ndarray:
+    """The standard ``-sign(h) * log10(|h|)`` compression (0 stays 0)."""
+    array = np.asarray(values, dtype=np.float64)
+    out = np.zeros_like(array)
+    nonzero = np.abs(array) > 1e-300
+    out[nonzero] = -np.sign(array[nonzero]) * np.log10(np.abs(array[nonzero]))
+    return out
+
+
+@dataclass(frozen=True)
+class ShapeSignature:
+    """The seven Hu invariants of an image's foreground mask."""
+
+    invariants: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        values = tuple(float(v) for v in self.invariants)
+        if len(values) != 7:
+            raise HistogramError(f"expected 7 Hu invariants, got {len(values)}")
+        object.__setattr__(self, "invariants", values)
+
+    @staticmethod
+    def of_image(image: Image) -> "ShapeSignature":
+        """Extract the signature from an image's foreground mask."""
+        return ShapeSignature(hu_invariants(foreground_mask(image)))
+
+    @staticmethod
+    def of_mask(mask: np.ndarray) -> "ShapeSignature":
+        """Extract the signature from an explicit boolean mask."""
+        return ShapeSignature(hu_invariants(np.asarray(mask, dtype=bool)))
+
+    def __repr__(self) -> str:
+        h1, h2 = self.invariants[:2]
+        return f"ShapeSignature(h1={h1:.4g}, h2={h2:.4g}, ...)"
+
+
+def shape_distance(a: ShapeSignature, b: ShapeSignature) -> float:
+    """L1 over log-compressed Hu invariants (Hu's matching metric)."""
+    return float(
+        np.abs(_log_compress(a.invariants) - _log_compress(b.invariants)).sum()
+    )

@@ -1,0 +1,130 @@
+"""Texture features: local binary pattern (LBP) histograms.
+
+§6: "it will be necessary to develop approaches for other common features
+besides color, such as texture and shape."  This module provides the
+texture half as a classical rotation-agnostic LBP-histogram feature:
+
+* each interior pixel's 8 neighbors are thresholded against it,
+  producing an 8-bit pattern;
+* patterns are optionally folded to *uniform* codes (at most two 0/1
+  transitions around the circle), the standard 59-bin variant;
+* the feature is the normalized pattern histogram, compared with L1.
+
+Like BIC, texture features are exact for binary images and require
+instantiation for edit-sequence images (deriving texture bounds from the
+Table 1 rules is open — the future work the paper names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HistogramError
+from repro.images.raster import Image
+
+#: Neighbor offsets in LBP bit order (clockwise from top-left).
+_OFFSETS = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, 1), (1, 1), (1, 0),
+    (1, -1), (0, -1),
+)
+
+
+def luminance(image: Image) -> np.ndarray:
+    """Rec. 601 luma of an RGB image as float64."""
+    pixels = image.pixels.astype(np.float64)
+    return 0.299 * pixels[..., 0] + 0.587 * pixels[..., 1] + 0.114 * pixels[..., 2]
+
+
+def _transition_count(pattern: int) -> int:
+    """Number of 0/1 transitions in the circular 8-bit pattern."""
+    bits = [(pattern >> bit) & 1 for bit in range(8)]
+    return sum(bits[i] != bits[(i + 1) % 8] for i in range(8))
+
+
+def _uniform_code_table() -> np.ndarray:
+    """Map each 8-bit pattern to its uniform-LBP bin (58 uniform + 1 rest)."""
+    table = np.zeros(256, dtype=np.int64)
+    next_code = 0
+    for pattern in range(256):
+        if _transition_count(pattern) <= 2:
+            table[pattern] = next_code
+            next_code += 1
+        else:
+            table[pattern] = -1
+    table[table == -1] = next_code  # the shared non-uniform bin
+    return table
+
+
+_UNIFORM_TABLE = _uniform_code_table()
+#: Bin count of the uniform-LBP histogram (58 uniform patterns + 1 rest).
+UNIFORM_BINS = int(_UNIFORM_TABLE.max()) + 1
+
+
+def lbp_codes(image: Image) -> np.ndarray:
+    """Raw 8-bit LBP code per interior pixel (shape ``(h-2, w-2)``).
+
+    Images smaller than 3x3 have no interior and raise
+    :class:`HistogramError`.
+    """
+    if image.height < 3 or image.width < 3:
+        raise HistogramError(
+            f"LBP needs at least 3x3 pixels, got {image.height}x{image.width}"
+        )
+    luma = luminance(image)
+    center = luma[1:-1, 1:-1]
+    codes = np.zeros(center.shape, dtype=np.int64)
+    for bit, (dx, dy) in enumerate(_OFFSETS):
+        neighbor = luma[1 + dx:image.height - 1 + dx, 1 + dy:image.width - 1 + dy]
+        codes |= (neighbor >= center).astype(np.int64) << bit
+    return codes
+
+
+@dataclass(frozen=True)
+class TextureSignature:
+    """A normalized uniform-LBP histogram."""
+
+    counts: np.ndarray
+    total: int
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.int64)
+        if counts.shape != (UNIFORM_BINS,):
+            raise HistogramError(
+                f"expected {UNIFORM_BINS} LBP bins, got shape {counts.shape}"
+            )
+        if (counts < 0).any():
+            raise HistogramError("negative LBP count")
+        if int(counts.sum()) != self.total or self.total <= 0:
+            raise HistogramError("LBP counts must sum to a positive total")
+        counts.setflags(write=False)
+        object.__setattr__(self, "counts", counts)
+
+    @staticmethod
+    def of_image(image: Image) -> "TextureSignature":
+        """Extract the uniform-LBP histogram of ``image``."""
+        codes = _UNIFORM_TABLE[lbp_codes(image)]
+        counts = np.bincount(codes.reshape(-1), minlength=UNIFORM_BINS)
+        return TextureSignature(counts.astype(np.int64), int(counts.sum()))
+
+    def fractions(self) -> np.ndarray:
+        """The normalized histogram (sums to 1)."""
+        return self.counts / float(self.total)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TextureSignature):
+            return NotImplemented
+        return self.total == other.total and bool(
+            np.array_equal(self.counts, other.counts)
+        )
+
+    def __repr__(self) -> str:
+        occupied = int(np.count_nonzero(self.counts))
+        return f"TextureSignature(total={self.total}, occupied={occupied})"
+
+
+def texture_distance(a: TextureSignature, b: TextureSignature) -> float:
+    """L1 distance between normalized LBP histograms (in ``[0, 2]``)."""
+    return float(np.abs(a.fractions() - b.fractions()).sum())

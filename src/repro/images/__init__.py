@@ -1,0 +1,18 @@
+"""Raster image substrate: geometry, images, netpbm codecs, generators."""
+
+from repro.images.geometry import EMPTY_RECT, AffineMatrix, Rect, transform_rect_bbox
+from repro.images.ppm import binary_size_bytes, read_ppm, write_ppm
+from repro.images.raster import ColorTuple, Image, validate_color
+
+__all__ = [
+    "AffineMatrix",
+    "ColorTuple",
+    "EMPTY_RECT",
+    "Image",
+    "Rect",
+    "binary_size_bytes",
+    "read_ppm",
+    "transform_rect_bbox",
+    "validate_color",
+    "write_ppm",
+]

@@ -1,0 +1,198 @@
+"""PPM / PGM codecs — the pbmplus substitution.
+
+The paper's prototype used the pbmplus [18] utilities to convert between
+the text-based ppm format and gif/jpeg.  This module reads and writes the
+same netpbm formats natively:
+
+* ``P3`` — plain (ASCII) PPM, what the prototype manipulated directly;
+* ``P6`` — raw (binary) PPM, the compact variant;
+* ``P2``/``P5`` — plain/raw PGM grayscale, decoded by replicating the
+  gray channel to RGB;
+* ``P1``/``P4`` — plain/raw PBM bitmaps (1 = black per the spec),
+  decoded to black/white RGB.
+
+Only ``maxval == 255`` is produced; any ``maxval <= 255`` is accepted on
+read (values are scaled).  Comments (``#`` to end of line) are honored
+anywhere in the header, per the netpbm specification.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import BinaryIO, List, Union
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.images.raster import Image
+
+_PLAIN_FORMATS = {b"P1", b"P2", b"P3"}
+_RAW_FORMATS = {b"P4", b"P5", b"P6"}
+_GRAY_FORMATS = {b"P2", b"P5"}
+_BITMAP_FORMATS = {b"P1", b"P4"}
+
+
+def _tokenize_header(stream: BinaryIO, count: int) -> List[int]:
+    """Read ``count`` whitespace-separated integer tokens, skipping comments."""
+    tokens: List[int] = []
+    current = b""
+    while len(tokens) < count:
+        char = stream.read(1)
+        if not char:
+            raise CodecError("unexpected end of file in netpbm header")
+        if char == b"#":
+            while char and char not in (b"\n", b"\r"):
+                char = stream.read(1)
+            continue
+        if char.isspace():
+            if current:
+                tokens.append(_parse_int(current))
+                current = b""
+            continue
+        current += char
+    return tokens
+
+
+def _parse_int(token: bytes) -> int:
+    try:
+        return int(token)
+    except ValueError as exc:
+        raise CodecError(f"bad integer token {token!r} in netpbm header") from exc
+
+
+def read_ppm(source: Union[str, Path, bytes, BinaryIO]) -> Image:
+    """Decode a PPM/PGM file, path, byte string, or binary stream."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return read_ppm(handle)
+    if isinstance(source, bytes):
+        return read_ppm(io.BytesIO(source))
+
+    stream: BinaryIO = source
+    magic = stream.read(2)
+    if magic not in _PLAIN_FORMATS | _RAW_FORMATS:
+        raise CodecError(f"unsupported netpbm magic {magic!r}")
+    if magic in _BITMAP_FORMATS:
+        return _read_bitmap(stream, magic)
+    width, height, maxval = _tokenize_header(stream, 3)
+    if width <= 0 or height <= 0:
+        raise CodecError(f"invalid dimensions {width}x{height}")
+    if not 0 < maxval <= 255:
+        raise CodecError(f"unsupported maxval {maxval} (must be 1..255)")
+
+    channels = 1 if magic in _GRAY_FORMATS else 3
+    sample_count = width * height * channels
+
+    if magic in _RAW_FORMATS:
+        payload = stream.read(sample_count)
+        if len(payload) != sample_count:
+            raise CodecError(
+                f"raw payload truncated: expected {sample_count} bytes, got {len(payload)}"
+            )
+        samples = np.frombuffer(payload, dtype=np.uint8).astype(np.int64)
+    else:
+        text = stream.read()
+        # Plain formats may still contain comments in the raster per spec
+        # extensions; strip them line-wise to be liberal in what we accept.
+        lines = [line.split(b"#", 1)[0] for line in text.splitlines()]
+        tokens = b" ".join(lines).split()
+        if len(tokens) < sample_count:
+            raise CodecError(
+                f"plain payload truncated: expected {sample_count} samples, got {len(tokens)}"
+            )
+        samples = np.array([_parse_int(t) for t in tokens[:sample_count]], dtype=np.int64)
+
+    if samples.min() < 0 or samples.max() > maxval:
+        raise CodecError(f"sample outside [0, {maxval}]")
+    if maxval != 255:
+        samples = samples * 255 // maxval
+
+    if channels == 1:
+        gray = samples.reshape(height, width)
+        rgb = np.stack([gray, gray, gray], axis=2)
+    else:
+        rgb = samples.reshape(height, width, 3)
+    return Image(rgb.astype(np.uint8), copy=False)
+
+
+def _read_bitmap(stream: BinaryIO, magic: bytes) -> Image:
+    """Decode a P1/P4 bitmap to black/white RGB (1 = black per spec)."""
+    width, height = _tokenize_header(stream, 2)
+    if width <= 0 or height <= 0:
+        raise CodecError(f"invalid dimensions {width}x{height}")
+
+    if magic == b"P4":
+        row_bytes = (width + 7) // 8
+        payload = stream.read(row_bytes * height)
+        if len(payload) != row_bytes * height:
+            raise CodecError(
+                f"raw bitmap truncated: expected {row_bytes * height} bytes, "
+                f"got {len(payload)}"
+            )
+        packed = np.frombuffer(payload, dtype=np.uint8).reshape(height, row_bytes)
+        bits = np.unpackbits(packed, axis=1)[:, :width]
+    else:
+        text = stream.read()
+        lines = [line.split(b"#", 1)[0] for line in text.splitlines()]
+        # Plain PBM allows digits to be run together; extract 0/1 chars.
+        digits = [c for c in b"".join(lines).decode("ascii", "ignore") if c in "01"]
+        if len(digits) < width * height:
+            raise CodecError(
+                f"plain bitmap truncated: expected {width * height} bits, "
+                f"got {len(digits)}"
+            )
+        bits = np.array(
+            [int(c) for c in digits[: width * height]], dtype=np.uint8
+        ).reshape(height, width)
+
+    # PBM: 1 means black, 0 means white.
+    gray = np.where(bits == 1, 0, 255).astype(np.uint8)
+    rgb = np.stack([gray, gray, gray], axis=2)
+    return Image(rgb, copy=False)
+
+
+def write_ppm(
+    image: Image,
+    target: Union[str, Path, BinaryIO, None] = None,
+    plain: bool = False,
+) -> bytes:
+    """Encode ``image`` as PPM.
+
+    ``plain=True`` produces the ASCII ``P3`` variant (what the paper's
+    prototype consumed); the default is binary ``P6``.  When ``target`` is
+    a path or stream the bytes are also written there; the encoded bytes
+    are returned either way.
+    """
+    if plain:
+        header = f"P3\n{image.width} {image.height}\n255\n".encode("ascii")
+        body_lines = []
+        flat = image.pixels.reshape(-1, 3)
+        for start in range(0, flat.shape[0], 4):
+            chunk = flat[start:start + 4]
+            body_lines.append(
+                " ".join(f"{int(r)} {int(g)} {int(b)}" for r, g, b in chunk)
+            )
+        payload = header + ("\n".join(body_lines) + "\n").encode("ascii")
+    else:
+        header = f"P6\n{image.width} {image.height}\n255\n".encode("ascii")
+        payload = header + image.pixels.tobytes()
+
+    if isinstance(target, (str, Path)):
+        with open(target, "wb") as handle:
+            handle.write(payload)
+    elif target is not None:
+        target.write(payload)
+    return payload
+
+
+def binary_size_bytes(image: Image, plain: bool = False) -> int:
+    """Size in bytes of the image in its conventional binary storage format.
+
+    Used by the storage-savings experiment (A3) to compare the raster
+    format against edit-sequence storage without materializing files.
+    """
+    if plain:
+        return len(write_ppm(image, plain=True))
+    header = len(f"P6\n{image.width} {image.height}\n255\n")
+    return header + image.size * 3

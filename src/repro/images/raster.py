@@ -1,0 +1,196 @@
+"""In-memory raster image substrate.
+
+The paper's prototype stored images as ppm files and shelled out to
+pbmplus; here an :class:`Image` wraps a ``(height, width, 3)`` uint8 numpy
+array and provides exactly the operations the rest of the system needs:
+pixel access, region extraction/pasting, equality, and counting pixels of
+a given color.  All editing-operation semantics live in
+``repro.editing.executor``; this class stays a dumb raster.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.images.geometry import Rect
+
+#: An RGB color as an ``(r, g, b)`` tuple of ints in ``[0, 255]``.
+ColorTuple = Tuple[int, int, int]
+
+
+def validate_color(color: Iterable[int]) -> ColorTuple:
+    """Normalize and validate an RGB triple.
+
+    Accepts any iterable of three integers in ``[0, 255]`` and returns a
+    plain tuple, raising :class:`ImageError` otherwise.
+    """
+    values = tuple(int(c) for c in color)
+    if len(values) != 3:
+        raise ImageError(f"colors are RGB triples, got {len(values)} components")
+    for component in values:
+        if not 0 <= component <= 255:
+            raise ImageError(f"color component {component} outside [0, 255]")
+    return values  # type: ignore[return-value]
+
+
+class Image:
+    """An RGB raster image backed by a ``(h, w, 3)`` uint8 numpy array.
+
+    Instances own their pixel buffer; the constructor copies unless
+    ``copy=False`` is passed by internal callers that just built the
+    array.  Mutating methods operate in place and return ``self`` for
+    chaining; value-producing methods never mutate.
+    """
+
+    __slots__ = ("pixels",)
+
+    def __init__(self, pixels: np.ndarray, copy: bool = True) -> None:
+        arr = np.asarray(pixels)
+        if arr.ndim != 3 or arr.shape[2] != 3:
+            raise ImageError(f"expected (h, w, 3) array, got shape {arr.shape}")
+        if arr.shape[0] == 0 or arr.shape[1] == 0:
+            raise ImageError("images must have at least one pixel")
+        if arr.dtype != np.uint8:
+            if np.issubdtype(arr.dtype, np.integer) or np.issubdtype(arr.dtype, np.floating):
+                if arr.min() < 0 or arr.max() > 255:
+                    raise ImageError("pixel values outside [0, 255]")
+                arr = arr.astype(np.uint8)
+            else:
+                raise ImageError(f"unsupported pixel dtype {arr.dtype}")
+        elif copy:
+            arr = arr.copy()
+        self.pixels = arr
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def filled(height: int, width: int, color: Iterable[int] = (0, 0, 0)) -> "Image":
+        """A ``height x width`` image filled with one color."""
+        if height <= 0 or width <= 0:
+            raise ImageError("images must have positive dimensions")
+        rgb = validate_color(color)
+        arr = np.empty((height, width, 3), dtype=np.uint8)
+        arr[:, :] = rgb
+        return Image(arr, copy=False)
+
+    @staticmethod
+    def from_rows(rows: Iterable[Iterable[Iterable[int]]]) -> "Image":
+        """Build an image from nested ``rows x cols x rgb`` lists."""
+        return Image(np.asarray(list(rows), dtype=np.int64))
+
+    def copy(self) -> "Image":
+        """Deep copy."""
+        return Image(self.pixels, copy=True)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Number of pixel rows."""
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Number of pixel columns."""
+        return int(self.pixels.shape[1])
+
+    @property
+    def size(self) -> int:
+        """Total pixel count (``imagesize`` in the paper's formulas)."""
+        return self.height * self.width
+
+    @property
+    def bounds(self) -> Rect:
+        """Rectangle covering the whole image."""
+        return Rect(0, 0, self.height, self.width)
+
+    # ------------------------------------------------------------------
+    # Pixel access
+    # ------------------------------------------------------------------
+    def get_pixel(self, x: int, y: int) -> ColorTuple:
+        """Color at row ``x``, column ``y``."""
+        if not (0 <= x < self.height and 0 <= y < self.width):
+            raise ImageError(f"pixel ({x}, {y}) outside {self.height}x{self.width}")
+        r, g, b = self.pixels[x, y]
+        return (int(r), int(g), int(b))
+
+    def set_pixel(self, x: int, y: int, color: Iterable[int]) -> "Image":
+        """Set the color at row ``x``, column ``y`` in place."""
+        if not (0 <= x < self.height and 0 <= y < self.width):
+            raise ImageError(f"pixel ({x}, {y}) outside {self.height}x{self.width}")
+        self.pixels[x, y] = validate_color(color)
+        return self
+
+    def region(self, rect: Rect) -> np.ndarray:
+        """A *view* of the pixels inside ``rect`` (clipped to the image)."""
+        r = rect.clip(self.height, self.width)
+        return self.pixels[r.x1:r.x2, r.y1:r.y2]
+
+    def crop(self, rect: Rect) -> "Image":
+        """A new image holding a copy of the pixels inside ``rect``."""
+        r = rect.clip(self.height, self.width)
+        if r.is_empty:
+            raise ImageError("cannot crop to an empty region")
+        return Image(self.pixels[r.x1:r.x2, r.y1:r.y2], copy=True)
+
+    def paste(self, other: "Image", x: int, y: int) -> "Image":
+        """Paste ``other`` with its top-left corner at ``(x, y)``, in place.
+
+        The pasted area is clipped to this image's bounds; negative
+        offsets clip the source correspondingly.
+        """
+        src_x1 = max(0, -x)
+        src_y1 = max(0, -y)
+        dst_x1 = max(0, x)
+        dst_y1 = max(0, y)
+        copy_h = min(other.height - src_x1, self.height - dst_x1)
+        copy_w = min(other.width - src_y1, self.width - dst_y1)
+        if copy_h <= 0 or copy_w <= 0:
+            return self
+        self.pixels[dst_x1:dst_x1 + copy_h, dst_y1:dst_y1 + copy_w] = (
+            other.pixels[src_x1:src_x1 + copy_h, src_y1:src_y1 + copy_w]
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Color accounting
+    # ------------------------------------------------------------------
+    def count_color(self, color: Iterable[int], rect: Optional[Rect] = None) -> int:
+        """Number of pixels exactly matching ``color`` (optionally in ``rect``)."""
+        rgb = np.array(validate_color(color), dtype=np.uint8)
+        area = self.pixels if rect is None else self.region(rect)
+        return int(np.count_nonzero((area == rgb).all(axis=2)))
+
+    def distinct_colors(self) -> Iterator[ColorTuple]:
+        """Iterate the distinct colors present, in an arbitrary stable order."""
+        flat = self.pixels.reshape(-1, 3)
+        unique = np.unique(flat, axis=0)
+        for row in unique:
+            yield (int(row[0]), int(row[1]), int(row[2]))
+
+    def mean_color(self) -> Tuple[float, float, float]:
+        """Mean RGB value over all pixels."""
+        means = self.pixels.reshape(-1, 3).mean(axis=0)
+        return (float(means[0]), float(means[1]), float(means[2]))
+
+    # ------------------------------------------------------------------
+    # Equality / representation
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Image):
+            return NotImplemented
+        return (
+            self.pixels.shape == other.pixels.shape
+            and bool(np.array_equal(self.pixels, other.pixels))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - images are mutable
+        raise TypeError("Image objects are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"Image({self.height}x{self.width})"

@@ -1,0 +1,8 @@
+"""Multidimensional access methods: R-tree, VA-file, linear baseline."""
+
+from repro.index.linear import LinearIndex
+from repro.index.mbr import MBR
+from repro.index.rtree import RTree
+from repro.index.vafile import VAFile
+
+__all__ = ["LinearIndex", "MBR", "RTree", "VAFile"]

@@ -1,0 +1,133 @@
+"""A tiny text query language for color range queries.
+
+The paper motivates range queries with natural-language examples —
+"Retrieve all images that are at least 25% blue" (§3.1).  This parser
+accepts exactly that family of sentences and produces the ``(color,
+pct_min, pct_max)`` triple the database maps onto a histogram bin:
+
+* ``retrieve all images that are at least 25% blue``
+* ``images that are at most 40% red``
+* ``images between 10% and 30% green``
+* ``at least 0.25 blue`` (bare fractions work too)
+* ``exactly 50% white`` (a degenerate range)
+
+Grammar (case-insensitive; the ``retrieve``/``images that are`` preamble
+is optional noise)::
+
+    query    := preamble? constraint
+    constraint := ("at least" | "at most" | "exactly") percent color
+                | "between" percent "and" percent color
+    percent  := NUMBER "%"? | NUMBER
+    color    := a name from repro.color.names
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.color.names import color_by_name
+from repro.errors import ParseError
+
+_PREAMBLE = re.compile(
+    r"^\s*(retrieve\s+)?(all\s+)?(the\s+)?(images?\s+)?(that\s+)?(are\s+|is\s+|with\s+|have\s+|having\s+)?",
+    re.IGNORECASE,
+)
+_NUMBER = r"(\d+(?:\.\d+)?)\s*(%)?"
+_AT_LEAST = re.compile(rf"^at\s+least\s+{_NUMBER}\s+(\w+)\s*$", re.IGNORECASE)
+_AT_MOST = re.compile(rf"^at\s+most\s+{_NUMBER}\s+(\w+)\s*$", re.IGNORECASE)
+_EXACTLY = re.compile(rf"^exactly\s+{_NUMBER}\s+(\w+)\s*$", re.IGNORECASE)
+_BETWEEN = re.compile(
+    rf"^between\s+{_NUMBER}\s+and\s+{_NUMBER}\s+(\w+)\s*$", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The parsed form: a color name plus a fraction interval."""
+
+    color_name: str
+    rgb: Tuple[int, int, int]
+    pct_min: float
+    pct_max: float
+
+    def __repr__(self) -> str:
+        return (
+            f"ParsedQuery({self.color_name!r}, "
+            f"[{self.pct_min:.3f}, {self.pct_max:.3f}])"
+        )
+
+
+def _to_fraction(number_text: str, percent_sign: str) -> float:
+    value = float(number_text)
+    # A '%' sign, or any value above 1, means the number was a percentage.
+    if percent_sign or value > 1.0:
+        value /= 100.0
+    if not 0.0 <= value <= 1.0:
+        raise ParseError(f"percentage {number_text!r} outside [0, 100]")
+    return value
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a text query into a :class:`ParsedQuery`.
+
+    Raises :class:`ParseError` with a pointed message for malformed
+    input or unknown color words.
+    """
+    if not text or not text.strip():
+        raise ParseError("empty query")
+    body = _PREAMBLE.sub("", text.strip(), count=1).strip().rstrip(".?!")
+    return _parse_constraint(body, text)
+
+
+def parse_conjunctive_query(text: str) -> Tuple[ParsedQuery, ...]:
+    """Parse a conjunction: "at least 20% red and at most 10% blue".
+
+    Splits on the word ``and`` *between* constraints (the ``between X and
+    Y`` form keeps its internal ``and``) and parses each constraint like
+    :func:`parse_query`.  A single constraint parses to a 1-tuple.
+    """
+    if not text or not text.strip():
+        raise ParseError("empty query")
+    body = _PREAMBLE.sub("", text.strip(), count=1).strip().rstrip(".?!")
+    # Split on "and" only when followed by a constraint keyword, so the
+    # "between X and Y color" form is not broken apart.
+    parts = re.split(
+        r"\s+and\s+(?=(?:at\s+least|at\s+most|exactly|between)\b)",
+        body,
+        flags=re.IGNORECASE,
+    )
+    return tuple(_parse_constraint(part.strip(), text) for part in parts)
+
+
+def _parse_constraint(body: str, original: str) -> ParsedQuery:
+    match = _AT_LEAST.match(body)
+    if match:
+        low = _to_fraction(match.group(1), match.group(2))
+        return _build(match.group(3), low, 1.0)
+    match = _AT_MOST.match(body)
+    if match:
+        high = _to_fraction(match.group(1), match.group(2))
+        return _build(match.group(3), 0.0, high)
+    match = _EXACTLY.match(body)
+    if match:
+        value = _to_fraction(match.group(1), match.group(2))
+        return _build(match.group(3), value, value)
+    match = _BETWEEN.match(body)
+    if match:
+        low = _to_fraction(match.group(1), match.group(2))
+        high = _to_fraction(match.group(3), match.group(4))
+        if low > high:
+            raise ParseError(f"empty range: between {low:.2%} and {high:.2%}")
+        return _build(match.group(5), low, high)
+    raise ParseError(
+        f"cannot parse {original!r}; expected e.g. 'retrieve all images that "
+        "are at least 25% blue', 'at most 40% red', 'between 10% and 30% "
+        "green', or a conjunction with 'and'"
+    )
+
+
+def _build(color_name: str, pct_min: float, pct_max: float) -> ParsedQuery:
+    rgb = color_by_name(color_name)  # raises ColorError (a ReproError) if unknown
+    return ParsedQuery(color_name.lower(), rgb, pct_min, pct_max)

@@ -1,0 +1,108 @@
+"""Procedural world-flag images (substitute for the scraped flag set [9]).
+
+"These data sets were selected because color-based features are extremely
+important in recognizing both flags and logos" (§5).  The generator
+produces the canonical flag layouts — horizontal and vertical tricolors,
+bicolors, Nordic crosses, canton designs, and disc-on-field flags — over
+a palette of real flag colors, giving the same flat-color histogram
+character as the scraped originals (DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.color.names import FLAG_PALETTE, NAMED_COLORS
+from repro.errors import WorkloadError
+from repro.images.generators import (
+    draw_cross,
+    draw_disc,
+    draw_rect,
+    horizontal_bands,
+    vertical_bands,
+)
+from repro.images.geometry import Rect
+from repro.images.raster import ColorTuple, Image
+
+#: Flag layout styles the generator cycles through.
+FLAG_STYLES = (
+    "horizontal_bicolor",
+    "horizontal_tricolor",
+    "vertical_tricolor",
+    "nordic_cross",
+    "canton",
+    "disc",
+)
+
+
+#: Relative frequency of each FLAG_PALETTE color in real world flags
+#: (red and white appear in roughly three quarters of national flags,
+#: blue in about half; vexillology surveys of the collection in [9]).
+#: Order matches FLAG_PALETTE: red, white, blue, green, yellow, black,
+#: orange, lightblue.
+_COLOR_WEIGHTS = np.array([0.30, 0.28, 0.16, 0.08, 0.08, 0.04, 0.03, 0.03])
+
+
+def _distinct_colors(rng: np.random.Generator, count: int) -> List[ColorTuple]:
+    if count > len(FLAG_PALETTE):
+        raise WorkloadError(f"cannot draw {count} distinct flag colors")
+    picks = rng.choice(
+        len(FLAG_PALETTE), size=count, replace=False, p=_COLOR_WEIGHTS
+    )
+    return [FLAG_PALETTE[int(i)] for i in picks]
+
+
+def make_flag(
+    rng: np.random.Generator,
+    height: int = 40,
+    width: int = 60,
+    style: str = "",
+) -> Image:
+    """One random flag image; ``style`` picks a layout (random if empty)."""
+    if height < 12 or width < 18:
+        raise WorkloadError(f"flags need at least 12x18 pixels, got {height}x{width}")
+    chosen = style or FLAG_STYLES[int(rng.integers(len(FLAG_STYLES)))]
+    if chosen == "horizontal_bicolor":
+        return horizontal_bands(height, width, _distinct_colors(rng, 2))
+    if chosen == "horizontal_tricolor":
+        return horizontal_bands(height, width, _distinct_colors(rng, 3))
+    if chosen == "vertical_tricolor":
+        return vertical_bands(height, width, _distinct_colors(rng, 3))
+    if chosen == "nordic_cross":
+        field_color, cross_color = _distinct_colors(rng, 2)
+        flag = Image.filled(height, width, field_color)
+        return draw_cross(flag, height // 2, width // 3, max(3, height // 6), cross_color)
+    if chosen == "canton":
+        field_color, canton_color, stripe_color = _distinct_colors(rng, 3)
+        flag = horizontal_bands(
+            height, width, [field_color, stripe_color] * 3 + [field_color]
+        )
+        return draw_rect(flag, Rect(0, 0, height // 2, width * 2 // 5), canton_color)
+    if chosen == "disc":
+        field_color, disc_color = _distinct_colors(rng, 2)
+        flag = Image.filled(height, width, field_color)
+        radius = min(height, width) // 4
+        return draw_disc(flag, height // 2, width // 2, radius, disc_color)
+    raise WorkloadError(f"unknown flag style {chosen!r}; known: {FLAG_STYLES}")
+
+
+def make_flag_collection(
+    rng: np.random.Generator,
+    count: int,
+    height: int = 40,
+    width: int = 60,
+) -> List[Image]:
+    """``count`` flags cycling uniformly through all styles."""
+    if count < 0:
+        raise WorkloadError("flag count must be non-negative")
+    return [
+        make_flag(rng, height, width, style=FLAG_STYLES[index % len(FLAG_STYLES)])
+        for index in range(count)
+    ]
+
+
+#: The palette the flag workload passes to augmentation recipes (Modify
+#: old/new colors are drawn from here, so recolors hit real flag colors).
+FLAG_RECIPE_PALETTE = FLAG_PALETTE + (NAMED_COLORS["gray"],)

@@ -1,0 +1,82 @@
+"""Procedural college-football-helmet images (substitute for [14]).
+
+A helmet reads, in histogram space, as: a large flat shell region in a
+team color, a background, a facemask in a second color, an optional
+center stripe, and an optional logo disc.  The generator draws exactly
+those regions, so color-range queries behave like they would over the
+scraped photographs the paper used (DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.color.names import HELMET_PALETTE, NAMED_COLORS
+from repro.errors import WorkloadError
+from repro.images.generators import draw_disc, draw_rect
+from repro.images.geometry import Rect
+from repro.images.raster import ColorTuple, Image
+
+#: Background colors (photo backdrops: white or light gray).
+_BACKGROUNDS = (NAMED_COLORS["white"], NAMED_COLORS["silver"])
+
+
+def _pick(rng: np.random.Generator, pool) -> ColorTuple:
+    return pool[int(rng.integers(len(pool)))]
+
+
+def make_helmet(
+    rng: np.random.Generator,
+    height: int = 48,
+    width: int = 48,
+) -> Image:
+    """One random helmet image."""
+    if height < 16 or width < 16:
+        raise WorkloadError(f"helmets need at least 16x16 pixels, got {height}x{width}")
+    background = _pick(rng, _BACKGROUNDS)
+    shell = _pick(rng, HELMET_PALETTE)
+    mask_pool = [c for c in HELMET_PALETTE if c != shell]
+    facemask = _pick(rng, mask_pool)
+
+    image = Image.filled(height, width, background)
+    # Shell: a dome (disc clipped by the canvas) centered upper-middle.
+    center_x = height // 2
+    center_y = width // 2
+    radius = min(height, width) * 2 // 5
+    draw_disc(image, center_x, center_y, radius, shell)
+    # Flatten the bottom of the dome back to background (helmet edge).
+    draw_rect(image, Rect(center_x + radius // 2, 0, height, width), background)
+    # Facemask: a small grid of bars at the lower front.
+    mask_top = center_x + radius // 4
+    mask_rect = Rect(mask_top, center_y + radius // 2, mask_top + radius // 2, width - 1)
+    draw_rect(image, mask_rect, facemask)
+
+    if rng.random() < 0.5:
+        stripe = _pick(rng, mask_pool)
+        draw_rect(
+            image,
+            Rect(center_x - radius, center_y - 2, center_x + radius // 2, center_y + 2),
+            stripe,
+        )
+    if rng.random() < 0.5:
+        logo = _pick(rng, mask_pool)
+        draw_disc(image, center_x, center_y - radius // 2, radius // 4, logo)
+    return image
+
+
+def make_helmet_collection(
+    rng: np.random.Generator,
+    count: int,
+    height: int = 48,
+    width: int = 48,
+) -> List[Image]:
+    """``count`` random helmets."""
+    if count < 0:
+        raise WorkloadError("helmet count must be non-negative")
+    return [make_helmet(rng, height, width) for _ in range(count)]
+
+
+#: Palette passed to augmentation recipes for helmet databases.
+HELMET_RECIPE_PALETTE = HELMET_PALETTE + _BACKGROUNDS

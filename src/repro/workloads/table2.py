@@ -1,0 +1,116 @@
+"""Table 2 — default parameters of the performance evaluation.
+
+The scanned paper's Table 2 lists, per dataset (helmet, flag): total
+images, binary images, edited images, average operations per edited
+image, and the bound-widening / non-bound-widening split.  The numeric
+cells did not survive the scrape, so the defaults below are
+**[reconstructed]** from the prose (see DESIGN.md §3): flags-of-the-world
+is the larger collection, helmets the smaller, and most — but not all —
+edited images are bound-widening-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class DatasetParameters:
+    """One column of Table 2 plus generator knobs."""
+
+    name: str
+    binary_images: int
+    edited_per_binary: int
+    bound_widening_fraction: float
+    image_height: int
+    image_width: int
+    average_ops_per_edited: int = 5
+
+    def __post_init__(self) -> None:
+        if self.binary_images <= 0:
+            raise WorkloadError("datasets need at least one binary image")
+        if self.edited_per_binary < 0:
+            raise WorkloadError("edited_per_binary must be non-negative")
+        if not 0.0 <= self.bound_widening_fraction <= 1.0:
+            raise WorkloadError("bound_widening_fraction must be in [0, 1]")
+
+    @property
+    def edited_images(self) -> int:
+        """Number of edited images in the database."""
+        return self.binary_images * self.edited_per_binary
+
+    @property
+    def total_images(self) -> int:
+        """Total images in the database (Table 2 row 1)."""
+        return self.binary_images + self.edited_images
+
+    @property
+    def expected_bound_widening(self) -> int:
+        """Expected edited images containing only bound-widening rules."""
+        return int(round(self.edited_images * self.bound_widening_fraction))
+
+    @property
+    def expected_non_widening(self) -> int:
+        """Expected edited images with a non-bound-widening operation."""
+        return self.edited_images - self.expected_bound_widening
+
+    def scaled(self, factor: float) -> "DatasetParameters":
+        """A smaller/larger copy (tests use ~0.1, benches use 1.0)."""
+        if factor <= 0:
+            raise WorkloadError("scale factor must be positive")
+        return DatasetParameters(
+            name=self.name,
+            binary_images=max(2, int(round(self.binary_images * factor))),
+            edited_per_binary=self.edited_per_binary,
+            bound_widening_fraction=self.bound_widening_fraction,
+            image_height=self.image_height,
+            image_width=self.image_width,
+            average_ops_per_edited=self.average_ops_per_edited,
+        )
+
+
+#: Helmet column **[reconstructed]**: 120 binary + 360 edited = 480 images.
+HELMET_PARAMETERS = DatasetParameters(
+    name="helmet",
+    binary_images=120,
+    edited_per_binary=3,
+    bound_widening_fraction=0.8,
+    image_height=48,
+    image_width=48,
+)
+
+#: Flag column **[reconstructed]**: 250 binary + 750 edited = 1000 images.
+FLAG_PARAMETERS = DatasetParameters(
+    name="flag",
+    binary_images=250,
+    edited_per_binary=3,
+    bound_widening_fraction=0.8,
+    image_height=40,
+    image_width=60,
+)
+
+
+def table2_rows(helmet: DatasetParameters, flag: DatasetParameters):
+    """The Table 2 rows as ``(description, helmet value, flag value)``."""
+    return [
+        ("Number of images in database", helmet.total_images, flag.total_images),
+        ("Number of binary images in database", helmet.binary_images, flag.binary_images),
+        ("Number of edited images in database", helmet.edited_images, flag.edited_images),
+        (
+            "Average number of operations within an edited image",
+            helmet.average_ops_per_edited,
+            flag.average_ops_per_edited,
+        ),
+        (
+            "Edited images with only bound-widening rules",
+            helmet.expected_bound_widening,
+            flag.expected_bound_widening,
+        ),
+        (
+            "Edited images with a non-bound-widening rule",
+            helmet.expected_non_widening,
+            flag.expected_non_widening,
+        ),
+    ]

@@ -1,0 +1,129 @@
+"""Unit tests for the benchmark harness (timing, sweeps, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import (
+    format_table,
+    render_figure,
+    render_series_csv,
+    render_table2,
+)
+from repro.bench.runner import measure_methods, run_figure_sweep
+from repro.bench.timing import mean, percent_faster, time_call
+from repro.errors import WorkloadError
+from repro.workloads.queries import make_query_workload
+from repro.workloads.table2 import FLAG_PARAMETERS, HELMET_PARAMETERS
+
+
+class TestTiming:
+    def test_time_call_returns_value(self):
+        run = time_call(lambda: 42)
+        assert run.value == 42
+        assert run.seconds >= 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_percent_faster(self):
+        assert percent_faster(2.0, 1.0) == pytest.approx(50.0)
+        assert percent_faster(1.0, 1.0) == 0.0
+        assert percent_faster(0.0, 1.0) == 0.0
+        assert percent_faster(1.0, 2.0) == pytest.approx(-100.0)
+
+
+class TestMeasureMethods:
+    def test_all_methods_measured(self, small_database, rng):
+        queries = make_query_workload(small_database, rng, 4)
+        measurements = measure_methods(
+            small_database, queries, methods=("rbm", "bwm", "instantiate")
+        )
+        assert set(measurements) == {"rbm", "bwm", "instantiate"}
+        for item in measurements.values():
+            assert item.mean_seconds > 0.0
+
+    def test_rbm_bwm_match_guard(self, small_database, rng):
+        queries = make_query_workload(small_database, rng, 4)
+        measurements = measure_methods(small_database, queries)
+        assert (
+            measurements["rbm"].total_matches == measurements["bwm"].total_matches
+        )
+
+    def test_repeats_validation(self, small_database, rng):
+        queries = make_query_workload(small_database, rng, 2)
+        with pytest.raises(WorkloadError):
+            measure_methods(small_database, queries, repeats=0)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_figure_sweep(
+            HELMET_PARAMETERS,
+            scale=0.08,
+            queries_per_point=4,
+            edited_percentages=(25.0, 75.0),
+        )
+
+    def test_points_cover_percentages(self, sweep):
+        assert [p.edited_percentage for p in sweep.points] == [25.0, 75.0]
+        assert sweep.dataset == "helmet"
+
+    def test_total_size_constant_across_sweep(self, sweep):
+        sizes = {p.database_size for p in sweep.points}
+        assert len(sizes) == 1
+
+    def test_series_extraction(self, sweep):
+        series = sweep.series("rbm")
+        assert len(series) == 2
+        assert all(seconds > 0 for _, seconds in series)
+
+    def test_average_percent_faster_defined(self, sweep):
+        assert isinstance(sweep.average_percent_faster, float)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2), (33, 44)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_table2_contains_all_rows(self):
+        text = render_table2(HELMET_PARAMETERS, FLAG_PARAMETERS)
+        assert "Table 2" in text
+        assert "480" in text and "1000" in text
+        assert "bound-widening" in text
+
+    def test_render_figure_and_csv(self):
+        sweep = run_figure_sweep(
+            HELMET_PARAMETERS,
+            scale=0.06,
+            queries_per_point=3,
+            edited_percentages=(50.0,),
+        )
+        figure_text = render_figure(sweep, 3)
+        assert "Figure 3" in figure_text
+        assert "helmet" in figure_text
+        assert "w/out DS" in figure_text
+        csv_text = render_series_csv(sweep)
+        assert csv_text.splitlines()[0] == "edited_percentage,rbm_seconds,bwm_seconds"
+        assert len(csv_text.splitlines()) == 2
+
+
+class TestAsciiChart:
+    def test_renders_bars_for_every_point_and_method(self):
+        from repro.bench.reporting import render_ascii_chart
+
+        sweep = run_figure_sweep(
+            HELMET_PARAMETERS,
+            scale=0.06,
+            queries_per_point=3,
+            edited_percentages=(25.0, 75.0),
+        )
+        chart = render_ascii_chart(sweep)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(lines) == 4  # 2 points x 2 methods
+        assert all("#" in line for line in lines)
+        assert "ms" in lines[0]

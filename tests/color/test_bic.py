@@ -1,0 +1,146 @@
+"""Unit and property tests for BIC signatures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.color.bic import BICSignature, dlog_distance
+from repro.color.quantization import UniformQuantizer
+from repro.errors import HistogramError
+from repro.images.generators import random_noise_image, random_palette_image
+from repro.images.geometry import Rect
+from repro.images.raster import Image
+
+Q2 = UniformQuantizer(2, "rgb")
+
+
+class TestClassification:
+    def test_flat_image_is_all_interior(self):
+        signature = BICSignature.of_image(Image.filled(5, 5, (0, 0, 0)), Q2)
+        assert signature.border_fraction == 0.0
+        assert signature.interior[0] == 25
+
+    def test_single_pixel_image_is_interior(self):
+        signature = BICSignature.of_image(Image.filled(1, 1, (0, 0, 0)), Q2)
+        assert signature.border_fraction == 0.0
+
+    def test_two_region_split_has_border_on_seam(self):
+        image = Image.filled(4, 4, (0, 0, 0))
+        image.region(Rect(0, 0, 2, 4))[:] = (255, 255, 255)
+        signature = BICSignature.of_image(image, Q2)
+        # Rows 1 and 2 straddle the seam: 8 border pixels total.
+        assert int(signature.border.sum()) == 8
+        assert int(signature.interior.sum()) == 8
+        assert signature.border[0] == 4 and signature.border[7] == 4
+
+    def test_same_bin_different_colors_is_interior(self):
+        # Both colors land in the all-low bin of the 2-division quantizer,
+        # so the seam is invisible to BIC.
+        image = Image.filled(4, 4, (10, 10, 10))
+        image.region(Rect(0, 0, 2, 4))[:] = (100, 100, 100)
+        signature = BICSignature.of_image(image, Q2)
+        assert signature.border_fraction == 0.0
+
+    def test_checkerboard_is_all_border(self):
+        from repro.images.generators import checkerboard
+
+        image = checkerboard(6, 6, 1, (0, 0, 0), (255, 255, 255))
+        signature = BICSignature.of_image(image, Q2)
+        assert signature.border_fraction == 1.0
+
+    def test_counts_partition_total(self, rng, quantizer):
+        image = random_noise_image(rng, 9, 11, levels=4)
+        signature = BICSignature.of_image(image, quantizer)
+        assert int(signature.border.sum() + signature.interior.sum()) == image.size
+        assert np.array_equal(
+            signature.as_histogram_counts(),
+            np.bincount(
+                quantizer.bin_indices(image.pixels.reshape(-1, 3)),
+                minlength=quantizer.bin_count,
+            ),
+        )
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(HistogramError):
+            BICSignature(Q2, np.zeros(4), np.zeros(8), 0)
+
+    def test_negative_counts(self):
+        border = np.zeros(8, dtype=np.int64)
+        border[0] = -1
+        with pytest.raises(HistogramError):
+            BICSignature(Q2, border, np.zeros(8, dtype=np.int64), -1)
+
+    def test_total_mismatch(self):
+        border = np.zeros(8, dtype=np.int64)
+        border[0] = 3
+        with pytest.raises(HistogramError):
+            BICSignature(Q2, border, np.zeros(8, dtype=np.int64), 5)
+
+    def test_vectors_immutable(self):
+        signature = BICSignature.of_image(Image.filled(2, 2, (0, 0, 0)), Q2)
+        with pytest.raises(ValueError):
+            signature.border[0] = 3
+
+
+class TestDlogDistance:
+    def test_identity(self, rng):
+        from repro.color.names import FLAG_PALETTE
+
+        image = random_palette_image(rng, 10, 10, FLAG_PALETTE)
+        signature = BICSignature.of_image(image, Q2)
+        assert dlog_distance(signature, signature) == 0.0
+
+    def test_symmetric(self, rng):
+        from repro.color.names import FLAG_PALETTE
+
+        a = BICSignature.of_image(random_palette_image(rng, 10, 10, FLAG_PALETTE), Q2)
+        b = BICSignature.of_image(random_palette_image(rng, 10, 10, FLAG_PALETTE), Q2)
+        assert dlog_distance(a, b) == dlog_distance(b, a)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_triangle_inequality(self, seed):
+        rng = np.random.default_rng(seed)
+        images = [random_noise_image(rng, 6, 6, levels=3) for _ in range(3)]
+        a, b, c = (BICSignature.of_image(img, Q2) for img in images)
+        assert dlog_distance(a, c) <= dlog_distance(a, b) + dlog_distance(b, c) + 1e-9
+
+    def test_incompatible_quantizers(self):
+        a = BICSignature.of_image(Image.filled(2, 2, (0, 0, 0)), Q2)
+        b = BICSignature.of_image(
+            Image.filled(2, 2, (0, 0, 0)), UniformQuantizer(4, "rgb")
+        )
+        with pytest.raises(HistogramError):
+            dlog_distance(a, b)
+
+    def test_scale_invariance_of_normalization(self):
+        """The same image at 2x resolution has the same signature shape."""
+        image = Image.filled(4, 4, (0, 0, 0))
+        image.region(Rect(0, 0, 2, 4))[:] = (255, 255, 255)
+        big = Image(np.repeat(np.repeat(image.pixels, 4, axis=0), 4, axis=1))
+        a = BICSignature.of_image(image, Q2)
+        b = BICSignature.of_image(big, Q2)
+        # Not exactly equal (border thickness does not scale), but close
+        # in dLog space — far closer than to a structurally different image.
+        other = Image.filled(16, 16, (255, 0, 0))
+        assert dlog_distance(a, b) < dlog_distance(a, BICSignature.of_image(other, Q2))
+
+    def test_discriminates_layout_with_same_histogram(self):
+        """BIC's selling point: same colors, different structure."""
+        from repro.images.generators import checkerboard
+
+        blocky = Image.filled(8, 8, (0, 0, 0))
+        blocky.region(Rect(0, 0, 8, 4))[:] = (255, 255, 255)
+        checker = checkerboard(8, 8, 1, (0, 0, 0), (255, 255, 255))
+        # Identical plain histograms...
+        assert np.array_equal(
+            BICSignature.of_image(blocky, Q2).as_histogram_counts(),
+            BICSignature.of_image(checker, Q2).as_histogram_counts(),
+        )
+        # ...but BIC tells them apart.
+        assert dlog_distance(
+            BICSignature.of_image(blocky, Q2), BICSignature.of_image(checker, Q2)
+        ) > 0

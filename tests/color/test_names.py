@@ -1,0 +1,48 @@
+"""Unit tests for named colors."""
+
+import pytest
+
+from repro.color.names import (
+    FLAG_PALETTE,
+    HELMET_PALETTE,
+    NAMED_COLORS,
+    color_by_name,
+    is_known_color,
+)
+from repro.errors import ColorError
+
+
+class TestLookup:
+    def test_basic_lookup(self):
+        assert color_by_name("black") == (0, 0, 0)
+        assert color_by_name("white") == (255, 255, 255)
+
+    def test_case_and_whitespace_insensitive(self):
+        assert color_by_name("  Blue ") == NAMED_COLORS["blue"]
+
+    def test_unknown_raises_with_suggestions(self):
+        with pytest.raises(ColorError) as excinfo:
+            color_by_name("chartreuse")
+        assert "known:" in str(excinfo.value)
+
+    def test_is_known_color(self):
+        assert is_known_color("red")
+        assert is_known_color("RED")
+        assert not is_known_color("mauve")
+
+
+class TestPalettes:
+    def test_all_values_are_valid_rgb(self):
+        for name, rgb in NAMED_COLORS.items():
+            assert len(rgb) == 3, name
+            assert all(0 <= component <= 255 for component in rgb), name
+
+    def test_flag_palette_subset_of_named(self):
+        assert set(FLAG_PALETTE) <= set(NAMED_COLORS.values())
+
+    def test_helmet_palette_subset_of_named(self):
+        assert set(HELMET_PALETTE) <= set(NAMED_COLORS.values())
+
+    def test_palettes_have_no_duplicates(self):
+        assert len(set(FLAG_PALETTE)) == len(FLAG_PALETTE)
+        assert len(set(HELMET_PALETTE)) == len(HELMET_PALETTE)

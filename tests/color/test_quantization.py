@@ -1,0 +1,123 @@
+"""Unit and property tests for uniform quantizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.color.quantization import UniformQuantizer
+from repro.errors import ColorError
+
+rgb_strategy = st.tuples(*([st.integers(0, 255)] * 3))
+
+
+class TestConstruction:
+    def test_defaults(self):
+        quantizer = UniformQuantizer()
+        assert quantizer.divisions == 4
+        assert quantizer.space == "rgb"
+        assert quantizer.bin_count == 64
+
+    def test_space_normalized(self):
+        assert UniformQuantizer(2, "HSV").space == "hsv"
+
+    @pytest.mark.parametrize("divisions", [0, -1, 257])
+    def test_bad_divisions(self, divisions):
+        with pytest.raises(ColorError):
+            UniformQuantizer(divisions)
+
+    def test_bad_space(self):
+        with pytest.raises(ColorError):
+            UniformQuantizer(4, "lab")
+
+    def test_frozen_and_hashable(self):
+        a = UniformQuantizer(4, "rgb")
+        b = UniformQuantizer(4, "rgb")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != UniformQuantizer(8, "rgb")
+
+
+class TestBinning:
+    def test_single_division_maps_everything_to_bin_zero(self):
+        quantizer = UniformQuantizer(1, "rgb")
+        assert quantizer.bin_of((0, 0, 0)) == 0
+        assert quantizer.bin_of((255, 255, 255)) == 0
+
+    def test_rgb_corner_bins(self):
+        quantizer = UniformQuantizer(2, "rgb")
+        assert quantizer.bin_of((0, 0, 0)) == 0
+        assert quantizer.bin_of((255, 255, 255)) == 7
+        assert quantizer.bin_of((255, 0, 0)) == 4  # high R, low G, low B
+
+    def test_rgb_boundary_at_midpoint(self):
+        quantizer = UniformQuantizer(2, "rgb")
+        assert quantizer.bin_of((127, 0, 0)) == 0
+        assert quantizer.bin_of((128, 0, 0)) == 4
+
+    @given(rgb_strategy)
+    @settings(max_examples=60)
+    def test_bin_always_in_range(self, rgb):
+        for quantizer in (
+            UniformQuantizer(4, "rgb"),
+            UniformQuantizer(3, "hsv"),
+            UniformQuantizer(3, "luv"),
+        ):
+            assert 0 <= quantizer.bin_of(rgb) < quantizer.bin_count
+
+    def test_bin_indices_vectorized_matches_scalar(self, rng):
+        quantizer = UniformQuantizer(4, "rgb")
+        pixels = rng.integers(0, 256, size=(30, 3)).astype(np.uint8)
+        vector = quantizer.bin_indices(pixels)
+        for row, expected in zip(pixels, vector):
+            assert quantizer.bin_of(tuple(int(v) for v in row)) == int(expected)
+
+    def test_bin_indices_2d_image_shape(self, rng):
+        quantizer = UniformQuantizer(4, "rgb")
+        pixels = rng.integers(0, 256, size=(5, 7, 3)).astype(np.uint8)
+        assert quantizer.bin_indices(pixels).shape == (5, 7)
+
+
+class TestCellMapping:
+    def test_cell_of_round_trips_flat_index(self):
+        quantizer = UniformQuantizer(4, "rgb")
+        for bin_index in range(quantizer.bin_count):
+            i, j, k = quantizer.cell_of(bin_index)
+            assert i * 16 + j * 4 + k == bin_index
+            assert all(0 <= c < 4 for c in (i, j, k))
+
+    def test_cell_of_invalid(self):
+        with pytest.raises(ColorError):
+            UniformQuantizer(2, "rgb").cell_of(8)
+
+    def test_validate_bin(self):
+        quantizer = UniformQuantizer(2, "rgb")
+        assert quantizer.validate_bin(0) == 0
+        assert quantizer.validate_bin(7) == 7
+        with pytest.raises(ColorError):
+            quantizer.validate_bin(-1)
+        with pytest.raises(ColorError):
+            quantizer.validate_bin(8)
+
+
+class TestRepresentativeColors:
+    @pytest.mark.parametrize("space,divisions", [("rgb", 2), ("rgb", 4), ("hsv", 2)])
+    def test_representative_maps_back_to_bin(self, space, divisions):
+        quantizer = UniformQuantizer(divisions, space)
+        hit = 0
+        for bin_index in range(quantizer.bin_count):
+            try:
+                color = quantizer.representative_rgb(bin_index)
+            except ColorError:
+                continue  # out-of-gamut cell (possible for non-RGB spaces)
+            hit += 1
+            assert quantizer.bin_of(color) == bin_index
+        assert hit >= quantizer.bin_count // 2
+
+    def test_rgb_representative_always_exists(self):
+        quantizer = UniformQuantizer(8, "rgb")
+        for bin_index in range(0, quantizer.bin_count, 37):
+            assert quantizer.bin_of(quantizer.representative_rgb(bin_index)) == bin_index
+
+    def test_describe(self):
+        assert UniformQuantizer(4, "rgb").describe() == "rgb/4^3=64 bins"

@@ -1,0 +1,116 @@
+"""Unit and property tests for color space conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.color.spaces import (
+    COLOR_SPACES,
+    channel_ranges,
+    convert_pixels,
+    hsv_to_rgb,
+    rgb_to_hsv,
+    rgb_to_luv,
+    validate_space,
+)
+from repro.errors import ColorError
+
+rgb_strategy = st.tuples(*([st.integers(0, 255)] * 3))
+
+
+class TestValidateSpace:
+    @pytest.mark.parametrize("name", COLOR_SPACES)
+    def test_known_spaces(self, name):
+        assert validate_space(name) == name
+        assert validate_space(name.upper()) == name
+
+    def test_unknown_space(self):
+        with pytest.raises(ColorError):
+            validate_space("cmyk")
+
+
+class TestHSV:
+    @pytest.mark.parametrize(
+        "rgb,expected",
+        [
+            ((255, 0, 0), (0.0, 1.0, 1.0)),
+            ((0, 255, 0), (120.0, 1.0, 1.0)),
+            ((0, 0, 255), (240.0, 1.0, 1.0)),
+            ((0, 0, 0), (0.0, 0.0, 0.0)),
+            ((255, 255, 255), (0.0, 0.0, 1.0)),
+            ((128, 128, 128), (0.0, 0.0, 128 / 255)),
+        ],
+    )
+    def test_primary_colors(self, rgb, expected):
+        hsv = rgb_to_hsv(np.array([rgb], dtype=np.uint8))[0]
+        assert tuple(hsv) == pytest.approx(expected, abs=1e-9)
+
+    def test_hue_in_range(self):
+        rng = np.random.default_rng(3)
+        pixels = rng.integers(0, 256, size=(100, 3)).astype(np.uint8)
+        hsv = rgb_to_hsv(pixels)
+        assert (hsv[:, 0] >= 0).all() and (hsv[:, 0] < 360).all()
+        assert (hsv[:, 1] >= 0).all() and (hsv[:, 1] <= 1).all()
+        assert (hsv[:, 2] >= 0).all() and (hsv[:, 2] <= 1).all()
+
+    @given(rgb_strategy)
+    @settings(max_examples=80)
+    def test_round_trip(self, rgb):
+        original = np.array([rgb], dtype=np.uint8)
+        recovered = hsv_to_rgb(rgb_to_hsv(original))
+        assert np.abs(recovered.astype(int) - original.astype(int)).max() <= 1
+
+    def test_image_shape_preserved(self):
+        pixels = np.zeros((4, 5, 3), dtype=np.uint8)
+        assert rgb_to_hsv(pixels).shape == (4, 5, 3)
+
+
+class TestLuv:
+    def test_black_is_origin(self):
+        luv = rgb_to_luv(np.array([[0, 0, 0]], dtype=np.uint8))[0]
+        assert tuple(luv) == pytest.approx((0.0, 0.0, 0.0), abs=1e-6)
+
+    def test_white_lightness_100(self):
+        luv = rgb_to_luv(np.array([[255, 255, 255]], dtype=np.uint8))[0]
+        assert luv[0] == pytest.approx(100.0, abs=0.01)
+        assert luv[1] == pytest.approx(0.0, abs=0.05)
+        assert luv[2] == pytest.approx(0.0, abs=0.05)
+
+    def test_lightness_monotone_in_gray(self):
+        grays = np.array([[v, v, v] for v in range(0, 256, 16)], dtype=np.uint8)
+        lightness = rgb_to_luv(grays)[:, 0]
+        assert (np.diff(lightness) > 0).all()
+
+    def test_values_within_declared_ranges(self):
+        rng = np.random.default_rng(4)
+        pixels = rng.integers(0, 256, size=(500, 3)).astype(np.uint8)
+        luv = rgb_to_luv(pixels)
+        (l_lo, l_hi), (u_lo, u_hi), (v_lo, v_hi) = channel_ranges("luv")
+        assert (luv[:, 0] >= l_lo).all() and (luv[:, 0] < l_hi).all()
+        assert (luv[:, 1] >= u_lo).all() and (luv[:, 1] < u_hi).all()
+        assert (luv[:, 2] >= v_lo).all() and (luv[:, 2] < v_hi).all()
+
+    def test_red_has_positive_u(self):
+        luv = rgb_to_luv(np.array([[255, 0, 0]], dtype=np.uint8))[0]
+        assert luv[1] > 100  # red is strongly +u*
+
+
+class TestConvertPixels:
+    def test_rgb_is_identity_as_float(self):
+        pixels = np.array([[10, 20, 30]], dtype=np.uint8)
+        out = convert_pixels(pixels, "rgb")
+        assert out.dtype == np.float64
+        assert tuple(out[0]) == (10.0, 20.0, 30.0)
+
+    def test_dispatches_hsv(self):
+        pixels = np.array([[0, 255, 0]], dtype=np.uint8)
+        assert convert_pixels(pixels, "hsv")[0][0] == pytest.approx(120.0)
+
+    def test_dispatches_luv(self):
+        pixels = np.array([[255, 255, 255]], dtype=np.uint8)
+        assert convert_pixels(pixels, "luv")[0][0] == pytest.approx(100.0, abs=0.01)
+
+    def test_unknown_space(self):
+        with pytest.raises(ColorError):
+            convert_pixels(np.zeros((1, 3), dtype=np.uint8), "xyz")

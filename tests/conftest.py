@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.color.names import FLAG_PALETTE
+from repro.color.quantization import UniformQuantizer
+from repro.db.database import MultimediaDatabase
+from repro.images.generators import random_palette_image
+from repro.images.raster import Image
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests must not depend on global random state."""
+    return np.random.default_rng(20060402)
+
+
+@pytest.fixture
+def quantizer() -> UniformQuantizer:
+    """The library-default RGB quantizer (4 divisions, 64 bins)."""
+    return UniformQuantizer(4, "rgb")
+
+
+@pytest.fixture
+def flat_image() -> Image:
+    """A 10x12 solid red image."""
+    return Image.filled(10, 12, (200, 16, 46))
+
+
+@pytest.fixture
+def flag_like_image(rng: np.random.Generator) -> Image:
+    """A small multi-region image over the flag palette."""
+    return random_palette_image(rng, 16, 24, FLAG_PALETTE)
+
+
+@pytest.fixture
+def small_database(rng: np.random.Generator) -> MultimediaDatabase:
+    """A populated database: 4 flag-like bases, 3 variants each."""
+    database = MultimediaDatabase()
+    base_ids = [
+        database.insert_image(random_palette_image(rng, 14, 18, FLAG_PALETTE))
+        for _ in range(4)
+    ]
+    for base_id in base_ids:
+        database.augment(
+            base_id,
+            rng,
+            variants=3,
+            palette=FLAG_PALETTE,
+            bound_widening_fraction=0.67,
+            merge_target_pool=base_ids,
+        )
+    return database

@@ -1,0 +1,164 @@
+"""Unit tests for the BOUNDS engine (stores, recursion, errors)."""
+
+import pytest
+
+from repro.color.histogram import ColorHistogram
+from repro.color.quantization import UniformQuantizer
+from repro.core.bounds import BoundsEngine, PixelBounds
+from repro.editing.operations import Combine, Define, Merge
+from repro.editing.sequence import EditSequence
+from repro.errors import RuleError, UnknownObjectError
+from repro.images.geometry import Rect
+from repro.images.raster import Image
+
+Q2 = UniformQuantizer(2, "rgb")
+
+
+class DictStore:
+    """Minimal BoundsStore over a dict for isolated engine tests."""
+
+    def __init__(self):
+        self.records = {}
+
+    def add_binary(self, image_id, image):
+        histogram = ColorHistogram.of_image(image, Q2)
+        self.records[image_id] = (histogram, image.height, image.width)
+
+    def add_edited(self, image_id, sequence):
+        self.records[image_id] = sequence
+
+    def lookup_for_bounds(self, image_id):
+        if image_id not in self.records:
+            raise UnknownObjectError(image_id)
+        return self.records[image_id]
+
+
+@pytest.fixture
+def store():
+    s = DictStore()
+    s.add_binary("base", Image.filled(4, 6, (0, 0, 0)))
+    s.add_binary("target", Image.filled(3, 3, (255, 255, 255)))
+    return s
+
+
+@pytest.fixture
+def engine(store):
+    return BoundsEngine(store, Q2)
+
+
+class TestPixelBounds:
+    def test_exact(self):
+        bounds = PixelBounds.exact(5, 4, 6)
+        assert bounds.lo == bounds.hi == 5
+        assert bounds.total == 24
+        assert bounds.fraction_lo == bounds.fraction_hi == pytest.approx(5 / 24)
+
+    def test_overlaps(self):
+        bounds = PixelBounds(6, 12, 4, 6)  # fractions [0.25, 0.5]
+        assert bounds.overlaps(0.4, 0.9)
+        assert bounds.overlaps(0.0, 0.25)
+        assert bounds.overlaps(0.5, 1.0)
+        assert not bounds.overlaps(0.51, 1.0)
+        assert not bounds.overlaps(0.0, 0.24)
+
+    def test_overlaps_rejects_empty_range(self):
+        with pytest.raises(RuleError):
+            PixelBounds(0, 1, 1, 2).overlaps(0.9, 0.1)
+
+    def test_contains_fraction(self):
+        bounds = PixelBounds(6, 12, 4, 6)
+        assert bounds.contains_fraction(0.3)
+        assert bounds.contains_fraction(0.25)
+        assert not bounds.contains_fraction(0.6)
+
+
+class TestEngineBasics:
+    def test_binary_bounds_are_exact(self, engine):
+        bounds = engine.bounds("base", 0)
+        assert bounds.lo == bounds.hi == 24
+        bounds = engine.bounds("target", 0)
+        assert bounds.lo == bounds.hi == 0
+
+    def test_edited_bounds_walk_rules(self, engine, store):
+        store.add_edited(
+            "e1",
+            EditSequence("base", (Define(Rect(0, 0, 2, 2)), Combine.box())),
+        )
+        bounds = engine.bounds("e1", 0)
+        assert (bounds.lo, bounds.hi) == (20, 24)
+        assert engine.rules_applied == 2
+
+    def test_unknown_id_raises(self, engine):
+        with pytest.raises(UnknownObjectError):
+            engine.bounds("ghost", 0)
+
+    def test_invalid_bin_raises(self, engine):
+        from repro.errors import ColorError
+
+        with pytest.raises(ColorError):
+            engine.bounds("base", 99)
+
+    def test_fraction_bounds_helper(self, engine, store):
+        store.add_edited("e1", EditSequence("base", (Combine.box(),)))
+        lo, hi = engine.fraction_bounds("e1", 0)
+        assert (lo, hi) == (0.0, 1.0)
+
+    def test_sequence_bounds_ad_hoc(self, engine):
+        seq = EditSequence("base", (Define(Rect(0, 0, 1, 1)), Merge(None)))
+        bounds = engine.sequence_bounds(seq, 0)
+        assert (bounds.height, bounds.width) == (1, 1)
+        assert (bounds.lo, bounds.hi) == (1, 1)
+
+    def test_rules_applied_counter_accumulates(self, engine, store):
+        store.add_edited("e1", EditSequence("base", (Combine.box(), Combine.box())))
+        engine.bounds("e1", 0)
+        engine.bounds("e1", 1)
+        assert engine.rules_applied == 4
+
+
+class TestMergeResolution:
+    def test_merge_onto_binary_target(self, engine, store):
+        store.add_edited("e1", EditSequence("base", (Merge("target", 0, 0),)))
+        bounds = engine.bounds("e1", 7)  # bin of white
+        # 4x6 black DR pasted over 3x3 white target at origin: canvas 4x6,
+        # the target is fully covered, zero white pixels remain.
+        assert (bounds.height, bounds.width) == (4, 6)
+        assert (bounds.lo, bounds.hi) == (0, 0)
+
+    def test_merge_onto_edited_target_recurses(self, engine, store):
+        store.add_edited("mid", EditSequence("target", (Combine.box(),)))
+        store.add_edited("top", EditSequence("base", (Merge("mid", 0, 10),)))
+        bounds = engine.bounds("top", 7)
+        # mid is a blurred 3x3 white image: white count in [0, 9]; pasted
+        # disjointly (y=10), everything stays visible.
+        assert (bounds.height, bounds.width) == (4, 16)
+        assert bounds.lo == 0
+        assert bounds.hi == 9
+
+    def test_cycle_detection(self, store):
+        # a references b which references a (malformed catalog).
+        store.add_edited("a", EditSequence("b", ()))
+        store.add_edited("b", EditSequence("a", ()))
+        engine = BoundsEngine(store, Q2)
+        with pytest.raises(RuleError):
+            engine.bounds("a", 0)
+
+    def test_depth_limit(self, store):
+        previous = "base"
+        for index in range(12):
+            name = f"chain-{index}"
+            store.add_edited(name, EditSequence(previous, (Combine.box(),)))
+            previous = name
+        engine = BoundsEngine(store, Q2, max_depth=4)
+        with pytest.raises(RuleError):
+            engine.bounds(previous, 0)
+
+    def test_chained_base_starts_from_interval(self, engine, store):
+        store.add_edited("mid", EditSequence("base", (Combine.box(),)))
+        store.add_edited("top", EditSequence("mid", ()))
+        bounds = engine.bounds("top", 0)
+        assert (bounds.lo, bounds.hi) == (0, 24)
+
+    def test_bad_max_depth_rejected(self, store):
+        with pytest.raises(RuleError):
+            BoundsEngine(store, Q2, max_depth=0)

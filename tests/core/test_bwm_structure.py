@@ -1,0 +1,112 @@
+"""Unit tests for the BWM data structure (Figure 1 insertion)."""
+
+import pytest
+
+from repro.core.bwm import BWMStructure
+from repro.editing.operations import Combine, Define, Merge, Mutate
+from repro.editing.sequence import EditSequence
+from repro.errors import DuplicateObjectError, UnknownObjectError
+from repro.images.geometry import AffineMatrix, Rect
+
+WIDENING = EditSequence("b1", (Define(Rect(0, 0, 2, 2)), Combine.box()))
+NON_WIDENING = EditSequence("b1", (Define(Rect(0, 0, 2, 2)), Merge("b2", 0, 0)))
+
+
+@pytest.fixture
+def structure():
+    s = BWMStructure()
+    s.insert_binary("b1")
+    s.insert_binary("b2")
+    return s
+
+
+class TestInsertion:
+    def test_binary_opens_empty_cluster(self, structure):
+        assert structure.main == {"b1": [], "b2": []}
+        assert structure.unclassified == []
+
+    def test_duplicate_binary_rejected(self, structure):
+        with pytest.raises(DuplicateObjectError):
+            structure.insert_binary("b1")
+
+    def test_widening_edited_goes_to_main(self, structure):
+        assert structure.insert_edited("e1", WIDENING) is True
+        assert structure.main["b1"] == ["e1"]
+        assert structure.location_of("e1") == "main"
+
+    def test_non_widening_edited_goes_to_unclassified(self, structure):
+        assert structure.insert_edited("e1", NON_WIDENING) is False
+        assert structure.unclassified == ["e1"]
+        assert structure.location_of("e1") == "unclassified"
+
+    def test_general_affine_goes_to_unclassified(self, structure):
+        seq = EditSequence("b1", (Mutate(AffineMatrix(1.4, 0.2, 0, 0, 1, 0)),))
+        assert structure.insert_edited("e1", seq) is False
+
+    def test_duplicate_edited_rejected(self, structure):
+        structure.insert_edited("e1", WIDENING)
+        with pytest.raises(DuplicateObjectError):
+            structure.insert_edited("e1", NON_WIDENING)
+
+    def test_widening_with_unknown_base_goes_to_unclassified(self):
+        # Chained edits (base is itself edited) cannot use the Figure 2
+        # shortcut, so they are filed as Unclassified.
+        structure = BWMStructure()
+        assert structure.insert_edited("e1", WIDENING) is False
+        assert structure.location_of("e1") == "unclassified"
+
+    def test_counters(self, structure):
+        structure.insert_edited("e1", WIDENING)
+        structure.insert_edited("e2", WIDENING)
+        structure.insert_edited("e3", NON_WIDENING)
+        assert structure.main_edited_count == 2
+        assert structure.unclassified_count == 1
+        assert len(structure) == 2 + 2 + 1  # binaries + main edited + unclassified
+
+
+class TestRemoval:
+    def test_remove_from_main(self, structure):
+        structure.insert_edited("e1", WIDENING)
+        structure.remove_edited("e1")
+        assert structure.main["b1"] == []
+        with pytest.raises(UnknownObjectError):
+            structure.location_of("e1")
+
+    def test_remove_from_unclassified(self, structure):
+        structure.insert_edited("e1", NON_WIDENING)
+        structure.remove_edited("e1")
+        assert structure.unclassified == []
+
+    def test_remove_unknown(self, structure):
+        with pytest.raises(UnknownObjectError):
+            structure.remove_edited("ghost")
+
+    def test_remove_binary_requires_empty_cluster(self, structure):
+        structure.insert_edited("e1", WIDENING)
+        with pytest.raises(DuplicateObjectError):
+            structure.remove_binary("b1")
+        structure.remove_edited("e1")
+        structure.remove_binary("b1")
+        assert "b1" not in structure.main
+
+    def test_remove_unknown_binary(self, structure):
+        with pytest.raises(UnknownObjectError):
+            structure.remove_binary("ghost")
+
+    def test_reinsert_after_remove(self, structure):
+        structure.insert_edited("e1", WIDENING)
+        structure.remove_edited("e1")
+        structure.insert_edited("e1", NON_WIDENING)
+        assert structure.location_of("e1") == "unclassified"
+
+
+class TestIntrospection:
+    def test_clusters_iteration(self, structure):
+        structure.insert_edited("e1", WIDENING)
+        clusters = dict(structure.clusters())
+        assert clusters == {"b1": ["e1"], "b2": []}
+
+    def test_insertion_order_preserved_in_cluster(self, structure):
+        structure.insert_edited("e1", WIDENING)
+        structure.insert_edited("e2", WIDENING)
+        assert structure.main["b1"] == ["e1", "e2"]

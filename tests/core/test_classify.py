@@ -1,0 +1,107 @@
+"""Unit and property tests for bound-widening classification.
+
+The load-bearing property (§4): for every operation the classifier calls
+bound-widening, applying its rule to any consistent state must produce a
+percentage interval containing the original one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.color.quantization import UniformQuantizer
+from repro.core.classify import (
+    first_non_widening,
+    is_bound_widening,
+    sequence_is_bound_widening,
+)
+from repro.core.rules import RuleContext, RuleState, apply_rule
+from repro.editing.operations import Combine, Define, Merge, Modify, Mutate
+from repro.editing.random_edits import random_operation
+from repro.editing.sequence import EditSequence
+from repro.images.geometry import AffineMatrix, Rect
+
+Q2 = UniformQuantizer(2, "rgb")
+
+
+class TestStaticClassification:
+    def test_define_combine_modify_always_widening(self):
+        assert is_bound_widening(Define(Rect(0, 0, 5, 5)))
+        assert is_bound_widening(Combine.box())
+        assert is_bound_widening(Modify((0, 0, 0), (255, 255, 255)))
+
+    def test_rigid_mutates_widening(self):
+        assert is_bound_widening(Mutate.translation(3, -1))
+        assert is_bound_widening(Mutate.rotation_90(1, 2, 2))
+
+    def test_integer_scale_widening(self):
+        assert is_bound_widening(Mutate.scale(2))
+        assert is_bound_widening(Mutate.scale(1))
+
+    def test_general_affine_not_widening(self):
+        assert not is_bound_widening(Mutate.scale(1.5))
+        assert not is_bound_widening(Mutate(AffineMatrix(1.3, 0.4, 0, 0, 1.0, 0)))
+
+    def test_merge_null_widening(self):
+        assert is_bound_widening(Merge(None))
+
+    def test_merge_target_not_widening(self):
+        assert not is_bound_widening(Merge("other", 1, 1))
+
+
+class TestSequenceClassification:
+    def test_all_widening_sequence(self):
+        seq = EditSequence(
+            "b", (Define(Rect(0, 0, 2, 2)), Combine.box(), Merge(None))
+        )
+        assert sequence_is_bound_widening(seq)
+        assert first_non_widening(seq) == -1
+
+    def test_one_bad_operation_flips(self):
+        seq = EditSequence(
+            "b", (Define(Rect(0, 0, 2, 2)), Merge("t", 0, 0), Combine.box())
+        )
+        assert not sequence_is_bound_widening(seq)
+        assert first_non_widening(seq) == 1
+
+    def test_empty_sequence_is_widening(self):
+        assert sequence_is_bound_widening(EditSequence("b"))
+
+
+def random_consistent_state(rng) -> RuleState:
+    height = int(rng.integers(2, 12))
+    width = int(rng.integers(2, 12))
+    total = height * width
+    lo = int(rng.integers(0, total + 1))
+    hi = int(rng.integers(lo, total + 1))
+    x1 = int(rng.integers(0, height))
+    y1 = int(rng.integers(0, width))
+    x2 = int(rng.integers(x1, height + 1))
+    y2 = int(rng.integers(y1, width + 1))
+    return RuleState(lo=lo, hi=hi, height=height, width=width, dr=Rect(x1, y1, x2, y2))
+
+
+class TestWideningProperty:
+    """Invariant 4: classified-widening rules truly widen percentages."""
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_widening_ops_widen_percentage_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        state = random_consistent_state(rng)
+        op = random_operation(
+            rng,
+            state.height,
+            state.width,
+            [(0, 0, 0), (255, 255, 255), (10, 200, 30)],
+            allow_crop=not state.dr.is_empty,
+        )
+        if not is_bound_widening(op):
+            return
+        if isinstance(op, Merge) and state.dr.is_empty:
+            return
+        context = RuleContext(quantizer=Q2, bin_index=int(rng.integers(8)))
+        out = apply_rule(state, op, context)
+        assert out.fraction_lo <= state.fraction_lo + 1e-12, (op, state, out)
+        assert out.fraction_hi >= state.fraction_hi - 1e-12, (op, state, out)

@@ -1,0 +1,89 @@
+"""Invariants 2 and 3: BWM == RBM, and neither loses a true match.
+
+§4 argues BWM "produc[es] the same query results while reducing the
+execution time".  We check it on randomly built augmented databases: for
+random queries, (a) BWM and RBM return identical sets, (b) the exact
+(instantiate-everything) result is a subset of both — no false negatives,
+(c) the BWM shortcut never does more rule work than RBM.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.color.names import FLAG_PALETTE
+from repro.core.query import RangeQuery
+from repro.db.database import MultimediaDatabase
+from repro.images.generators import random_palette_image
+from repro.workloads.queries import make_query_workload
+
+
+def build_random_database(seed: int) -> MultimediaDatabase:
+    rng = np.random.default_rng(seed)
+    database = MultimediaDatabase()
+    base_count = int(rng.integers(2, 6))
+    base_ids = [
+        database.insert_image(
+            random_palette_image(rng, int(rng.integers(8, 16)), int(rng.integers(8, 16)), FLAG_PALETTE)
+        )
+        for _ in range(base_count)
+    ]
+    for base_id in base_ids:
+        database.augment(
+            base_id,
+            rng,
+            variants=int(rng.integers(0, 5)),
+            palette=FLAG_PALETTE,
+            bound_widening_fraction=float(rng.uniform(0.3, 1.0)),
+            merge_target_pool=base_ids,
+        )
+    return database
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_bwm_equals_rbm_and_contains_truth(seed):
+    database = build_random_database(seed)
+    rng = np.random.default_rng(seed + 1)
+    queries = make_query_workload(database, rng, 6)
+    for query in queries:
+        rbm = database.range_query(query, method="rbm")
+        bwm = database.range_query(query, method="bwm")
+        exact = database.range_query(query, method="instantiate")
+        assert rbm.matches == bwm.matches, (query, rbm.matches ^ bwm.matches)
+        assert exact.matches <= rbm.matches, (query, exact.matches - rbm.matches)
+        assert bwm.stats.rules_applied <= rbm.stats.rules_applied
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_binary_results_are_always_exact(seed):
+    """For binary images RBM/BWM filtering is exact, not conservative."""
+    database = build_random_database(seed)
+    rng = np.random.default_rng(seed + 2)
+    for query in make_query_workload(database, rng, 4):
+        approx = database.range_query(query, method="rbm").matches
+        exact = database.range_query(query, method="instantiate").matches
+        binary = set(database.catalog.binary_ids())
+        assert approx & binary == exact & binary
+
+
+def test_expand_to_bases_adds_bases_of_matched_edits(small_database):
+    rng = np.random.default_rng(0)
+    queries = make_query_workload(small_database, rng, 12)
+    catalog = small_database.catalog
+    for query in queries:
+        plain = small_database.range_query(query, method="bwm")
+        expanded = small_database.range_query(query, method="bwm", expand_to_bases=True)
+        assert plain.matches <= expanded.matches
+        for image_id in expanded.matches - plain.matches:
+            # Every added id is the base of some matched edited image.
+            derived = set(catalog.derived_from(image_id))
+            assert derived & plain.matches
+
+
+def test_full_range_query_returns_everything(small_database):
+    query = RangeQuery(0, 0.0, 1.0)
+    result = small_database.range_query(query, method="rbm")
+    assert result.matches == set(small_database.ids())

@@ -1,0 +1,200 @@
+"""Unit tests for the RBM and BWM query processors (Figures 2 and §3)."""
+
+import pytest
+
+from repro.color.histogram import ColorHistogram
+from repro.color.quantization import UniformQuantizer
+from repro.core.bounds import BoundsEngine
+from repro.core.bwm import BWMProcessor, BWMStructure
+from repro.core.query import QueryStats, RangeQuery
+from repro.core.rbm import RBMProcessor
+from repro.editing.operations import Combine, Define, Merge, Modify
+from repro.editing.sequence import EditSequence
+from repro.errors import QueryError
+from repro.images.geometry import Rect
+from repro.images.raster import Image
+
+Q2 = UniformQuantizer(2, "rgb")
+BLACK = (0, 0, 0)
+WHITE = (255, 255, 255)
+BIN_BLACK = Q2.bin_of(BLACK)
+BIN_WHITE = Q2.bin_of(WHITE)
+
+
+class MiniCatalog:
+    """A hand-built catalog implementing both core protocols."""
+
+    def __init__(self):
+        self._binary = {}
+        self._edited = {}
+
+    def add_binary(self, image_id, image):
+        self._binary[image_id] = (
+            ColorHistogram.of_image(image, Q2),
+            image.height,
+            image.width,
+        )
+
+    def add_edited(self, image_id, sequence):
+        self._edited[image_id] = sequence
+
+    def binary_ids(self):
+        return iter(self._binary)
+
+    def edited_ids(self):
+        return iter(self._edited)
+
+    def histogram_of(self, image_id):
+        return self._binary[image_id][0]
+
+    def sequence_of(self, image_id):
+        return self._edited[image_id]
+
+    def lookup_for_bounds(self, image_id):
+        if image_id in self._binary:
+            return self._binary[image_id]
+        return self._edited[image_id]
+
+
+@pytest.fixture
+def catalog():
+    cat = MiniCatalog()
+    black = Image.filled(4, 4, BLACK)
+    white = Image.filled(4, 4, WHITE)
+    half = Image.filled(4, 4, BLACK)
+    half.pixels[:2, :] = WHITE
+    cat.add_binary("black", black)
+    cat.add_binary("white", white)
+    cat.add_binary("half", half)
+    # Bound-widening edit of "black": blur a 2x2 corner.
+    cat.add_edited(
+        "black-blur", EditSequence("black", (Define(Rect(0, 0, 2, 2)), Combine.box()))
+    )
+    # Bound-widening edit of "white": recolor everything to black.
+    cat.add_edited(
+        "white-recolor", EditSequence("white", (Modify(WHITE, BLACK),))
+    )
+    # Non-widening edit of "half": paste onto "white".
+    cat.add_edited(
+        "half-paste", EditSequence("half", (Define(Rect(0, 0, 2, 4)), Merge("white", 0, 0)))
+    )
+    return cat
+
+
+@pytest.fixture
+def engine(catalog):
+    return BoundsEngine(catalog, Q2)
+
+
+@pytest.fixture
+def rbm(catalog, engine):
+    return RBMProcessor(catalog, engine)
+
+
+@pytest.fixture
+def bwm(catalog, engine):
+    structure = BWMStructure()
+    for binary_id in catalog.binary_ids():
+        structure.insert_binary(binary_id)
+    for edited_id in catalog.edited_ids():
+        structure.insert_edited(edited_id, catalog.sequence_of(edited_id))
+    return BWMProcessor(structure, catalog, engine)
+
+
+class TestRBM:
+    def test_binary_exact_filtering(self, rbm):
+        result = rbm.process(RangeQuery(BIN_BLACK, 0.9, 1.0))
+        assert "black" in result.matches
+        assert "white" not in result.matches
+        assert "half" not in result.matches
+
+    def test_edited_kept_when_bounds_overlap(self, rbm):
+        result = rbm.process(RangeQuery(BIN_BLACK, 0.9, 1.0))
+        # black-blur: bounds [12/16, 1] overlaps [0.9, 1].
+        assert "black-blur" in result.matches
+        # white-recolor: bounds [1, 1] for black — overlaps.
+        assert "white-recolor" in result.matches
+
+    def test_edited_pruned_when_bounds_miss(self, rbm):
+        # White fraction of black-blur is at most 4/16.
+        result = rbm.process(RangeQuery(BIN_WHITE, 0.5, 1.0))
+        assert "black-blur" not in result.matches
+        assert "white" in result.matches
+
+    def test_stats_count_all_work(self, rbm):
+        result = rbm.process(RangeQuery(BIN_BLACK, 0.0, 1.0))
+        assert result.stats.histograms_checked == 3
+        assert result.stats.bounds_computed == 3
+        assert result.stats.rules_applied == 2 + 1 + 2
+
+    def test_every_image_matches_full_range(self, rbm):
+        result = rbm.process(RangeQuery(BIN_BLACK, 0.0, 1.0))
+        assert len(result) == 6
+
+
+class TestBWM:
+    def test_equivalent_to_rbm(self, rbm, bwm):
+        for query in (
+            RangeQuery(BIN_BLACK, 0.9, 1.0),
+            RangeQuery(BIN_WHITE, 0.5, 1.0),
+            RangeQuery(BIN_BLACK, 0.0, 0.1),
+            RangeQuery(BIN_WHITE, 0.45, 0.55),
+        ):
+            assert rbm.process(query).matches == bwm.process(query).matches
+
+    def test_cluster_short_circuit_skips_rules(self, bwm):
+        # "black" satisfies; its cluster member black-blur is accepted
+        # without any rule application.
+        result = bwm.process(RangeQuery(BIN_BLACK, 0.9, 1.0))
+        assert result.stats.clusters_short_circuited == 1
+        assert result.stats.edited_accepted_without_rules == 1
+        assert "black-blur" in result.matches
+
+    def test_non_matching_cluster_falls_back_to_bounds(self, bwm):
+        # "white" fails the black query, so white-recolor needs its rules.
+        result = bwm.process(RangeQuery(BIN_BLACK, 0.9, 1.0))
+        assert "white-recolor" in result.matches
+        assert result.stats.bounds_computed >= 1
+
+    def test_unclassified_always_bounded(self, bwm):
+        result = bwm.process(RangeQuery(BIN_WHITE, 0.0, 1.0))
+        # half-paste is unclassified: bounds computed even though every
+        # cluster short-circuits on the full range.
+        assert "half-paste" in result.matches
+        assert result.stats.bounds_computed >= 1
+
+    def test_rules_saved_versus_rbm(self, rbm, bwm):
+        query = RangeQuery(BIN_BLACK, 0.9, 1.0)
+        rbm_stats = rbm.process(query).stats
+        bwm_stats = bwm.process(query).stats
+        assert bwm_stats.rules_applied < rbm_stats.rules_applied
+
+
+class TestRangeQueryValidation:
+    def test_bounds_check(self):
+        with pytest.raises(QueryError):
+            RangeQuery(0, -0.1, 0.5)
+        with pytest.raises(QueryError):
+            RangeQuery(0, 0.0, 1.5)
+        with pytest.raises(QueryError):
+            RangeQuery(0, 0.7, 0.3)
+        with pytest.raises(QueryError):
+            RangeQuery(-1, 0.0, 1.0)
+
+    def test_constructors(self):
+        assert RangeQuery.at_least(3, 0.25) == RangeQuery(3, 0.25, 1.0)
+        assert RangeQuery.at_most(3, 0.25) == RangeQuery(3, 0.0, 0.25)
+
+    def test_stats_merge(self):
+        a = QueryStats(histograms_checked=1, rules_applied=5)
+        b = QueryStats(histograms_checked=2, bounds_computed=3)
+        a.merge(b)
+        assert a.histograms_checked == 3
+        assert a.bounds_computed == 3
+        assert a.rules_applied == 5
+
+    def test_result_container_protocol(self, rbm):
+        result = rbm.process(RangeQuery(BIN_BLACK, 0.9, 1.0))
+        assert "black" in result
+        assert list(result.sorted_ids()) == sorted(result.matches)
+        assert len(result) == len(result.matches)

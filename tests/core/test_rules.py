@@ -1,0 +1,233 @@
+"""Unit tests for the Table 1 rules (exact effects per operation)."""
+
+import pytest
+
+from repro.color.quantization import UniformQuantizer
+from repro.core.rules import (
+    RuleContext,
+    RuleState,
+    apply_rule,
+    describe_rule,
+    initial_state,
+)
+from repro.editing.operations import Combine, Define, Merge, Modify, Mutate
+from repro.errors import RuleError
+from repro.images.geometry import AffineMatrix, Rect
+
+Q2 = UniformQuantizer(2, "rgb")
+#: Colors mapping to bin 0 (all-low) and bin 7 (all-high) of Q2.
+LOW = (0, 0, 0)
+HIGH = (255, 255, 255)
+
+
+def ctx(bin_index=0, fill=LOW, resolver=None):
+    return RuleContext(
+        quantizer=Q2, bin_index=bin_index, fill_color=fill, resolve_target=resolver
+    )
+
+
+class TestInitialState:
+    def test_exact_start(self):
+        state = initial_state(5, 4, 6)
+        assert (state.lo, state.hi) == (5, 5)
+        assert state.total == 24
+        assert state.dr == Rect(0, 0, 4, 6)
+        assert state.fraction_lo == state.fraction_hi == pytest.approx(5 / 24)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(RuleError):
+            initial_state(25, 4, 6)
+        with pytest.raises(RuleError):
+            initial_state(-1, 4, 6)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(RuleError):
+            initial_state(0, 0, 5)
+
+    def test_validate_detects_inversion(self):
+        with pytest.raises(RuleError):
+            RuleState(lo=5, hi=3, height=2, width=4, dr=Rect(0, 0, 2, 4)).validate()
+
+
+class TestDefineRule:
+    def test_sets_clipped_dr(self):
+        state = initial_state(5, 4, 6)
+        out = apply_rule(state, Define(Rect(-2, -2, 2, 100)), ctx())
+        assert out.dr == Rect(0, 0, 2, 6)
+        assert (out.lo, out.hi, out.total) == (5, 5, 24)
+
+    def test_fully_outside_gives_empty_dr(self):
+        out = apply_rule(initial_state(5, 4, 6), Define(Rect(10, 10, 12, 12)), ctx())
+        assert out.dr.is_empty
+
+
+class TestCombineRule:
+    def test_widens_by_dr_area(self):
+        state = apply_rule(initial_state(10, 4, 6), Define(Rect(0, 0, 2, 2)), ctx())
+        out = apply_rule(state, Combine.box(), ctx())
+        assert (out.lo, out.hi) == (6, 14)
+        assert out.total == 24
+
+    def test_clamps_at_zero_and_total(self):
+        state = initial_state(0, 2, 2)
+        out = apply_rule(state, Combine.box(), ctx())
+        assert (out.lo, out.hi) == (0, 4)
+        state = initial_state(4, 2, 2)
+        out = apply_rule(state, Combine.box(), ctx())
+        assert (out.lo, out.hi) == (0, 4)
+
+    def test_empty_dr_no_change(self):
+        state = apply_rule(initial_state(5, 4, 6), Define(Rect(20, 20, 22, 22)), ctx())
+        out = apply_rule(state, Combine.box(), ctx())
+        assert (out.lo, out.hi) == (5, 5)
+
+
+class TestModifyRule:
+    def test_new_color_in_bin_raises_max(self):
+        state = apply_rule(initial_state(3, 4, 6), Define(Rect(0, 0, 2, 3)), ctx())
+        out = apply_rule(state, Modify(HIGH, LOW), ctx(bin_index=0))
+        assert (out.lo, out.hi) == (3, 9)
+
+    def test_old_color_in_bin_lowers_min(self):
+        state = apply_rule(initial_state(10, 4, 6), Define(Rect(0, 0, 2, 3)), ctx())
+        out = apply_rule(state, Modify(LOW, HIGH), ctx(bin_index=0))
+        assert (out.lo, out.hi) == (4, 10)
+
+    def test_both_in_bin_no_change(self):
+        state = initial_state(10, 4, 6)
+        out = apply_rule(state, Modify(LOW, (10, 10, 10)), ctx(bin_index=0))
+        assert (out.lo, out.hi) == (10, 10)
+
+    def test_neither_in_bin_no_change(self):
+        state = initial_state(10, 4, 6)
+        out = apply_rule(state, Modify(HIGH, (255, 255, 0)), ctx(bin_index=0))
+        assert (out.lo, out.hi) == (10, 10)
+
+
+class TestMutateRule:
+    def test_whole_image_integer_scale_multiplies_everything(self):
+        state = initial_state(5, 4, 6)
+        out = apply_rule(state, Mutate.scale(2, 3), ctx())
+        assert (out.lo, out.hi) == (30, 30)
+        assert (out.height, out.width) == (8, 18)
+        assert out.fraction_lo == pytest.approx(5 / 24)  # percentages preserved
+
+    def test_subregion_scale_uses_pixel_move_rule(self):
+        state = apply_rule(initial_state(10, 8, 8), Define(Rect(0, 0, 2, 2)), ctx())
+        out = apply_rule(state, Mutate.scale(2), ctx())
+        assert out.total == 64  # canvas unchanged
+        assert out.lo < 10 < out.hi
+
+    def test_translation_widens_by_source_dest_union(self):
+        state = apply_rule(initial_state(10, 8, 8), Define(Rect(0, 0, 2, 2)), ctx())
+        out = apply_rule(state, Mutate.translation(4, 4), ctx())
+        # Source 4 pixels + disjoint destination 4 pixels = union 8.
+        assert (out.lo, out.hi) == (2, 18)
+        assert out.dr == Rect(4, 4, 6, 6)
+
+    def test_translation_off_canvas_clips_destination(self):
+        state = apply_rule(initial_state(10, 8, 8), Define(Rect(0, 0, 2, 2)), ctx())
+        out = apply_rule(state, Mutate.translation(100, 100), ctx())
+        # Destination fully off-canvas: union is just the source DR.
+        assert (out.lo, out.hi) == (6, 14)
+        assert out.dr.is_empty
+
+    def test_empty_dr_no_change(self):
+        state = apply_rule(initial_state(5, 4, 6), Define(Rect(40, 40, 42, 42)), ctx())
+        out = apply_rule(state, Mutate.translation(1, 1), ctx())
+        assert (out.lo, out.hi) == (5, 5)
+
+    def test_fractional_whole_image_scale_not_multiplied(self):
+        state = initial_state(5, 4, 6)
+        out = apply_rule(state, Mutate.scale(1.5), ctx())
+        assert out.total == 24  # pixel-move semantics keep the canvas
+
+
+class TestMergeNullRule:
+    def test_crop_bounds(self):
+        # 24-pixel image, 10 in bin; crop to a 2x3 DR (6 pixels).
+        state = apply_rule(initial_state(10, 4, 6), Define(Rect(0, 0, 2, 3)), ctx())
+        out = apply_rule(state, Merge(None), ctx())
+        # At most min(10, 6) = 6 bin pixels can be in the crop; at least
+        # 10 - (24 - 6) = 0 must be.
+        assert (out.lo, out.hi) == (0, 6)
+        assert (out.height, out.width) == (2, 3)
+        assert out.dr == Rect(0, 0, 2, 3)
+
+    def test_crop_forced_minimum(self):
+        # 23 of 24 pixels in bin: a 6-pixel crop must contain >= 5.
+        state = apply_rule(initial_state(23, 4, 6), Define(Rect(0, 0, 2, 3)), ctx())
+        out = apply_rule(state, Merge(None), ctx())
+        assert (out.lo, out.hi) == (5, 6)
+
+    def test_crop_empty_dr_raises(self):
+        state = apply_rule(initial_state(5, 4, 6), Define(Rect(30, 30, 31, 31)), ctx())
+        with pytest.raises(RuleError):
+            apply_rule(state, Merge(None), ctx())
+
+
+class TestMergeTargetRule:
+    @staticmethod
+    def resolver(t_lo, t_hi, t_h, t_w):
+        def resolve(target_id, bin_index):
+            return (t_lo, t_hi, t_h, t_w)
+
+        return resolve
+
+    def test_paste_inside_target(self):
+        # Base 4x6 with 10 bin pixels; DR = 2x3 corner; target 5x5 with
+        # exactly 7 bin pixels; paste at (0, 0); fill not in bin.
+        state = apply_rule(initial_state(10, 4, 6), Define(Rect(0, 0, 2, 3)), ctx())
+        out = apply_rule(
+            state,
+            Merge("t", 0, 0),
+            ctx(fill=HIGH, resolver=self.resolver(7, 7, 5, 5)),
+        )
+        assert (out.height, out.width) == (5, 5)
+        # Covered target pixels C = 6.  DR contributes [0, 6]; visible
+        # target contributes [max(0, 7-6), min(7, 25-6)] = [1, 7]; no fill.
+        assert (out.lo, out.hi) == (1, 13)
+
+    def test_fill_border_counts_when_fill_in_bin(self):
+        state = apply_rule(initial_state(0, 4, 6), Define(Rect(0, 0, 2, 2)), ctx())
+        out = apply_rule(
+            state,
+            Merge("t", 3, 3),
+            ctx(fill=LOW, resolver=self.resolver(0, 0, 3, 3)),
+        )
+        # Canvas: 5x5; target 9 pixels with C = 0 covered; DR 4 pixels;
+        # border fill = 25 - 4 - 9 = 12, all in bin 0.
+        assert (out.height, out.width) == (5, 5)
+        assert (out.lo, out.hi) == (12, 12)
+
+    def test_requires_resolver(self):
+        state = initial_state(5, 4, 6)
+        with pytest.raises(RuleError):
+            apply_rule(state, Merge("t", 0, 0), ctx())
+
+    def test_dr_resets_to_full_canvas(self):
+        state = apply_rule(initial_state(5, 4, 6), Define(Rect(0, 0, 2, 2)), ctx())
+        out = apply_rule(
+            state, Merge("t", 0, 0), ctx(resolver=self.resolver(0, 0, 3, 3))
+        )
+        assert out.dr == Rect(0, 0, out.height, out.width)
+
+
+class TestDescribeRule:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            Define(Rect(0, 0, 1, 1)),
+            Combine.box(),
+            Modify(LOW, HIGH),
+            Mutate.translation(1, 1),
+            Merge(None),
+        ],
+        ids=lambda op: type(op).__name__,
+    )
+    def test_every_operation_described(self, op):
+        condition, min_effect, max_effect, total_effect = describe_rule(op)
+        assert all(
+            isinstance(text, str) and text
+            for text in (condition, min_effect, max_effect, total_effect)
+        )

@@ -1,0 +1,144 @@
+"""Unit tests for the augmentation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.color.names import FLAG_PALETTE
+from repro.core.classify import sequence_is_bound_widening
+from repro.db.augmentation import plan_variant_sequences
+from repro.db.database import MultimediaDatabase
+from repro.errors import WorkloadError
+from repro.images.generators import random_palette_image
+
+
+class TestPlanVariants:
+    def test_counts_and_split(self, rng):
+        sequences = plan_variant_sequences(
+            rng, "b", 20, 24, FLAG_PALETTE, variants=10,
+            bound_widening_fraction=0.7, merge_target_pool=["t"],
+        )
+        assert len(sequences) == 10
+        widening = sum(sequence_is_bound_widening(s) for s in sequences)
+        assert widening == 7
+
+    def test_all_reference_base(self, rng):
+        sequences = plan_variant_sequences(rng, "b", 20, 24, FLAG_PALETTE, 5)
+        assert all(s.base_id == "b" for s in sequences)
+
+    def test_zero_variants(self, rng):
+        assert plan_variant_sequences(rng, "b", 20, 24, FLAG_PALETTE, 0) == []
+
+    def test_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            plan_variant_sequences(rng, "b", 20, 24, FLAG_PALETTE, -1)
+        with pytest.raises(WorkloadError):
+            plan_variant_sequences(
+                rng, "b", 20, 24, FLAG_PALETTE, 3, bound_widening_fraction=1.5
+            )
+
+
+class TestDistortionAugmentation:
+    def test_variants_mimic_distortions(self, rng):
+        from repro.color.histogram import ColorHistogram
+        from repro.db.augmentation import augment_with_distortions
+        from repro.images.generators import darken
+
+        database = MultimediaDatabase()
+        base = database.insert_image(random_palette_image(rng, 16, 20, FLAG_PALETTE))
+        ids = augment_with_distortions(database, base, darken_factors=(0.55,))
+        assert len(ids) == 3  # darken + blur + crop
+
+        # The darkened variant's histogram equals the truly-darkened
+        # image's histogram (the Modify program expresses the lighting
+        # change exactly for palette images).
+        darkened_truth = ColorHistogram.of_image(
+            darken(database.instantiate(base), 0.55), database.quantizer
+        )
+        assert database.exact_histogram(ids[0]) == darkened_truth
+
+    def test_multiple_darken_factors(self, rng):
+        from repro.db.augmentation import augment_with_distortions
+
+        database = MultimediaDatabase()
+        base = database.insert_image(random_palette_image(rng, 16, 20, FLAG_PALETTE))
+        ids = augment_with_distortions(
+            database, base, darken_factors=(0.8, 0.6, 0.4)
+        )
+        assert len(ids) == 3 + 2  # blur+crop once, one darken per factor
+
+    def test_requires_factor(self, rng):
+        from repro.db.augmentation import augment_with_distortions
+
+        database = MultimediaDatabase()
+        base = database.insert_image(random_palette_image(rng, 16, 20, FLAG_PALETTE))
+        with pytest.raises(WorkloadError):
+            augment_with_distortions(database, base, darken_factors=())
+
+    def test_bad_factor_rejected(self, rng):
+        from repro.db.augmentation import plan_distortion_sequences
+
+        image = random_palette_image(rng, 16, 20, FLAG_PALETTE)
+        with pytest.raises(WorkloadError):
+            plan_distortion_sequences(image, "b", darken_factor=0.0)
+        with pytest.raises(WorkloadError):
+            plan_distortion_sequences(image, "b", darken_factor=1.5)
+
+    def test_darkened_color_rounding(self):
+        from repro.db.augmentation import darkened_color
+
+        assert darkened_color((100, 200, 51), 0.5) == (50, 100, 26)
+        assert darkened_color((255, 255, 255), 1.0) == (255, 255, 255)
+
+    def test_all_variants_bound_widening(self, rng):
+        from repro.db.augmentation import plan_distortion_sequences
+
+        image = random_palette_image(rng, 16, 20, FLAG_PALETTE)
+        for sequence in plan_distortion_sequences(image, "b"):
+            assert sequence_is_bound_widening(sequence)
+
+
+class TestAugmentImage:
+    def test_inserts_and_links(self, rng):
+        database = MultimediaDatabase()
+        base = database.insert_image(random_palette_image(rng, 16, 20, FLAG_PALETTE))
+        ids = database.augment(base, rng, variants=6, palette=FLAG_PALETTE)
+        assert len(ids) == 6
+        assert database.edited_versions_of(base) == tuple(ids)
+
+    def test_merge_pool_excludes_base_itself(self, rng):
+        database = MultimediaDatabase()
+        base = database.insert_image(random_palette_image(rng, 16, 20, FLAG_PALETTE))
+        ids = database.augment(
+            base,
+            rng,
+            variants=8,
+            palette=FLAG_PALETTE,
+            bound_widening_fraction=0.0,
+            merge_target_pool=[base],  # only the base: must be filtered out
+        )
+        for edited_id in ids:
+            sequence = database.catalog.sequence_of(edited_id)
+            assert base not in sequence.merge_targets()
+
+    def test_variants_instantiable(self, rng):
+        database = MultimediaDatabase()
+        base_ids = [
+            database.insert_image(random_palette_image(rng, 14, 16, FLAG_PALETTE))
+            for _ in range(3)
+        ]
+        for base_id in base_ids:
+            for edited_id in database.augment(
+                base_id, rng, variants=4, palette=FLAG_PALETTE,
+                bound_widening_fraction=0.5, merge_target_pool=base_ids,
+            ):
+                database.instantiate(edited_id)  # must not raise
+
+    def test_structure_split_matches_classification(self, rng):
+        database = MultimediaDatabase()
+        base = database.insert_image(random_palette_image(rng, 16, 20, FLAG_PALETTE))
+        database.augment(
+            base, rng, variants=10, palette=FLAG_PALETTE, bound_widening_fraction=0.6
+        )
+        summary = database.structure_summary()
+        assert summary["main_edited"] == 6
+        assert summary["unclassified"] == 4

@@ -1,0 +1,96 @@
+"""Unit tests for the integrity checker, including injected corruption."""
+
+import numpy as np
+import pytest
+
+from repro.db.integrity import require_integrity, verify_integrity
+from repro.errors import DatabaseError
+from repro.workloads.datasets import build_flag_database
+
+
+@pytest.fixture
+def database():
+    return build_flag_database(np.random.default_rng(41), scale=0.03)
+
+
+class TestHealthyDatabases:
+    def test_fresh_database_is_clean(self, database):
+        assert verify_integrity(database) == []
+        require_integrity(database)  # must not raise
+
+    def test_after_mutations_still_clean(self, database, rng):
+        from repro.color.names import FLAG_PALETTE
+
+        base = next(iter(database.catalog.binary_ids()))
+        new_ids = database.augment(base, rng, 3, FLAG_PALETTE)
+        database.delete_edited(new_ids[0])
+        assert verify_integrity(database) == []
+
+    def test_after_optimization_still_clean(self, database):
+        from repro.editing.optimizer import optimize_database
+
+        optimize_database(database)
+        assert verify_integrity(database) == []
+
+    def test_loaded_database_is_clean(self, database, tmp_path):
+        from repro.db.persistence import load_database, save_database
+
+        loaded = load_database(save_database(database, tmp_path / "db"))
+        assert verify_integrity(loaded) == []
+
+    def test_skip_histogram_recomputation(self, database):
+        assert verify_integrity(database, recompute_histograms=False) == []
+
+
+class TestInjectedCorruption:
+    def test_misplaced_component_detected(self, database):
+        # Move a Main-component member into Unclassified by hand.
+        base_id, cluster = next(
+            (b, c) for b, c in database.bwm_structure.clusters() if c
+        )
+        victim = cluster.pop()
+        database.bwm_structure.unclassified.append(victim)
+        problems = verify_integrity(database)
+        assert any("misplaced" in p for p in problems)
+
+    def test_missing_bwm_entry_detected(self, database):
+        victim = next(iter(database.catalog.edited_ids()))
+        database.bwm_structure.remove_edited(victim)
+        problems = verify_integrity(database)
+        assert any("missing from the BWM structure" in p for p in problems)
+
+    def test_dangling_unclassified_detected(self, database):
+        database.bwm_structure.unclassified.append("ghost-1")
+        database.bwm_structure._edited_location["ghost-1"] = ""
+        problems = verify_integrity(database)
+        assert any("ghost-1" in p for p in problems)
+
+    def test_index_size_mismatch_detected(self, database):
+        database.histogram_index.insert_point(
+            np.zeros(database.quantizer.bin_count), "stray"
+        )
+        problems = verify_integrity(database)
+        assert any("histogram index" in p for p in problems)
+
+    def test_corrupted_raster_detected(self, database):
+        base = next(iter(database.catalog.binary_ids()))
+        record = database.catalog.binary_record(base)
+        record.image.pixels[0, 0] = (record.image.pixels[0, 0] + 100) % 255
+        problems = verify_integrity(database)
+        assert any("does not match its raster" in p for p in problems)
+        # ...and the cheap mode misses exactly this class of problem.
+        assert verify_integrity(database, recompute_histograms=False) == []
+
+    def test_broken_derivation_link_detected(self, database):
+        edited = next(iter(database.catalog.edited_ids()))
+        base = database.catalog.edited_record(edited).base_id
+        database.catalog._children[base].remove(edited)
+        problems = verify_integrity(database)
+        assert any("derivation link is missing" in p for p in problems)
+
+    def test_require_integrity_raises_with_details(self, database):
+        victim = next(iter(database.catalog.edited_ids()))
+        database.bwm_structure.remove_edited(victim)
+        with pytest.raises(DatabaseError) as excinfo:
+            require_integrity(database)
+        assert victim in str(excinfo.value)

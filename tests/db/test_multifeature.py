@@ -1,0 +1,102 @@
+"""Unit tests for multi-feature search."""
+
+import numpy as np
+import pytest
+
+from repro.db.database import MultimediaDatabase
+from repro.db.multifeature import FeatureWeights, MultiFeatureSearch
+from repro.errors import QueryError
+from repro.images.generators import checkerboard, draw_disc, draw_rect
+from repro.images.geometry import Rect
+from repro.images.raster import Image
+
+WHITE = (255, 255, 255)
+RED = (200, 16, 46)
+
+
+def disc_image():
+    image = Image.filled(20, 20, WHITE)
+    return draw_disc(image, 10, 10, 6, RED)
+
+
+def square_image():
+    image = Image.filled(20, 20, WHITE)
+    return draw_rect(image, Rect(5, 5, 16, 16), RED)
+
+
+def textured_image():
+    # Red/white fine checkerboard: same palette, busy texture.
+    return checkerboard(20, 20, 1, RED, WHITE)
+
+
+@pytest.fixture
+def database():
+    db = MultimediaDatabase()
+    db.insert_image(disc_image(), image_id="disc")
+    db.insert_image(square_image(), image_id="square")
+    db.insert_image(textured_image(), image_id="checker")
+    return db
+
+
+class TestWeights:
+    def test_defaults_color_only(self):
+        weights = FeatureWeights()
+        assert weights.color == 1.0 and weights.total == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(QueryError):
+            FeatureWeights(color=-1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(QueryError):
+            FeatureWeights(color=0.0, texture=0.0, shape=0.0)
+
+
+class TestSearch:
+    def test_self_query_is_nearest(self, database):
+        search = MultiFeatureSearch(database)
+        weights = FeatureWeights(color=1.0, texture=1.0, shape=1.0)
+        result = search.knn(disc_image(), 1, weights)
+        assert result[0][1] == "disc"
+        assert result[0][0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_shape_weight_separates_same_color_shapes(self, database):
+        """A slightly-moved disc: color alone can tie with the square,
+        shape breaks the tie."""
+        probe = Image.filled(20, 20, WHITE)
+        draw_disc(probe, 9, 11, 6, RED)
+        search = MultiFeatureSearch(database)
+        shape_heavy = search.knn(probe, 3, FeatureWeights(color=0.2, shape=1.0))
+        assert shape_heavy[0][1] == "disc"
+
+    def test_texture_weight_separates_checkerboard(self, database):
+        probe = checkerboard(20, 20, 1, RED, WHITE)
+        search = MultiFeatureSearch(database)
+        texture_heavy = search.knn(probe, 1, FeatureWeights(color=0.1, texture=1.0))
+        assert texture_heavy[0][1] == "checker"
+
+    def test_k_validation(self, database):
+        with pytest.raises(QueryError):
+            MultiFeatureSearch(database).knn(disc_image(), 0)
+
+    def test_distances_sorted(self, database):
+        search = MultiFeatureSearch(database)
+        result = search.knn(disc_image(), 3, FeatureWeights(1, 1, 1))
+        distances = [d for d, _ in result]
+        assert distances == sorted(distances)
+        assert all(0.0 <= d <= 1.0 + 1e-9 for d in distances)
+
+    def test_cache_and_invalidate(self, database):
+        search = MultiFeatureSearch(database)
+        search.knn(disc_image(), 1)
+        assert len(search._cache) == 3
+        search.invalidate()
+        assert len(search._cache) == 0
+
+    def test_edited_images_included(self, database, rng):
+        from repro.db.augmentation import augment_with_distortions
+
+        augment_with_distortions(database, "disc")
+        search = MultiFeatureSearch(database)
+        result = search.knn(disc_image(), 10, FeatureWeights(1, 1, 1))
+        assert len(result) == len(database)

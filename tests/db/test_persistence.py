@@ -1,0 +1,90 @@
+"""Unit tests for directory persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.color.quantization import UniformQuantizer
+from repro.db.database import MultimediaDatabase
+from repro.db.persistence import load_database, save_database
+from repro.errors import PersistenceError
+from repro.workloads.queries import make_query_workload
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, small_database, tmp_path, rng):
+        root = save_database(small_database, tmp_path / "db")
+        loaded = load_database(root)
+
+        assert loaded.quantizer == small_database.quantizer
+        assert loaded.fill_color == small_database.fill_color
+        assert list(loaded.catalog.binary_ids()) == list(
+            small_database.catalog.binary_ids()
+        )
+        assert list(loaded.catalog.edited_ids()) == list(
+            small_database.catalog.edited_ids()
+        )
+        assert loaded.structure_summary() == small_database.structure_summary()
+
+        # Pixels and sequences survive byte-exactly.
+        for image_id in small_database.catalog.binary_ids():
+            assert loaded.instantiate(image_id) == small_database.instantiate(image_id)
+        for image_id in small_database.catalog.edited_ids():
+            assert (
+                loaded.catalog.sequence_of(image_id)
+                == small_database.catalog.sequence_of(image_id)
+            )
+
+        # Query results identical on both instances.
+        for query in make_query_workload(small_database, rng, 6):
+            assert (
+                loaded.range_query(query).matches
+                == small_database.range_query(query).matches
+            )
+
+    def test_save_custom_quantizer(self, tmp_path, rng):
+        database = MultimediaDatabase(quantizer=UniformQuantizer(3, "hsv"))
+        from repro.images.raster import Image
+
+        database.insert_image(Image.filled(4, 4, (10, 20, 30)))
+        loaded = load_database(save_database(database, tmp_path / "db"))
+        assert loaded.quantizer == UniformQuantizer(3, "hsv")
+
+    def test_layout_on_disk(self, small_database, tmp_path):
+        root = save_database(small_database, tmp_path / "db")
+        assert (root / "catalog.json").is_file()
+        assert len(list((root / "binary").glob("*.ppm"))) == 4
+        assert len(list((root / "edited").glob("*.eseq"))) == 12
+
+
+class TestErrors:
+    def test_missing_catalog(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_database(tmp_path)
+
+    def test_corrupt_manifest(self, tmp_path):
+        (tmp_path / "catalog.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            load_database(tmp_path)
+
+    def test_unsupported_version(self, tmp_path):
+        (tmp_path / "catalog.json").write_text(
+            json.dumps({"format_version": 99}), encoding="utf-8"
+        )
+        with pytest.raises(PersistenceError):
+            load_database(tmp_path)
+
+    def test_missing_raster_file(self, small_database, tmp_path):
+        root = save_database(small_database, tmp_path / "db")
+        victim = next((root / "binary").glob("*.ppm"))
+        victim.unlink()
+        with pytest.raises(PersistenceError):
+            load_database(root)
+
+    def test_missing_sequence_file(self, small_database, tmp_path):
+        root = save_database(small_database, tmp_path / "db")
+        victim = next((root / "edited").glob("*.eseq"))
+        victim.unlink()
+        with pytest.raises(PersistenceError):
+            load_database(root)

@@ -1,0 +1,93 @@
+"""Unit tests for the instantiate processor and similarity search."""
+
+import numpy as np
+import pytest
+
+from repro.color.histogram import ColorHistogram
+from repro.color.names import FLAG_PALETTE
+from repro.core.query import RangeQuery
+from repro.db.database import MultimediaDatabase
+from repro.editing.operations import Modify
+from repro.editing.sequence import EditSequence
+from repro.errors import QueryError
+from repro.images.generators import random_palette_image
+from repro.images.raster import Image
+
+
+class TestInstantiateProcessor:
+    def test_exact_results(self):
+        database = MultimediaDatabase()
+        base = database.insert_image(Image.filled(4, 4, (0, 0, 0)))
+        flipped = database.insert_edited(
+            EditSequence(base, (Modify((0, 0, 0), (255, 255, 255)),))
+        )
+        black_bin = database.quantizer.bin_of((0, 0, 0))
+        result = database.range_query(
+            RangeQuery(black_bin, 0.9, 1.0), method="instantiate"
+        )
+        # The flipped image truly has zero black pixels: exact processing
+        # excludes it, while RBM/BWM conservatively keep it.
+        assert result.matches == {base}
+        conservative = database.range_query(RangeQuery(black_bin, 0.9, 1.0))
+        assert flipped in conservative
+
+    def test_counts_histogram_checks(self, small_database):
+        result = small_database.range_query(
+            RangeQuery(0, 0.0, 1.0), method="instantiate"
+        )
+        assert result.stats.histograms_checked == len(small_database)
+        assert result.stats.rules_applied == 0
+
+
+class TestKNNPruning:
+    def test_bounded_matches_exact_on_many_queries(self, rng):
+        database = MultimediaDatabase()
+        base_ids = [
+            database.insert_image(random_palette_image(rng, 10, 12, FLAG_PALETTE))
+            for _ in range(5)
+        ]
+        for base_id in base_ids:
+            database.augment(
+                base_id, rng, variants=2, palette=FLAG_PALETTE,
+                merge_target_pool=base_ids,
+            )
+        for _ in range(5):
+            query = random_palette_image(rng, 10, 12, FLAG_PALETTE)
+            exact = database.knn(query, 3, method="exact")
+            bounded = database.knn(query, 3, method="bounded")
+            assert [round(d, 9) for d, _ in exact.neighbors] == [
+                round(d, 9) for d, _ in bounded.neighbors
+            ]
+
+    def test_bounded_actually_prunes_distant_edits(self, rng):
+        database = MultimediaDatabase()
+        red = database.insert_image(Image.filled(8, 8, (200, 16, 46)))
+        blue = database.insert_image(Image.filled(8, 8, (0, 40, 104)))
+        # Edits of blue stay blue-ish: tiny recolors in a corner.
+        for _ in range(4):
+            database.insert_edited(
+                EditSequence(blue, (Modify((0, 40, 104), (0, 50, 120)),))
+            )
+        result = database.knn(database.instantiate(red), 1, method="bounded")
+        assert result.ids() == (red,)
+        assert result.stats.edited_pruned > 0
+
+    def test_knn_k_larger_than_database(self, small_database):
+        image = small_database.instantiate(
+            next(iter(small_database.catalog.binary_ids()))
+        )
+        result = small_database.knn(image, 999, method="exact")
+        assert len(result.neighbors) == len(small_database)
+
+    def test_stats_instantiation_counts(self, small_database):
+        image = small_database.instantiate(
+            next(iter(small_database.catalog.binary_ids()))
+        )
+        exact = small_database.knn(image, 3, method="exact")
+        assert exact.stats.edited_instantiated == small_database.catalog.edited_count
+        bounded = small_database.knn(image, 3, method="bounded")
+        assert (
+            bounded.stats.edited_instantiated + bounded.stats.edited_pruned
+            <= small_database.catalog.edited_count + bounded.stats.edited_pruned
+        )
+        assert bounded.stats.candidates_considered == len(small_database)

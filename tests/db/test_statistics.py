@@ -1,0 +1,104 @@
+"""Unit tests for selectivity statistics and EXPLAIN."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import RangeQuery
+from repro.db.database import MultimediaDatabase
+from repro.db.statistics import DatabaseStatistics
+from repro.errors import QueryError
+from repro.images.raster import Image
+from repro.workloads.datasets import build_flag_database
+from repro.workloads.queries import make_query_workload
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_flag_database(np.random.default_rng(21), scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def statistics(database):
+    stats = DatabaseStatistics(database)
+    stats.refresh()
+    return stats
+
+
+class TestBinStatistics:
+    def test_bounds_of_fractions(self, database, statistics):
+        for bin_index in range(0, database.quantizer.bin_count, 7):
+            stats = statistics.bin_statistics(bin_index)
+            assert 0.0 <= stats.minimum <= stats.mean <= stats.maximum <= 1.0
+
+    def test_bucket_counts_cover_all_binaries(self, database, statistics):
+        stats = statistics.bin_statistics(0)
+        assert int(stats.bucket_counts.sum()) == database.catalog.binary_count
+
+    def test_full_range_selectivity_is_one(self, statistics):
+        stats = statistics.bin_statistics(0)
+        assert stats.estimate_selectivity(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_empty_range_rejected(self, statistics):
+        with pytest.raises(QueryError):
+            statistics.bin_statistics(0).estimate_selectivity(0.9, 0.1)
+
+    def test_invalid_bin_rejected(self, statistics):
+        from repro.errors import ColorError
+
+        with pytest.raises(ColorError):
+            statistics.bin_statistics(999)
+
+    def test_estimates_track_truth(self, database, statistics):
+        """Estimates land within a coarse band of true selectivity."""
+        rng = np.random.default_rng(8)
+        catalog = database.catalog
+        binary_count = catalog.binary_count
+        for query in make_query_workload(database, rng, 10):
+            stats = statistics.bin_statistics(query.bin_index)
+            estimated = stats.estimate_selectivity(query.pct_min, query.pct_max)
+            true = sum(
+                query.matches_histogram(catalog.histogram_of(image_id))
+                for image_id in catalog.binary_ids()
+            ) / binary_count
+            assert abs(estimated - true) <= 0.35  # equi-width is coarse
+
+    def test_no_binaries_raises(self):
+        empty = MultimediaDatabase()
+        stats = DatabaseStatistics(empty)
+        with pytest.raises(QueryError):
+            stats.bin_statistics(0)
+
+
+class TestExplain:
+    def test_explain_matches_actual_execution(self, database, statistics):
+        rng = np.random.default_rng(9)
+        for query in make_query_workload(database, rng, 8):
+            explanation = statistics.explain(query)
+            actual = database.range_query(query, method="bwm")
+            assert (
+                explanation.clusters_short_circuited
+                == actual.stats.clusters_short_circuited
+            )
+            assert (
+                explanation.edited_accepted_without_rules
+                == actual.stats.edited_accepted_without_rules
+            )
+            assert explanation.rules_bwm_would_apply == actual.stats.rules_applied
+            rbm = database.range_query(query, method="rbm")
+            assert explanation.rules_rbm_would_apply == rbm.stats.rules_applied
+
+    def test_rules_saved_non_negative(self, database, statistics):
+        rng = np.random.default_rng(10)
+        for query in make_query_workload(database, rng, 6):
+            assert statistics.explain(query).rules_saved >= 0
+
+    def test_describe_renders(self, database, statistics):
+        text = statistics.explain(RangeQuery.at_least(0, 0.2)).describe()
+        assert "EXPLAIN" in text
+        assert "rule applications" in text
+
+    def test_explain_is_cheap(self, database, statistics):
+        """EXPLAIN must not run any BOUNDS walks."""
+        before = database.engine.rules_applied
+        statistics.explain(RangeQuery.at_least(0, 0.2))
+        assert database.engine.rules_applied == before

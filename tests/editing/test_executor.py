@@ -1,0 +1,283 @@
+"""Unit tests for the instantiation engine (operation semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.editing.executor import (
+    EditExecutor,
+    ExecutionState,
+    combine_region,
+    merge_canvas_geometry,
+)
+from repro.editing.operations import Combine, Define, Merge, Modify, Mutate
+from repro.editing.sequence import EditSequence
+from repro.errors import ExecutionError
+from repro.images.geometry import AffineMatrix, Rect
+from repro.images.raster import Image
+
+
+def run(base, *ops, resolve=None, fill=(0, 0, 0)):
+    executor = EditExecutor(resolve=resolve, fill_color=fill)
+    return executor.instantiate(base, EditSequence("base", tuple(ops)))
+
+
+class TestDefine:
+    def test_define_clips_to_image(self, flat_image):
+        executor = EditExecutor()
+        state = ExecutionState.initial(flat_image)
+        state = executor.apply_operation(state, Define(Rect(-5, -5, 100, 100)))
+        assert state.dr == flat_image.bounds
+
+    def test_define_outside_gives_empty_dr(self, flat_image):
+        executor = EditExecutor()
+        state = ExecutionState.initial(flat_image)
+        state = executor.apply_operation(state, Define(Rect(50, 50, 60, 60)))
+        assert state.dr.is_empty
+
+    def test_initial_dr_is_whole_image(self, flat_image):
+        assert ExecutionState.initial(flat_image).dr == flat_image.bounds
+
+
+class TestModify:
+    def test_modify_changes_only_matching_pixels_in_dr(self):
+        image = Image.filled(4, 4, (10, 10, 10))
+        image.set_pixel(0, 0, (20, 20, 20))
+        out = run(
+            image,
+            Define(Rect(0, 0, 2, 4)),
+            Modify((10, 10, 10), (99, 99, 99)),
+        )
+        assert out.get_pixel(0, 0) == (20, 20, 20)  # different color untouched
+        assert out.get_pixel(0, 1) == (99, 99, 99)  # matched inside DR
+        assert out.get_pixel(3, 3) == (10, 10, 10)  # outside DR untouched
+
+    def test_modify_absent_color_is_noop(self, flat_image):
+        out = run(flat_image, Modify((1, 2, 3), (9, 9, 9)))
+        assert out == flat_image
+
+    def test_modify_empty_dr_is_noop(self, flat_image):
+        out = run(
+            flat_image,
+            Define(Rect(100, 100, 120, 120)),
+            Modify((200, 16, 46), (0, 0, 0)),
+        )
+        assert out == flat_image
+
+    def test_modify_does_not_mutate_input(self, flat_image):
+        snapshot = flat_image.copy()
+        run(flat_image, Modify((200, 16, 46), (0, 0, 0)))
+        assert flat_image == snapshot
+
+
+class TestCombine:
+    def test_flat_region_unchanged(self, flat_image):
+        assert run(flat_image, Combine.box()) == flat_image
+
+    def test_center_weight_only_is_identity(self):
+        image = Image.filled(3, 3, (0, 0, 0))
+        image.set_pixel(1, 1, (90, 0, 0))
+        weights = [0.0] * 9
+        weights[4] = 1.0
+        assert run(image, Combine(tuple(weights))) == image
+
+    def test_box_blur_averages_neighborhood(self):
+        image = Image.filled(3, 3, (0, 0, 0))
+        image.set_pixel(1, 1, (90, 90, 90))
+        out = run(image, Combine.box())
+        assert out.get_pixel(1, 1) == (10, 10, 10)
+
+    def test_blur_uses_pre_op_pixels(self):
+        # A progressive blur would smear the already-blurred values; the
+        # semantics read the original image for every neighborhood.
+        image = Image.filled(1, 4, (0, 0, 0))
+        image.set_pixel(0, 0, (120, 0, 0))
+        out = run(image, Combine.box())
+        # Pixel 2's neighborhood (edge-clamped rows) contains no original
+        # red: columns 1..3 only.
+        assert out.get_pixel(0, 2) == (0, 0, 0)
+        assert out.get_pixel(0, 1)[0] > 0
+
+    def test_blur_outside_dr_untouched(self):
+        image = Image.filled(3, 3, (0, 0, 0))
+        image.set_pixel(1, 1, (90, 90, 90))
+        out = run(image, Define(Rect(0, 0, 1, 1)), Combine.box())
+        assert out.get_pixel(1, 1) == (90, 90, 90)
+        assert out.get_pixel(0, 0) == (10, 10, 10)
+
+    def test_combine_region_zero_weights_rejected(self, flat_image):
+        with pytest.raises(ExecutionError):
+            combine_region(flat_image, flat_image.bounds, [0.0] * 9)
+
+    def test_edge_clamped_padding(self):
+        image = Image.filled(1, 2, (0, 0, 0))
+        image.set_pixel(0, 0, (90, 0, 0))
+        out = run(image, Combine.box())
+        # Corner neighborhood replicates the corner pixel 4 times and its
+        # right neighbor twice (plus clamped rows): 6*90/9 = 60.
+        assert out.get_pixel(0, 0)[0] == 60
+
+
+class TestMutateScale:
+    def test_integer_upscale_replicates_pixels(self):
+        image = Image.filled(2, 2, (1, 1, 1))
+        image.set_pixel(0, 0, (9, 9, 9))
+        out = run(image, Mutate.scale(2))
+        assert (out.height, out.width) == (4, 4)
+        assert out.count_color((9, 9, 9)) == 4
+        assert out.count_color((1, 1, 1)) == 12
+
+    def test_anisotropic_integer_scale(self):
+        image = Image.filled(2, 3, (5, 5, 5))
+        out = run(image, Mutate.scale(3, 2))
+        assert (out.height, out.width) == (6, 6)
+
+    def test_scale_of_subregion_moves_pixels_not_canvas(self):
+        image = Image.filled(4, 4, (1, 1, 1))
+        out = run(image, Define(Rect(0, 0, 2, 2)), Mutate.scale(2))
+        assert (out.height, out.width) == (4, 4)  # canvas unchanged
+
+    def test_fractional_whole_image_scale_keeps_canvas(self):
+        image = Image.filled(4, 4, (1, 1, 1))
+        out = run(image, Mutate.scale(1.5))
+        assert (out.height, out.width) == (4, 4)
+
+
+class TestMutateMove:
+    def test_translation_moves_region_and_fills_vacated(self):
+        image = Image.filled(4, 4, (1, 1, 1))
+        image.set_pixel(0, 0, (9, 9, 9))
+        out = run(
+            image,
+            Define(Rect(0, 0, 1, 1)),
+            Mutate.translation(2, 2),
+            fill=(7, 7, 7),
+        )
+        assert out.get_pixel(2, 2) == (9, 9, 9)
+        assert out.get_pixel(0, 0) == (7, 7, 7)
+
+    def test_translation_off_canvas_discards_pixels(self):
+        image = Image.filled(3, 3, (9, 9, 9))
+        out = run(
+            image,
+            Define(Rect(0, 0, 1, 1)),
+            Mutate.translation(100, 100),
+            fill=(0, 0, 0),
+        )
+        assert out.count_color((9, 9, 9)) == 8
+        assert out.get_pixel(0, 0) == (0, 0, 0)
+
+    def test_quarter_rotation_about_center_preserves_histogram(self):
+        rng = np.random.default_rng(1)
+        arr = rng.integers(0, 4, size=(5, 5, 3)) * 80
+        image = Image(arr.astype(np.uint8))
+        out = run(image, Mutate.rotation_90(2, cx=2, cy=2))
+        # A 180-degree rotation about the center permutes pixels exactly.
+        assert sorted(map(tuple, out.pixels.reshape(-1, 3).tolist())) == sorted(
+            map(tuple, image.pixels.reshape(-1, 3).tolist())
+        )
+        assert out.get_pixel(0, 0) == image.get_pixel(4, 4)
+
+    def test_empty_dr_is_noop(self, flat_image):
+        out = run(flat_image, Define(Rect(90, 90, 95, 95)), Mutate.translation(1, 1))
+        assert out == flat_image
+
+    def test_dr_tracks_transform(self, flat_image):
+        executor = EditExecutor()
+        state = ExecutionState.initial(flat_image)
+        state = executor.apply_operation(state, Define(Rect(0, 0, 2, 2)))
+        state = executor.apply_operation(state, Mutate.translation(3, 3))
+        assert state.dr.contains(Rect(3, 3, 5, 5))
+
+
+class TestMergeCrop:
+    def test_crop_extracts_dr(self):
+        image = Image.filled(4, 6, (1, 1, 1))
+        image.set_pixel(1, 2, (9, 9, 9))
+        out = run(image, Define(Rect(1, 2, 3, 5)), Merge(None))
+        assert (out.height, out.width) == (2, 3)
+        assert out.get_pixel(0, 0) == (9, 9, 9)
+
+    def test_crop_with_empty_dr_raises(self, flat_image):
+        with pytest.raises(ExecutionError) as excinfo:
+            run(flat_image, Define(Rect(50, 50, 52, 52)), Merge(None))
+        assert "operation 1" in str(excinfo.value)
+
+    def test_dr_resets_after_crop(self, flat_image):
+        executor = EditExecutor()
+        state = ExecutionState.initial(flat_image)
+        state = executor.apply_operation(state, Define(Rect(0, 0, 3, 3)))
+        state = executor.apply_operation(state, Merge(None))
+        assert state.dr == Rect(0, 0, 3, 3)
+
+
+class TestMergeTarget:
+    def make_resolver(self, **images):
+        return lambda target_id: images[target_id]
+
+    def test_paste_inside_target(self):
+        base = Image.filled(2, 2, (9, 9, 9))
+        target = Image.filled(4, 4, (1, 1, 1))
+        out = run(
+            base,
+            Merge("t", 1, 1),
+            resolve=self.make_resolver(t=target),
+        )
+        assert (out.height, out.width) == (4, 4)
+        assert out.count_color((9, 9, 9)) == 4
+        assert out.get_pixel(0, 0) == (1, 1, 1)
+
+    def test_paste_overhanging_expands_canvas(self):
+        base = Image.filled(2, 2, (9, 9, 9))
+        target = Image.filled(3, 3, (1, 1, 1))
+        out = run(
+            base,
+            Merge("t", 2, 2),
+            resolve=self.make_resolver(t=target),
+            fill=(7, 7, 7),
+        )
+        assert (out.height, out.width) == (4, 4)
+        assert out.count_color((9, 9, 9)) == 4
+        assert out.count_color((7, 7, 7)) == 4 * 4 - 9 - 4 + 1  # border fill
+        assert out.get_pixel(3, 3) == (9, 9, 9)
+
+    def test_paste_negative_offset_shifts_origin(self):
+        base = Image.filled(2, 2, (9, 9, 9))
+        target = Image.filled(3, 3, (1, 1, 1))
+        out = run(
+            base,
+            Merge("t", -1, -1),
+            resolve=self.make_resolver(t=target),
+            fill=(7, 7, 7),
+        )
+        assert (out.height, out.width) == (4, 4)
+        assert out.get_pixel(0, 0) == (9, 9, 9)
+        assert out.get_pixel(3, 3) == (1, 1, 1)  # target's old (2,2)
+
+    def test_missing_resolver_raises(self):
+        base = Image.filled(2, 2, (9, 9, 9))
+        with pytest.raises(ExecutionError):
+            run(base, Merge("t", 0, 0))
+
+    def test_merge_canvas_geometry_formula(self):
+        # DR 2x2 pasted at (2, 2) onto a 3x3 target: canvas 4x4, no shift.
+        assert merge_canvas_geometry(2, 2, 3, 3, 2, 2) == (4, 4, 0, 0)
+        # Negative offsets shift the origin.
+        assert merge_canvas_geometry(2, 2, 3, 3, -1, -1) == (4, 4, -1, -1)
+        # Paste fully inside: canvas equals the target.
+        assert merge_canvas_geometry(2, 2, 5, 5, 1, 1) == (5, 5, 0, 0)
+
+
+class TestCompleteness:
+    def test_any_image_reachable_via_pixel_level_modifies(self, rng):
+        """Invariant 7 (DESIGN.md): the operation set is complete [2]."""
+        base = Image(rng.integers(0, 4, size=(5, 6, 3)).astype(np.uint8) * 60)
+        target = Image(rng.integers(0, 4, size=(5, 6, 3)).astype(np.uint8) * 60)
+        ops = []
+        for x in range(base.height):
+            for y in range(base.width):
+                old = base.get_pixel(x, y)
+                new = target.get_pixel(x, y)
+                if old != new:
+                    ops.append(Define(Rect(x, y, x + 1, y + 1)))
+                    ops.append(Modify(old, new))
+        assert run(base, *ops) == target

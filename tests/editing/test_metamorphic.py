@@ -1,0 +1,146 @@
+"""Metamorphic properties of the instantiation engine.
+
+Algebraic identities that must hold between *different* edit sequences —
+a complement to the per-operation unit tests that pins down interactions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.editing.executor import EditExecutor
+from repro.editing.operations import Combine, Define, Merge, Modify, Mutate
+from repro.editing.sequence import EditSequence
+from repro.images.generators import random_palette_image
+from repro.images.geometry import Rect
+from repro.images.raster import Image
+
+PALETTE = [(200, 16, 46), (0, 40, 104), (255, 255, 255), (0, 122, 61)]
+
+
+def run(base, ops, fill=(0, 0, 0)):
+    executor = EditExecutor(fill_color=fill)
+    return executor.instantiate(base, EditSequence("b", tuple(ops)))
+
+
+@pytest.fixture
+def canvas(rng):
+    return random_palette_image(rng, 13, 17, PALETTE)
+
+
+class TestIdentities:
+    def test_scale_by_one_is_identity(self, canvas):
+        assert run(canvas, [Mutate.scale(1)]) == canvas
+
+    def test_full_crop_is_identity(self, canvas):
+        assert run(canvas, [Merge(None)]) == canvas
+
+    def test_four_quarter_turns_about_center(self, rng):
+        square = random_palette_image(rng, 11, 11, PALETTE)
+        center = (square.height - 1) / 2.0
+        ops = [Mutate.rotation_90(1, cx=center, cy=center)] * 4
+        assert run(square, ops) == square
+
+    def test_two_half_turns_about_center(self, rng):
+        square = random_palette_image(rng, 9, 9, PALETTE)
+        center = (square.height - 1) / 2.0
+        ops = [Mutate.rotation_90(2, cx=center, cy=center)] * 2
+        assert run(square, ops) == square
+
+    def test_translation_roundtrip_over_fill_background(self):
+        fill = (7, 7, 7)
+        image = Image.filled(12, 12, fill)
+        image.region(Rect(2, 2, 5, 5))[:] = (200, 16, 46)
+        ops = [
+            Define(Rect(2, 2, 5, 5)),
+            Mutate.translation(4, 4),
+            Define(Rect(6, 6, 9, 9)),
+            Mutate.translation(-4, -4),
+        ]
+        assert run(image, ops, fill=fill) == image
+
+    def test_instantiation_is_deterministic(self, canvas, rng):
+        from repro.editing.random_edits import random_sequence
+
+        sequence = random_sequence(
+            rng, "b", canvas.height, canvas.width, PALETTE, length=5
+        )
+        executor = EditExecutor()
+        assert executor.instantiate(canvas, sequence) == executor.instantiate(
+            canvas, sequence
+        )
+
+    def test_base_image_never_mutated(self, canvas, rng):
+        from repro.editing.random_edits import random_sequence
+
+        snapshot = canvas.copy()
+        for _ in range(10):
+            sequence = random_sequence(
+                rng, "b", canvas.height, canvas.width, PALETTE
+            )
+            EditExecutor().instantiate(canvas, sequence)
+        assert canvas == snapshot
+
+
+class TestComposition:
+    def test_last_define_wins(self, canvas):
+        direct = run(canvas, [Define(Rect(3, 3, 7, 7)), Combine.box()])
+        shadowed = run(
+            canvas,
+            [Define(Rect(0, 0, 2, 2)), Define(Rect(3, 3, 7, 7)), Combine.box()],
+        )
+        assert direct == shadowed
+
+    def test_modify_chain_equals_direct_recolor_when_intermediate_absent(self, canvas):
+        # (10,10,10) does not occur in PALETTE images, so a -> tmp -> c
+        # equals a -> c.
+        a, tmp, c = (200, 16, 46), (10, 10, 10), (0, 0, 0)
+        chained = run(canvas, [Modify(a, tmp), Modify(tmp, c)])
+        direct = run(canvas, [Modify(a, c)])
+        assert chained == direct
+
+    def test_disjoint_modifies_commute(self, canvas):
+        a, b = (200, 16, 46), (0, 40, 104)
+        x, y = (1, 1, 1), (2, 2, 2)
+        order_one = run(canvas, [Modify(a, x), Modify(b, y)])
+        order_two = run(canvas, [Modify(b, y), Modify(a, x)])
+        assert order_one == order_two
+
+    def test_crop_of_crop_composes(self, canvas):
+        double = run(
+            canvas,
+            [
+                Define(Rect(2, 3, 11, 14)),
+                Merge(None),
+                Define(Rect(1, 1, 5, 6)),
+                Merge(None),
+            ],
+        )
+        direct = run(canvas, [Define(Rect(3, 4, 7, 9)), Merge(None)])
+        assert double == direct
+
+    def test_blur_on_flat_region_then_modify_equals_modify(self):
+        image = Image.filled(8, 8, (50, 50, 50))
+        with_blur = run(image, [Combine.box(), Modify((50, 50, 50), (9, 9, 9))])
+        without = run(image, [Modify((50, 50, 50), (9, 9, 9))])
+        assert with_blur == without
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_split_sequence_equals_whole(self, seed):
+        """Running ops in two halves (state carried) equals one run."""
+        from repro.editing.executor import ExecutionState
+        from repro.editing.random_edits import random_sequence
+
+        rng = np.random.default_rng(seed)
+        base = random_palette_image(rng, 10, 12, PALETTE)
+        sequence = random_sequence(rng, "b", base.height, base.width, PALETTE, length=6)
+        executor = EditExecutor()
+
+        whole = executor.instantiate(base, sequence)
+
+        state = ExecutionState.initial(base)
+        for op in sequence.operations:
+            state = executor.apply_operation(state, op)
+        assert state.image == whole

@@ -1,0 +1,143 @@
+"""Unit tests for the five editing operations."""
+
+import pytest
+
+from repro.editing.operations import (
+    OPERATION_KINDS,
+    Combine,
+    Define,
+    Merge,
+    Modify,
+    Mutate,
+    ensure_operation,
+)
+from repro.errors import OperationError
+from repro.images.geometry import AffineMatrix, Rect
+
+
+class TestDefine:
+    def test_of_constructor(self):
+        define = Define.of(1, 2, 3, 4)
+        assert define.rect == Rect(1, 2, 3, 4)
+        assert define.kind == "define"
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(OperationError):
+            Define(Rect(2, 2, 2, 5))
+
+    def test_overhanging_region_allowed(self):
+        Define(Rect(-5, -5, 100, 100))  # clipped at execution time
+
+    def test_repr(self):
+        assert repr(Define.of(0, 0, 2, 2)) == "Define(0, 0, 2, 2)"
+
+    def test_frozen(self):
+        define = Define.of(0, 0, 1, 1)
+        with pytest.raises(Exception):
+            define.rect = Rect(0, 0, 2, 2)
+
+
+class TestCombine:
+    def test_box_blur_weights(self):
+        assert Combine.box().weights == tuple([1.0] * 9)
+
+    def test_wrong_arity(self):
+        with pytest.raises(OperationError):
+            Combine((1.0,) * 8)
+
+    def test_negative_weight_rejected(self):
+        weights = [1.0] * 9
+        weights[3] = -0.1
+        with pytest.raises(OperationError):
+            Combine(tuple(weights))
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(OperationError):
+            Combine((0.0,) * 9)
+
+    def test_weights_coerced_to_float(self):
+        combine = Combine((1,) * 9)
+        assert all(isinstance(w, float) for w in combine.weights)
+
+
+class TestModify:
+    def test_colors_validated(self):
+        modify = Modify((1, 2, 3), (4, 5, 6))
+        assert modify.rgb_old == (1, 2, 3)
+        assert modify.rgb_new == (4, 5, 6)
+
+    def test_bad_color_rejected(self):
+        with pytest.raises(Exception):
+            Modify((300, 0, 0), (0, 0, 0))
+
+    def test_identity_modify_allowed(self):
+        Modify((5, 5, 5), (5, 5, 5))
+
+    def test_repr(self):
+        assert "->" in repr(Modify((0, 0, 0), (1, 1, 1)))
+
+
+class TestMutate:
+    def test_translation(self):
+        mutate = Mutate.translation(3, -2)
+        assert mutate.matrix.apply_point(0, 0) == (3, -2)
+        assert mutate.matrix.is_rigid_body()
+
+    def test_rotation(self):
+        assert Mutate.rotation_90(1).matrix.is_rigid_body()
+
+    def test_scale(self):
+        assert Mutate.scale(2).matrix.is_integer_scale()
+
+    def test_singular_rejected(self):
+        with pytest.raises(OperationError):
+            Mutate(AffineMatrix(0, 0, 0, 0, 0, 0))
+
+    def test_whole_image_scale_predicate(self):
+        mutate = Mutate.scale(2)
+        image_bounds = Rect(0, 0, 4, 4)
+        assert mutate.is_whole_image_scale(Rect(0, 0, 4, 4), image_bounds)
+        assert mutate.is_whole_image_scale(Rect(-1, -1, 9, 9), image_bounds)
+        assert not mutate.is_whole_image_scale(Rect(0, 0, 2, 2), image_bounds)
+        assert not Mutate.translation(1, 0).is_whole_image_scale(
+            Rect(0, 0, 4, 4), image_bounds
+        )
+
+
+class TestMerge:
+    def test_crop_form(self):
+        merge = Merge(None)
+        assert merge.is_crop
+        assert "NULL" in repr(merge)
+
+    def test_target_form(self):
+        merge = Merge("img-5", 2, 3)
+        assert not merge.is_crop
+        assert (merge.x, merge.y) == (2, 3)
+
+    def test_empty_target_id_rejected(self):
+        with pytest.raises(OperationError):
+            Merge("")
+
+    def test_coordinates_coerced_to_int(self):
+        merge = Merge("t", 2.0, 3.0)
+        assert isinstance(merge.x, int) and isinstance(merge.y, int)
+
+
+class TestDispatchHelpers:
+    def test_operation_kinds_complete(self):
+        assert set(OPERATION_KINDS) == {"define", "combine", "modify", "mutate", "merge"}
+
+    def test_ensure_operation_accepts_all(self):
+        for op in (
+            Define.of(0, 0, 1, 1),
+            Combine.box(),
+            Modify((0, 0, 0), (1, 1, 1)),
+            Mutate.translation(0, 1),
+            Merge(None),
+        ):
+            assert ensure_operation(op) is op
+
+    def test_ensure_operation_rejects_other(self):
+        with pytest.raises(OperationError):
+            ensure_operation("define 0 0 1 1")

@@ -1,0 +1,113 @@
+"""Unit tests for augmentation recipes and random edit generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import is_bound_widening, sequence_is_bound_widening
+from repro.editing.executor import EditExecutor
+from repro.editing.random_edits import random_sequence
+from repro.editing.recipes import (
+    BOUND_WIDENING_RECIPES,
+    NON_WIDENING_RECIPES,
+    build_variant,
+    recipe_paste_onto,
+)
+from repro.editing.sequence import EditSequence
+from repro.errors import WorkloadError
+from repro.images.raster import Image
+
+PALETTE = [(200, 16, 46), (0, 40, 104), (255, 255, 255)]
+
+
+class TestRecipeClassification:
+    @pytest.mark.parametrize("recipe", BOUND_WIDENING_RECIPES, ids=lambda r: r.__name__)
+    def test_widening_recipes_classify_widening(self, recipe, rng):
+        for _ in range(10):
+            ops = recipe(rng, 20, 24, PALETTE)
+            assert all(is_bound_widening(op) for op in ops), recipe.__name__
+
+    @pytest.mark.parametrize("recipe", NON_WIDENING_RECIPES, ids=lambda r: r.__name__)
+    def test_non_widening_recipes_contain_non_widening_op(self, recipe, rng):
+        for _ in range(10):
+            ops = recipe(rng, 20, 24, PALETTE)
+            assert any(not is_bound_widening(op) for op in ops), recipe.__name__
+
+    def test_paste_onto_is_non_widening(self, rng):
+        ops = recipe_paste_onto("other")(rng, 20, 24, PALETTE)
+        assert any(not is_bound_widening(op) for op in ops)
+
+    def test_build_variant_widening_flag(self, rng):
+        for _ in range(20):
+            seq = EditSequence("b", tuple(build_variant(rng, 20, 24, PALETTE, True)))
+            assert sequence_is_bound_widening(seq)
+        for _ in range(20):
+            seq = EditSequence(
+                "b", tuple(build_variant(rng, 20, 24, PALETTE, False, merge_target="t"))
+            )
+            assert not sequence_is_bound_widening(seq)
+
+
+class TestRecipeExecutability:
+    def test_all_widening_recipes_execute(self, rng, flag_like_image):
+        executor = EditExecutor()
+        for recipe in BOUND_WIDENING_RECIPES:
+            for _ in range(5):
+                ops = recipe(rng, flag_like_image.height, flag_like_image.width, PALETTE)
+                executor.instantiate(flag_like_image, EditSequence("b", tuple(ops)))
+
+    def test_non_widening_recipes_execute(self, rng, flag_like_image):
+        target = Image.filled(10, 10, (1, 2, 3))
+        executor = EditExecutor(resolve=lambda _t: target)
+        pool = list(NON_WIDENING_RECIPES) + [recipe_paste_onto("t")]
+        for recipe in pool:
+            for _ in range(5):
+                ops = recipe(rng, flag_like_image.height, flag_like_image.width, PALETTE)
+                executor.instantiate(flag_like_image, EditSequence("b", tuple(ops)))
+
+    def test_tiny_image_rejected(self, rng):
+        from repro.editing.recipes import recipe_regional_blur
+
+        with pytest.raises(WorkloadError):
+            recipe_regional_blur(rng, 1, 1, PALETTE)
+
+    def test_empty_palette_rejected(self, rng):
+        from repro.editing.recipes import recipe_recolor
+
+        with pytest.raises(WorkloadError):
+            recipe_recolor(rng, 20, 20, [])
+
+
+class TestRandomSequences:
+    def test_always_executable(self, rng, flag_like_image):
+        target = Image.filled(9, 11, (3, 3, 3))
+        executor = EditExecutor(resolve=lambda _t: target)
+        for _ in range(60):
+            seq = random_sequence(
+                rng,
+                "b",
+                flag_like_image.height,
+                flag_like_image.width,
+                PALETTE,
+                merge_targets={"t": (9, 11)},
+            )
+            executor.instantiate(flag_like_image, seq)
+
+    def test_respects_length(self, rng):
+        seq = random_sequence(rng, "b", 16, 16, PALETTE, length=5)
+        assert len(seq) == 5
+
+    def test_respects_max_pixels(self, rng, flag_like_image):
+        executor = EditExecutor()
+        cap = 4096
+        for _ in range(40):
+            seq = random_sequence(
+                rng, "b", flag_like_image.height, flag_like_image.width,
+                PALETTE, length=6, max_pixels=cap,
+            )
+            out = executor.instantiate(flag_like_image, seq)
+            assert out.size <= cap * 4  # one final non-whole-image op may exceed cap modestly
+
+    def test_deterministic_given_seed(self):
+        a = random_sequence(np.random.default_rng(9), "b", 16, 16, PALETTE, length=4)
+        b = random_sequence(np.random.default_rng(9), "b", 16, 16, PALETTE, length=4)
+        assert a == b

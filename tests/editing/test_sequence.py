@@ -1,0 +1,136 @@
+"""Unit and property tests for edit sequences and their text format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.editing.operations import Combine, Define, Merge, Modify, Mutate
+from repro.editing.random_edits import random_sequence
+from repro.editing.sequence import EditSequence
+from repro.errors import SequenceError
+from repro.images.geometry import AffineMatrix, Rect
+
+
+def sample_sequence():
+    return EditSequence(
+        "base-1",
+        (
+            Define(Rect(1, 2, 5, 9)),
+            Combine.box(),
+            Modify((10, 20, 30), (40, 50, 60)),
+            Mutate(AffineMatrix(1, 0.25, 3, 0, 1.5, -2)),
+            Merge("tgt-1", -3, 4),
+            Merge(None),
+        ),
+    )
+
+
+class TestConstruction:
+    def test_requires_base(self):
+        with pytest.raises(SequenceError):
+            EditSequence("")
+
+    def test_empty_operations_ok(self):
+        assert len(EditSequence("b")) == 0
+
+    def test_rejects_non_operations(self):
+        with pytest.raises(Exception):
+            EditSequence("b", ("define 0 0 1 1",))
+
+    def test_iteration_and_len(self):
+        seq = sample_sequence()
+        assert len(seq) == 6
+        assert list(seq) == list(seq.operations)
+
+    def test_extended_appends(self):
+        seq = EditSequence("b", (Combine.box(),))
+        longer = seq.extended(Merge(None))
+        assert len(longer) == 2
+        assert len(seq) == 1  # original untouched
+
+    def test_merge_targets(self):
+        assert sample_sequence().merge_targets() == ("tgt-1",)
+
+    def test_referenced_ids(self):
+        assert sample_sequence().referenced_ids() == ("base-1", "tgt-1")
+
+
+class TestSerialization:
+    def test_round_trip_sample(self):
+        seq = sample_sequence()
+        assert EditSequence.parse(seq.serialize()) == seq
+
+    def test_serialized_form_is_line_oriented(self):
+        text = sample_sequence().serialize()
+        lines = text.strip().splitlines()
+        assert lines[0] == "base base-1"
+        assert lines[1] == "define 1 2 5 9"
+        assert lines[-1] == "merge NULL 0 0"
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nbase b\n# note\ndefine 0 0 2 2\n"
+        seq = EditSequence.parse(text)
+        assert seq.base_id == "b"
+        assert len(seq) == 1
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_random_sequences_round_trip(self, seed, length):
+        rng = np.random.default_rng(seed)
+        seq = random_sequence(
+            rng, "base", 12, 14, [(5, 5, 5)], length=length,
+            merge_targets={"t1": (6, 6)},
+        )
+        assert EditSequence.parse(seq.serialize()) == seq
+
+    def test_storage_size_counts_serialized_bytes(self):
+        seq = sample_sequence()
+        assert seq.storage_size_bytes() == len(seq.serialize().encode("utf-8"))
+
+
+class TestParseErrors:
+    def test_missing_base(self):
+        with pytest.raises(SequenceError):
+            EditSequence.parse("define 0 0 1 1\n")
+
+    def test_duplicate_base(self):
+        with pytest.raises(SequenceError):
+            EditSequence.parse("base a\nbase b\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(SequenceError) as excinfo:
+            EditSequence.parse("base a\nsharpen 1 2 3\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_define_arity(self):
+        with pytest.raises(SequenceError):
+            EditSequence.parse("base a\ndefine 0 0 1\n")
+
+    def test_define_non_integer(self):
+        with pytest.raises(SequenceError):
+            EditSequence.parse("base a\ndefine 0 0 1 x\n")
+
+    def test_combine_arity(self):
+        with pytest.raises(SequenceError):
+            EditSequence.parse("base a\ncombine 1 1 1\n")
+
+    def test_modify_missing_arrow(self):
+        with pytest.raises(SequenceError):
+            EditSequence.parse("base a\nmodify 1 2 3 4 5 6\n")
+
+    def test_mutate_arity(self):
+        with pytest.raises(SequenceError):
+            EditSequence.parse("base a\nmutate 1 0 0 0 1 0\n")
+
+    def test_merge_arity(self):
+        with pytest.raises(SequenceError):
+            EditSequence.parse("base a\nmerge NULL 0\n")
+
+    def test_merge_non_integer_coords(self):
+        with pytest.raises(SequenceError):
+            EditSequence.parse("base a\nmerge NULL x y\n")
+
+    def test_empty_base_id(self):
+        with pytest.raises(SequenceError):
+            EditSequence.parse("base \ndefine 0 0 1 1\n")

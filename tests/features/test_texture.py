@@ -1,0 +1,105 @@
+"""Unit tests for LBP texture signatures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HistogramError
+from repro.features.texture import (
+    UNIFORM_BINS,
+    TextureSignature,
+    _transition_count,
+    lbp_codes,
+    luminance,
+    texture_distance,
+)
+from repro.images.generators import checkerboard, random_noise_image
+from repro.images.raster import Image
+
+
+class TestLuminance:
+    def test_grayscale_is_identity(self):
+        image = Image.filled(2, 2, (100, 100, 100))
+        assert np.allclose(luminance(image), 100.0)
+
+    def test_green_weighs_most(self):
+        green = luminance(Image.filled(1, 1, (0, 255, 0)))[0, 0]
+        red = luminance(Image.filled(1, 1, (255, 0, 0)))[0, 0]
+        blue = luminance(Image.filled(1, 1, (0, 0, 255)))[0, 0]
+        assert green > red > blue
+
+
+class TestCodes:
+    def test_flat_image_all_255(self):
+        # Every neighbor equals the center, so every bit is set.
+        codes = lbp_codes(Image.filled(4, 4, (50, 50, 50)))
+        assert (codes == 255).all()
+
+    def test_code_shape_is_interior(self):
+        codes = lbp_codes(Image.filled(5, 7, (0, 0, 0)))
+        assert codes.shape == (3, 5)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(HistogramError):
+            lbp_codes(Image.filled(2, 5, (0, 0, 0)))
+
+    def test_bright_center_is_zero(self):
+        image = Image.filled(3, 3, (0, 0, 0))
+        image.set_pixel(1, 1, (255, 255, 255))
+        assert lbp_codes(image)[0, 0] == 0
+
+    def test_transition_count(self):
+        assert _transition_count(0b00000000) == 0
+        assert _transition_count(0b11111111) == 0
+        assert _transition_count(0b00001111) == 2
+        assert _transition_count(0b01010101) == 8
+
+
+class TestSignature:
+    def test_uniform_bin_count(self):
+        assert UNIFORM_BINS == 59  # 58 uniform patterns + 1 catch-all
+
+    def test_counts_cover_interior(self):
+        signature = TextureSignature.of_image(Image.filled(6, 6, (9, 9, 9)))
+        assert signature.total == 16
+
+    def test_validation(self):
+        with pytest.raises(HistogramError):
+            TextureSignature(np.zeros(10, dtype=np.int64), 0)
+        counts = np.zeros(UNIFORM_BINS, dtype=np.int64)
+        with pytest.raises(HistogramError):
+            TextureSignature(counts, 0)
+
+    def test_flat_versus_checkerboard_differ(self):
+        flat = TextureSignature.of_image(Image.filled(8, 8, (100, 100, 100)))
+        checker = TextureSignature.of_image(
+            checkerboard(8, 8, 1, (0, 0, 0), (255, 255, 255))
+        )
+        assert texture_distance(flat, checker) > 0.5
+
+    def test_distance_identity_and_symmetry(self, rng):
+        a = TextureSignature.of_image(random_noise_image(rng, 8, 8))
+        b = TextureSignature.of_image(random_noise_image(rng, 8, 8))
+        assert texture_distance(a, a) == 0.0
+        assert texture_distance(a, b) == texture_distance(b, a)
+        assert 0.0 <= texture_distance(a, b) <= 2.0
+
+    def test_texture_invariant_to_global_recolor(self):
+        """Texture sees structure, not absolute color."""
+        dark = checkerboard(8, 8, 2, (10, 10, 10), (60, 60, 60))
+        bright = checkerboard(8, 8, 2, (150, 150, 150), (220, 220, 220))
+        assert TextureSignature.of_image(dark) == TextureSignature.of_image(bright)
+
+    def test_texture_differs_where_color_histogram_agrees(self):
+        """The §6 point: texture separates what color cannot."""
+        from repro.color.histogram import ColorHistogram
+        from repro.color.quantization import UniformQuantizer
+
+        fine = checkerboard(8, 8, 1, (0, 0, 0), (255, 255, 255))
+        coarse = checkerboard(8, 8, 4, (0, 0, 0), (255, 255, 255))
+        quantizer = UniformQuantizer(2, "rgb")
+        assert ColorHistogram.of_image(fine, quantizer) == ColorHistogram.of_image(
+            coarse, quantizer
+        )
+        assert texture_distance(
+            TextureSignature.of_image(fine), TextureSignature.of_image(coarse)
+        ) > 0.3

@@ -1,0 +1,170 @@
+"""Unit and property tests for the PPM/PGM codecs."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.images.ppm import binary_size_bytes, read_ppm, write_ppm
+from repro.images.raster import Image
+
+
+def small_image_strategy():
+    return st.integers(1, 6).flatmap(
+        lambda h: st.integers(1, 6).flatmap(
+            lambda w: st.lists(
+                st.tuples(*([st.integers(0, 255)] * 3)),
+                min_size=h * w,
+                max_size=h * w,
+            ).map(
+                lambda flat: Image(
+                    np.array(flat, dtype=np.int64).reshape(h, w, 3)
+                )
+            )
+        )
+    )
+
+
+class TestRoundTrips:
+    @given(small_image_strategy())
+    @settings(max_examples=40)
+    def test_raw_round_trip(self, image):
+        assert read_ppm(write_ppm(image)) == image
+
+    @given(small_image_strategy())
+    @settings(max_examples=40)
+    def test_plain_round_trip(self, image):
+        assert read_ppm(write_ppm(image, plain=True)) == image
+
+    def test_file_round_trip(self, tmp_path, flag_like_image):
+        path = tmp_path / "img.ppm"
+        write_ppm(flag_like_image, path)
+        assert read_ppm(path) == flag_like_image
+
+    def test_stream_round_trip(self, flag_like_image):
+        buffer = io.BytesIO()
+        write_ppm(flag_like_image, buffer)
+        buffer.seek(0)
+        assert read_ppm(buffer) == flag_like_image
+
+
+class TestHeaders:
+    def test_plain_header(self):
+        payload = write_ppm(Image.filled(2, 3, (1, 2, 3)), plain=True)
+        assert payload.startswith(b"P3\n3 2\n255\n")
+
+    def test_raw_header(self):
+        payload = write_ppm(Image.filled(2, 3, (1, 2, 3)))
+        assert payload.startswith(b"P6\n3 2\n255\n")
+
+    def test_comments_in_header_skipped(self):
+        text = b"P3\n# a comment\n2 1 # trailing\n255\n1 2 3 4 5 6\n"
+        image = read_ppm(text)
+        assert image.get_pixel(0, 0) == (1, 2, 3)
+        assert image.get_pixel(0, 1) == (4, 5, 6)
+
+    def test_maxval_scaling(self):
+        text = b"P3\n1 1\n15\n15 0 7\n"
+        image = read_ppm(text)
+        assert image.get_pixel(0, 0) == (255, 0, 119)
+
+    def test_pgm_plain_replicates_gray(self):
+        text = b"P2\n2 1\n255\n0 128\n"
+        image = read_ppm(text)
+        assert image.get_pixel(0, 0) == (0, 0, 0)
+        assert image.get_pixel(0, 1) == (128, 128, 128)
+
+    def test_pgm_raw(self):
+        payload = b"P5\n2 1\n255\n" + bytes([10, 200])
+        image = read_ppm(payload)
+        assert image.get_pixel(0, 0) == (10, 10, 10)
+        assert image.get_pixel(0, 1) == (200, 200, 200)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            read_ppm(b"P7\n1 1\n255\n\x00\x00\x00")
+
+    def test_truncated_raw_payload(self):
+        with pytest.raises(CodecError):
+            read_ppm(b"P6\n2 2\n255\n\x00\x00\x00")
+
+    def test_truncated_plain_payload(self):
+        with pytest.raises(CodecError):
+            read_ppm(b"P3\n2 1\n255\n1 2 3\n")
+
+    def test_sample_above_maxval(self):
+        with pytest.raises(CodecError):
+            read_ppm(b"P3\n1 1\n100\n200 0 0\n")
+
+    def test_zero_dimension(self):
+        with pytest.raises(CodecError):
+            read_ppm(b"P3\n0 2\n255\n")
+
+    def test_bad_maxval(self):
+        with pytest.raises(CodecError):
+            read_ppm(b"P3\n1 1\n70000\n0 0 0\n")
+
+    def test_non_integer_token(self):
+        with pytest.raises(CodecError):
+            read_ppm(b"P3\nxx 1\n255\n0 0 0\n")
+
+    def test_eof_in_header(self):
+        with pytest.raises(CodecError):
+            read_ppm(b"P3\n1")
+
+
+class TestSizeAccounting:
+    def test_raw_size_matches_payload(self, flag_like_image):
+        assert binary_size_bytes(flag_like_image) == len(write_ppm(flag_like_image))
+
+    def test_plain_size_matches_payload(self, flag_like_image):
+        assert binary_size_bytes(flag_like_image, plain=True) == len(
+            write_ppm(flag_like_image, plain=True)
+        )
+
+    def test_raw_size_formula(self):
+        image = Image.filled(10, 10, (0, 0, 0))
+        assert binary_size_bytes(image) == len(b"P6\n10 10\n255\n") + 300
+
+
+class TestBitmaps:
+    def test_plain_pbm(self):
+        image = read_ppm(b"P1\n3 2\n0 1 0\n1 1 1\n")
+        assert image.get_pixel(0, 0) == (255, 255, 255)
+        assert image.get_pixel(0, 1) == (0, 0, 0)
+        assert image.count_color((0, 0, 0)) == 4
+
+    def test_plain_pbm_run_together_digits(self):
+        image = read_ppm(b"P1\n4 1\n0110\n")
+        assert image.count_color((0, 0, 0)) == 2
+
+    def test_plain_pbm_with_comment(self):
+        image = read_ppm(b"P1\n# bitmap\n2 2\n1 0\n0 1\n")
+        assert image.get_pixel(0, 0) == (0, 0, 0)
+        assert image.get_pixel(1, 1) == (0, 0, 0)
+
+    def test_raw_pbm_packs_rows(self):
+        # 10 wide: two bytes per row, second byte uses top 2 bits.
+        payload = b"P4\n10 1\n" + bytes([0b10000001, 0b01000000])
+        image = read_ppm(payload)
+        assert image.get_pixel(0, 0) == (0, 0, 0)
+        assert image.get_pixel(0, 7) == (0, 0, 0)
+        assert image.get_pixel(0, 9) == (0, 0, 0)
+        assert image.count_color((0, 0, 0)) == 3
+
+    def test_raw_pbm_truncated(self):
+        with pytest.raises(CodecError):
+            read_ppm(b"P4\n10 2\n" + bytes([0, 0]))
+
+    def test_plain_pbm_truncated(self):
+        with pytest.raises(CodecError):
+            read_ppm(b"P1\n3 3\n0 1 0\n")
+
+    def test_pbm_zero_dimension(self):
+        with pytest.raises(CodecError):
+            read_ppm(b"P1\n0 3\n")

@@ -1,0 +1,193 @@
+"""Unit tests for the Image raster wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.images.geometry import Rect
+from repro.images.raster import Image, validate_color
+
+
+class TestValidateColor:
+    def test_accepts_tuple(self):
+        assert validate_color((1, 2, 3)) == (1, 2, 3)
+
+    def test_accepts_list_and_numpy(self):
+        assert validate_color([10, 20, 30]) == (10, 20, 30)
+        assert validate_color(np.array([4, 5, 6])) == (4, 5, 6)
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ImageError):
+            validate_color((1, 2))
+        with pytest.raises(ImageError):
+            validate_color((1, 2, 3, 4))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ImageError):
+            validate_color((256, 0, 0))
+        with pytest.raises(ImageError):
+            validate_color((-1, 0, 0))
+
+
+class TestConstruction:
+    def test_filled(self):
+        image = Image.filled(3, 4, (9, 8, 7))
+        assert image.height == 3
+        assert image.width == 4
+        assert image.size == 12
+        assert image.get_pixel(2, 3) == (9, 8, 7)
+
+    def test_filled_rejects_empty(self):
+        with pytest.raises(ImageError):
+            Image.filled(0, 5)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ImageError):
+            Image(np.zeros((4, 4), dtype=np.uint8))
+        with pytest.raises(ImageError):
+            Image(np.zeros((4, 4, 4), dtype=np.uint8))
+
+    def test_rejects_empty_array(self):
+        with pytest.raises(ImageError):
+            Image(np.zeros((0, 4, 3), dtype=np.uint8))
+
+    def test_int_array_converted(self):
+        image = Image(np.full((2, 2, 3), 200, dtype=np.int64))
+        assert image.pixels.dtype == np.uint8
+
+    def test_int_array_out_of_range_rejected(self):
+        with pytest.raises(ImageError):
+            Image(np.full((2, 2, 3), 300, dtype=np.int64))
+
+    def test_from_rows(self):
+        image = Image.from_rows([[[1, 2, 3], [4, 5, 6]]])
+        assert image.height == 1 and image.width == 2
+        assert image.get_pixel(0, 1) == (4, 5, 6)
+
+    def test_constructor_copies_by_default(self):
+        arr = np.zeros((2, 2, 3), dtype=np.uint8)
+        image = Image(arr)
+        arr[0, 0] = 255
+        assert image.get_pixel(0, 0) == (0, 0, 0)
+
+    def test_copy_independent(self):
+        image = Image.filled(2, 2, (1, 1, 1))
+        duplicate = image.copy()
+        duplicate.set_pixel(0, 0, (9, 9, 9))
+        assert image.get_pixel(0, 0) == (1, 1, 1)
+
+
+class TestPixelAccess:
+    def test_set_and_get(self):
+        image = Image.filled(3, 3, (0, 0, 0))
+        image.set_pixel(1, 2, (10, 20, 30))
+        assert image.get_pixel(1, 2) == (10, 20, 30)
+
+    def test_out_of_bounds_get(self):
+        image = Image.filled(2, 2, (0, 0, 0))
+        with pytest.raises(ImageError):
+            image.get_pixel(2, 0)
+        with pytest.raises(ImageError):
+            image.get_pixel(0, -1)
+
+    def test_out_of_bounds_set(self):
+        image = Image.filled(2, 2, (0, 0, 0))
+        with pytest.raises(ImageError):
+            image.set_pixel(5, 5, (1, 1, 1))
+
+    def test_bounds(self):
+        assert Image.filled(4, 7).bounds == Rect(0, 0, 4, 7)
+
+
+class TestRegions:
+    def test_region_is_view(self):
+        image = Image.filled(4, 4, (0, 0, 0))
+        view = image.region(Rect(1, 1, 3, 3))
+        view[:] = (5, 5, 5)
+        assert image.get_pixel(1, 1) == (5, 5, 5)
+        assert image.get_pixel(0, 0) == (0, 0, 0)
+
+    def test_crop_copies(self):
+        image = Image.filled(4, 4, (3, 3, 3))
+        cropped = image.crop(Rect(0, 0, 2, 2))
+        cropped.set_pixel(0, 0, (9, 9, 9))
+        assert image.get_pixel(0, 0) == (3, 3, 3)
+        assert cropped.height == 2 and cropped.width == 2
+
+    def test_crop_clips_overhang(self):
+        image = Image.filled(4, 4, (1, 1, 1))
+        cropped = image.crop(Rect(2, 2, 99, 99))
+        assert (cropped.height, cropped.width) == (2, 2)
+
+    def test_crop_empty_rejected(self):
+        image = Image.filled(4, 4, (1, 1, 1))
+        with pytest.raises(ImageError):
+            image.crop(Rect(10, 10, 20, 20))
+
+    def test_paste_simple(self):
+        canvas = Image.filled(4, 4, (0, 0, 0))
+        patch = Image.filled(2, 2, (8, 8, 8))
+        canvas.paste(patch, 1, 1)
+        assert canvas.get_pixel(1, 1) == (8, 8, 8)
+        assert canvas.get_pixel(0, 0) == (0, 0, 0)
+        assert canvas.get_pixel(3, 3) == (0, 0, 0)
+
+    def test_paste_negative_offset_clips_source(self):
+        canvas = Image.filled(3, 3, (0, 0, 0))
+        patch = Image.filled(2, 2, (7, 7, 7))
+        canvas.paste(patch, -1, -1)
+        assert canvas.get_pixel(0, 0) == (7, 7, 7)
+        assert canvas.get_pixel(1, 1) == (0, 0, 0)
+
+    def test_paste_fully_outside_is_noop(self):
+        canvas = Image.filled(3, 3, (0, 0, 0))
+        patch = Image.filled(2, 2, (7, 7, 7))
+        canvas.paste(patch, 10, 10)
+        assert canvas.count_color((7, 7, 7)) == 0
+
+
+class TestColorAccounting:
+    def test_count_color(self):
+        image = Image.filled(3, 3, (1, 1, 1))
+        image.set_pixel(0, 0, (2, 2, 2))
+        assert image.count_color((1, 1, 1)) == 8
+        assert image.count_color((2, 2, 2)) == 1
+        assert image.count_color((9, 9, 9)) == 0
+
+    def test_count_color_in_rect(self):
+        image = Image.filled(4, 4, (1, 1, 1))
+        assert image.count_color((1, 1, 1), Rect(0, 0, 2, 2)) == 4
+
+    def test_distinct_colors(self):
+        image = Image.filled(2, 2, (0, 0, 0))
+        image.set_pixel(0, 1, (5, 5, 5))
+        assert set(image.distinct_colors()) == {(0, 0, 0), (5, 5, 5)}
+
+    def test_mean_color(self):
+        image = Image.filled(1, 2, (0, 0, 0))
+        image.set_pixel(0, 1, (100, 50, 10))
+        assert image.mean_color() == pytest.approx((50.0, 25.0, 5.0))
+
+
+class TestEquality:
+    def test_equal_images(self):
+        assert Image.filled(2, 2, (1, 2, 3)) == Image.filled(2, 2, (1, 2, 3))
+
+    def test_unequal_pixels(self):
+        a = Image.filled(2, 2, (1, 2, 3))
+        b = Image.filled(2, 2, (1, 2, 4))
+        assert a != b
+
+    def test_unequal_shapes(self):
+        assert Image.filled(2, 2) != Image.filled(2, 3)
+
+    def test_not_equal_to_other_types(self):
+        assert Image.filled(2, 2) != "not an image"
+        assert Image.filled(2, 2) is not None
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Image.filled(2, 2))
+
+    def test_repr(self):
+        assert repr(Image.filled(2, 3)) == "Image(2x3)"

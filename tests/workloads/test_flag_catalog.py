@@ -1,0 +1,85 @@
+"""Unit tests for the real-flag catalog."""
+
+import pytest
+
+from repro.color.names import NAMED_COLORS
+from repro.errors import WorkloadError
+from repro.workloads.flag_catalog import (
+    FLAG_DEFINITIONS,
+    flag_names,
+    make_real_flag,
+    make_world_flags,
+)
+
+
+class TestCatalog:
+    def test_every_flag_renders(self):
+        flags = make_world_flags()
+        assert len(flags) == len(FLAG_DEFINITIONS)
+        for name, flag in flags.items():
+            assert (flag.height, flag.width) == (40, 60), name
+            assert len(list(flag.distinct_colors())) <= 4, name
+
+    def test_all_layout_colors_are_named(self):
+        for name, definition in FLAG_DEFINITIONS.items():
+            kind = definition[0]
+            colors = []
+            if kind in ("horizontal", "vertical"):
+                colors = list(definition[1])
+            elif kind == "bicolor_disc":
+                colors = list(definition[1]) + [definition[2]]
+            else:
+                colors = [definition[1], definition[2]]
+            for color in colors:
+                assert color in NAMED_COLORS, (name, color)
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            make_real_flag("atlantis")
+        assert "known:" in str(excinfo.value)
+
+    def test_case_insensitive(self):
+        assert make_real_flag("FRANCE") == make_real_flag("france")
+
+    def test_specific_layouts(self):
+        france = make_real_flag("france")
+        # Left third blue, right third red.
+        assert france.get_pixel(20, 5) == NAMED_COLORS["blue"]
+        assert france.get_pixel(20, 30) == NAMED_COLORS["white"]
+        assert france.get_pixel(20, 55) == NAMED_COLORS["red"]
+
+        japan = make_real_flag("japan")
+        assert japan.get_pixel(20, 30) == NAMED_COLORS["red"]
+        assert japan.get_pixel(0, 0) == NAMED_COLORS["white"]
+
+        poland = make_real_flag("poland")
+        assert poland.get_pixel(5, 30) == NAMED_COLORS["white"]
+        assert poland.get_pixel(35, 30) == NAMED_COLORS["red"]
+
+    def test_color_queries_separate_real_flags(self, rng):
+        """The domain premise: color features identify flags."""
+        from repro.db.database import MultimediaDatabase
+
+        database = MultimediaDatabase()
+        for name, flag in make_world_flags().items():
+            database.insert_image(flag, image_id=name)
+
+        # Japan is the only mostly-white flag with a red disc: 'at least
+        # 70% white' isolates a small group containing it.
+        result = database.text_query("at least 70% white")
+        assert "japan" in result.matches
+        assert len(result) <= 4
+
+        # Nordic blue-with-yellow-cross: Sweden dominates 'at least 55% blue'.
+        result = database.text_query("at least 55% blue")
+        assert "sweden" in result.matches
+
+    def test_identical_layouts_share_histograms(self):
+        """Poland / Indonesia / Monaco famously collide on color alone."""
+        from repro.color.histogram import ColorHistogram
+        from repro.color.quantization import UniformQuantizer
+
+        quantizer = UniformQuantizer(4, "rgb")
+        monaco = ColorHistogram.of_image(make_real_flag("monaco"), quantizer)
+        indonesia = ColorHistogram.of_image(make_real_flag("indonesia"), quantizer)
+        assert monaco == indonesia

@@ -1,0 +1,109 @@
+"""Unit tests for flag/helmet generators and Table 2 parameters."""
+
+import numpy as np
+import pytest
+
+from repro.color.names import FLAG_PALETTE, HELMET_PALETTE, NAMED_COLORS
+from repro.errors import WorkloadError
+from repro.workloads.flags import FLAG_STYLES, make_flag, make_flag_collection
+from repro.workloads.helmets import make_helmet, make_helmet_collection
+from repro.workloads.table2 import (
+    FLAG_PARAMETERS,
+    HELMET_PARAMETERS,
+    DatasetParameters,
+    table2_rows,
+)
+
+
+class TestFlags:
+    @pytest.mark.parametrize("style", FLAG_STYLES)
+    def test_every_style_renders(self, rng, style):
+        flag = make_flag(rng, style=style)
+        assert (flag.height, flag.width) == (40, 60)
+        # Flags are flat-color: few distinct colors.
+        assert len(list(flag.distinct_colors())) <= 6
+
+    def test_colors_from_flag_palette(self, rng):
+        flag = make_flag(rng)
+        assert set(flag.distinct_colors()) <= set(FLAG_PALETTE)
+
+    def test_unknown_style(self, rng):
+        with pytest.raises(WorkloadError):
+            make_flag(rng, style="plaid")
+
+    def test_too_small(self, rng):
+        with pytest.raises(WorkloadError):
+            make_flag(rng, height=5, width=5)
+
+    def test_collection_cycles_styles(self, rng):
+        flags = make_flag_collection(rng, 12)
+        assert len(flags) == 12
+
+    def test_collection_deterministic(self):
+        a = make_flag_collection(np.random.default_rng(7), 4)
+        b = make_flag_collection(np.random.default_rng(7), 4)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_negative_count(self, rng):
+        with pytest.raises(WorkloadError):
+            make_flag_collection(rng, -1)
+
+
+class TestHelmets:
+    def test_renders_with_shell_and_background(self, rng):
+        helmet = make_helmet(rng)
+        colors = set(helmet.distinct_colors())
+        backgrounds = {NAMED_COLORS["white"], NAMED_COLORS["silver"]}
+        assert colors & backgrounds  # some background visible
+        assert colors & set(HELMET_PALETTE)  # some team color visible
+
+    def test_too_small(self, rng):
+        with pytest.raises(WorkloadError):
+            make_helmet(rng, height=4, width=4)
+
+    def test_collection(self, rng):
+        helmets = make_helmet_collection(rng, 7, height=24, width=24)
+        assert len(helmets) == 7
+        assert all(h.height == 24 for h in helmets)
+
+
+class TestTable2:
+    def test_derived_counts(self):
+        params = DatasetParameters(
+            name="flag",
+            binary_images=100,
+            edited_per_binary=3,
+            bound_widening_fraction=0.8,
+            image_height=40,
+            image_width=60,
+        )
+        assert params.edited_images == 300
+        assert params.total_images == 400
+        assert params.expected_bound_widening == 240
+        assert params.expected_non_widening == 60
+
+    def test_default_parameters_shape(self):
+        assert HELMET_PARAMETERS.total_images == 480
+        assert FLAG_PARAMETERS.total_images == 1000
+        assert HELMET_PARAMETERS.expected_non_widening == 72
+        assert FLAG_PARAMETERS.expected_non_widening == 150
+
+    def test_scaled(self):
+        scaled = FLAG_PARAMETERS.scaled(0.1)
+        assert scaled.binary_images == 25
+        assert scaled.name == "flag"
+        with pytest.raises(WorkloadError):
+            FLAG_PARAMETERS.scaled(0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            DatasetParameters("x", 0, 1, 0.5, 10, 10)
+        with pytest.raises(WorkloadError):
+            DatasetParameters("x", 5, -1, 0.5, 10, 10)
+        with pytest.raises(WorkloadError):
+            DatasetParameters("x", 5, 1, 1.5, 10, 10)
+
+    def test_table2_rows_layout(self):
+        rows = table2_rows(HELMET_PARAMETERS, FLAG_PARAMETERS)
+        assert len(rows) == 6
+        assert rows[0] == ("Number of images in database", 480, 1000)
