@@ -7,6 +7,8 @@ Subcommands mirror the workflow of the paper's prototype:
 ``query``     run a text query ("at least 25% blue") against a saved database
 ``knn``       nearest neighbors of a ppm image against a saved database
 ``check``     integrity verification of a saved database
+``repair``    fix reparable integrity problems and re-save
+``salvage``   recover the undamaged records of a corrupted database
 ``evaluate``  regenerate Table 2 and the Figure 3/4 series
 
 All commands are plain functions over the public API, so they double as
@@ -73,6 +75,23 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("directory")
     check.add_argument("--fast", action="store_true",
                        help="skip histogram recomputation")
+
+    repair = commands.add_parser(
+        "repair", help="fix reparable integrity problems and re-save"
+    )
+    repair.add_argument("directory")
+    repair.add_argument("--fast", action="store_true",
+                        help="skip histogram recomputation")
+    repair.add_argument("--dry-run", action="store_true",
+                        help="report fixes without writing anything")
+
+    salvage = commands.add_parser(
+        "salvage", help="recover the undamaged records of a corrupted database"
+    )
+    salvage.add_argument("directory")
+    salvage.add_argument("--output", "-o", default=None,
+                         help="write the recovered database here instead of "
+                         "back into the source directory")
 
     evaluate = commands.add_parser(
         "evaluate", help="regenerate Table 2 and the Figure 3/4 series"
@@ -149,6 +168,29 @@ def _cmd_check(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_repair(args: argparse.Namespace, out) -> int:
+    database = load_database(args.directory)
+    report = database.repair(recompute_histograms=not args.fast)
+    print(report.describe(), file=out)
+    if report.actions and not args.dry_run:
+        save_database(database, args.directory)
+        print(f"re-saved repaired database at {args.directory}", file=out)
+    return 0 if report.clean else 2
+
+
+def _cmd_salvage(args: argparse.Namespace, out) -> int:
+    database, report = load_database(args.directory, salvage=True)
+    print(report.describe(), file=out)
+    target = args.output if args.output is not None else args.directory
+    save_database(database, target)
+    print(
+        f"saved salvaged database ({database.catalog.binary_count} binary + "
+        f"{database.catalog.edited_count} edited images) at {target}",
+        file=out,
+    )
+    return 0 if report.clean else 3
+
+
 def _cmd_evaluate(args: argparse.Namespace, out) -> int:
     helmet = HELMET_PARAMETERS.scaled(args.scale)
     flag = FLAG_PARAMETERS.scaled(args.scale)
@@ -171,6 +213,8 @@ def _cmd_evaluate(args: argparse.Namespace, out) -> int:
 _COMMANDS = {
     "build": _cmd_build,
     "check": _cmd_check,
+    "repair": _cmd_repair,
+    "salvage": _cmd_salvage,
     "info": _cmd_info,
     "query": _cmd_query,
     "knn": _cmd_knn,

@@ -7,10 +7,20 @@ from repro.db.augmentation import (
     plan_variant_sequences,
 )
 from repro.db.catalog import Catalog
-from repro.db.integrity import require_integrity, verify_integrity
+from repro.db.integrity import (
+    RepairReport,
+    repair,
+    require_integrity,
+    verify_integrity,
+)
 from repro.db.database import KNN_METHODS, RANGE_METHODS, MultimediaDatabase
 from repro.db.multifeature import FeatureWeights, MultiFeatureSearch
-from repro.db.persistence import load_database, save_database
+from repro.db.persistence import (
+    QuarantineEntry,
+    SalvageReport,
+    load_database,
+    save_database,
+)
 from repro.db.processors import (
     InstantiateProcessor,
     KNNResult,
@@ -43,8 +53,11 @@ __all__ = [
     "KNN_METHODS",
     "MultiFeatureSearch",
     "MultimediaDatabase",
+    "QuarantineEntry",
     "QueryExplanation",
     "RANGE_METHODS",
+    "RepairReport",
+    "SalvageReport",
     "SimilaritySearch",
     "StorageReport",
     "augment_image",
@@ -53,6 +66,7 @@ __all__ = [
     "measure_storage",
     "plan_distortion_sequences",
     "plan_variant_sequences",
+    "repair",
     "require_integrity",
     "save_database",
     "verify_integrity",

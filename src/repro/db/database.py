@@ -106,42 +106,79 @@ class MultimediaDatabase:
     # Insertion
     # ------------------------------------------------------------------
     def insert_image(self, image: Image, image_id: Optional[str] = None) -> str:
-        """Store a binary image: extract features, index, open a BWM cluster."""
+        """Store a binary image: extract features, index, open a BWM cluster.
+
+        Exception-safe: a failure at any step rolls back the earlier
+        steps, so the catalog, BWM structure, and histogram index never
+        diverge on a failed insert.
+        """
         assigned = image_id if image_id is not None else self.catalog.allocate_id("img")
         histogram = ColorHistogram.of_image(image, self.quantizer)
         self.catalog.add_binary(BinaryImageRecord(assigned, image.copy(), histogram))
-        self.bwm_structure.insert_binary(assigned)
-        self.histogram_index.insert_point(histogram.fractions(), assigned)
+        try:
+            self.bwm_structure.insert_binary(assigned)
+        except BaseException:
+            self.catalog.remove_binary(assigned)
+            raise
+        try:
+            self.histogram_index.insert_point(histogram.fractions(), assigned)
+        except BaseException:
+            self.bwm_structure.remove_binary(assigned)
+            self.catalog.remove_binary(assigned)
+            raise
         return assigned
 
     def insert_edited(
         self, sequence: EditSequence, image_id: Optional[str] = None
     ) -> str:
-        """Store an edited image as its sequence; file it per Figure 1."""
+        """Store an edited image as its sequence; file it per Figure 1.
+
+        Exception-safe: if the BWM filing fails the catalog insert is
+        rolled back.
+        """
         assigned = image_id if image_id is not None else self.catalog.allocate_id("edit")
         self.catalog.add_edited(EditedImageRecord(assigned, sequence))
-        self.bwm_structure.insert_edited(assigned, sequence)
+        try:
+            self.bwm_structure.insert_edited(assigned, sequence)
+        except BaseException:
+            self.catalog.remove_edited(assigned)
+            raise
         self.engine.invalidate_cache()
         return assigned
 
     def delete_edited(self, image_id: str) -> None:
         """Remove an edited image from the catalog and BWM structure."""
-        self.catalog.remove_edited(image_id)
-        self.bwm_structure.remove_edited(image_id)
+        record = self.catalog.remove_edited(image_id)
+        try:
+            self.bwm_structure.remove_edited(image_id)
+        except BaseException:
+            self.catalog.add_edited(record)
+            raise
         self.engine.invalidate_cache()
 
     def delete_image(self, image_id: str) -> None:
         """Remove a binary image.
 
         Fails (leaving everything intact) while derived images or Merge
-        targets still reference it — delete those first.
+        targets still reference it — delete those first.  Exception-safe:
+        a failure in the BWM or index removal restores the catalog
+        record.
         """
         record = self.catalog.binary_record(image_id)
         self.catalog.remove_binary(image_id)
-        self.bwm_structure.remove_binary(image_id)
-        self.histogram_index.delete(
-            MBR.point(record.histogram.fractions()), image_id
-        )
+        try:
+            self.bwm_structure.remove_binary(image_id)
+        except BaseException:
+            self.catalog.add_binary(record)
+            raise
+        try:
+            self.histogram_index.delete(
+                MBR.point(record.histogram.fractions()), image_id
+            )
+        except BaseException:
+            self.bwm_structure.insert_binary(image_id)
+            self.catalog.add_binary(record)
+            raise
         self.engine.invalidate_cache()
 
     def update_image(self, image_id: str, image: Image) -> None:
@@ -150,16 +187,21 @@ class MultimediaDatabase:
         Features are re-extracted, the histogram index entry is moved,
         and cached bounds are invalidated; derived edit sequences keep
         referencing the id and now instantiate against the new raster
-        (the §2 links are by identity, not content).
+        (the §2 links are by identity, not content).  Exception-safe:
+        the index entry and the record mutate together or not at all.
         """
         old = self.catalog.binary_record(image_id)
         histogram = ColorHistogram.of_image(image, self.quantizer)
         old_point = MBR.point(old.histogram.fractions())
 
+        self.histogram_index.delete(old_point, image_id)
+        try:
+            self.histogram_index.insert_point(histogram.fractions(), image_id)
+        except BaseException:
+            self.histogram_index.insert(old_point, image_id)
+            raise
         old.image = image.copy()
         old.histogram = histogram
-        self.histogram_index.delete(old_point, image_id)
-        self.histogram_index.insert_point(histogram.fractions(), image_id)
         self.engine.invalidate_cache()
 
     def augment(
@@ -429,6 +471,15 @@ class MultimediaDatabase:
         from repro.db.integrity import verify_integrity
 
         return verify_integrity(self, recompute_histograms=recompute_histograms)
+
+    def repair(self, recompute_histograms: bool = True):
+        """Fix every reparable integrity problem; returns a RepairReport.
+
+        See :func:`repro.db.integrity.repair` for the action classes.
+        """
+        from repro.db.integrity import repair
+
+        return repair(self, recompute_histograms=recompute_histograms)
 
     def storage_report(self, include_instantiated: bool = False) -> StorageReport:
         """Byte-level storage accounting (A3)."""

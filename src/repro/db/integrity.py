@@ -1,4 +1,5 @@
-"""Integrity checking — the MMDBMS's CHECK utility.
+"""Integrity checking and self-healing — the MMDBMS's CHECK and REPAIR
+utilities.
 
 A database is spread over four structures that must stay mutually
 consistent: the catalog (records and derivation links), the BWM
@@ -19,14 +20,21 @@ Checks performed:
 5. the histogram index holds exactly the binary images;
 6. stored histograms match their raster (full recomputation — the
    expensive check, skippable).
+
+:func:`repair` fixes the reparable subset of those problems by
+reconciling the derived structures (BWM, histogram index, stored
+histograms) against the catalog; see its docstring for the action
+classes.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import List, Set
 
 from repro.color.histogram import ColorHistogram
 from repro.errors import DatabaseError
+from repro.index.mbr import MBR
 
 
 def verify_integrity(
@@ -168,3 +176,181 @@ def require_integrity(database: "MultimediaDatabase") -> None:  # noqa: F821
         raise DatabaseError(
             "integrity check failed:\n  " + "\n  ".join(problems)
         )
+
+
+# ----------------------------------------------------------------------
+# Self-healing — the REPAIR companion to CHECK
+# ----------------------------------------------------------------------
+@dataclass
+class RepairReport:
+    """What :func:`repair` changed, and what it could not fix.
+
+    ``actions`` lists every applied fix; ``remaining`` is the
+    post-repair :func:`verify_integrity` output — non-empty only for
+    irreparable damage (catalog-level inconsistencies such as broken
+    derivation links, missing references, or reference cycles, which
+    have no safe automatic fix).
+    """
+
+    actions: List[str] = field(default_factory=list)
+    remaining: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the database verifies clean after the repair."""
+        return not self.remaining
+
+    def describe(self) -> str:
+        lines = [f"repair applied {len(self.actions)} fix(es)"]
+        for action in self.actions:
+            lines.append(f"  {action}")
+        if self.remaining:
+            lines.append(f"{len(self.remaining)} problem(s) not auto-fixable:")
+            for problem in self.remaining:
+                lines.append(f"  {problem}")
+        return "\n".join(lines)
+
+
+def repair(
+    database: "MultimediaDatabase",  # noqa: F821 - facade type, avoids import cycle
+    recompute_histograms: bool = True,
+) -> RepairReport:
+    """Fix the reparable problem classes :func:`verify_integrity` finds.
+
+    The catalog is treated as the source of truth (it holds the primary
+    data: rasters and sequences); the derived structures — stored
+    histograms, the BWM structure, and the histogram index — are
+    reconciled against it:
+
+    * stale stored histograms are recomputed from their rasters (and
+      their index entries moved along);
+    * the BWM structure is reconciled with the catalog's classification:
+      dangling members evicted, missing entries inserted, misfiled or
+      duplicated entries re-filed between Main and Unclassified;
+    * the histogram index is reconciled: entries for deleted images
+      evicted, missing entries reinserted, mispositioned or duplicated
+      entries reindexed at the correct histogram point.
+
+    Catalog-level damage (broken derivation links, references to missing
+    images, cycles) is *not* touched — inventing or deleting primary
+    data is an operator decision — and shows up in ``remaining``.
+    """
+    report = RepairReport()
+    catalog = database.catalog
+    binary_ids = set(catalog.binary_ids())
+
+    if recompute_histograms:
+        _repair_histograms(database, report)
+    _repair_bwm_structure(database, report)
+    _repair_histogram_index(database, report)
+
+    if report.actions:
+        database.engine.invalidate_cache()
+    report.remaining = verify_integrity(
+        database, recompute_histograms=recompute_histograms
+    )
+    assert binary_ids == set(catalog.binary_ids()), "repair must not drop records"
+    return report
+
+
+def _repair_histograms(database: "MultimediaDatabase", report: RepairReport) -> None:  # noqa: F821
+    """Recompute stored histograms that disagree with their rasters."""
+    for image_id in database.catalog.binary_ids():
+        record = database.catalog.binary_record(image_id)
+        recomputed = ColorHistogram.of_image(record.image, database.quantizer)
+        if recomputed != record.histogram:
+            record.histogram = recomputed
+            report.actions.append(
+                f"recomputed stale histogram of {image_id!r}"
+            )
+            # The index entry (if any) sits at the stale point; the index
+            # reconciliation pass that follows moves it.
+
+
+def _repair_bwm_structure(database: "MultimediaDatabase", report: RepairReport) -> None:  # noqa: F821
+    """Reconcile the BWM structure with the catalog's classification."""
+    from repro.core.classify import sequence_is_bound_widening
+
+    catalog = database.catalog
+    structure = database.bwm_structure
+    binary_ids = set(catalog.binary_ids())
+    edited_ids = set(catalog.edited_ids())
+
+    desired = {}
+    for edited_id in catalog.edited_ids():
+        sequence = catalog.sequence_of(edited_id)
+        main = sequence_is_bound_widening(sequence) and sequence.base_id in binary_ids
+        desired[edited_id] = sequence.base_id if main else ""
+
+    # Observe every current placement, including duplicates.
+    placements = {}
+    for base_id, cluster in structure.clusters():
+        if base_id not in binary_ids:
+            report.actions.append(
+                f"removed BWM cluster keyed by non-binary {base_id!r}"
+            )
+        for edited_id in cluster:
+            placements.setdefault(edited_id, []).append(f"Main[{base_id}]")
+    for edited_id in structure.unclassified:
+        placements.setdefault(edited_id, []).append("Unclassified")
+    for binary_id in binary_ids - set(structure.main):
+        report.actions.append(f"opened missing BWM cluster for {binary_id!r}")
+
+    for edited_id in sorted(set(placements) - edited_ids):
+        report.actions.append(f"evicted dangling BWM member {edited_id!r}")
+    for edited_id in sorted(edited_ids):
+        target = desired[edited_id]
+        want = f"Main[{target}]" if target else "Unclassified"
+        have = placements.get(edited_id, [])
+        if not have:
+            report.actions.append(
+                f"inserted missing BWM entry for {edited_id!r} ({want})"
+            )
+        elif len(have) > 1:
+            report.actions.append(
+                f"removed duplicate BWM entries for {edited_id!r} "
+                f"({', '.join(sorted(have))}; kept {want})"
+            )
+        elif have[0] != want:
+            report.actions.append(
+                f"reclassified {edited_id!r} from {have[0]} to {want}"
+            )
+
+    # Rebuild in place (the BWM processor aliases these containers).
+    structure.main.clear()
+    structure.unclassified.clear()
+    structure._edited_location.clear()
+    for binary_id in catalog.binary_ids():
+        structure.insert_binary(binary_id)
+    for edited_id in catalog.edited_ids():
+        structure.insert_edited(edited_id, catalog.sequence_of(edited_id))
+
+
+def _repair_histogram_index(database: "MultimediaDatabase", report: RepairReport) -> None:  # noqa: F821
+    """Reconcile the histogram index with the catalog's binary images."""
+    catalog = database.catalog
+    index = database.histogram_index
+    binary_ids = set(catalog.binary_ids())
+
+    entries = list(index.items())
+    for box, payload in entries:
+        if payload not in binary_ids:
+            index.delete(box, payload)
+            report.actions.append(
+                f"evicted histogram-index entry for unknown image {payload!r}"
+            )
+    for image_id in sorted(binary_ids):
+        correct = MBR.point(catalog.binary_record(image_id).histogram.fractions())
+        mine = [box for box, payload in entries if payload == image_id]
+        if not mine:
+            index.insert(correct, image_id)
+            report.actions.append(
+                f"reinserted missing histogram-index entry for {image_id!r}"
+            )
+        elif len(mine) > 1 or mine[0] != correct:
+            for box in mine:
+                index.delete(box, image_id)
+            index.insert(correct, image_id)
+            report.actions.append(
+                f"reindexed {image_id!r} at its correct histogram point"
+            )

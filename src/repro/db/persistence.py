@@ -4,49 +4,178 @@ Layout mirrors the paper's prototype (ppm files plus operation lists,
 no commercial DBMS underneath)::
 
     <root>/
-      catalog.json          quantizer config, fill color, insertion order
+      catalog.json          manifest: config, insertion order, checksums
       binary/<id>.ppm       rasters (binary P6 ppm)
       edited/<id>.eseq      serialized edit sequences
 
 Loading replays insertions in the recorded order, so histograms, the BWM
 structure, and the histogram index are rebuilt exactly.
+
+Durability protocol (format version 2)
+--------------------------------------
+:func:`save_database` never mutates the target directory in place.  The
+complete new state is written to a ``<root>.saving`` sibling first, the
+manifest (carrying a SHA-256 per content file plus a whole-manifest
+checksum) is written last inside it, and the result is committed by
+renames: ``<root>`` -> ``<root>.old``, ``<root>.saving`` -> ``<root>``,
+then the backup is pruned.  A crash at any boundary therefore leaves
+either the previous complete state, the new complete state, or a
+``.old`` backup that :func:`load_database` rolls back automatically.
+Orphaned content files from deleted images cannot survive a save, since
+only the current catalog is ever written to the fresh directory.
+
+Every durable side effect is routed through a fault plan
+(:mod:`repro.testing.faults`), so the kill-point sweep in
+``tests/db/test_faults.py`` can crash the protocol at every boundary.
+
+:func:`load_database` verifies checksums and wraps any damage in
+:class:`repro.errors.CorruptionError` naming the offending file; with
+``salvage=True`` it instead quarantines damaged records (and everything
+transitively derived from them), rebuilds the database from the
+survivors, and returns a :class:`SalvageReport` of exactly what was lost
+and why.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import shutil
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.color.quantization import UniformQuantizer
 from repro.db.database import MultimediaDatabase
 from repro.editing.sequence import EditSequence
-from repro.errors import PersistenceError
+from repro.errors import (
+    CorruptionError,
+    PersistenceError,
+    ReproError,
+    SalvageError,
+)
 from repro.images.ppm import read_ppm, write_ppm
+from repro.testing.faults import NoFaults
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: Versions this loader understands.  Version 1 predates checksums and
+#: atomic commits; its directories still load (without verification).
+_SUPPORTED_VERSIONS = (1, 2)
+
+_TMP_SUFFIX = ".saving"
+_OLD_SUFFIX = ".old"
 
 
-def save_database(database: MultimediaDatabase, root: Union[str, Path]) -> Path:
-    """Write the database under ``root`` (created if missing)."""
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _manifest_checksum(manifest: Dict[str, object]) -> str:
+    """Checksum over the manifest's canonical JSON, sans the field itself."""
+    stripped = {k: v for k, v in manifest.items() if k != "manifest_checksum"}
+    canonical = json.dumps(stripped, sort_keys=True, separators=(",", ":"))
+    return _sha256(canonical.encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Salvage reporting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One record excluded by salvage loading, with the reason."""
+
+    image_id: str
+    path: Optional[str]
+    reason: str
+
+    def describe(self) -> str:
+        where = f" ({self.path})" if self.path else ""
+        return f"{self.image_id}{where}: {self.reason}"
+
+
+@dataclass
+class SalvageReport:
+    """What :func:`load_database` with ``salvage=True`` lost, and why."""
+
+    root: str
+    quarantined: List[QuarantineEntry] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    loaded_binary: int = 0
+    loaded_edited: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was lost and nothing looked suspicious."""
+        return not self.quarantined and not self.warnings
+
+    def quarantined_ids(self) -> Tuple[str, ...]:
+        return tuple(entry.image_id for entry in self.quarantined)
+
+    def describe(self) -> str:
+        lines = [
+            f"salvage of {self.root}: recovered {self.loaded_binary} binary + "
+            f"{self.loaded_edited} edited images, "
+            f"{len(self.quarantined)} quarantined"
+        ]
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        for entry in self.quarantined:
+            lines.append(f"  lost {entry.describe()}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Saving
+# ----------------------------------------------------------------------
+def save_database(
+    database: MultimediaDatabase,
+    root: Union[str, Path],
+    faults: Optional[NoFaults] = None,
+    checksums: bool = True,
+) -> Path:
+    """Atomically write the database under ``root`` (created if missing).
+
+    ``faults`` is the durability seam: every file write and commit
+    rename goes through it (tests inject crashes; production uses the
+    default pass-through plan).  ``checksums=False`` skips the SHA-256
+    bookkeeping — measurably faster on large databases, at the price of
+    load-time verification (the persistence benchmark tracks the gap).
+    """
+    plan = faults if faults is not None else NoFaults()
     base = Path(root)
-    binary_dir = base / "binary"
-    edited_dir = base / "edited"
-    binary_dir.mkdir(parents=True, exist_ok=True)
-    edited_dir.mkdir(parents=True, exist_ok=True)
+    _recover_interrupted_save(base)
+
+    tmp = base.with_name(base.name + _TMP_SUFFIX)
+    old = base.with_name(base.name + _OLD_SUFFIX)
+    for leftover in (tmp, old):
+        if leftover.exists():
+            shutil.rmtree(leftover)
+
+    binary_dir = tmp / "binary"
+    edited_dir = tmp / "edited"
+    binary_dir.mkdir(parents=True)
+    edited_dir.mkdir(parents=True)
+
+    files: Dict[str, Dict[str, object]] = {}
+
+    def _emit(relative: str, payload: bytes) -> None:
+        plan.write_bytes(tmp / relative, payload)
+        if checksums:
+            files[relative] = {"sha256": _sha256(payload), "bytes": len(payload)}
 
     binary_ids = list(database.catalog.binary_ids())
     edited_ids = list(database.catalog.edited_ids())
     for image_id in binary_ids:
         record = database.catalog.binary_record(image_id)
-        write_ppm(record.image, binary_dir / f"{image_id}.ppm")
+        _emit(f"binary/{image_id}.ppm", write_ppm(record.image))
     for image_id in edited_ids:
         record = database.catalog.edited_record(image_id)
-        (edited_dir / f"{image_id}.eseq").write_text(
-            record.sequence.serialize(), encoding="utf-8"
+        _emit(
+            f"edited/{image_id}.eseq",
+            record.sequence.serialize().encode("utf-8"),
         )
 
-    manifest = {
+    manifest: Dict[str, object] = {
         "format_version": _FORMAT_VERSION,
         "quantizer": {
             "divisions": database.quantizer.divisions,
@@ -55,43 +184,205 @@ def save_database(database: MultimediaDatabase, root: Union[str, Path]) -> Path:
         "fill_color": list(database.fill_color),
         "binary_ids": binary_ids,
         "edited_ids": edited_ids,
+        "files": files,
     }
-    (base / "catalog.json").write_text(
-        json.dumps(manifest, indent=2), encoding="utf-8"
+    manifest["manifest_checksum"] = _manifest_checksum(manifest)
+    plan.write_bytes(
+        tmp / "catalog.json",
+        json.dumps(manifest, indent=2).encode("utf-8"),
     )
+
+    # Commit.  Renames are atomic on POSIX; a crash between them leaves
+    # the ``.old`` backup that load-time recovery rolls back.
+    if base.exists():
+        plan.rename(base, old)
+        plan.rename(tmp, base)
+        shutil.rmtree(old)
+    else:
+        plan.rename(tmp, base)
     return base
 
 
-def load_database(root: Union[str, Path]) -> MultimediaDatabase:
-    """Rebuild a database saved by :func:`save_database`."""
+def _recover_interrupted_save(base: Path) -> None:
+    """Roll back a save that crashed between its two commit renames.
+
+    At that point ``base`` is gone and ``base.old`` holds the previous
+    complete state; restore it.  When ``base`` is present and loadable
+    the ``.old``/``.saving`` siblings are just stale debris (crash after
+    commit) — they are ignored here and pruned by the next save.
+    """
+    old = base.with_name(base.name + _OLD_SUFFIX)
+    if not (old / "catalog.json").is_file():
+        return
+    if base.exists():
+        if (base / "catalog.json").is_file():
+            return  # base is authoritative; .old is post-commit debris
+        # A bare directory with no manifest cannot be a committed state
+        # of ours; clear it so the backup can take its place.
+        shutil.rmtree(base)
+    old.replace(base)
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def load_database(
+    root: Union[str, Path],
+    salvage: bool = False,
+) -> Union[MultimediaDatabase, Tuple[MultimediaDatabase, SalvageReport]]:
+    """Rebuild a database saved by :func:`save_database`.
+
+    Strict mode (the default) raises :class:`PersistenceError` — or its
+    :class:`CorruptionError` subclass, naming the damaged file — on any
+    inconsistency.  With ``salvage=True`` it quarantines damaged records
+    plus everything transitively derived from them and returns the
+    ``(database, report)`` pair; only an unusable manifest (nothing to
+    anchor recovery on) raises :class:`SalvageError`.
+
+    Either mode first rolls back a save that crashed mid-commit, so a
+    directory with a ``.old`` backup loads as the previous state.
+    """
     base = Path(root)
+    _recover_interrupted_save(base)
+    manifest = _read_manifest(base, salvage=salvage)
+
+    report = SalvageReport(root=str(base))
+    if salvage and manifest.pop("_checksum_warning", None):
+        report.warnings.append("manifest checksum mismatch; contents unverified")
+
+    try:
+        quantizer = UniformQuantizer(
+            divisions=int(manifest["quantizer"]["divisions"]),
+            space=str(manifest["quantizer"]["space"]),
+        )
+        fill_color = tuple(manifest["fill_color"])
+        binary_ids = list(manifest["binary_ids"])
+        edited_ids = list(manifest["edited_ids"])
+    except (KeyError, TypeError, ValueError, ReproError) as exc:
+        raise _manifest_error(base, exc, salvage) from exc
+    files = manifest.get("files", {})
+    if not isinstance(files, dict):
+        files = {}
+
+    try:
+        database = MultimediaDatabase(quantizer=quantizer, fill_color=fill_color)
+    except ReproError as exc:
+        raise _manifest_error(base, exc, salvage) from exc
+
+    available = set()
+    for image_id in binary_ids:
+        relative = f"binary/{image_id}.ppm"
+        try:
+            payload = _read_verified(base, relative, files)
+            database.insert_image(read_ppm(payload), image_id=image_id)
+        except (PersistenceError, ReproError, OSError, ValueError) as exc:
+            _reject(report, image_id, base / relative, exc, salvage)
+            continue
+        available.add(image_id)
+        report.loaded_binary += 1
+
+    for image_id in edited_ids:
+        relative = f"edited/{image_id}.eseq"
+        try:
+            payload = _read_verified(base, relative, files)
+            sequence = EditSequence.parse(payload.decode("utf-8"))
+        except (PersistenceError, ReproError, OSError, ValueError) as exc:
+            _reject(report, image_id, base / relative, exc, salvage)
+            continue
+        missing = [r for r in sequence.referenced_ids() if r not in available]
+        if missing:
+            # Strict mode surfaces the same condition as a corrupt
+            # sequence file; salvage records the transitive loss.
+            exc = CorruptionError(
+                f"{base / relative}: references unrecoverable image(s) "
+                f"{sorted(missing)}"
+            )
+            _reject(report, image_id, base / relative, exc, salvage)
+            continue
+        try:
+            database.insert_edited(sequence, image_id=image_id)
+        except ReproError as exc:
+            _reject(report, image_id, base / relative, exc, salvage)
+            continue
+        available.add(image_id)
+        report.loaded_edited += 1
+
+    if salvage:
+        return database, report
+    return database
+
+
+def _read_manifest(base: Path, salvage: bool) -> Dict[str, object]:
     manifest_path = base / "catalog.json"
     if not manifest_path.is_file():
-        raise PersistenceError(f"no catalog.json under {base}")
+        message = f"no catalog.json under {base}"
+        raise SalvageError(message) if salvage else PersistenceError(message)
     try:
         manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
-        raise PersistenceError(f"corrupt catalog.json: {exc}") from exc
-    version = manifest.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise PersistenceError(f"unsupported format version {version!r}")
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+        message = f"corrupt catalog.json under {base}: {exc}"
+        error = SalvageError(message) if salvage else CorruptionError(message)
+        raise error from exc
+    if not isinstance(manifest, dict):
+        message = f"corrupt catalog.json under {base}: not a JSON object"
+        raise SalvageError(message) if salvage else CorruptionError(message)
 
-    quantizer = UniformQuantizer(
-        divisions=int(manifest["quantizer"]["divisions"]),
-        space=str(manifest["quantizer"]["space"]),
-    )
-    database = MultimediaDatabase(
-        quantizer=quantizer, fill_color=tuple(manifest["fill_color"])
-    )
-    for image_id in manifest["binary_ids"]:
-        path = base / "binary" / f"{image_id}.ppm"
-        if not path.is_file():
-            raise PersistenceError(f"missing raster file {path}")
-        database.insert_image(read_ppm(path), image_id=image_id)
-    for image_id in manifest["edited_ids"]:
-        path = base / "edited" / f"{image_id}.eseq"
-        if not path.is_file():
-            raise PersistenceError(f"missing sequence file {path}")
-        sequence = EditSequence.parse(path.read_text(encoding="utf-8"))
-        database.insert_edited(sequence, image_id=image_id)
-    return database
+    version = manifest.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
+        message = f"unsupported format version {version!r} under {base}"
+        raise SalvageError(message) if salvage else PersistenceError(message)
+
+    recorded = manifest.get("manifest_checksum")
+    if recorded is not None and recorded != _manifest_checksum(manifest):
+        if not salvage:
+            raise CorruptionError(
+                f"{manifest_path}: manifest checksum mismatch "
+                "(catalog.json was modified or torn)"
+            )
+        manifest["_checksum_warning"] = True
+    return manifest
+
+
+def _manifest_error(base: Path, exc: Exception, salvage: bool) -> PersistenceError:
+    message = f"malformed manifest under {base}: {exc}"
+    return SalvageError(message) if salvage else PersistenceError(message)
+
+
+def _read_verified(
+    base: Path, relative: str, files: Dict[str, Dict[str, object]]
+) -> bytes:
+    """Read a content file, verifying its recorded checksum if any."""
+    path = base / relative
+    if not path.is_file():
+        raise PersistenceError(f"missing file {path}")
+    try:
+        payload = path.read_bytes()
+    except OSError as exc:
+        raise CorruptionError(f"unreadable file {path}: {exc}") from exc
+    recorded = files.get(relative)
+    if recorded is not None:
+        expected = recorded.get("sha256")
+        if expected is not None and _sha256(payload) != expected:
+            raise CorruptionError(
+                f"checksum mismatch for {path} "
+                f"({len(payload)} bytes on disk; file is damaged)"
+            )
+    return payload
+
+
+def _reject(
+    report: SalvageReport,
+    image_id: str,
+    path: Path,
+    exc: Exception,
+    salvage: bool,
+) -> None:
+    """Quarantine in salvage mode; re-raise (wrapped) in strict mode."""
+    if salvage:
+        report.quarantined.append(
+            QuarantineEntry(image_id=image_id, path=str(path), reason=str(exc))
+        )
+        return
+    if isinstance(exc, PersistenceError):
+        raise exc
+    raise CorruptionError(f"{path}: {exc}") from exc

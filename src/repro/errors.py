@@ -82,3 +82,15 @@ class WorkloadError(ReproError):
 
 class PersistenceError(DatabaseError):
     """Raised when saving or loading a database directory fails."""
+
+
+class CorruptionError(PersistenceError):
+    """Raised when a stored file is damaged (checksum mismatch, torn
+    write, or unparseable content).  The message names the offending
+    file so operators can locate it."""
+
+
+class SalvageError(PersistenceError):
+    """Raised when salvage loading cannot recover anything at all (the
+    manifest itself is unusable, so not even a partial database can be
+    reconstructed)."""

@@ -1,0 +1,17 @@
+"""Testing support: fault injection for crash-safety verification."""
+
+from repro.testing.faults import (
+    CountingFaults,
+    FaultPlan,
+    InjectedCrash,
+    NoFaults,
+    WriteEvent,
+)
+
+__all__ = [
+    "CountingFaults",
+    "FaultPlan",
+    "InjectedCrash",
+    "NoFaults",
+    "WriteEvent",
+]

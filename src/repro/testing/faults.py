@@ -1,0 +1,146 @@
+"""Fault injection for the persistence layer.
+
+Crash safety cannot be argued from code inspection alone; it has to be
+demonstrated by actually crashing the save protocol at every boundary
+and checking what a subsequent load makes of the wreckage.  This module
+provides the seam: :func:`repro.db.persistence.save_database` routes
+every durable side effect (file writes and the commit renames) through a
+*fault plan*, and test plans turn chosen boundaries into simulated
+crashes.
+
+Three failure modes cover the interesting crash shapes:
+
+``before``
+    The process dies before the write starts — the file is absent.
+``torn``
+    The process dies mid-write — the file holds a prefix of the payload
+    (the classic torn/truncated write).
+``after``
+    The process dies after the payload is durable but before the next
+    protocol step — the file is complete, later files are absent.
+
+A simulated crash raises :class:`InjectedCrash`, which deliberately
+derives from :class:`BaseException`-adjacent ``Exception`` but *not*
+from ``repro.errors.ReproError``: production code must never swallow it.
+
+Typical kill-point sweep::
+
+    counter = CountingFaults()
+    save_database(db, root, faults=counter)        # learn the boundaries
+    for index in range(1, counter.writes + 1):
+        for mode in ("before", "torn", "after"):
+            plan = FaultPlan(fail_at=index, mode=mode)
+            with pytest.raises(InjectedCrash):
+                save_database(db, root, faults=plan)
+            # ... assert load/salvage behavior ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+#: Supported failure modes for :class:`FaultPlan`.
+FAIL_MODES = ("before", "torn", "after")
+
+
+class InjectedCrash(Exception):
+    """A simulated process crash at an injected failure point."""
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """One durable side effect observed by a fault plan."""
+
+    index: int
+    kind: str  # "write" or "rename"
+    path: Path
+    size: int
+
+
+class NoFaults:
+    """The production plan: every side effect succeeds."""
+
+    def write_bytes(self, path: Path, payload: bytes) -> None:
+        """Write ``payload`` to ``path`` (one durable boundary)."""
+        path.write_bytes(payload)
+
+    def rename(self, source: Path, target: Path) -> None:
+        """Rename ``source`` over ``target`` (one durable boundary)."""
+        source.replace(target)
+
+
+class CountingFaults(NoFaults):
+    """Succeeds like :class:`NoFaults` but records every boundary.
+
+    Run a save through it once to learn how many kill points the
+    protocol has, then sweep ``FaultPlan(fail_at=1..writes)``.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[WriteEvent] = []
+
+    @property
+    def writes(self) -> int:
+        """Total durable boundaries the last save crossed."""
+        return len(self.events)
+
+    def _record(self, kind: str, path: Path, size: int) -> None:
+        self.events.append(WriteEvent(len(self.events) + 1, kind, Path(path), size))
+
+    def write_bytes(self, path: Path, payload: bytes) -> None:
+        self._record("write", path, len(payload))
+        super().write_bytes(path, payload)
+
+    def rename(self, source: Path, target: Path) -> None:
+        self._record("rename", target, 0)
+        super().rename(source, target)
+
+
+@dataclass
+class FaultPlan:
+    """Crash at the ``fail_at``-th durable boundary in the given mode.
+
+    ``mode`` is one of :data:`FAIL_MODES`.  For renames, ``torn`` is
+    meaningless (renames are atomic), so it degrades to ``before`` —
+    the crash happens and the rename never lands.
+    """
+
+    fail_at: int
+    mode: str = "before"
+    torn_fraction: float = 0.5
+    _counter: int = field(default=0, repr=False)
+    crashed: Optional[WriteEvent] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAIL_MODES:
+            raise ValueError(f"mode must be one of {FAIL_MODES}, not {self.mode!r}")
+        if self.fail_at < 1:
+            raise ValueError("fail_at counts boundaries from 1")
+        if not 0.0 <= self.torn_fraction < 1.0:
+            raise ValueError("torn_fraction must be in [0, 1)")
+
+    def _next(self, kind: str, path: Path, size: int) -> bool:
+        """Advance the boundary counter; True when this one crashes."""
+        self._counter += 1
+        if self._counter == self.fail_at:
+            self.crashed = WriteEvent(self._counter, kind, Path(path), size)
+            return True
+        return False
+
+    def write_bytes(self, path: Path, payload: bytes) -> None:
+        if self._next("write", path, len(payload)):
+            if self.mode == "torn":
+                path.write_bytes(payload[: int(len(payload) * self.torn_fraction)])
+            elif self.mode == "after":
+                path.write_bytes(payload)
+            raise InjectedCrash(f"injected crash ({self.mode}) writing {path}")
+        path.write_bytes(payload)
+
+    def rename(self, source: Path, target: Path) -> None:
+        if self._next("rename", target, 0):
+            if self.mode == "after":
+                source.replace(target)
+            raise InjectedCrash(f"injected crash ({self.mode}) renaming to {target}")
+        source.replace(target)

@@ -1,0 +1,266 @@
+"""Crash-safety: the kill-point sweep and mutator rollback tests.
+
+The sweep crashes ``save_database`` at *every* durable boundary (file
+writes and commit renames) in every failure mode (before / torn /
+after), then asserts the recovery contract: a subsequent strict load
+either yields a complete consistent state (the previous one, or — for
+crashes after the commit point — the new one) or raises a clean
+:class:`PersistenceError`; salvage loading always succeeds and the
+salvaged database passes :func:`verify_integrity`.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.color.names import FLAG_PALETTE
+from repro.db.database import MultimediaDatabase
+from repro.db.persistence import load_database, save_database
+from repro.errors import PersistenceError, SalvageError
+from repro.images.generators import random_palette_image
+from repro.testing.faults import CountingFaults, FaultPlan, InjectedCrash
+
+
+def _make_database(seed, bases=2, variants=2):
+    rng = np.random.default_rng(seed)
+    database = MultimediaDatabase()
+    base_ids = [
+        database.insert_image(random_palette_image(rng, 10, 12, FLAG_PALETTE))
+        for _ in range(bases)
+    ]
+    for base_id in base_ids:
+        database.augment(base_id, rng, variants, FLAG_PALETTE,
+                         merge_target_pool=base_ids)
+    return database
+
+
+def _fingerprint(database):
+    return (
+        tuple(sorted(database.catalog.binary_ids())),
+        tuple(sorted(database.catalog.edited_ids())),
+        tuple(sorted(database.structure_summary().items())),
+    )
+
+
+class TestFaultPlans:
+    def test_counting_plan_records_boundaries(self, tmp_path):
+        database = _make_database(7)
+        counter = CountingFaults()
+        save_database(database, tmp_path / "db", faults=counter)
+        kinds = [event.kind for event in counter.events]
+        # One write per content file, one for the manifest, one commit
+        # rename (fresh directory).
+        files = database.catalog.binary_count + database.catalog.edited_count
+        assert kinds == ["write"] * (files + 1) + ["rename"]
+        assert counter.writes == files + 2
+
+    def test_resave_adds_backup_rename(self, tmp_path):
+        database = _make_database(7)
+        save_database(database, tmp_path / "db")
+        counter = CountingFaults()
+        save_database(database, tmp_path / "db", faults=counter)
+        assert [e.kind for e in counter.events[-2:]] == ["rename", "rename"]
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(fail_at=0)
+        with pytest.raises(ValueError):
+            FaultPlan(fail_at=1, mode="sideways")
+        with pytest.raises(ValueError):
+            FaultPlan(fail_at=1, torn_fraction=1.5)
+
+    def test_plan_records_the_crash_site(self, tmp_path):
+        database = _make_database(7)
+        plan = FaultPlan(fail_at=3, mode="torn")
+        with pytest.raises(InjectedCrash):
+            save_database(database, tmp_path / "db", faults=plan)
+        assert plan.crashed is not None
+        assert plan.crashed.index == 3
+
+
+class TestKillPointSweep:
+    """Crash a resave at every boundary; the directory must stay usable."""
+
+    @pytest.fixture(scope="class")
+    def states(self):
+        previous = _make_database(11)
+        upcoming = _make_database(11)
+        upcoming.insert_image(
+            random_palette_image(np.random.default_rng(99), 10, 12, FLAG_PALETTE)
+        )
+        victim = next(iter(upcoming.catalog.edited_ids()))
+        upcoming.delete_edited(victim)
+        return previous, upcoming
+
+    def _boundaries(self, states, tmp_path):
+        previous, upcoming = states
+        root = tmp_path / "count"
+        save_database(previous, root)
+        counter = CountingFaults()
+        save_database(upcoming, root, faults=counter)
+        return counter.writes
+
+    def test_sweep_over_existing_state(self, states, tmp_path):
+        previous, upcoming = states
+        fingerprints = {_fingerprint(previous), _fingerprint(upcoming)}
+        boundaries = self._boundaries(states, tmp_path)
+        assert boundaries > 3
+
+        for index in range(1, boundaries + 1):
+            for mode in ("before", "torn", "after"):
+                root = tmp_path / f"sweep-{index}-{mode}"
+                save_database(previous, root)
+                plan = FaultPlan(fail_at=index, mode=mode)
+                with pytest.raises(InjectedCrash):
+                    save_database(upcoming, root, faults=plan)
+
+                # Strict load: complete old state, complete new state,
+                # or a clean PersistenceError — never silent damage.
+                try:
+                    loaded = load_database(root)
+                except PersistenceError:
+                    pass
+                else:
+                    assert _fingerprint(loaded) in fingerprints
+                    assert loaded.verify_integrity() == []
+
+                # Salvage: always recovers a database that verifies clean.
+                salvaged, report = load_database(root, salvage=True)
+                assert salvaged.verify_integrity() == []
+                assert _fingerprint(salvaged) in fingerprints
+                assert report.loaded_binary == salvaged.catalog.binary_count
+                assert report.loaded_edited == salvaged.catalog.edited_count
+
+    def test_sweep_over_fresh_directory(self, states, tmp_path):
+        _, upcoming = states
+        root = tmp_path / "count-fresh"
+        counter = CountingFaults()
+        save_database(upcoming, root, faults=counter)
+
+        for index in range(1, counter.writes + 1):
+            for mode in ("before", "torn", "after"):
+                root = tmp_path / f"fresh-{index}-{mode}"
+                plan = FaultPlan(fail_at=index, mode=mode)
+                with pytest.raises(InjectedCrash):
+                    save_database(upcoming, root, faults=plan)
+                try:
+                    loaded = load_database(root)
+                except PersistenceError:
+                    # Nothing committed; salvage has nothing to anchor on
+                    # either (no manifest) unless the crash tore/skipped
+                    # only content already covered by a committed manifest
+                    # — impossible on a fresh directory before the rename.
+                    with pytest.raises(SalvageError):
+                        load_database(root, salvage=True)
+                else:
+                    assert _fingerprint(loaded) == _fingerprint(upcoming)
+
+    def test_interrupted_commit_rolls_back_on_next_save(self, states, tmp_path):
+        """A save after a mid-commit crash starts from the restored state."""
+        previous, upcoming = states
+        root = tmp_path / "resume"
+        save_database(previous, root)
+        boundaries = self._boundaries(states, tmp_path / "resume-count")
+        plan = FaultPlan(fail_at=boundaries - 1, mode="after")  # first rename
+        with pytest.raises(InjectedCrash):
+            save_database(upcoming, root, faults=plan)
+        assert not root.exists()  # crashed between the two commit renames
+        assert root.with_name(root.name + ".old").is_dir()
+        save_database(upcoming, root)  # recovers, then commits cleanly
+        assert _fingerprint(load_database(root)) == _fingerprint(upcoming)
+        assert not root.with_name(root.name + ".old").exists()
+        assert not root.with_name(root.name + ".saving").exists()
+
+
+class TestMutatorRollback:
+    """Failed in-memory mutations must leave all four structures aligned."""
+
+    def _boom(self, *args, **kwargs):
+        raise RuntimeError("injected subsystem failure")
+
+    def test_insert_image_rolls_back_index_failure(self, monkeypatch):
+        database = _make_database(21)
+        before = _fingerprint(database)
+        monkeypatch.setattr(database.histogram_index, "insert_point", self._boom)
+        image = random_palette_image(np.random.default_rng(3), 10, 12, FLAG_PALETTE)
+        with pytest.raises(RuntimeError):
+            database.insert_image(image)
+        monkeypatch.undo()
+        assert _fingerprint(database) == before
+        assert database.verify_integrity() == []
+
+    def test_insert_image_rolls_back_bwm_failure(self, monkeypatch):
+        database = _make_database(22)
+        before = _fingerprint(database)
+        monkeypatch.setattr(database.bwm_structure, "insert_binary", self._boom)
+        image = random_palette_image(np.random.default_rng(4), 10, 12, FLAG_PALETTE)
+        with pytest.raises(RuntimeError):
+            database.insert_image(image)
+        monkeypatch.undo()
+        assert _fingerprint(database) == before
+        assert database.verify_integrity() == []
+
+    def test_insert_edited_rolls_back_bwm_failure(self, monkeypatch):
+        database = _make_database(23)
+        before = _fingerprint(database)
+        sequence = database.catalog.sequence_of(
+            next(iter(database.catalog.edited_ids()))
+        )
+        monkeypatch.setattr(database.bwm_structure, "insert_edited", self._boom)
+        with pytest.raises(RuntimeError):
+            database.insert_edited(sequence)
+        monkeypatch.undo()
+        assert _fingerprint(database) == before
+        assert database.verify_integrity() == []
+
+    def test_delete_image_rolls_back_index_failure(self, monkeypatch):
+        database = MultimediaDatabase()
+        rng = np.random.default_rng(24)
+        image_id = database.insert_image(
+            random_palette_image(rng, 10, 12, FLAG_PALETTE)
+        )
+        before = _fingerprint(database)
+        monkeypatch.setattr(database.histogram_index, "delete", self._boom)
+        with pytest.raises(RuntimeError):
+            database.delete_image(image_id)
+        monkeypatch.undo()
+        assert _fingerprint(database) == before
+        assert database.verify_integrity() == []
+
+    def test_delete_edited_rolls_back_bwm_failure(self, monkeypatch):
+        database = _make_database(25)
+        victim = next(iter(database.catalog.edited_ids()))
+        before = _fingerprint(database)
+        monkeypatch.setattr(database.bwm_structure, "remove_edited", self._boom)
+        with pytest.raises(RuntimeError):
+            database.delete_edited(victim)
+        monkeypatch.undo()
+        assert _fingerprint(database) == before
+        assert database.verify_integrity() == []
+
+    def test_update_image_rolls_back_index_failure(self, monkeypatch):
+        database = _make_database(26)
+        image_id = next(iter(database.catalog.binary_ids()))
+        before_hist = database.catalog.binary_record(image_id).histogram
+        monkeypatch.setattr(database.histogram_index, "insert_point", self._boom)
+        replacement = random_palette_image(
+            np.random.default_rng(5), 10, 12, FLAG_PALETTE
+        )
+        with pytest.raises(RuntimeError):
+            database.update_image(image_id, replacement)
+        monkeypatch.undo()
+        assert database.catalog.binary_record(image_id).histogram == before_hist
+        assert database.verify_integrity() == []
+
+
+def test_injected_crash_is_not_a_repro_error(tmp_path):
+    """Production error handling must never swallow a simulated crash."""
+    from repro.errors import ReproError
+
+    assert not issubclass(InjectedCrash, ReproError)
+    database = _make_database(31)
+    plan = FaultPlan(fail_at=1)
+    with pytest.raises(InjectedCrash):
+        save_database(database, tmp_path / "db", faults=plan)
+    shutil.rmtree(tmp_path / "db", ignore_errors=True)

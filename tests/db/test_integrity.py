@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.db.integrity import require_integrity, verify_integrity
+from repro.db.integrity import repair, require_integrity, verify_integrity
 from repro.errors import DatabaseError
 from repro.workloads.datasets import build_flag_database
 
@@ -94,3 +94,126 @@ class TestInjectedCorruption:
         with pytest.raises(DatabaseError) as excinfo:
             require_integrity(database)
         assert victim in str(excinfo.value)
+
+
+class TestRepair:
+    """Deliberately corrupted databases: each reparable problem class is
+    reported by verify_integrity, then cleared by repair()."""
+
+    def _assert_repaired(self, database, expected_fragment):
+        problems = verify_integrity(database)
+        assert any(expected_fragment in p for p in problems), problems
+        report = repair(database)
+        assert report.actions
+        assert report.clean, report.describe()
+        assert verify_integrity(database) == []
+        return report
+
+    def test_healthy_database_needs_no_actions(self, database):
+        report = repair(database)
+        assert report.actions == []
+        assert report.clean
+
+    def test_dangling_bwm_member(self, database):
+        database.bwm_structure.unclassified.append("ghost-1")
+        database.bwm_structure._edited_location["ghost-1"] = ""
+        report = self._assert_repaired(database, "ghost-1")
+        assert any("evicted dangling BWM member" in a for a in report.actions)
+
+    def test_edited_in_two_main_clusters(self, database):
+        base_id, cluster = next(
+            (b, c) for b, c in database.bwm_structure.clusters() if c
+        )
+        victim = cluster[0]
+        other = next(
+            b for b, _ in database.bwm_structure.clusters() if b != base_id
+        )
+        database.bwm_structure.main[other].append(victim)
+        report = self._assert_repaired(database, "two Main clusters")
+        assert any("duplicate BWM entries" in a for a in report.actions)
+
+    def test_index_entry_for_deleted_binary(self, database):
+        database.histogram_index.insert_point(
+            np.zeros(database.quantizer.bin_count), "long-gone"
+        )
+        report = self._assert_repaired(database, "histogram index")
+        assert any(
+            "evicted histogram-index entry" in a and "long-gone" in a
+            for a in report.actions
+        )
+
+    def test_missing_index_entry(self, database):
+        from repro.index.mbr import MBR
+
+        victim = next(iter(database.catalog.binary_ids()))
+        point = MBR.point(
+            database.catalog.binary_record(victim).histogram.fractions()
+        )
+        assert database.histogram_index.delete(point, victim)
+        report = self._assert_repaired(database, "histogram index")
+        assert any(
+            "reinserted missing histogram-index entry" in a for a in report.actions
+        )
+
+    def test_stale_histogram_after_raster_swap(self, database):
+        victim = next(iter(database.catalog.binary_ids()))
+        record = database.catalog.binary_record(victim)
+        record.image.pixels[:] = (record.image.pixels.astype(int) + 97) % 256
+        report = self._assert_repaired(database, "does not match its raster")
+        assert any("recomputed stale histogram" in a for a in report.actions)
+        assert any("reindexed" in a for a in report.actions)
+        # The index entry moved to the recomputed point.
+        from repro.index.mbr import MBR
+
+        point = MBR.point(record.histogram.fractions())
+        assert victim in database.histogram_index.search(point)
+
+    def test_misfiled_main_member(self, database):
+        base_id, cluster = next(
+            (b, c) for b, c in database.bwm_structure.clusters() if c
+        )
+        victim = cluster.pop()
+        database.bwm_structure.unclassified.append(victim)
+        report = self._assert_repaired(database, "misplaced")
+        assert any("reclassified" in a for a in report.actions)
+
+    def test_missing_bwm_entry_restored(self, database):
+        victim = next(iter(database.catalog.edited_ids()))
+        database.bwm_structure.remove_edited(victim)
+        report = self._assert_repaired(database, "missing from the BWM structure")
+        assert any("inserted missing BWM entry" in a for a in report.actions)
+
+    def test_queries_work_after_repair(self, database, rng):
+        from repro.workloads.queries import make_query_workload
+
+        victim = next(iter(database.catalog.edited_ids()))
+        database.bwm_structure.remove_edited(victim)
+        repair(database)
+        for query in make_query_workload(database, rng, 4):
+            bwm = database.range_query(query, method="bwm").matches
+            rbm = database.range_query(query, method="rbm").matches
+            assert bwm == rbm
+
+    def test_irreparable_damage_is_reported_not_hidden(self, database):
+        edited = next(iter(database.catalog.edited_ids()))
+        base = database.catalog.edited_record(edited).base_id
+        database.catalog._children[base].remove(edited)
+        report = repair(database)
+        assert not report.clean
+        assert any("derivation link is missing" in p for p in report.remaining)
+        assert "not auto-fixable" in report.describe()
+
+    def test_repair_is_idempotent(self, database):
+        database.bwm_structure.unclassified.append("ghost-2")
+        database.bwm_structure._edited_location["ghost-2"] = ""
+        first = repair(database)
+        assert first.actions
+        second = repair(database)
+        assert second.actions == []
+
+    def test_facade_repair(self, database):
+        database.bwm_structure.unclassified.append("ghost-3")
+        database.bwm_structure._edited_location["ghost-3"] = ""
+        report = database.repair()
+        assert report.clean
+        assert verify_integrity(database) == []

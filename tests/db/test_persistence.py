@@ -8,8 +8,15 @@ import pytest
 from repro.color.quantization import UniformQuantizer
 from repro.db.database import MultimediaDatabase
 from repro.db.persistence import load_database, save_database
-from repro.errors import PersistenceError
+from repro.editing.sequence import EditSequence
+from repro.errors import CorruptionError, PersistenceError, SalvageError
 from repro.workloads.queries import make_query_workload
+
+
+def _flip_tail(path):
+    payload = bytearray(path.read_bytes())
+    payload[-1] = (payload[-1] + 90) % 256
+    path.write_bytes(bytes(payload))
 
 
 class TestRoundTrip:
@@ -88,3 +95,188 @@ class TestErrors:
         victim.unlink()
         with pytest.raises(PersistenceError):
             load_database(root)
+
+    def test_corrupt_raster_named_in_error(self, small_database, tmp_path):
+        root = save_database(small_database, tmp_path / "db")
+        victim = next((root / "binary").glob("*.ppm"))
+        _flip_tail(victim)
+        with pytest.raises(CorruptionError) as excinfo:
+            load_database(root)
+        assert victim.name in str(excinfo.value)
+
+    def test_malformed_sequence_named_in_error(self, small_database, tmp_path):
+        """Garbage .eseq content surfaces as CorruptionError, not a raw
+        SequenceError/ValueError leaking out of the parser."""
+        root = save_database(small_database, tmp_path / "db", checksums=False)
+        victim = next((root / "edited").glob("*.eseq"))
+        victim.write_text("base \nnot an operation", encoding="utf-8")
+        with pytest.raises(CorruptionError) as excinfo:
+            load_database(root)
+        assert victim.name in str(excinfo.value)
+
+    def test_truncated_raster_without_checksums(self, small_database, tmp_path):
+        """Even with checksums off, a torn ppm is a CorruptionError."""
+        root = save_database(small_database, tmp_path / "db", checksums=False)
+        victim = next((root / "binary").glob("*.ppm"))
+        victim.write_bytes(victim.read_bytes()[:20])
+        with pytest.raises(CorruptionError) as excinfo:
+            load_database(root)
+        assert victim.name in str(excinfo.value)
+
+    def test_tampered_manifest_detected(self, small_database, tmp_path):
+        root = save_database(small_database, tmp_path / "db")
+        manifest_path = root / "catalog.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["fill_color"] = [255, 255, 255]  # checksum now stale
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(CorruptionError) as excinfo:
+            load_database(root)
+        assert "manifest checksum" in str(excinfo.value)
+
+    def test_raster_file_swap_detected(self, small_database, tmp_path):
+        """Two files swapped: sizes fine, checksums catch it."""
+        root = save_database(small_database, tmp_path / "db")
+        first, second, *_ = sorted((root / "binary").glob("*.ppm"))
+        a, b = first.read_bytes(), second.read_bytes()
+        first.write_bytes(b)
+        second.write_bytes(a)
+        with pytest.raises(CorruptionError):
+            load_database(root)
+
+
+class TestOrphanPruning:
+    def test_resave_after_deletions_prunes_files(self, small_database, tmp_path):
+        """insert -> save -> delete -> save -> load roundtrips to the
+        smaller catalog with no orphaned content files left on disk."""
+        root = save_database(small_database, tmp_path / "db")
+        # Clear one base's derived chain, then the base itself, so both
+        # an .eseq and a .ppm become orphans of the first save.
+        base_victim = next(iter(small_database.catalog.binary_ids()))
+        for edited_id in list(small_database.catalog.edited_ids()):
+            sequence = small_database.catalog.sequence_of(edited_id)
+            if base_victim in sequence.referenced_ids():
+                small_database.delete_edited(edited_id)
+        small_database.delete_image(base_victim)
+
+        save_database(small_database, root)
+        on_disk_edited = {p.stem for p in (root / "edited").glob("*.eseq")}
+        assert on_disk_edited == set(small_database.catalog.edited_ids())
+        on_disk_binary = {p.stem for p in (root / "binary").glob("*.ppm")}
+        assert base_victim not in on_disk_binary
+        assert on_disk_binary == set(small_database.catalog.binary_ids())
+
+        loaded = load_database(root)
+        assert loaded.structure_summary() == small_database.structure_summary()
+        assert loaded.verify_integrity() == []
+
+    def test_no_temp_debris_after_clean_save(self, small_database, tmp_path):
+        root = save_database(small_database, tmp_path / "db")
+        save_database(small_database, root)
+        siblings = {p.name for p in root.parent.iterdir()}
+        assert siblings == {root.name}
+
+
+class TestSalvage:
+    def test_salvage_on_healthy_database(self, small_database, tmp_path):
+        root = save_database(small_database, tmp_path / "db")
+        database, report = load_database(root, salvage=True)
+        assert report.clean
+        assert report.quarantined == []
+        assert database.structure_summary() == small_database.structure_summary()
+
+    def test_salvage_quarantines_corrupt_raster_and_descendants(
+        self, small_database, tmp_path
+    ):
+        root = save_database(small_database, tmp_path / "db")
+        victim = next((root / "binary").glob("*.ppm"))
+        victim_id = victim.stem
+        _flip_tail(victim)
+
+        database, report = load_database(root, salvage=True)
+        lost = set(report.quarantined_ids())
+        assert victim_id in lost
+        # Every edited image referencing the victim went with it.
+        for image_id in small_database.catalog.edited_ids():
+            sequence = small_database.catalog.sequence_of(image_id)
+            if victim_id in sequence.referenced_ids():
+                assert image_id in lost
+        assert not database.catalog.contains(victim_id)
+        assert database.verify_integrity() == []
+        assert report.loaded_binary == database.catalog.binary_count
+        assert "checksum mismatch" in report.describe()
+
+    def test_salvage_chained_quarantine(self, tmp_path, rng):
+        """Damage to an edited image takes its derived chain too."""
+        from repro.color.names import FLAG_PALETTE
+        from repro.images.generators import random_palette_image
+
+        database = MultimediaDatabase()
+        base_id = database.insert_image(
+            random_palette_image(rng, 10, 12, FLAG_PALETTE)
+        )
+        first = database.insert_edited(EditSequence(base_id))
+        second = database.insert_edited(EditSequence(first))
+        third = database.insert_edited(EditSequence(second))
+
+        root = save_database(database, tmp_path / "db", checksums=False)
+        (root / "edited" / f"{first}.eseq").write_text("garbage", encoding="utf-8")
+
+        salvaged, report = load_database(root, salvage=True)
+        assert set(report.quarantined_ids()) == {first, second, third}
+        assert list(salvaged.catalog.binary_ids()) == [base_id]
+        assert salvaged.verify_integrity() == []
+
+    def test_salvage_with_tampered_manifest_warns(self, small_database, tmp_path):
+        root = save_database(small_database, tmp_path / "db")
+        manifest_path = root / "catalog.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["fill_color"] = list(manifest["fill_color"])  # no-op change
+        manifest["extra_field"] = True  # checksum now stale
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        database, report = load_database(root, salvage=True)
+        assert any("manifest checksum" in w for w in report.warnings)
+        assert not report.clean
+        assert database.verify_integrity() == []
+
+    def test_salvage_without_manifest_raises_salvage_error(self, tmp_path):
+        with pytest.raises(SalvageError):
+            load_database(tmp_path, salvage=True)
+
+    def test_salvage_with_unparseable_manifest(self, small_database, tmp_path):
+        root = save_database(small_database, tmp_path / "db")
+        (root / "catalog.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(SalvageError):
+            load_database(root, salvage=True)
+
+
+class TestFormatCompatibility:
+    def test_version_1_directories_still_load(self, small_database, tmp_path):
+        """A pre-checksum (v1) manifest loads without verification."""
+        root = save_database(small_database, tmp_path / "db")
+        manifest_path = root / "catalog.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["format_version"] = 1
+        del manifest["files"]
+        del manifest["manifest_checksum"]
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        loaded = load_database(root)
+        assert loaded.structure_summary() == small_database.structure_summary()
+
+    def test_saved_manifest_checksums_every_file(self, small_database, tmp_path):
+        root = save_database(small_database, tmp_path / "db")
+        manifest = json.loads((root / "catalog.json").read_text(encoding="utf-8"))
+        assert manifest["format_version"] == 2
+        content = {
+            f"binary/{i}.ppm" for i in manifest["binary_ids"]
+        } | {f"edited/{i}.eseq" for i in manifest["edited_ids"]}
+        assert set(manifest["files"]) == content
+        for entry in manifest["files"].values():
+            assert len(entry["sha256"]) == 64
+            assert entry["bytes"] > 0
+
+    def test_checksums_off_roundtrips(self, small_database, tmp_path):
+        root = save_database(small_database, tmp_path / "db", checksums=False)
+        manifest = json.loads((root / "catalog.json").read_text(encoding="utf-8"))
+        assert manifest["files"] == {}
+        loaded = load_database(root)
+        assert loaded.structure_summary() == small_database.structure_summary()

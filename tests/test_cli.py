@@ -137,12 +137,66 @@ class TestCheck:
         payload = bytearray(victim.read_bytes())
         payload[-1] = (payload[-1] + 90) % 256
         victim.write_bytes(bytes(payload))
-        # The reload recomputes histograms, so the index/histograms stay
-        # self-consistent; check still passes (corruption happened before
-        # load).  Corrupt the loaded object instead via a fresh load and
-        # in-memory mutation, covered in tests/db/test_integrity.py.
+        # The manifest's per-file checksums catch the damage at load
+        # time, before any recomputed histogram could paper over it.
         code, _ = run_cli("check", str(corrupted))
+        assert code == 1
+
+
+class TestRepair:
+    def test_repair_on_healthy_database(self, saved_database):
+        directory, _ = saved_database
+        code, output = run_cli("repair", str(directory), "--dry-run")
         assert code == 0
+        assert "applied 0 fix(es)" in output
+
+    def test_repair_missing_directory(self, tmp_path):
+        code, _ = run_cli("repair", str(tmp_path / "nope"))
+        assert code == 1
+
+
+class TestSalvage:
+    def _corrupt_copy(self, directory, tmp_path):
+        import shutil
+
+        damaged = tmp_path / "damaged"
+        shutil.copytree(directory, damaged)
+        victim = next((damaged / "binary").glob("*.ppm"))
+        payload = bytearray(victim.read_bytes())
+        payload[-1] = (payload[-1] + 90) % 256
+        victim.write_bytes(bytes(payload))
+        return damaged, victim.stem
+
+    def test_salvage_recovers_into_new_directory(self, saved_database, tmp_path):
+        directory, _ = saved_database
+        damaged, victim_id = self._corrupt_copy(directory, tmp_path)
+        recovered = tmp_path / "recovered"
+        code, output = run_cli("salvage", str(damaged), "-o", str(recovered))
+        assert code == 3  # losses occurred
+        assert victim_id in output
+        assert "quarantined" in output
+        # The recovered directory is fully healthy.
+        code, output = run_cli("check", str(recovered))
+        assert code == 0
+
+    def test_salvage_in_place(self, saved_database, tmp_path):
+        directory, _ = saved_database
+        damaged, _ = self._corrupt_copy(directory, tmp_path)
+        code, output = run_cli("salvage", str(damaged))
+        assert code == 3
+        assert "saved salvaged database" in output
+        code, _ = run_cli("check", str(damaged))
+        assert code == 0
+
+    def test_salvage_on_healthy_database(self, saved_database, tmp_path):
+        import shutil
+
+        directory, _ = saved_database
+        copy = tmp_path / "healthy"
+        shutil.copytree(directory, copy)
+        code, output = run_cli("salvage", str(copy))
+        assert code == 0
+        assert "0 quarantined" in output
 
 
 class TestBrokenPipe:
