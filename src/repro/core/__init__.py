@@ -1,7 +1,7 @@
 """The paper's contribution: Table 1 rules, BOUNDS, RBM, and BWM."""
 
-from repro.core.bounds import BoundsEngine, BoundsStore, PixelBounds
-from repro.core.bwm import BWMProcessor, BWMStructure
+from repro.core.bounds import AllBinsBounds, BoundsEngine, BoundsStore, PixelBounds
+from repro.core.bwm import BWMProcessor, BWMStructure, OrderedIdSet
 from repro.core.classify import (
     first_non_widening,
     is_bound_widening,
@@ -23,8 +23,15 @@ from repro.core.rules import (
     describe_rule,
     initial_state,
 )
+from repro.core.rules_vec import (
+    VecRuleContext,
+    VecRuleState,
+    apply_rule_vec,
+    initial_vec_state,
+)
 
 __all__ = [
+    "AllBinsBounds",
     "BWMProcessor",
     "BWMStructure",
     "BoundsEngine",
@@ -33,6 +40,7 @@ __all__ = [
     "BoundsStore",
     "CatalogView",
     "ConjunctiveQuery",
+    "OrderedIdSet",
     "PixelBounds",
     "QueryResult",
     "QueryStats",
@@ -40,10 +48,14 @@ __all__ = [
     "RangeQuery",
     "RuleContext",
     "RuleState",
+    "VecRuleContext",
+    "VecRuleState",
     "apply_rule",
+    "apply_rule_vec",
     "describe_rule",
     "first_non_widening",
     "initial_state",
+    "initial_vec_state",
     "is_bound_widening",
     "sequence_is_bound_widening",
 ]

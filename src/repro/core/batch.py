@@ -3,9 +3,9 @@
 A retrieval front-end (or the evaluation harness) frequently submits many
 range queries at once.  Processing them together amortizes the per-image
 catalog walk: each binary histogram is fetched once and checked against
-every query, and each edited image's BOUNDS walk is shared across all
-queries on the *same bin* (the rule walk depends only on the bin, so the
-resulting interval can be tested against every query range for free).
+every query, and each edited image pays a *single* vectorized BOUNDS walk
+(:meth:`repro.core.bounds.BoundsEngine.bounds_all_bins`) shared by every
+query in the batch, whatever bins they target.
 
 The result sets are identical to running the queries one at a time with
 the same method — property-tested in ``tests/core/test_batch.py``.
@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Sequence
 
-from repro.core.bounds import BoundsEngine
+from repro.core.bounds import AllBinsBounds, BoundsEngine, PixelBounds
 from repro.core.bwm import BWMStructure
 from repro.core.query import CatalogView, QueryResult, QueryStats, RangeQuery
 from repro.errors import QueryError
@@ -30,8 +30,14 @@ def _group_by_bin(queries: Sequence[RangeQuery]) -> Dict[int, List[int]]:
     return groups
 
 
+def _bin_bounds(all_bins: AllBinsBounds, bin_index: int) -> PixelBounds:
+    """One bin's interval out of an all-bins BOUNDS matrix."""
+    lo, hi, height, width = all_bins
+    return PixelBounds(int(lo[bin_index]), int(hi[bin_index]), height, width)
+
+
 class BatchRBMProcessor:
-    """RBM over a batch: one BOUNDS walk per (edited image, distinct bin)."""
+    """RBM over a batch: one vectorized BOUNDS walk per edited image."""
 
     name = "rbm-batch"
 
@@ -58,11 +64,12 @@ class BatchRBMProcessor:
                         matches[position].add(image_id)
 
         for image_id in self._view.edited_ids():
+            rules_before = self._engine.rules_applied
+            all_bins = self._engine.bounds_all_bins(image_id)
+            stats.rules_applied += self._engine.rules_applied - rules_before
             for bin_index, positions in groups.items():
-                rules_before = self._engine.rules_applied
-                bounds = self._engine.bounds(image_id, bin_index)
+                bounds = _bin_bounds(all_bins, bin_index)
                 stats.bounds_computed += 1
-                stats.rules_applied += self._engine.rules_applied - rules_before
                 for position in positions:
                     query = queries[position]
                     if bounds.overlaps(query.pct_min, query.pct_max):
@@ -72,11 +79,11 @@ class BatchRBMProcessor:
 
 
 class BatchBWMProcessor:
-    """BWM over a batch, sharing BOUNDS walks across same-bin queries.
+    """BWM over a batch, sharing one vectorized BOUNDS walk per member.
 
     Per cluster, the base histogram is checked against every query; only
-    queries the base fails need per-member BOUNDS, and those walks are
-    shared per distinct bin among the failing queries.
+    queries the base fails need per-member BOUNDS, and a member's single
+    all-bins walk serves every failing query regardless of bin.
     """
 
     name = "bwm-batch"
@@ -98,6 +105,7 @@ class BatchBWMProcessor:
         groups = _group_by_bin(queries)
         matches: List[set] = [set() for _ in queries]
         stats = QueryStats()
+        walked: Dict[str, AllBinsBounds] = {}
 
         for base_id, cluster in self._structure.clusters():
             histogram = self._view.histogram_of(base_id)
@@ -118,7 +126,7 @@ class BatchBWMProcessor:
                 continue
             for edited_id in cluster:
                 for bin_index, positions in failing_by_bin.items():
-                    bounds = self._shared_bounds(edited_id, bin_index, stats)
+                    bounds = self._shared_bounds(edited_id, bin_index, stats, walked)
                     for position in positions:
                         query = queries[position]
                         if bounds.overlaps(query.pct_min, query.pct_max):
@@ -126,7 +134,7 @@ class BatchBWMProcessor:
 
         for edited_id in self._structure.unclassified:
             for bin_index, positions in groups.items():
-                bounds = self._shared_bounds(edited_id, bin_index, stats)
+                bounds = self._shared_bounds(edited_id, bin_index, stats, walked)
                 for position in positions:
                     query = queries[position]
                     if bounds.overlaps(query.pct_min, query.pct_max):
@@ -134,9 +142,20 @@ class BatchBWMProcessor:
 
         return [QueryResult(frozenset(found), stats) for found in matches]
 
-    def _shared_bounds(self, edited_id: str, bin_index: int, stats: QueryStats):
-        rules_before = self._engine.rules_applied
-        bounds = self._engine.bounds(edited_id, bin_index)
+    def _shared_bounds(
+        self,
+        edited_id: str,
+        bin_index: int,
+        stats: QueryStats,
+        walked: Dict[str, AllBinsBounds],
+    ) -> PixelBounds:
+        # One vectorized walk per member per batch, even when the
+        # engine's own memo cache is disabled.
+        all_bins = walked.get(edited_id)
+        if all_bins is None:
+            rules_before = self._engine.rules_applied
+            all_bins = self._engine.bounds_all_bins(edited_id)
+            stats.rules_applied += self._engine.rules_applied - rules_before
+            walked[edited_id] = all_bins
         stats.bounds_computed += 1
-        stats.rules_applied += self._engine.rules_applied - rules_before
-        return bounds
+        return _bin_bounds(all_bins, bin_index)

@@ -22,7 +22,7 @@ argument; property-tested in ``tests/core/test_equivalence.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, Tuple
 
 from repro.core.bounds import BoundsEngine
 from repro.core.classify import sequence_is_bound_widening
@@ -31,18 +31,80 @@ from repro.editing.sequence import EditSequence
 from repro.errors import DuplicateObjectError, UnknownObjectError
 
 
+class OrderedIdSet:
+    """Insertion-ordered id collection with O(1) ``append`` and ``remove``.
+
+    Cluster membership used to live in plain lists, making every
+    ``remove_edited`` an O(n) scan.  A dict's keys give the same
+    insertion order with constant-time deletion, while this wrapper keeps
+    the list-shaped API (``append``/``remove``/iteration/equality with
+    lists) the structure's callers and tests already use.
+    """
+
+    __slots__ = ("_ids",)
+
+    def __init__(self, ids: Iterable[str] = ()) -> None:
+        self._ids: Dict[str, None] = dict.fromkeys(ids)
+
+    def append(self, image_id: str) -> None:
+        """Add an id at the end (re-adding an existing id is an error)."""
+        if image_id in self._ids:
+            raise DuplicateObjectError(f"id {image_id!r} already present")
+        self._ids[image_id] = None
+
+    def remove(self, image_id: str) -> None:
+        """Delete an id in O(1); ValueError if absent (list semantics)."""
+        try:
+            del self._ids[image_id]
+        except KeyError:
+            raise ValueError(f"{image_id!r} not in set") from None
+
+    def pop(self, index: int = -1) -> str:
+        """Remove and return the id at ``index`` (list semantics, O(n))."""
+        value = list(self._ids)[index]
+        del self._ids[value]
+        return value
+
+    def __getitem__(self, index):
+        """Positional access (list semantics, O(n); slices return lists)."""
+        return list(self._ids)[index]
+
+    def clear(self) -> None:
+        self._ids.clear()
+
+    def __contains__(self, image_id: object) -> bool:
+        return image_id in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedIdSet):
+            return list(self._ids) == list(other._ids)
+        if isinstance(other, (list, tuple)):
+            return list(self._ids) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"OrderedIdSet({list(self._ids)!r})"
+
+
 @dataclass
 class BWMStructure:
     """The Main + Unclassified components of §4.1.
 
-    ``main`` maps each binary image id to the (insertion-ordered) list of
-    its bound-widening-only edited images; ``unclassified`` lists every
+    ``main`` maps each binary image id to the (insertion-ordered) set of
+    its bound-widening-only edited images; ``unclassified`` holds every
     other edited image.  The paper keeps base identifiers sorted to ease
-    lookup; a dict gives the same O(1) cluster location directly.
+    lookup; a dict gives the same O(1) cluster location directly, and
+    :class:`OrderedIdSet` members make removal O(1) as well.
     """
 
-    main: Dict[str, List[str]] = field(default_factory=dict)
-    unclassified: List[str] = field(default_factory=list)
+    main: Dict[str, OrderedIdSet] = field(default_factory=dict)
+    unclassified: OrderedIdSet = field(default_factory=OrderedIdSet)
     _edited_location: Dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -52,7 +114,7 @@ class BWMStructure:
         """Register a binary image as a (initially empty) Main cluster."""
         if image_id in self.main:
             raise DuplicateObjectError(f"binary image {image_id!r} already present")
-        self.main[image_id] = []
+        self.main[image_id] = OrderedIdSet()
 
     def insert_edited(self, image_id: str, sequence: EditSequence) -> bool:
         """Figure 1: classify and file one edited image.
@@ -100,7 +162,7 @@ class BWMStructure:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def clusters(self) -> Iterator[Tuple[str, List[str]]]:
+    def clusters(self) -> Iterator[Tuple[str, OrderedIdSet]]:
         """Iterate ``(B_id, E_list)`` tuples of the Main component."""
         return iter(self.main.items())
 

@@ -1,0 +1,281 @@
+"""Vectorized Table 1 rules: every histogram bin in one walk.
+
+The scalar rules in :mod:`repro.core.rules` are defined per
+``(edit sequence, bin)`` pair, mirroring §3.2's presentation.  But the
+geometric quantities a rule consults — the Defined Region, the image
+dimensions, the Mutate matrix classification, the Merge canvas formula —
+are all *bin-independent*: for a given operation, every bin takes the
+same branch, and the per-bin arithmetic is elementwise.  That makes the
+full interval matrix computable in one walk: track ``lo``/``hi`` as
+int64 vectors of length ``bin_count`` and apply each rule to the whole
+vector at once.
+
+The only rules that touch individual bins are Modify (the old/new colors
+land in at most two specific bins) and the Merge fill border (the fill
+color lands in exactly one bin); those update single elements, which is
+both faster and bit-identical to the scalar branches.
+
+Equivalence with the scalar walk — same interval for every bin, same
+``RuleError`` on the same inputs — is property-tested in
+``tests/core/test_rules_vec.py`` over random edit sequences; the scalar
+engine remains the correctness oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.color.quantization import UniformQuantizer
+from repro.editing.executor import merge_canvas_geometry
+from repro.editing.operations import (
+    Combine,
+    Define,
+    Merge,
+    Modify,
+    Mutate,
+    Operation,
+)
+from repro.errors import RuleError
+from repro.images.geometry import Rect, transform_rect_bbox
+from repro.images.raster import ColorTuple
+
+#: Returns ``(lo, hi, height, width)`` for a Merge target image over all
+#: bins at once: conservative count vectors plus exact dimensions.
+#: Binary targets have ``lo is hi``; edited targets recurse through the
+#: bounds engine's vectorized walk.
+VecTargetResolver = Callable[[str], Tuple[np.ndarray, np.ndarray, int, int]]
+
+
+@dataclass
+class VecRuleState:
+    """Running bounds state for one edit sequence over *all* bins.
+
+    ``lo``/``hi`` are writable int64 working vectors owned by the walk
+    (callers must copy before sharing); geometry fields mirror
+    :class:`repro.core.rules.RuleState` exactly.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+    height: int
+    width: int
+    dr: Rect
+
+    @property
+    def total(self) -> int:
+        """Total pixels in the image at this point (``E`` in Table 1)."""
+        return self.height * self.width
+
+    def validate(self) -> "VecRuleState":
+        """Internal consistency check: ``0 <= lo <= hi <= total`` per bin."""
+        total = self.total
+        if not (
+            (self.lo >= 0).all()
+            and (self.lo <= self.hi).all()
+            and (self.hi <= total).all()
+        ):
+            raise RuleError(
+                f"inconsistent vec rule state (total={total}): "
+                f"lo range [{int(self.lo.min())}, {int(self.lo.max())}], "
+                f"hi range [{int(self.hi.min())}, {int(self.hi.max())}]"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class VecRuleContext:
+    """Bin-independent inputs of the vectorized rules.
+
+    Unlike the scalar :class:`repro.core.rules.RuleContext` there is no
+    ``bin_index``: the walk covers every bin.  ``resolve_target`` yields
+    a Merge target's full interval matrix (may be ``None`` when the
+    sequences contain no non-NULL Merge).
+    """
+
+    quantizer: UniformQuantizer
+    fill_color: ColorTuple = (0, 0, 0)
+    resolve_target: VecTargetResolver = None  # type: ignore[assignment]
+
+    @property
+    def fill_bin(self) -> int:
+        """The bin the executor's fill color maps to."""
+        return self.quantizer.bin_of(self.fill_color)
+
+
+def initial_vec_state(
+    base_lo: np.ndarray, base_hi: np.ndarray, base_height: int, base_width: int
+) -> VecRuleState:
+    """Start state from a base image's count vectors (exact or interval).
+
+    For binary bases ``base_lo`` equals ``base_hi`` (the exact histogram
+    counts); chained edited bases start from their interval matrix, the
+    same extension the scalar engine applies.
+    """
+    if base_height <= 0 or base_width <= 0:
+        raise RuleError("base image must have positive dimensions")
+    return VecRuleState(
+        lo=np.array(base_lo, dtype=np.int64),
+        hi=np.array(base_hi, dtype=np.int64),
+        height=base_height,
+        width=base_width,
+        dr=Rect(0, 0, base_height, base_width),
+    ).validate()
+
+
+# ----------------------------------------------------------------------
+# Per-operation vectorized rules
+# ----------------------------------------------------------------------
+def apply_define_vec(
+    state: VecRuleState, op: Define, ctx: VecRuleContext
+) -> VecRuleState:
+    """Define: selects the DR; every bin is untouched."""
+    return replace(state, dr=op.rect.clip(state.height, state.width))
+
+
+def apply_combine_vec(
+    state: VecRuleState, op: Combine, ctx: VecRuleContext
+) -> VecRuleState:
+    """Combine: every DR pixel may enter or leave *any* bin."""
+    dr_area = state.dr.area
+    total = state.total
+    np.clip(state.lo - dr_area, 0, total, out=state.lo)
+    np.clip(state.hi + dr_area, 0, total, out=state.hi)
+    return state
+
+
+def apply_modify_vec(
+    state: VecRuleState, op: Modify, ctx: VecRuleContext
+) -> VecRuleState:
+    """Modify: only the bins of ``RGB_old`` and ``RGB_new`` can move.
+
+    For the new color's bin up to ``|DR|`` pixels join; for the old
+    color's bin up to ``|DR|`` pixels leave; when both colors share a bin
+    (or a bin holds neither) nothing changes — exactly the three scalar
+    branches, applied to the two affected elements.
+    """
+    old_bin = ctx.quantizer.bin_of(op.rgb_old)
+    new_bin = ctx.quantizer.bin_of(op.rgb_new)
+    if old_bin == new_bin:
+        return state
+    dr_area = state.dr.area
+    total = state.total
+    state.hi[new_bin] = min(int(state.hi[new_bin]) + dr_area, total)
+    state.lo[old_bin] = max(int(state.lo[old_bin]) - dr_area, 0)
+    return state
+
+
+def apply_mutate_vec(
+    state: VecRuleState, op: Mutate, ctx: VecRuleContext
+) -> VecRuleState:
+    """Mutate: the scale / identity / general-warp branches, all bins."""
+    if state.dr.is_empty:
+        return state
+    matrix = op.matrix
+    if (
+        matrix.m11 == 1.0
+        and matrix.m22 == 1.0
+        and matrix.m12 == 0.0
+        and matrix.m21 == 0.0
+        and matrix.m13 == 0.0
+        and matrix.m23 == 0.0
+    ):
+        return state
+    image_bounds = Rect(0, 0, state.height, state.width)
+    if op.is_whole_image_scale(state.dr, image_bounds) and op.matrix.is_integer_scale():
+        sx = int(round(op.matrix.m11))
+        sy = int(round(op.matrix.m22))
+        scale = sx * sy
+        new_height = state.height * sx
+        new_width = state.width * sy
+        return VecRuleState(
+            lo=state.lo * scale,
+            hi=state.hi * scale,
+            height=new_height,
+            width=new_width,
+            dr=Rect(0, 0, new_height, new_width),
+        )
+
+    destination = transform_rect_bbox(state.dr, op.matrix).clip(
+        state.height, state.width
+    )
+    affected = state.dr.union_area_upper_bound(destination)
+    total = state.total
+    np.clip(state.lo - affected, 0, total, out=state.lo)
+    np.clip(state.hi + affected, 0, total, out=state.hi)
+    return replace(state, dr=destination)
+
+
+def apply_merge_vec(
+    state: VecRuleState, op: Merge, ctx: VecRuleContext
+) -> VecRuleState:
+    """Merge: crop and paste cases over every bin at once.
+
+    The three pixel populations of the scalar derivation (pasted DR,
+    visible target, fill border) sum elementwise; the fill border
+    contributes only to the fill color's bin.
+    """
+    dr = state.dr
+    if dr.is_empty:
+        raise RuleError("Merge rule requires a non-empty Defined Region")
+    dr_area = dr.area
+    outside = state.total - dr_area
+    dr_lo = np.maximum(state.lo - outside, 0)
+    dr_hi = np.minimum(state.hi, dr_area)
+
+    if op.is_crop:
+        return VecRuleState(
+            lo=dr_lo,
+            hi=dr_hi,
+            height=dr.height,
+            width=dr.width,
+            dr=Rect(0, 0, dr.height, dr.width),
+        ).validate()
+
+    if ctx.resolve_target is None:
+        raise RuleError(f"Merge target {op.target_id!r} requires a target resolver")
+    t_lo, t_hi, t_height, t_width = ctx.resolve_target(op.target_id)
+    t_total = t_height * t_width
+
+    new_height, new_width, _, _ = merge_canvas_geometry(
+        dr.height, dr.width, t_height, t_width, op.x, op.y
+    )
+    paste_rect = Rect(op.x, op.y, op.x + dr.height, op.y + dr.width)
+    covered = paste_rect.intersect(Rect(0, 0, t_height, t_width)).area
+    fill_count = new_height * new_width - dr_area - t_total + covered
+
+    lo = dr_lo + np.maximum(t_lo - covered, 0)
+    hi = dr_hi + np.minimum(t_hi, t_total - covered)
+    if fill_count:
+        fill_bin = ctx.fill_bin
+        lo[fill_bin] += fill_count
+        hi[fill_bin] += fill_count
+    return VecRuleState(
+        lo=lo,
+        hi=hi,
+        height=new_height,
+        width=new_width,
+        dr=Rect(0, 0, new_height, new_width),
+    ).validate()
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def apply_rule_vec(
+    state: VecRuleState, op: Operation, ctx: VecRuleContext
+) -> VecRuleState:
+    """Apply the vectorized rule for one operation to every bin."""
+    if isinstance(op, Define):
+        return apply_define_vec(state, op, ctx)
+    if isinstance(op, Combine):
+        return apply_combine_vec(state, op, ctx)
+    if isinstance(op, Modify):
+        return apply_modify_vec(state, op, ctx)
+    if isinstance(op, Mutate):
+        return apply_mutate_vec(state, op, ctx)
+    if isinstance(op, Merge):
+        return apply_merge_vec(state, op, ctx)
+    raise RuleError(f"no rule for operation {op!r}")

@@ -59,9 +59,10 @@ class MultimediaDatabase:
         ``"rtree"`` (default), ``"vafile"``, or ``"linear"`` — the
         conventional access method over binary-image histograms.
     bounds_cache:
-        Memoize BOUNDS intervals per (image, bin), invalidated on any
-        catalog change.  Off by default so benchmarks measure the
-        algorithms themselves.
+        Memoize BOUNDS intervals per image with dependency-aware
+        invalidation: a catalog change drops only entries reachable from
+        the changed image through base/Merge references.  Off by default
+        so benchmarks measure the algorithms themselves.
     """
 
     def __init__(
@@ -143,7 +144,7 @@ class MultimediaDatabase:
         except BaseException:
             self.catalog.remove_edited(assigned)
             raise
-        self.engine.invalidate_cache()
+        self.engine.invalidate(assigned)
         return assigned
 
     def delete_edited(self, image_id: str) -> None:
@@ -154,7 +155,7 @@ class MultimediaDatabase:
         except BaseException:
             self.catalog.add_edited(record)
             raise
-        self.engine.invalidate_cache()
+        self.engine.invalidate(image_id)
 
     def delete_image(self, image_id: str) -> None:
         """Remove a binary image.
@@ -179,7 +180,7 @@ class MultimediaDatabase:
             self.bwm_structure.insert_binary(image_id)
             self.catalog.add_binary(record)
             raise
-        self.engine.invalidate_cache()
+        self.engine.invalidate(image_id)
 
     def update_image(self, image_id: str, image: Image) -> None:
         """Replace a binary image's raster in place.
@@ -202,7 +203,7 @@ class MultimediaDatabase:
             raise
         old.image = image.copy()
         old.histogram = histogram
-        self.engine.invalidate_cache()
+        self.engine.invalidate(image_id)
 
     def augment(
         self,

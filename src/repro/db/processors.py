@@ -18,9 +18,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
-
-import numpy as np
+from typing import Callable, List, Tuple
 
 from repro.color.histogram import ColorHistogram
 from repro.color.similarity import l1_distance, l1_lower_bound
@@ -32,6 +30,54 @@ from repro.images.raster import Image
 
 #: Instantiates an edited image id into a raster.
 Instantiator = Callable[[str], Image]
+
+
+class _MaxItem:
+    """Inverts tuple ordering so :mod:`heapq` acts as a max-heap.
+
+    ``(distance, image_id)`` tuples cannot be negated wholesale (the id
+    is a string), so the k-best sets below wrap entries in this instead.
+    """
+
+    __slots__ = ("item",)
+
+    def __init__(self, item: Tuple[float, str]) -> None:
+        self.item = item
+
+    def __lt__(self, other: "_MaxItem") -> bool:
+        return other.item < self.item
+
+
+class _KBest:
+    """The k smallest ``(score, image_id)`` tuples seen so far.
+
+    Replaces the re-sort-per-insertion pattern: each push is O(log k)
+    against a max-heap whose root is the current k-th best, which is also
+    the pruning threshold.
+    """
+
+    __slots__ = ("_k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        self._k = k
+        self._heap: List[_MaxItem] = []
+
+    def push(self, item: Tuple[float, str]) -> None:
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, _MaxItem(item))
+        elif item < self._heap[0].item:
+            heapq.heapreplace(self._heap, _MaxItem(item))
+
+    @property
+    def threshold(self) -> float:
+        """The k-th best score, or ``+inf`` while fewer than k are held."""
+        if len(self._heap) < self._k:
+            return float("inf")
+        return self._heap[0].item[0]
+
+    def sorted_items(self) -> List[Tuple[float, str]]:
+        """Held entries ascending by ``(score, image_id)``."""
+        return sorted(entry.item for entry in self._heap)
 
 
 class InstantiateProcessor:
@@ -140,8 +186,9 @@ class SimilaritySearch:
         Strategy (the A5 extension):
 
         1. rank all binary images exactly (cheap — histograms stored);
-        2. per edited image, compute per-bin BOUNDS intervals and an L1
-           *lower bound* on its distance to the query;
+        2. per edited image, compute every bin's BOUNDS interval in one
+           vectorized sequence walk and an L1 *lower bound* on its
+           distance to the query;
         3. process edited images in ascending lower-bound order,
            instantiating one at a time; stop as soon as the next lower
            bound exceeds the current k-th best distance — no remaining
@@ -150,25 +197,18 @@ class SimilaritySearch:
         self._validate_k(k)
         stats = KNNStats()
         query_fractions = query.fractions()
-        bin_count = query.quantizer.bin_count
 
-        best: List[Tuple[float, str]] = []
+        best = _KBest(k)
         for image_id in self._catalog.binary_ids():
             stats.candidates_considered += 1
-            best.append(
+            best.push(
                 (l1_distance(query, self._catalog.histogram_of(image_id)), image_id)
             )
-        best.sort()
 
         candidates: List[Tuple[float, str]] = []
         for image_id in self._catalog.edited_ids():
             stats.candidates_considered += 1
-            lower = np.empty(bin_count)
-            upper = np.empty(bin_count)
-            for bin_index in range(bin_count):
-                bounds = self._engine.bounds(image_id, bin_index)
-                lower[bin_index] = bounds.fraction_lo
-                upper[bin_index] = bounds.fraction_hi
+            lower, upper = self._engine.fraction_bounds_all_bins(image_id)
             candidates.append(
                 (l1_lower_bound(query_fractions, lower, upper), image_id)
             )
@@ -176,18 +216,15 @@ class SimilaritySearch:
 
         while candidates:
             bound, image_id = heapq.heappop(candidates)
-            kth_distance = best[k - 1][0] if len(best) >= k else float("inf")
-            if bound > kth_distance:
+            if bound > best.threshold:
                 stats.edited_pruned += 1 + len(candidates)
                 break
             stats.edited_instantiated += 1
             histogram = ColorHistogram.of_image(
                 self._instantiate(image_id), query.quantizer
             )
-            distance = l1_distance(query, histogram)
-            best.append((distance, image_id))
-            best.sort()
-        return KNNResult(tuple(best[:k]), stats)
+            best.push((l1_distance(query, histogram), image_id))
+        return KNNResult(tuple(best.sorted_items()), stats)
 
     def range_search(
         self, query: ColorHistogram, epsilon: float
@@ -204,7 +241,6 @@ class SimilaritySearch:
             raise QueryError(f"epsilon must be non-negative, got {epsilon}")
         stats = KNNStats()
         query_fractions = query.fractions()
-        bin_count = query.quantizer.bin_count
 
         matches: List[Tuple[float, str]] = []
         for image_id in self._catalog.binary_ids():
@@ -215,12 +251,7 @@ class SimilaritySearch:
 
         for image_id in self._catalog.edited_ids():
             stats.candidates_considered += 1
-            lower = np.empty(bin_count)
-            upper = np.empty(bin_count)
-            for bin_index in range(bin_count):
-                bounds = self._engine.bounds(image_id, bin_index)
-                lower[bin_index] = bounds.fraction_lo
-                upper[bin_index] = bounds.fraction_hi
+            lower, upper = self._engine.fraction_bounds_all_bins(image_id)
             if l1_lower_bound(query_fractions, lower, upper) > epsilon:
                 stats.edited_pruned += 1
                 continue
@@ -253,32 +284,26 @@ class SimilaritySearch:
         self._validate_k(k)
         stats = KNNStats()
         query_fractions = query.fractions()
-        bin_count = query.quantizer.bin_count
 
-        best: List[Tuple[float, str]] = []
+        best = _KBest(k)
         for image_id in self._catalog.binary_ids():
             stats.candidates_considered += 1
             similarity = histogram_intersection(
                 query, self._catalog.histogram_of(image_id)
             )
-            best.append((-similarity, image_id))
-        best.sort()
+            best.push((-similarity, image_id))
 
         candidates: List[Tuple[float, str]] = []
         for image_id in self._catalog.edited_ids():
             stats.candidates_considered += 1
-            upper = np.empty(bin_count)
-            for bin_index in range(bin_count):
-                upper[bin_index] = self._engine.bounds(
-                    image_id, bin_index
-                ).fraction_hi
+            _, upper = self._engine.fraction_bounds_all_bins(image_id)
             bound = intersection_upper_bound(query_fractions, upper)
             candidates.append((-bound, image_id))
         heapq.heapify(candidates)
 
         while candidates:
             negative_bound, image_id = heapq.heappop(candidates)
-            kth_similarity = -best[k - 1][0] if len(best) >= k else -1.0
+            kth_similarity = -best.threshold
             if -negative_bound < kth_similarity:
                 stats.edited_pruned += 1 + len(candidates)
                 break
@@ -287,11 +312,10 @@ class SimilaritySearch:
                 self._instantiate(image_id), query.quantizer
             )
             similarity = histogram_intersection(query, histogram)
-            best.append((-similarity, image_id))
-            best.sort()
+            best.push((-similarity, image_id))
 
         neighbors = tuple(
-            (-negative, image_id) for negative, image_id in best[:k]
+            (-negative, image_id) for negative, image_id in best.sorted_items()
         )
         return KNNResult(neighbors, stats)
 

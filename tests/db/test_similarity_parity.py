@@ -1,0 +1,156 @@
+"""Similarity results are byte-identical to the scalar per-bin path.
+
+Reimplements the pre-vectorization algorithms (per-bin scalar BOUNDS
+walks, sort-per-insertion k-best) verbatim and checks the production
+``knn_bounded`` / ``range_search`` / ``knn_intersection`` return the
+exact same ``(float, id)`` tuples — not approximately: the vectorized
+fraction matrix must reproduce the identical IEEE doubles.
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.color.histogram import ColorHistogram
+from repro.color.names import FLAG_PALETTE
+from repro.color.similarity import (
+    histogram_intersection,
+    intersection_upper_bound,
+    l1_distance,
+    l1_lower_bound,
+)
+from repro.db.database import MultimediaDatabase
+from repro.images.generators import random_palette_image
+
+
+def scalar_fraction_bounds(engine, image_id, bin_count):
+    """The old per-bin loop: one scalar walk per bin."""
+    lower = np.empty(bin_count)
+    upper = np.empty(bin_count)
+    for bin_index in range(bin_count):
+        bounds = engine.bounds(image_id, bin_index)
+        lower[bin_index] = bounds.fraction_lo
+        upper[bin_index] = bounds.fraction_hi
+    return lower, upper
+
+
+def reference_knn_bounded(database, query, k):
+    """The pre-vectorization knn_bounded, including sort-per-insertion."""
+    engine, catalog = database.engine, database.catalog
+    query_fractions = query.fractions()
+    bin_count = query.quantizer.bin_count
+    best = [
+        (l1_distance(query, catalog.histogram_of(image_id)), image_id)
+        for image_id in catalog.binary_ids()
+    ]
+    best.sort()
+    candidates = []
+    for image_id in catalog.edited_ids():
+        lower, upper = scalar_fraction_bounds(engine, image_id, bin_count)
+        candidates.append((l1_lower_bound(query_fractions, lower, upper), image_id))
+    heapq.heapify(candidates)
+    while candidates:
+        bound, image_id = heapq.heappop(candidates)
+        kth = best[k - 1][0] if len(best) >= k else float("inf")
+        if bound > kth:
+            break
+        histogram = ColorHistogram.of_image(
+            database.instantiate(image_id), query.quantizer
+        )
+        best.append((l1_distance(query, histogram), image_id))
+        best.sort()
+    return tuple(best[:k])
+
+
+def reference_range_search(database, query, epsilon):
+    engine, catalog = database.engine, database.catalog
+    query_fractions = query.fractions()
+    bin_count = query.quantizer.bin_count
+    matches = []
+    for image_id in catalog.binary_ids():
+        distance = l1_distance(query, catalog.histogram_of(image_id))
+        if distance <= epsilon:
+            matches.append((distance, image_id))
+    for image_id in catalog.edited_ids():
+        lower, upper = scalar_fraction_bounds(engine, image_id, bin_count)
+        if l1_lower_bound(query_fractions, lower, upper) > epsilon:
+            continue
+        histogram = ColorHistogram.of_image(
+            database.instantiate(image_id), query.quantizer
+        )
+        distance = l1_distance(query, histogram)
+        if distance <= epsilon:
+            matches.append((distance, image_id))
+    return tuple(sorted(matches))
+
+
+def reference_knn_intersection(database, query, k):
+    engine, catalog = database.engine, database.catalog
+    query_fractions = query.fractions()
+    bin_count = query.quantizer.bin_count
+    best = [
+        (-histogram_intersection(query, catalog.histogram_of(image_id)), image_id)
+        for image_id in catalog.binary_ids()
+    ]
+    best.sort()
+    candidates = []
+    for image_id in catalog.edited_ids():
+        _, upper = scalar_fraction_bounds(engine, image_id, bin_count)
+        candidates.append(
+            (-intersection_upper_bound(query_fractions, upper), image_id)
+        )
+    heapq.heapify(candidates)
+    while candidates:
+        negative_bound, image_id = heapq.heappop(candidates)
+        kth = -best[k - 1][0] if len(best) >= k else -1.0
+        if -negative_bound < kth:
+            break
+        histogram = ColorHistogram.of_image(
+            database.instantiate(image_id), query.quantizer
+        )
+        best.append((-histogram_intersection(query, histogram), image_id))
+        best.sort()
+    return tuple((-negative, image_id) for negative, image_id in best[:k])
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(20060607)
+    database = MultimediaDatabase()
+    for seed in range(5):
+        base = database.insert_image(random_palette_image(rng, 9, 11, FLAG_PALETTE))
+        database.augment(base, np.random.default_rng(seed), 3, FLAG_PALETTE)
+    queries = [
+        ColorHistogram.of_image(
+            random_palette_image(rng, 9, 11, FLAG_PALETTE), database.quantizer
+        )
+        for _ in range(4)
+    ]
+    return database, queries
+
+
+class TestByteIdenticalResults:
+    @pytest.mark.parametrize("k", [1, 3, 7, 50])
+    def test_knn_bounded(self, corpus, k):
+        database, queries = corpus
+        for query in queries:
+            expected = reference_knn_bounded(database, query, k)
+            got = database.knn(query, k, method="bounded")
+            assert got.neighbors == expected  # exact floats and order
+
+    @pytest.mark.parametrize("epsilon", [0.0, 0.2, 0.8, 2.0])
+    def test_range_search(self, corpus, epsilon):
+        database, queries = corpus
+        for query in queries:
+            expected = reference_range_search(database, query, epsilon)
+            got = database.similarity_range(query, epsilon)
+            assert got.neighbors == expected
+
+    @pytest.mark.parametrize("k", [1, 4, 50])
+    def test_knn_intersection(self, corpus, k):
+        database, queries = corpus
+        for query in queries:
+            expected = reference_knn_intersection(database, query, k)
+            got = database.knn(query, k, method="intersection")
+            assert got.neighbors == expected
