@@ -1,0 +1,150 @@
+"""The concurrent query service: cost-based planner vs. pinned LINEAR_RBM.
+
+The acceptance property of the serving layer: on every Table 2 workload
+the planner's chosen plans are never materially slower than always
+running the paper's §3 linear RBM scan, and on at least one workload
+they beat it outright.  Two identically configured services per dataset
+— one free to plan, one pinned to ``LINEAR_RBM`` — execute the same
+query workload; per-mode time is the best of ``REPEATS`` passes with
+the result cache cleared between passes, so what is measured is plan
+*execution*, not result-cache hits.  Result-set parity against the
+scalar RBM oracle is asserted for every query while timing.
+
+Artifacts: ``benchmarks/results/service.txt`` (human table) and
+``benchmarks/results/service.json`` (machine-readable twin, diffable
+across PRs).
+
+Environment knobs for CI smoke runs: ``REPRO_BENCH_SERVICE_SCALE``
+(default 0.25), ``REPRO_BENCH_SERVICE_QUERIES`` (default 24),
+``REPRO_BENCH_SERVICE_REPEATS`` (default 3).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_json_result, write_result
+from repro.bench.reporting import format_table
+from repro.bench.timing import time_call
+from repro.service import QueryService
+from repro.workloads.datasets import build_database
+from repro.workloads.queries import make_query_workload
+from repro.workloads.table2 import FLAG_PARAMETERS, HELMET_PARAMETERS
+
+SCALE = float(os.environ.get("REPRO_BENCH_SERVICE_SCALE", "0.25"))
+QUERY_COUNT = int(os.environ.get("REPRO_BENCH_SERVICE_QUERIES", "24"))
+REPEATS = int(os.environ.get("REPRO_BENCH_SERVICE_REPEATS", "3"))
+
+#: The acceptance margin: planner-chosen plans may be at most 5% slower
+#: than always-LINEAR_RBM on any workload (they should be far faster).
+SLOWDOWN_MARGIN = 1.05
+
+WORKLOADS = {
+    "helmet": (HELMET_PARAMETERS, BENCH_SEED + 31),
+    "flag": (FLAG_PARAMETERS, BENCH_SEED + 32),
+}
+
+
+def _measure_mode(params, seed: int, strategy) -> Dict[str, object]:
+    """Best-of-``REPEATS`` batch seconds for one service mode."""
+    rng = np.random.default_rng(seed)
+    database = build_database(params.scaled(SCALE), rng)
+    queries = make_query_workload(database, np.random.default_rng(seed + 1), QUERY_COUNT)
+    with QueryService(database, max_workers=2, prebuild_indexes=True) as service:
+        oracle = [database.range_query(q, method="rbm").matches for q in queries]
+        best = float("inf")
+        plan_counts: Dict[str, int] = {}
+        for _ in range(REPEATS):
+            service.cache.clear()
+            outcomes = []
+            timed = time_call(
+                lambda: outcomes.extend(
+                    service.execute(q, strategy=strategy) for q in queries
+                )
+            )
+            for outcome, expected in zip(outcomes, oracle):
+                assert outcome.result.matches == expected, (
+                    f"strategy {outcome.plans[0].strategy} diverged from "
+                    f"the RBM oracle"
+                )
+            if timed.seconds < best:
+                best = timed.seconds
+                plan_counts = service.planner.plan_counts(
+                    plan for outcome in outcomes for plan in outcome.plans
+                )
+    return {"seconds": best, "plan_counts": plan_counts}
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """Planner-free vs pinned-linear measurements for every workload."""
+    results = {}
+    for name, (params, seed) in WORKLOADS.items():
+        linear = _measure_mode(params, seed, "linear_rbm")
+        planned = _measure_mode(params, seed, None)
+        results[name] = {
+            "linear_rbm_seconds": linear["seconds"],
+            "planner_seconds": planned["seconds"],
+            "speedup": linear["seconds"] / planned["seconds"],
+            "plan_counts": planned["plan_counts"],
+        }
+    return results
+
+
+def test_planner_never_materially_slower(comparison):
+    """The acceptance bound: ≤5% slower anywhere, faster somewhere."""
+    rows = []
+    beaten = 0
+    for name, data in comparison.items():
+        linear = data["linear_rbm_seconds"]
+        planned = data["planner_seconds"]
+        assert planned <= linear * SLOWDOWN_MARGIN, (
+            f"{name}: planner {planned:.4f}s vs linear {linear:.4f}s "
+            f"exceeds the {SLOWDOWN_MARGIN:.0%} margin"
+        )
+        if planned < linear:
+            beaten += 1
+        plans = ", ".join(
+            f"{strategy}:{count}"
+            for strategy, count in sorted(data["plan_counts"].items())
+        )
+        rows.append(
+            (name, f"{linear:.4f}", f"{planned:.4f}",
+             f"{data['speedup']:.2f}x", plans)
+        )
+    assert beaten >= 1, "planner beat always-LINEAR_RBM on no workload"
+
+    table = format_table(
+        ("workload", "linear_rbm s", "planner s", "speedup", "plans chosen"),
+        rows,
+    )
+    write_result("service.txt", table)
+    write_json_result(
+        "service.json",
+        {
+            "scale": SCALE,
+            "queries": QUERY_COUNT,
+            "repeats": REPEATS,
+            "workloads": comparison,
+        },
+    )
+
+
+def test_service_throughput(benchmark, comparison):
+    """pytest-benchmark hook: planner-mode serving of one workload."""
+    params, seed = WORKLOADS["helmet"]
+    rng = np.random.default_rng(seed)
+    database = build_database(params.scaled(SCALE), rng)
+    queries = make_query_workload(
+        database, np.random.default_rng(seed + 1), QUERY_COUNT
+    )
+    with QueryService(database, max_workers=2, prebuild_indexes=True) as service:
+        def serve_batch():
+            service.cache.clear()
+            return [service.execute(q) for q in queries]
+
+        benchmark(serve_batch)

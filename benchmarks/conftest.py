@@ -3,11 +3,14 @@
 Every bench writes its paper-style rendering under ``benchmarks/results/``
 so EXPERIMENTS.md can reference stable artifacts, and times its workload
 through pytest-benchmark so ``pytest benchmarks/ --benchmark-only``
-regenerates everything.
+regenerates everything.  Benches that feed the cross-PR perf trajectory
+also write a machine-readable JSON twin via :func:`write_json_result`
+(stable key order, so the artifacts diff cleanly between PRs).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
@@ -33,6 +36,21 @@ def write_result(name: str, text: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / name
     path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def write_json_result(name: str, payload) -> Path:
+    """Store a machine-readable result under benchmarks/results/.
+
+    Keys are sorted and the layout is fixed, so successive PRs produce
+    minimal diffs on these artifacts (the perf trajectory is reviewable
+    with ``git diff`` alone).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return path
 
 

@@ -49,6 +49,7 @@ from repro.editing import (
 )
 from repro.errors import ReproError
 from repro.images import AffineMatrix, Image, Rect, read_ppm, write_ppm
+from repro.service import CostBasedPlanner, ExplainedPlan, QueryService, Strategy
 
 __version__ = "1.0.0"
 
@@ -59,9 +60,11 @@ __all__ = [
     "BoundsEngine",
     "ColorHistogram",
     "Combine",
+    "CostBasedPlanner",
     "Define",
     "EditExecutor",
     "EditSequence",
+    "ExplainedPlan",
     "Image",
     "Merge",
     "Modify",
@@ -69,10 +72,12 @@ __all__ = [
     "Mutate",
     "PixelBounds",
     "QueryResult",
+    "QueryService",
     "RBMProcessor",
     "RangeQuery",
     "Rect",
     "ReproError",
+    "Strategy",
     "UniformQuantizer",
     "__version__",
     "is_bound_widening",

@@ -9,7 +9,7 @@ paper's series form.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,6 +35,15 @@ class MethodMeasurement:
     total_matches: int
     stats: QueryStats
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (work counters flattened alongside the time)."""
+        return {
+            "method": self.method,
+            "mean_seconds": self.mean_seconds,
+            "total_matches": self.total_matches,
+            "stats": asdict(self.stats),
+        }
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -55,6 +64,19 @@ class SweepPoint:
         """The paper's headline statistic at this point."""
         return percent_faster(self.seconds("rbm"), self.seconds("bwm"))
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form of one sweep point."""
+        return {
+            "edited_percentage": self.edited_percentage,
+            "database_size": self.database_size,
+            "edited_images": self.edited_images,
+            "unclassified_images": self.unclassified_images,
+            "measurements": {
+                method: measurement.to_dict()
+                for method, measurement in self.measurements.items()
+            },
+        }
+
 
 @dataclass(frozen=True)
 class SweepResult:
@@ -72,6 +94,14 @@ class SweepResult:
     def average_percent_faster(self) -> float:
         """BWM's average advantage over RBM across the sweep (§5 headline)."""
         return mean([p.bwm_percent_faster for p in self.points])
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form of the whole figure (diffable across PRs)."""
+        return {
+            "dataset": self.dataset,
+            "queries_per_point": self.queries_per_point,
+            "points": [point.to_dict() for point in self.points],
+        }
 
 
 def measure_methods(

@@ -10,6 +10,8 @@ Subcommands mirror the workflow of the paper's prototype:
 ``repair``    fix reparable integrity problems and re-save
 ``salvage``   recover the undamaged records of a corrupted database
 ``evaluate``  regenerate Table 2 and the Figure 3/4 series
+``serve-stats`` drive a query workload through the concurrent service
+              and report planner choices plus service metrics
 
 All commands are plain functions over the public API, so they double as
 integration smoke tests (see ``tests/test_cli.py``).
@@ -99,6 +101,20 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--scale", type=float, default=0.25)
     evaluate.add_argument("--queries", type=int, default=12)
     evaluate.add_argument("--seed", type=int, default=2006)
+
+    serve = commands.add_parser(
+        "serve-stats",
+        help="run a query workload through the concurrent query service "
+        "and print planner choices plus service metrics",
+    )
+    serve.add_argument("directory")
+    serve.add_argument("--queries", type=int, default=24,
+                       help="workload size (default 24)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="thread-pool size (default 4)")
+    serve.add_argument("--seed", type=int, default=2006)
+    serve.add_argument("--json", action="store_true",
+                       help="emit the metrics snapshot as JSON")
     return parser
 
 
@@ -210,6 +226,55 @@ def _cmd_evaluate(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_serve_stats(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.service import QueryService
+    from repro.workloads.queries import make_query_workload
+
+    database = load_database(args.directory)
+    # The serving tier runs with the dependency-aware bounds cache on;
+    # the planner's vectorized/index strategies feed off it.
+    database.engine.cache_enabled = True
+    rng = np.random.default_rng(args.seed)
+    queries = make_query_workload(database, rng, args.queries)
+    with QueryService(
+        database, max_workers=args.workers, prebuild_indexes=True
+    ) as service:
+        futures = [service.submit(query) for query in queries]
+        outcomes = [future.result() for future in futures]
+        plan_counts = service.planner.plan_counts(
+            plan for outcome in outcomes for plan in outcome.plans
+        )
+        snapshot = service.metrics_snapshot()
+    snapshot["plan_counts"] = plan_counts
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True), file=out)
+        return 0
+    print(
+        f"served {len(outcomes)} queries on {args.workers} workers "
+        f"({sum(1 for o in outcomes if o.cache_hit)} cache hits)",
+        file=out,
+    )
+    print("plans chosen:", file=out)
+    for strategy, count in sorted(plan_counts.items()):
+        print(f"  {strategy}: {count}", file=out)
+    latency = snapshot["histograms"].get("query_seconds")
+    if latency:
+        print(
+            f"latency: mean {latency['mean'] * 1e3:.2f}ms  "
+            f"p50 {latency['p50'] * 1e3:.2f}ms  "
+            f"p95 {latency['p95'] * 1e3:.2f}ms  "
+            f"p99 {latency['p99'] * 1e3:.2f}ms",
+            file=out,
+        )
+    for group in ("counters", "result_cache", "bounds_cache"):
+        print(f"{group}:", file=out)
+        for key, value in sorted(snapshot[group].items()):
+            print(f"  {key}: {value}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "check": _cmd_check,
@@ -219,6 +284,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "knn": _cmd_knn,
     "evaluate": _cmd_evaluate,
+    "serve-stats": _cmd_serve_stats,
 }
 
 

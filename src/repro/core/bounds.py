@@ -30,7 +30,7 @@ graph instead of flushing everything.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Protocol, Set, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Protocol, Set, Tuple, Union
 
 import numpy as np
 
@@ -163,6 +163,10 @@ class BoundsEngine:
         self.cache_invalidated_entries = 0
         #: Number of :meth:`invalidate` / :meth:`invalidate_cache` calls.
         self.cache_invalidation_calls = 0
+        #: Callbacks fired after every invalidation; the serving layer
+        #: (result cache, planner, index manager) subscribes here so one
+        #: catalog mutation propagates to every derived structure.
+        self._invalidation_listeners: List[Callable[[Optional[str]], None]] = []
 
     @property
     def quantizer(self) -> UniformQuantizer:
@@ -253,6 +257,32 @@ class BoundsEngine:
     # ------------------------------------------------------------------
     # Cache maintenance
     # ------------------------------------------------------------------
+    def add_invalidation_listener(
+        self, callback: Callable[[Optional[str]], None]
+    ) -> None:
+        """Subscribe ``callback(image_id)`` to invalidation events.
+
+        The callback fires after every :meth:`invalidate` (with the
+        changed image's id) and :meth:`invalidate_cache` (with ``None``),
+        regardless of whether the memo cache is enabled — it is the
+        database's change-notification channel, not a cache detail.
+        Callbacks must not mutate the engine or the catalog.
+        """
+        self._invalidation_listeners.append(callback)
+
+    def remove_invalidation_listener(
+        self, callback: Callable[[Optional[str]], None]
+    ) -> None:
+        """Unsubscribe a previously added listener (no-op if absent)."""
+        try:
+            self._invalidation_listeners.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify_invalidation(self, image_id: Optional[str]) -> None:
+        for callback in list(self._invalidation_listeners):
+            callback(image_id)
+
     def invalidate(self, image_id: str) -> int:
         """Drop memo entries affected by a change to ``image_id``.
 
@@ -274,6 +304,7 @@ class BoundsEngine:
                     seen.add(dependent)
                     stack.append(dependent)
         self.cache_invalidated_entries += dropped
+        self._notify_invalidation(image_id)
         return dropped
 
     def invalidate_cache(self) -> None:
@@ -289,6 +320,7 @@ class BoundsEngine:
         self._cached_bins.clear()
         self._vec_cache.clear()
         self._dependents.clear()
+        self._notify_invalidation(None)
 
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss/invalidation counters plus current memo sizes."""

@@ -127,6 +127,10 @@ class MultimediaDatabase:
             self.bwm_structure.remove_binary(assigned)
             self.catalog.remove_binary(assigned)
             raise
+        # A fresh id has no cached entries to drop, but the invalidation
+        # still fires the engine's listeners so serving-layer structures
+        # (result cache, statistics, indexes) learn the catalog changed.
+        self.engine.invalidate(assigned)
         return assigned
 
     def insert_edited(

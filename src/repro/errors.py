@@ -94,3 +94,24 @@ class SalvageError(PersistenceError):
     """Raised when salvage loading cannot recover anything at all (the
     manifest itself is unusable, so not even a partial database can be
     reconstructed)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the concurrent query service (:mod:`repro.service`)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when admission control sheds a query because the service's
+    bounded queue is full.  Callers should back off and retry; the
+    message reports the in-flight count and capacity at shed time."""
+
+
+class ServiceShutdownError(ServiceError):
+    """Raised when a query is submitted to a service that has begun (or
+    finished) shutting down.  In-flight queries at shutdown still drain
+    to completion; only new admissions are refused."""
+
+
+class QueryTimeoutError(ServiceError):
+    """Raised when a query misses its deadline — either it was still
+    queued when the deadline passed, or the caller stopped waiting."""

@@ -10,15 +10,22 @@ pct_min, pct_max)`` triple the database maps onto a histogram bin:
 * ``images between 10% and 30% green``
 * ``at least 0.25 blue`` (bare fractions work too)
 * ``exactly 50% white`` (a degenerate range)
+* ``more than 25% blue`` / ``less than 40% red`` / ``no more than 40%
+  red`` (synonyms mapping onto the at-least/at-most constraints)
 
 Grammar (case-insensitive; the ``retrieve``/``images that are`` preamble
 is optional noise)::
 
     query    := preamble? constraint
-    constraint := ("at least" | "at most" | "exactly") percent color
+    constraint := ("at least" | "more than" | "at most" | "less than"
+                  | "no more than" | "exactly") percent color
                 | "between" percent "and" percent color
     percent  := NUMBER "%"? | NUMBER
     color    := a name from repro.color.names
+
+Conjunctions whose constraints on one color cannot all hold ("more than
+30% red and less than 20% red") are rejected with a :class:`ParseError`
+naming the empty range, rather than silently returning nothing.
 """
 
 from __future__ import annotations
@@ -35,11 +42,22 @@ _PREAMBLE = re.compile(
     re.IGNORECASE,
 )
 _NUMBER = r"(\d+(?:\.\d+)?)\s*(%)?"
-_AT_LEAST = re.compile(rf"^at\s+least\s+{_NUMBER}\s+(\w+)\s*$", re.IGNORECASE)
-_AT_MOST = re.compile(rf"^at\s+most\s+{_NUMBER}\s+(\w+)\s*$", re.IGNORECASE)
+_AT_LEAST = re.compile(
+    rf"^(?:at\s+least|more\s+than)\s+{_NUMBER}\s+(\w+)\s*$", re.IGNORECASE
+)
+_AT_MOST = re.compile(
+    rf"^(?:at\s+most|no\s+more\s+than|less\s+than)\s+{_NUMBER}\s+(\w+)\s*$",
+    re.IGNORECASE,
+)
 _EXACTLY = re.compile(rf"^exactly\s+{_NUMBER}\s+(\w+)\s*$", re.IGNORECASE)
 _BETWEEN = re.compile(
     rf"^between\s+{_NUMBER}\s+and\s+{_NUMBER}\s+(\w+)\s*$", re.IGNORECASE
+)
+
+#: Keywords that may open a constraint (used by the conjunction splitter).
+_CONSTRAINT_HEAD = (
+    r"at\s+least|at\s+most|no\s+more\s+than|more\s+than|less\s+than"
+    r"|exactly|between"
 )
 
 
@@ -94,11 +112,35 @@ def parse_conjunctive_query(text: str) -> Tuple[ParsedQuery, ...]:
     # Split on "and" only when followed by a constraint keyword, so the
     # "between X and Y color" form is not broken apart.
     parts = re.split(
-        r"\s+and\s+(?=(?:at\s+least|at\s+most|exactly|between)\b)",
+        rf"\s+and\s+(?=(?:{_CONSTRAINT_HEAD})\b)",
         body,
         flags=re.IGNORECASE,
     )
-    return tuple(_parse_constraint(part.strip(), text) for part in parts)
+    constraints = tuple(_parse_constraint(part.strip(), text) for part in parts)
+    _reject_empty_ranges(constraints, text)
+    return constraints
+
+
+def _reject_empty_ranges(constraints, original: str) -> None:
+    """Refuse conjunctions whose per-color ranges cannot all hold.
+
+    "more than 30% red and less than 20% red" intersects to an empty
+    interval — no image can ever satisfy it, so treating it as a valid
+    query that silently matches nothing would mask the user's mistake.
+    """
+    merged = {}
+    for parsed in constraints:
+        low, high = merged.get(parsed.color_name, (0.0, 1.0))
+        merged[parsed.color_name] = (
+            max(low, parsed.pct_min),
+            min(high, parsed.pct_max),
+        )
+    for color_name, (low, high) in merged.items():
+        if low > high:
+            raise ParseError(
+                f"constraints on {color_name!r} in {original!r} leave an "
+                f"empty range [{low:.2%}, {high:.2%}] — no image can match"
+            )
 
 
 def _parse_constraint(body: str, original: str) -> ParsedQuery:

@@ -1,0 +1,56 @@
+"""repro.service — the concurrent query-serving front end of the MMDBMS.
+
+The library beneath this package answers one color range query four
+different ways (scalar RBM, BWM, the vectorized batch kernel, and the
+spatial-index builders), all returning the same result set.  This
+package is the layer that *serves* them: a cost-based planner picks the
+strategy per query from live selectivity statistics, a bounded thread
+pool executes plans concurrently with admission control and deadlines,
+a normalized-query LRU+TTL cache short-circuits repeat traffic (wired
+into the dependency-aware ``engine.invalidate`` channel so it can never
+go stale), and a lock-safe metrics registry reports what the service is
+doing.
+
+Quick start::
+
+    from repro.service import QueryService
+
+    service = QueryService(db, max_workers=4, prebuild_indexes=True)
+    outcome = service.execute("at least 25% blue")
+    print(outcome.plans[0].describe(), outcome.result.sorted_ids())
+    print(service.metrics_snapshot())
+    service.shutdown()
+"""
+
+from repro.service.cache import CacheKey, ResultCache, cache_key
+from repro.service.executor import QueryService, ServiceResult
+from repro.service.metrics import (
+    HistogramSnapshot,
+    LatencyHistogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.service.planner import (
+    CatalogProfile,
+    CostBasedPlanner,
+    ExplainedPlan,
+    PlanAlternative,
+    Strategy,
+)
+
+__all__ = [
+    "CacheKey",
+    "CatalogProfile",
+    "CostBasedPlanner",
+    "ExplainedPlan",
+    "HistogramSnapshot",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "PlanAlternative",
+    "QueryService",
+    "ResultCache",
+    "ServiceResult",
+    "Strategy",
+    "cache_key",
+    "percentile",
+]

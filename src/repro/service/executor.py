@@ -1,0 +1,562 @@
+"""`QueryService` — the concurrent query-serving front end of the MMDBMS.
+
+One service object owns a :class:`~repro.service.planner.CostBasedPlanner`,
+a :class:`~repro.service.cache.ResultCache`, a
+:class:`~repro.service.metrics.MetricsRegistry`, and a bounded thread
+pool, and turns the library's single-threaded query machinery into a
+serving layer:
+
+* **Admission control** — at most ``max_workers + queue_depth`` queries
+  may be in flight; beyond that :meth:`QueryService.submit` sheds load
+  with a typed :class:`~repro.errors.ServiceOverloadedError` instead of
+  letting latency collapse for everyone.
+* **Deadlines** — a query carries an optional deadline; if it is still
+  queued when the deadline passes, the worker refuses to start it
+  (:class:`~repro.errors.QueryTimeoutError`), and a synchronous caller
+  stops waiting at the same point.
+* **Consistency** — queries run under the read side of a
+  readers-writer lock; catalog mutations go through the service's
+  mutation wrappers, which take the write side.  Mutations ride the
+  database's dependency-aware ``engine.invalidate`` path, whose events
+  clear the result cache, mark the planner's statistics dirty, and
+  stale the spatial indexes — so a result computed *or cached* before a
+  mutation is never served after it.
+* **Graceful shutdown** — :meth:`QueryService.shutdown` stops admitting
+  new queries immediately but drains everything already admitted.
+
+Execution strategies are chosen per query by the cost-based planner (or
+forced via ``strategy=``); every strategy returns the scalar RBM
+oracle's exact result set, so the choice affects latency only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.query import QueryResult, QueryStats, RangeQuery
+from repro.db.records import EditedImageRecord
+from repro.errors import (
+    QueryTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceShutdownError,
+)
+from repro.index.builders import (
+    build_binary_histogram_index,
+    build_edited_bounds_index,
+    edited_range_candidates,
+)
+from repro.index.mbr import MBR
+from repro.service.cache import ResultCache, cache_key
+from repro.service.metrics import MetricsRegistry
+from repro.service.planner import CostBasedPlanner, ExplainedPlan, Strategy
+
+#: What callers may pass as a query: a parsed constraint, several
+#: AND-composed constraints, or querylang text.
+QueryLike = Union[RangeQuery, Sequence[RangeQuery], str]
+
+
+class _ReadWriteLock:
+    """A writer-preferring readers-writer lock.
+
+    Queries share the read side; catalog mutations take the write side.
+    Writer preference keeps a steady query stream from starving
+    mutations (the regime the concurrency stress test exercises).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """What the service returns for one query."""
+
+    #: The normalized constraints that were executed.
+    constraints: Tuple[RangeQuery, ...]
+    #: The result set (identical to the scalar RBM oracle's).
+    result: QueryResult
+    #: One plan per constraint (the plans that *produced* the cached
+    #: value when ``cache_hit``).
+    plans: Tuple[ExplainedPlan, ...]
+    #: Whether the result came from the result cache.
+    cache_hit: bool
+    #: Wall-clock seconds from worker start to completion.
+    seconds: float
+
+    @property
+    def strategy(self) -> Strategy:
+        """The strategy of the (first) executed plan."""
+        return self.plans[0].strategy
+
+
+class QueryService:
+    """Concurrent, planned, cached query execution over one database.
+
+    Parameters
+    ----------
+    database:
+        The :class:`repro.db.database.MultimediaDatabase` to serve.
+        Mutations **must** go through this service's wrappers
+        (:meth:`insert_image`, :meth:`insert_edited`, ...) while the
+        service is live; direct database mutation bypasses the
+        readers-writer lock.
+    max_workers:
+        Worker threads executing queries.
+    queue_depth:
+        Admitted-but-not-running queries allowed beyond the workers;
+        submissions past ``max_workers + queue_depth`` in flight are
+        shed with :class:`ServiceOverloadedError`.
+    default_timeout:
+        Deadline in seconds applied when a call passes none.
+    cache_capacity / cache_ttl:
+        Result cache sizing (see :class:`ResultCache`).
+    prebuild_indexes:
+        Build the point + interval indexes at construction so the
+        planner may choose INDEX_ASSISTED from the first query.
+    clock:
+        Monotonic time source (injectable for deadline/TTL tests).
+    """
+
+    def __init__(
+        self,
+        database,
+        *,
+        max_workers: int = 4,
+        queue_depth: int = 16,
+        default_timeout: Optional[float] = None,
+        cache_capacity: int = 256,
+        cache_ttl: Optional[float] = None,
+        prebuild_indexes: bool = False,
+        planner: Optional[CostBasedPlanner] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError("max_workers must be at least 1")
+        if queue_depth < 0:
+            raise ServiceError("queue_depth must be non-negative")
+        self._database = database
+        self._clock = clock
+        self._default_timeout = default_timeout
+        self.planner = planner if planner is not None else CostBasedPlanner(database)
+        self.metrics = MetricsRegistry()
+        self.cache = ResultCache(
+            capacity=cache_capacity, ttl=cache_ttl, clock=clock
+        )
+        self.cache.attach_to_engine(database.engine)
+        self._rwlock = _ReadWriteLock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-query"
+        )
+        self._admission = threading.Lock()
+        self._in_flight = 0
+        self._capacity = max_workers + queue_depth
+        self._closed = False
+        self._index_lock = threading.Lock()
+        self._point_index = None
+        self._interval_index = None
+        self._indexes_fresh = False
+        database.engine.add_invalidation_listener(self._on_invalidation)
+        if prebuild_indexes:
+            self.refresh_indexes()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Refuse new queries, drain in-flight ones, release threads.
+
+        Idempotent.  With ``wait=True`` (default) the call returns only
+        after every admitted query has completed — the graceful drain.
+        """
+        with self._admission:
+            already = self._closed
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+        if not already:
+            self.cache.detach()
+            self.planner.close()
+            self._database.engine.remove_invalidation_listener(
+                self._on_invalidation
+            )
+
+    def _on_invalidation(self, image_id) -> None:
+        self._indexes_fresh = False
+
+    # ------------------------------------------------------------------
+    # Query entry points
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: QueryLike,
+        *,
+        timeout: Optional[float] = None,
+        strategy: Optional[Union[Strategy, str]] = None,
+        expand_to_bases: bool = False,
+    ) -> "Future[ServiceResult]":
+        """Admit a query for asynchronous execution.
+
+        Returns a future resolving to a :class:`ServiceResult`.  Raises
+        :class:`ServiceOverloadedError` (shed) or
+        :class:`ServiceShutdownError` *synchronously* when the query is
+        not admitted at all.
+        """
+        constraints = self._normalize(query)
+        forced = self._normalize_strategy(strategy)
+        timeout = timeout if timeout is not None else self._default_timeout
+        deadline = self._clock() + timeout if timeout is not None else None
+        with self._admission:
+            if self._closed:
+                raise ServiceShutdownError(
+                    "query service is shutting down; submission refused"
+                )
+            if self._in_flight >= self._capacity:
+                self.metrics.increment("queries_shed")
+                raise ServiceOverloadedError(
+                    f"service overloaded: {self._in_flight} queries in "
+                    f"flight at capacity {self._capacity}"
+                )
+            self._in_flight += 1
+        try:
+            future = self._pool.submit(
+                self._run, constraints, deadline, forced, expand_to_bases
+            )
+        except BaseException as exc:
+            with self._admission:
+                self._in_flight -= 1
+            if isinstance(exc, RuntimeError):
+                # Lost the race with a concurrent shutdown(): the pool
+                # refused the work after our admission check passed.
+                raise ServiceShutdownError(
+                    "query service shut down during submission"
+                ) from None
+            raise
+        future.add_done_callback(self._release_slot)
+        return future
+
+    def execute(
+        self,
+        query: QueryLike,
+        *,
+        timeout: Optional[float] = None,
+        strategy: Optional[Union[Strategy, str]] = None,
+        expand_to_bases: bool = False,
+    ) -> ServiceResult:
+        """Admit a query and wait for its result.
+
+        The wait honors the deadline: when it passes while the query is
+        still queued or running, :class:`QueryTimeoutError` is raised
+        (the in-flight work is not interrupted — Python threads cannot
+        be preempted — but its slot drains normally).
+        """
+        timeout = timeout if timeout is not None else self._default_timeout
+        future = self.submit(
+            query,
+            timeout=timeout,
+            strategy=strategy,
+            expand_to_bases=expand_to_bases,
+        )
+        try:
+            # Grace on top of the deadline so the worker-side check
+            # (which fires exactly at the deadline) reports first.
+            wait = timeout + 0.25 if timeout is not None else None
+            return future.result(timeout=wait)
+        except FutureTimeoutError:
+            self.metrics.increment("queries_timed_out")
+            raise QueryTimeoutError(
+                f"query still running after its {timeout:.3f}s deadline"
+            ) from None
+
+    def _release_slot(self, future: "Future[ServiceResult]") -> None:
+        with self._admission:
+            self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        """Queries admitted but not yet finished."""
+        with self._admission:
+            return self._in_flight
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+    def _normalize(self, query: QueryLike) -> Tuple[RangeQuery, ...]:
+        if isinstance(query, str):
+            from repro.querylang.parser import parse_conjunctive_query
+
+            quantizer = self._database.quantizer
+            return tuple(
+                RangeQuery(quantizer.bin_of(p.rgb), p.pct_min, p.pct_max)
+                for p in parse_conjunctive_query(query)
+            )
+        if isinstance(query, RangeQuery):
+            constraints: Tuple[RangeQuery, ...] = (query,)
+        else:
+            constraints = tuple(query)
+        if not constraints:
+            raise ServiceError("a query needs at least one constraint")
+        for constraint in constraints:
+            if not isinstance(constraint, RangeQuery):
+                raise ServiceError(f"not a range constraint: {constraint!r}")
+            self._database.quantizer.validate_bin(constraint.bin_index)
+        return constraints
+
+    @staticmethod
+    def _normalize_strategy(
+        strategy: Optional[Union[Strategy, str]]
+    ) -> Optional[Strategy]:
+        if strategy is None or isinstance(strategy, Strategy):
+            return strategy
+        try:
+            return Strategy(strategy)
+        except ValueError:
+            names = ", ".join(s.value for s in Strategy)
+            raise ServiceError(
+                f"unknown strategy {strategy!r}; expected one of {names}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Worker path
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        constraints: Tuple[RangeQuery, ...],
+        deadline: Optional[float],
+        forced: Optional[Strategy],
+        expand_to_bases: bool,
+    ) -> ServiceResult:
+        start = self._clock()
+        if deadline is not None and start >= deadline:
+            self.metrics.increment("queries_timed_out")
+            raise QueryTimeoutError(
+                "query deadline passed while waiting in the admission queue"
+            )
+        key = cache_key(constraints, expand_to_bases)
+        with self._rwlock.read_locked():
+            cached = self.cache.get(key)
+            if cached is not None:
+                result, plans = cached
+                seconds = self._clock() - start
+                self._record(plans, seconds, cache_hit=True)
+                return ServiceResult(constraints, result, plans, True, seconds)
+            plans = tuple(
+                self._plan(constraint, forced) for constraint in constraints
+            )
+            result = self._execute_plans(constraints, plans, expand_to_bases)
+            # Stored while still holding the read lock: a mutation (write
+            # lock) cannot interleave between compute and publish, so the
+            # cache never readmits a result from before an invalidation.
+            self.cache.put(key, (result, plans))
+        seconds = self._clock() - start
+        self._record(plans, seconds, cache_hit=False)
+        return ServiceResult(constraints, result, plans, False, seconds)
+
+    def _plan(
+        self, constraint: RangeQuery, forced: Optional[Strategy]
+    ) -> ExplainedPlan:
+        plan = self.planner.plan(constraint, index_fresh=self._indexes_fresh)
+        if forced is None or plan.strategy is forced:
+            return plan
+        # Keep the full alternatives list but honor the forced choice.
+        chosen = plan.alternative(forced)
+        return ExplainedPlan(
+            query=plan.query,
+            strategy=forced,
+            estimated_cost=chosen.estimated_cost,
+            selectivity=plan.selectivity,
+            profile=plan.profile,
+            alternatives=plan.alternatives,
+        )
+
+    def _execute_plans(
+        self,
+        constraints: Tuple[RangeQuery, ...],
+        plans: Tuple[ExplainedPlan, ...],
+        expand_to_bases: bool,
+    ) -> QueryResult:
+        results = [
+            self._execute_one(constraint, plan)
+            for constraint, plan in zip(constraints, plans)
+        ]
+        matches = set(results[0].matches)
+        stats = QueryStats()
+        for result in results:
+            stats.merge(result.stats)
+        for result in results[1:]:
+            matches &= result.matches
+        if expand_to_bases:
+            catalog = self._database.catalog
+            for image_id in tuple(matches):
+                record = catalog.record(image_id)
+                if isinstance(record, EditedImageRecord):
+                    matches.add(record.base_id)
+        return QueryResult(frozenset(matches), stats)
+
+    def _execute_one(self, query: RangeQuery, plan: ExplainedPlan) -> QueryResult:
+        if plan.strategy is Strategy.LINEAR_RBM:
+            return self._database.range_query(query, method="rbm")
+        if plan.strategy is Strategy.BWM:
+            return self._database.range_query(query, method="bwm")
+        if plan.strategy is Strategy.VECTORIZED_BATCH:
+            return self._database.range_query_batch([query], method="rbm")[0]
+        if plan.strategy is Strategy.INDEX_ASSISTED:
+            return self._execute_indexed(query)
+        raise ServiceError(f"unexecutable strategy {plan.strategy!r}")
+
+    # ------------------------------------------------------------------
+    # Index-assisted path
+    # ------------------------------------------------------------------
+    def refresh_indexes(self) -> None:
+        """(Re)build the point + interval indexes from the live catalog."""
+        with self._index_lock:
+            database = self._database
+            self._point_index = build_binary_histogram_index(
+                database.catalog, "rtree"
+            )
+            self._interval_index = build_edited_bounds_index(
+                database.catalog, database.engine, "rtree"
+            )
+            self._indexes_fresh = True
+            self.metrics.increment("index_rebuilds")
+
+    @property
+    def indexes_fresh(self) -> bool:
+        """Whether the spatial indexes reflect the current catalog."""
+        return self._indexes_fresh
+
+    def _execute_indexed(self, query: RangeQuery) -> QueryResult:
+        if not self._indexes_fresh:
+            self.refresh_indexes()
+        quantizer = self._database.quantizer
+        slab = MBR.slab(
+            quantizer.bin_count,
+            query.bin_index,
+            query.pct_min,
+            query.pct_max,
+            domain_lo=0.0,
+            domain_hi=1.0,
+        )
+        binary = self._point_index.search(slab)
+        edited = edited_range_candidates(
+            self._interval_index, quantizer.bin_count, query
+        )
+        stats = QueryStats()
+        stats.histograms_checked = len(binary)
+        return QueryResult(frozenset(binary) | frozenset(edited), stats)
+
+    # ------------------------------------------------------------------
+    # Mutations (write side of the lock)
+    # ------------------------------------------------------------------
+    def insert_image(self, image, image_id: Optional[str] = None) -> str:
+        """Insert a binary image; drains/queues around running queries."""
+        with self._rwlock.write_locked():
+            assigned = self._database.insert_image(image, image_id=image_id)
+        self.metrics.increment("mutations")
+        return assigned
+
+    def insert_edited(self, sequence, image_id: Optional[str] = None) -> str:
+        """Insert an edited image (edit sequence)."""
+        with self._rwlock.write_locked():
+            assigned = self._database.insert_edited(sequence, image_id=image_id)
+        self.metrics.increment("mutations")
+        return assigned
+
+    def delete_edited(self, image_id: str) -> None:
+        """Delete an edited image."""
+        with self._rwlock.write_locked():
+            self._database.delete_edited(image_id)
+        self.metrics.increment("mutations")
+
+    def delete_image(self, image_id: str) -> None:
+        """Delete a binary image (fails while derived images reference it)."""
+        with self._rwlock.write_locked():
+            self._database.delete_image(image_id)
+        self.metrics.increment("mutations")
+
+    def update_image(self, image_id: str, image) -> None:
+        """Replace a binary image's raster."""
+        with self._rwlock.write_locked():
+            self._database.update_image(image_id, image)
+        self.metrics.increment("mutations")
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        plans: Tuple[ExplainedPlan, ...],
+        seconds: float,
+        cache_hit: bool,
+    ) -> None:
+        self.metrics.increment("queries_total")
+        self.metrics.observe("query_seconds", seconds)
+        if cache_hit:
+            self.metrics.increment("result_cache_hits")
+            return
+        self.metrics.increment("result_cache_misses")
+        for plan in plans:
+            self.metrics.increment(f"plans.{plan.strategy.value}")
+
+    def metrics_snapshot(self) -> dict:
+        """One dict with service, cache, and engine counters.
+
+        Shape: ``counters`` / ``histograms`` from the metrics registry,
+        plus ``result_cache`` (LRU/TTL counters), ``bounds_cache`` (the
+        engine's memo counters), and ``service`` (capacity and load).
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["result_cache"] = self.cache.stats()
+        snapshot["bounds_cache"] = self._database.engine.cache_stats()
+        snapshot["service"] = {
+            "in_flight": self.in_flight,
+            "capacity": self._capacity,
+            "indexes_fresh": self._indexes_fresh,
+            "closed": self._closed,
+        }
+        return snapshot

@@ -1,0 +1,345 @@
+"""Cost-based query planning over the library's execution strategies.
+
+The repo accumulated four ways to answer one color range query, each
+fastest in a different regime:
+
+* ``LINEAR_RBM`` — the paper's §3 baseline: check every binary
+  histogram, walk every edited image's rules for the queried bin.
+* ``BWM`` — the paper's §4 contribution: cluster short-circuiting skips
+  the rule walks of bound-widening images whose base already matches.
+* ``VECTORIZED_BATCH`` — one all-bins vectorized walk per edited image
+  (:mod:`repro.core.rules_vec`); with the dependency-aware memo cache
+  warm, repeat traffic degenerates to dictionary lookups.
+* ``INDEX_ASSISTED`` — the PR-2 builders: a point index over binary
+  histograms plus a bounds-interval index over edited images turn the
+  whole query into two spatial lookups — unbeatable while fresh, but a
+  catalog mutation staleness them and a rebuild costs full walks.
+
+Every strategy provably returns the **same result set** (the scalar RBM
+oracle's — property-tested), so the planner is free to pick purely on
+estimated cost.  Costs are in abstract work units anchored to the §5
+work metric: one histogram check = 1, one scalar rule application = 1.
+Estimates come from :class:`repro.db.statistics.DatabaseStatistics`
+selectivity (how often a cluster base matches → BWM's short-circuit
+rate), catalog cardinalities and operation counts (rule-walk volume),
+and the live engine's memo occupancy (how much of the vectorized path
+is already paid for).
+
+The chosen plan is inspectable: :class:`ExplainedPlan` carries the
+estimated cost of *every* alternative plus a one-line reason each, in
+the spirit of a relational EXPLAIN.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.query import RangeQuery
+from repro.db.statistics import DatabaseStatistics
+from repro.errors import QueryError, ServiceError
+
+
+class Strategy(enum.Enum):
+    """Execution strategies the planner chooses among."""
+
+    LINEAR_RBM = "linear_rbm"
+    BWM = "bwm"
+    VECTORIZED_BATCH = "vectorized_batch"
+    INDEX_ASSISTED = "index_assisted"
+
+
+#: Deterministic tie-break order (earlier wins on equal cost): prefer the
+#: structure-free baseline, then the paper's method, then the engineered
+#: paths that depend on warm state.
+_TIE_BREAK = {
+    Strategy.LINEAR_RBM: 0,
+    Strategy.BWM: 1,
+    Strategy.VECTORIZED_BATCH: 2,
+    Strategy.INDEX_ASSISTED: 3,
+}
+
+
+@dataclass(frozen=True)
+class CatalogProfile:
+    """The cardinalities the cost model consumes, snapshotted at plan time."""
+
+    binary_count: int
+    edited_count: int
+    total_operations: int
+    main_edited: int
+    unclassified: int
+
+    @property
+    def mean_operations(self) -> float:
+        """Average edit-sequence length (0 with no edited images)."""
+        if not self.edited_count:
+            return 0.0
+        return self.total_operations / self.edited_count
+
+
+@dataclass(frozen=True)
+class PlanAlternative:
+    """One considered strategy with its estimated cost and rationale."""
+
+    strategy: Strategy
+    estimated_cost: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class ExplainedPlan:
+    """The planner's decision for one query, with its alternatives.
+
+    ``alternatives`` contains every candidate (including the chosen one)
+    sorted cheapest first, so ``alternatives[0].strategy == strategy``.
+    """
+
+    query: RangeQuery
+    strategy: Strategy
+    estimated_cost: float
+    selectivity: float
+    profile: CatalogProfile
+    alternatives: Tuple[PlanAlternative, ...]
+
+    def alternative(self, strategy: Strategy) -> PlanAlternative:
+        """The considered entry for one strategy."""
+        for candidate in self.alternatives:
+            if candidate.strategy is strategy:
+                return candidate
+        raise ServiceError(f"strategy {strategy} was not considered")
+
+    def describe(self) -> str:
+        """Human-readable PLAN output (one line per alternative)."""
+        lines = [
+            f"PLAN {self.query!r}",
+            f"  chosen: {self.strategy.value} "
+            f"(cost {self.estimated_cost:.1f}, "
+            f"selectivity {self.selectivity:.3f})",
+        ]
+        for candidate in self.alternatives:
+            marker = "*" if candidate.strategy is self.strategy else " "
+            lines.append(
+                f"  {marker} {candidate.strategy.value:<17} "
+                f"{candidate.estimated_cost:>10.1f}  {candidate.reason}"
+            )
+        return "\n".join(lines)
+
+
+class CostBasedPlanner:
+    """Chooses the cheapest strategy for each range query.
+
+    The planner keeps its selectivity statistics and catalog profile
+    cached, and subscribes to the bounds engine's invalidation events so
+    any catalog mutation marks them dirty — the next plan recomputes
+    from the live catalog.  Detach with :meth:`close` when discarding a
+    planner before its database.
+    """
+
+    #: One exact histogram check against the query range.
+    COST_HISTOGRAM = 1.0
+    #: One scalar (single-bin) Table 1 rule application.
+    COST_RULE = 1.0
+    #: One vectorized all-bins rule application.  Costlier than a scalar
+    #: rule (it updates every bin) but far below ``bin_count`` scalar
+    #: rules; calibrated from bench_bounds_kernel's 64-bin runs.
+    COST_VEC_RULE = 3.0
+    #: Serving one memoized all-bins interval from the engine cache.
+    COST_CACHE_HIT = 0.05
+    #: Visiting one index node / leaf entry during a spatial lookup.
+    COST_INDEX_VISIT = 2.0
+
+    def __init__(
+        self,
+        database,
+        statistics: Optional[DatabaseStatistics] = None,
+    ) -> None:
+        self._database = database
+        self._statistics = (
+            statistics if statistics is not None else DatabaseStatistics(database)
+        )
+        self._profile: Optional[CatalogProfile] = None
+        self._statistics_fresh = False
+        database.engine.add_invalidation_listener(self._on_invalidation)
+
+    def close(self) -> None:
+        """Stop listening to engine invalidation events."""
+        self._database.engine.remove_invalidation_listener(self._on_invalidation)
+
+    def _on_invalidation(self, image_id) -> None:
+        self._profile = None
+        self._statistics_fresh = False
+
+    # ------------------------------------------------------------------
+    # Model inputs
+    # ------------------------------------------------------------------
+    def profile(self) -> CatalogProfile:
+        """Current catalog cardinalities (cached until a mutation)."""
+        if self._profile is None:
+            catalog = self._database.catalog
+            structure = self._database.bwm_structure
+            total_operations = sum(
+                len(catalog.sequence_of(edited_id))
+                for edited_id in catalog.edited_ids()
+            )
+            self._profile = CatalogProfile(
+                binary_count=catalog.binary_count,
+                edited_count=catalog.edited_count,
+                total_operations=total_operations,
+                main_edited=structure.main_edited_count,
+                unclassified=structure.unclassified_count,
+            )
+        return self._profile
+
+    def selectivity(self, query: RangeQuery) -> float:
+        """Estimated fraction of binary images matching ``query``.
+
+        Falls back to an uninformative 0.5 when no statistics exist
+        (empty catalog) — both BWM terms then sit mid-range, which keeps
+        the decision on the cardinality terms alone.
+        """
+        if not self._database.catalog.binary_count:
+            return 0.5
+        if not self._statistics_fresh:
+            self._statistics.refresh()
+            self._statistics_fresh = True
+        try:
+            stats = self._statistics.bin_statistics(query.bin_index)
+        except QueryError:
+            return 0.5
+        return stats.estimate_selectivity(query.pct_min, query.pct_max)
+
+    def _vec_cached_images(self) -> int:
+        """How many edited images already have a memoized all-bins walk."""
+        engine = self._database.engine
+        if not engine.cache_enabled:
+            return 0
+        cached = engine.cache_stats()["vector_entries"]
+        # The vec cache also holds binary images touched as bases/targets;
+        # clamp to the edited population the estimate is about.
+        return min(cached, self._database.catalog.edited_count)
+
+    # ------------------------------------------------------------------
+    # Costing
+    # ------------------------------------------------------------------
+    def plan(self, query: RangeQuery, index_fresh: bool = False) -> ExplainedPlan:
+        """Cost every strategy for ``query`` and pick the cheapest.
+
+        ``index_fresh`` tells the planner whether the serving layer holds
+        point + interval indexes built since the last catalog mutation;
+        without them INDEX_ASSISTED is charged its full rebuild.
+        """
+        self._database.quantizer.validate_bin(query.bin_index)
+        profile = self.profile()
+        s = self.selectivity(query)
+        candidates = (
+            self._cost_linear_rbm(profile),
+            self._cost_bwm(profile, s),
+            self._cost_vectorized(profile),
+            self._cost_index_assisted(profile, s, index_fresh),
+        )
+        ordered = tuple(
+            sorted(
+                candidates,
+                key=lambda c: (c.estimated_cost, _TIE_BREAK[c.strategy]),
+            )
+        )
+        chosen = ordered[0]
+        return ExplainedPlan(
+            query=query,
+            strategy=chosen.strategy,
+            estimated_cost=chosen.estimated_cost,
+            selectivity=s,
+            profile=profile,
+            alternatives=ordered,
+        )
+
+    def _cost_linear_rbm(self, profile: CatalogProfile) -> PlanAlternative:
+        cost = (
+            profile.binary_count * self.COST_HISTOGRAM
+            + profile.total_operations * self.COST_RULE
+        )
+        return PlanAlternative(
+            Strategy.LINEAR_RBM,
+            cost,
+            f"{profile.binary_count} histogram checks + "
+            f"{profile.total_operations} scalar rules",
+        )
+
+    def _cost_bwm(self, profile: CatalogProfile, s: float) -> PlanAlternative:
+        mean_ops = profile.mean_operations
+        cluster_ops = mean_ops * profile.main_edited
+        unclassified_ops = mean_ops * profile.unclassified
+        # A cluster short-circuits when its base matches (probability ≈
+        # the query's selectivity); only failing clusters pay rules.
+        rules = (1.0 - s) * cluster_ops + unclassified_ops
+        cost = profile.binary_count * self.COST_HISTOGRAM + rules * self.COST_RULE
+        return PlanAlternative(
+            Strategy.BWM,
+            cost,
+            f"short-circuits ~{s:.0%} of {profile.main_edited} clustered "
+            f"images; {profile.unclassified} unclassified always walk",
+        )
+
+    def _cost_vectorized(self, profile: CatalogProfile) -> PlanAlternative:
+        cached = self._vec_cached_images()
+        uncached = profile.edited_count - cached
+        cost = (
+            profile.binary_count * self.COST_HISTOGRAM
+            + uncached * profile.mean_operations * self.COST_VEC_RULE
+            + cached * self.COST_CACHE_HIT
+        )
+        return PlanAlternative(
+            Strategy.VECTORIZED_BATCH,
+            cost,
+            f"{cached}/{profile.edited_count} all-bins walks memoized; "
+            f"{uncached} cold vectorized walks",
+        )
+
+    def _cost_index_assisted(
+        self, profile: CatalogProfile, s: float, index_fresh: bool
+    ) -> PlanAlternative:
+        # Two spatial lookups: tree descent (log-ish node visits) plus
+        # one visit per reported match/candidate.  Edited candidates are
+        # conservatively estimated at the binary selectivity plus slack
+        # for interval (not point) boxes overlapping the slab.
+        binary_matches = s * profile.binary_count
+        edited_candidates = min(1.0, s + 0.25) * profile.edited_count
+        search = (
+            self.COST_INDEX_VISIT
+            * (
+                math.log2(profile.binary_count + 2)
+                + math.log2(profile.edited_count + 2)
+            )
+            + binary_matches
+            + edited_candidates
+        )
+        if index_fresh:
+            return PlanAlternative(
+                Strategy.INDEX_ASSISTED,
+                search,
+                "point + interval indexes fresh; two spatial lookups",
+            )
+        cached = self._vec_cached_images()
+        rebuild = (
+            profile.binary_count * self.COST_HISTOGRAM
+            + (profile.edited_count - cached)
+            * profile.mean_operations
+            * self.COST_VEC_RULE
+            + (profile.binary_count + profile.edited_count) * self.COST_INDEX_VISIT
+        )
+        return PlanAlternative(
+            Strategy.INDEX_ASSISTED,
+            search + rebuild,
+            "indexes stale: lookup cost plus a full rebuild",
+        )
+
+    # ------------------------------------------------------------------
+    def plan_counts(self, plans) -> Dict[str, int]:
+        """Histogram of chosen strategies over an iterable of plans."""
+        counts: Dict[str, int] = {}
+        for plan in plans:
+            counts[plan.strategy.value] = counts.get(plan.strategy.value, 0) + 1
+        return counts

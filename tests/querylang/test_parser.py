@@ -158,3 +158,70 @@ class TestFuzzing:
         parsed = parse_query(f"{keyword} {value:.4f}{suffix} {color}")
         assert parsed.color_name == color
         assert 0.0 <= parsed.pct_min <= parsed.pct_max <= 1.0
+
+
+class TestSynonyms:
+    """"more than" / "less than" / "no more than" map onto the canonical forms."""
+
+    def test_more_than_is_at_least(self):
+        parsed = parse_query("more than 25% blue")
+        assert (parsed.pct_min, parsed.pct_max) == (0.25, 1.0)
+
+    def test_less_than_is_at_most(self):
+        parsed = parse_query("less than 40% red")
+        assert (parsed.pct_min, parsed.pct_max) == (0.0, 0.4)
+
+    def test_no_more_than_is_at_most(self):
+        parsed = parse_query("no more than 10% green")
+        assert (parsed.pct_min, parsed.pct_max) == (0.0, 0.1)
+
+    def test_no_more_than_not_misread_as_more_than(self):
+        """The "no more than" phrase must never bind as "more than"."""
+        parsed = parse_query("images with no more than 30% white")
+        assert parsed.pct_min == 0.0
+        assert parsed.pct_max == 0.3
+
+    def test_synonyms_in_conjunctions(self):
+        from repro.querylang.parser import parse_conjunctive_query
+
+        parsed = parse_conjunctive_query(
+            "more than 20% red and no more than 10% blue and less than 50% green"
+        )
+        assert len(parsed) == 3
+        assert (parsed[0].pct_min, parsed[0].pct_max) == (0.2, 1.0)
+        assert (parsed[1].pct_min, parsed[1].pct_max) == (0.0, 0.1)
+        assert (parsed[2].pct_min, parsed[2].pct_max) == (0.0, 0.5)
+
+
+class TestEmptyRangeRejection:
+    """Conjunctions whose constraints cannot all hold are a ParseError."""
+
+    def test_contradictory_same_color_rejected(self):
+        from repro.querylang.parser import parse_conjunctive_query
+
+        with pytest.raises(ParseError, match="empty range"):
+            parse_conjunctive_query("at least 60% blue and at most 40% blue")
+
+    def test_synonym_phrasing_also_rejected(self):
+        from repro.querylang.parser import parse_conjunctive_query
+
+        with pytest.raises(ParseError, match="empty range"):
+            parse_conjunctive_query("more than 60% blue and less than 40% blue")
+
+    def test_error_names_the_color(self):
+        from repro.querylang.parser import parse_conjunctive_query
+
+        with pytest.raises(ParseError, match="blue"):
+            parse_conjunctive_query("at least 60% blue and at most 40% blue")
+
+    def test_tight_but_nonempty_range_accepted(self):
+        from repro.querylang.parser import parse_conjunctive_query
+
+        parsed = parse_conjunctive_query("at least 40% blue and at most 40% blue")
+        assert len(parsed) == 2
+
+    def test_different_colors_never_conflict(self):
+        from repro.querylang.parser import parse_conjunctive_query
+
+        parsed = parse_conjunctive_query("at least 60% blue and at most 40% red")
+        assert len(parsed) == 2

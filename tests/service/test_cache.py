@@ -1,0 +1,147 @@
+"""ResultCache: key normalization, LRU, TTL, and engine invalidation."""
+
+import pytest
+
+from repro.core.query import RangeQuery
+from repro.db.database import MultimediaDatabase
+from repro.errors import ServiceError
+from repro.service import ResultCache, cache_key
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCacheKey:
+    def test_constraint_order_is_irrelevant(self):
+        a = RangeQuery.at_least(3, 0.2)
+        b = RangeQuery(7, 0.0, 0.5)
+        assert cache_key([a, b]) == cache_key([b, a])
+
+    def test_expansion_flag_distinguishes(self):
+        query = RangeQuery.at_least(3, 0.2)
+        assert cache_key([query], False) != cache_key([query], True)
+
+    def test_distinct_ranges_distinguish(self):
+        assert cache_key([RangeQuery.at_least(3, 0.2)]) != cache_key(
+            [RangeQuery.at_least(3, 0.3)]
+        )
+
+    def test_zero_constraints_rejected(self):
+        with pytest.raises(ServiceError):
+            cache_key([])
+
+
+class TestLRU:
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_put_overwrites_in_place(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_hit_miss_counters(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("nope")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+
+
+class TestTTL:
+    def test_entries_expire_on_access(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.now = 9.0
+        assert cache.get("a") == 1
+        clock.now = 10.5
+        assert cache.get("a") is None
+        assert cache.expirations == 1
+
+    def test_no_ttl_means_no_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, clock=clock)
+        cache.put("a", 1)
+        clock.now = 1e9
+        assert cache.get("a") == 1
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ServiceError):
+            ResultCache(capacity=0)
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ServiceError):
+            ResultCache(ttl=0.0)
+
+
+class TestEngineInvalidation:
+    def test_any_mutation_clears_everything(self, small_database, rng):
+        from repro.color.names import FLAG_PALETTE
+        from repro.images.generators import random_palette_image
+
+        cache = ResultCache(capacity=8)
+        cache.attach_to_engine(small_database.engine)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        small_database.insert_image(
+            random_palette_image(rng, 8, 8, FLAG_PALETTE)
+        )
+        assert cache.get("a") is None
+        assert cache.get("b") is None
+        assert cache.invalidations >= 1
+        cache.detach()
+
+    def test_detach_stops_clearing(self, small_database, rng):
+        from repro.color.names import FLAG_PALETTE
+        from repro.images.generators import random_palette_image
+
+        cache = ResultCache(capacity=8)
+        cache.attach_to_engine(small_database.engine)
+        cache.detach()
+        cache.put("a", 1)
+        small_database.insert_image(
+            random_palette_image(rng, 8, 8, FLAG_PALETTE)
+        )
+        assert cache.get("a") == 1
+
+    def test_double_attach_rejected(self, small_database):
+        cache = ResultCache()
+        cache.attach_to_engine(small_database.engine)
+        with pytest.raises(ServiceError):
+            cache.attach_to_engine(small_database.engine)
+        cache.detach()
+
+    def test_detach_is_idempotent(self, small_database):
+        cache = ResultCache()
+        cache.attach_to_engine(small_database.engine)
+        cache.detach()
+        cache.detach()

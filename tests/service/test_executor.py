@@ -1,0 +1,298 @@
+"""QueryService: normalization, caching, deadlines, shedding, shutdown.
+
+Timing-sensitive behavior (deadlines, TTL) runs on an injected fake
+clock; blocking behavior (shedding, drain) is driven by events patched
+into the database's ``range_query``, so nothing here sleeps on faith.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.query import RangeQuery
+from repro.errors import (
+    QueryTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceShutdownError,
+)
+from repro.service import QueryService, Strategy
+
+
+class FakeClock:
+    """A settable monotonic clock shared across service threads."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def service(small_database):
+    with QueryService(small_database, max_workers=2) as service:
+        yield service
+
+
+def blue_query(database) -> RangeQuery:
+    return RangeQuery.at_least(database.quantizer.bin_of((0, 40, 104)), 0.1)
+
+
+class TestNormalization:
+    def test_single_constraint(self, service, small_database):
+        query = blue_query(small_database)
+        outcome = service.execute(query)
+        assert outcome.constraints == (query,)
+        assert outcome.result.matches == small_database.range_query(
+            query, method="rbm"
+        ).matches
+
+    def test_text_query(self, service, small_database):
+        outcome = service.execute("at least 10% blue")
+        oracle = small_database.text_query("at least 10% blue")
+        assert outcome.result.matches == oracle.matches
+
+    def test_conjunction_intersects(self, service, small_database):
+        a = RangeQuery.at_least(blue_query(small_database).bin_index, 0.05)
+        b = RangeQuery(a.bin_index, 0.0, 0.5)
+        outcome = service.execute([a, b])
+        expected = (
+            small_database.range_query(a, method="rbm").matches
+            & small_database.range_query(b, method="rbm").matches
+        )
+        assert outcome.result.matches == expected
+
+    def test_empty_query_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.execute([])
+
+    def test_unknown_strategy_rejected(self, service, small_database):
+        with pytest.raises(ServiceError, match="unknown strategy"):
+            service.execute(blue_query(small_database), strategy="quantum")
+
+    def test_strategy_accepts_enum_and_string(self, service, small_database):
+        query = blue_query(small_database)
+        by_enum = service.execute(query, strategy=Strategy.BWM)
+        by_name = service.execute(query, strategy="bwm")
+        assert by_enum.strategy is Strategy.BWM
+        assert by_name.result.matches == by_enum.result.matches
+
+    def test_expand_to_bases_adds_base_ids(self, service, small_database):
+        query = blue_query(small_database)
+        plain = service.execute(query)
+        expanded = service.execute(query, expand_to_bases=True)
+        assert plain.result.matches <= expanded.result.matches
+        catalog = small_database.catalog
+        for image_id in expanded.result.matches - plain.result.matches:
+            assert image_id in set(catalog.binary_ids())
+
+
+class TestResultCaching:
+    def test_repeat_query_hits_cache(self, service, small_database):
+        query = blue_query(small_database)
+        first = service.execute(query)
+        second = service.execute(query)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.result.matches == first.result.matches
+        assert service.metrics.counter("result_cache_hits") == 1
+
+    def test_flipped_conjunction_shares_the_entry(self, service, small_database):
+        a = RangeQuery.at_least(blue_query(small_database).bin_index, 0.05)
+        b = RangeQuery(a.bin_index, 0.0, 0.5)
+        service.execute([a, b])
+        assert service.execute([b, a]).cache_hit
+
+    def test_mutation_through_service_invalidates(
+        self, service, small_database, rng
+    ):
+        from repro.color.names import FLAG_PALETTE
+        from repro.images.generators import random_palette_image
+
+        query = RangeQuery.at_least(blue_query(small_database).bin_index, 0.0)
+        before = service.execute(query)
+        assert service.execute(query).cache_hit
+        new_id = service.insert_image(
+            random_palette_image(rng, 8, 8, FLAG_PALETTE)
+        )
+        after = service.execute(query)
+        assert not after.cache_hit
+        assert new_id in after.result.matches
+        assert new_id not in before.result.matches
+        assert service.metrics.counter("mutations") == 1
+
+    def test_delete_through_service_invalidates(self, service, small_database):
+        edited_id = next(iter(small_database.catalog.edited_ids()))
+        query = RangeQuery.at_least(blue_query(small_database).bin_index, 0.0)
+        service.execute(query)
+        service.delete_edited(edited_id)
+        after = service.execute(query)
+        assert not after.cache_hit
+        assert edited_id not in after.result.matches
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_typed_error(self, small_database):
+        release = threading.Event()
+        started = threading.Event()
+        original = small_database.range_query
+
+        def blocking_range_query(query, method="rbm"):
+            started.set()
+            release.wait(timeout=30)
+            return original(query, method=method)
+
+        small_database.range_query = blocking_range_query
+        query = blue_query(small_database)
+        with QueryService(small_database, max_workers=1, queue_depth=0) as service:
+            blocker = service.submit(query, strategy="linear_rbm")
+            assert started.wait(timeout=10)
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(query, strategy="linear_rbm")
+            assert service.metrics.counter("queries_shed") == 1
+            release.set()
+            assert blocker.result(timeout=30).result.matches
+
+    def test_in_flight_drains_to_zero(self, service, small_database):
+        service.execute(blue_query(small_database))
+        assert service.in_flight == 0
+
+
+class TestDeadlines:
+    def test_queued_past_deadline_is_refused(self, small_database):
+        clock = FakeClock()
+        release = threading.Event()
+        started = threading.Event()
+        original = small_database.range_query
+
+        def blocking_range_query(query, method="rbm"):
+            started.set()
+            release.wait(timeout=30)
+            return original(query, method=method)
+
+        small_database.range_query = blocking_range_query
+        query = blue_query(small_database)
+        with QueryService(
+            small_database, max_workers=1, queue_depth=4, clock=clock
+        ) as service:
+            blocker = service.submit(query, strategy="linear_rbm")
+            assert started.wait(timeout=10)
+            victim = service.submit(query, timeout=5.0, strategy="linear_rbm")
+            clock.now = 6.0  # the victim's deadline passes while it queues
+            release.set()
+            assert blocker.result(timeout=30)
+            with pytest.raises(QueryTimeoutError, match="admission queue"):
+                victim.result(timeout=30)
+            assert service.metrics.counter("queries_timed_out") == 1
+
+    def test_synchronous_wait_gives_up_on_a_stuck_query(self, small_database):
+        release = threading.Event()
+        original = small_database.range_query
+
+        def blocking_range_query(query, method="rbm"):
+            release.wait(timeout=30)
+            return original(query, method=method)
+
+        small_database.range_query = blocking_range_query
+        query = blue_query(small_database)
+        try:
+            with QueryService(small_database, max_workers=1) as service:
+                with pytest.raises(QueryTimeoutError, match="deadline"):
+                    service.execute(query, timeout=0.05, strategy="linear_rbm")
+                release.set()
+        finally:
+            release.set()
+
+    def test_default_timeout_applies_when_call_passes_none(self, small_database):
+        clock = FakeClock()
+        with QueryService(
+            small_database, max_workers=1, default_timeout=5.0, clock=clock
+        ) as service:
+            outcome = service.execute(blue_query(small_database))
+            assert outcome.result is not None
+
+
+class TestShutdown:
+    def test_submission_after_shutdown_is_refused(self, small_database):
+        service = QueryService(small_database, max_workers=1)
+        service.shutdown()
+        with pytest.raises(ServiceShutdownError):
+            service.submit(blue_query(small_database))
+
+    def test_shutdown_is_idempotent(self, small_database):
+        service = QueryService(small_database, max_workers=1)
+        service.shutdown()
+        service.shutdown()
+
+    def test_graceful_drain_completes_admitted_queries(self, small_database):
+        release = threading.Event()
+        started = threading.Event()
+        original = small_database.range_query
+
+        def blocking_range_query(query, method="rbm"):
+            started.set()
+            release.wait(timeout=30)
+            return original(query, method=method)
+
+        small_database.range_query = blocking_range_query
+        service = QueryService(small_database, max_workers=1)
+        future = service.submit(
+            blue_query(small_database), strategy="linear_rbm"
+        )
+        assert started.wait(timeout=10)
+        drainer = threading.Thread(target=service.shutdown)
+        drainer.start()
+        drainer.join(timeout=0.2)
+        assert drainer.is_alive()  # still draining the admitted query
+        release.set()
+        drainer.join(timeout=30)
+        assert not drainer.is_alive()
+        assert future.result(timeout=5).result.matches is not None
+
+    def test_context_manager_shuts_down(self, small_database):
+        with QueryService(small_database, max_workers=1) as service:
+            service.execute(blue_query(small_database))
+        with pytest.raises(ServiceShutdownError):
+            service.submit(blue_query(small_database))
+
+
+class TestValidationAndMetrics:
+    def test_bad_pool_sizing_rejected(self, small_database):
+        with pytest.raises(ServiceError):
+            QueryService(small_database, max_workers=0)
+        with pytest.raises(ServiceError):
+            QueryService(small_database, queue_depth=-1)
+
+    def test_metrics_snapshot_shape(self, service, small_database):
+        service.execute(blue_query(small_database))
+        snap = service.metrics_snapshot()
+        assert snap["counters"]["queries_total"] == 1
+        assert snap["histograms"]["query_seconds"]["count"] == 1
+        assert set(snap["result_cache"]) >= {"hits", "misses", "entries"}
+        assert "service" in snap and snap["service"]["capacity"] > 0
+        assert "bounds_cache" in snap
+
+    def test_plans_counted_per_strategy(self, service, small_database):
+        query = blue_query(small_database)
+        service.execute(query, strategy="bwm")
+        assert service.metrics.counter("plans.bwm") == 1
+
+    def test_forced_strategy_keeps_alternatives(self, service, small_database):
+        outcome = service.execute(
+            blue_query(small_database), strategy="index_assisted"
+        )
+        assert outcome.strategy is Strategy.INDEX_ASSISTED
+        assert {a.strategy for a in outcome.plans[0].alternatives} == set(
+            Strategy
+        )
+
+    def test_index_path_rebuilds_then_stays_fresh(self, service, small_database):
+        assert not service.indexes_fresh
+        service.execute(blue_query(small_database), strategy="index_assisted")
+        assert service.indexes_fresh
+        assert service.metrics.counter("index_rebuilds") == 1
+        # A different query (no cache hit) reuses the fresh indexes.
+        other = RangeQuery(blue_query(small_database).bin_index, 0.0, 0.9)
+        service.execute(other, strategy="index_assisted")
+        assert service.metrics.counter("index_rebuilds") == 1

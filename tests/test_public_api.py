@@ -44,6 +44,31 @@ class TestExports:
         ):
             assert issubclass(exc_type, repro.ReproError)
 
+    def test_service_error_hierarchy(self):
+        from repro.errors import (
+            QueryTimeoutError,
+            ServiceError,
+            ServiceOverloadedError,
+            ServiceShutdownError,
+        )
+
+        assert issubclass(ServiceError, repro.ReproError)
+        for exc_type in (
+            ServiceOverloadedError,
+            ServiceShutdownError,
+            QueryTimeoutError,
+        ):
+            assert issubclass(exc_type, ServiceError)
+
+    def test_service_package_exports(self):
+        import repro.service
+
+        for name in repro.service.__all__:
+            assert hasattr(repro.service, name), name
+        # The headline names are also re-exported at the top level.
+        for name in ("QueryService", "CostBasedPlanner", "ExplainedPlan", "Strategy"):
+            assert getattr(repro, name) is getattr(repro.service, name)
+
 
 class TestDocstringQuickstart:
     def test_quickstart_runs(self):
