@@ -10,7 +10,10 @@ also write a machine-readable JSON twin via :func:`write_json_result`
 
 from __future__ import annotations
 
+import datetime
 import json
+import platform
+import subprocess
 from pathlib import Path
 
 import numpy as np
@@ -39,14 +42,48 @@ def write_result(name: str, text: str) -> Path:
     return path
 
 
+def _git_sha() -> str:
+    """The repo HEAD at bench time, or "unknown" outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def provenance() -> dict:
+    """Who/when/where metadata stamped onto every JSON artifact.
+
+    A perf number without its commit and interpreter is unreviewable; the
+    stamp makes each artifact self-describing when it is pulled out of
+    the repo (CI uploads, pasted snippets).
+    """
+    return {
+        "git_sha": _git_sha(),
+        "python_version": platform.python_version(),
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat(),
+    }
+
+
 def write_json_result(name: str, payload) -> Path:
     """Store a machine-readable result under benchmarks/results/.
 
     Keys are sorted and the layout is fixed, so successive PRs produce
     minimal diffs on these artifacts (the perf trajectory is reviewable
-    with ``git diff`` alone).
+    with ``git diff`` alone).  Dict payloads are stamped with
+    :func:`provenance` under a ``"provenance"`` key.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    if isinstance(payload, dict) and "provenance" not in payload:
+        payload = dict(payload, provenance=provenance())
     path = RESULTS_DIR / name
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"

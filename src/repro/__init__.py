@@ -25,6 +25,15 @@ Quick start::
     print(result.sorted_ids())
 """
 
+import logging as _logging
+
+# Standard library etiquette: a library never configures logging for the
+# application.  The NullHandler stops the root logger's last-resort
+# handler from spraying our warnings (salvage, repair, load shedding,
+# slow queries) onto stderr; applications opt in with a real handler —
+# the CLI's ``-v/--verbose`` flag does exactly that.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from repro.color import ColorHistogram, UniformQuantizer
 from repro.core import (
     BWMProcessor,
@@ -49,12 +58,21 @@ from repro.editing import (
 )
 from repro.errors import ReproError
 from repro.images import AffineMatrix, Image, Rect, read_ppm, write_ppm
-from repro.service import CostBasedPlanner, ExplainedPlan, QueryService, Strategy
+from repro.obs import set_tracing, tracing, tracing_enabled
+from repro.service import (
+    AnalyzedQuery,
+    CostBasedPlanner,
+    ExplainedPlan,
+    PlanActuals,
+    QueryService,
+    Strategy,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AffineMatrix",
+    "AnalyzedQuery",
     "BWMProcessor",
     "BWMStructure",
     "BoundsEngine",
@@ -71,6 +89,7 @@ __all__ = [
     "MultimediaDatabase",
     "Mutate",
     "PixelBounds",
+    "PlanActuals",
     "QueryResult",
     "QueryService",
     "RBMProcessor",
@@ -85,5 +104,8 @@ __all__ = [
     "read_ppm",
     "save_database",
     "sequence_is_bound_widening",
+    "set_tracing",
+    "tracing",
+    "tracing_enabled",
     "write_ppm",
 ]

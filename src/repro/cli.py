@@ -10,8 +10,18 @@ Subcommands mirror the workflow of the paper's prototype:
 ``repair``    fix reparable integrity problems and re-save
 ``salvage``   recover the undamaged records of a corrupted database
 ``evaluate``  regenerate Table 2 and the Figure 3/4 series
+``explain``   EXPLAIN (and with ``--analyze``, EXPLAIN ANALYZE) a query:
+              costed plan alternatives, executed actuals, prune
+              attribution, and the span tree
 ``serve-stats`` drive a query workload through the concurrent service
               and report planner choices plus service metrics
+              (``--prometheus`` for text exposition, ``--slow`` for the
+              slow-query log, ``--trace-out`` for a Chrome trace file)
+
+The global ``-v/--verbose`` flag attaches a stderr handler to the
+``repro`` logger (once for INFO, twice for DEBUG), surfacing salvage,
+repair, load-shedding, and slow-query warnings that are otherwise
+silent under the library's ``NullHandler``.
 
 All commands are plain functions over the public API, so they double as
 integration smoke tests (see ``tests/test_cli.py``).
@@ -20,6 +30,7 @@ integration smoke tests (see ``tests/test_cli.py``).
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -41,6 +52,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Color-based retrieval over edit-sequence image storage "
         "(Brown & Gruenwald, ICDE 2006 reproduction)",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="count", default=0,
+        help="log library warnings/info to stderr (-vv for debug)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -102,6 +117,26 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--queries", type=int, default=12)
     evaluate.add_argument("--seed", type=int, default=2006)
 
+    explain = commands.add_parser(
+        "explain",
+        help="show the costed plan for a query; --analyze also executes "
+        "it and reports actuals, prune attribution, and the trace",
+    )
+    explain.add_argument("directory")
+    explain.add_argument("text", help='e.g. "at least 25%% blue"')
+    explain.add_argument("--analyze", action="store_true",
+                         help="execute the plan and attach actuals "
+                         "(EXPLAIN ANALYZE)")
+    explain.add_argument("--strategy",
+                         choices=("linear_rbm", "bwm", "vectorized_batch",
+                                  "index_assisted"),
+                         default=None,
+                         help="force a strategy instead of the planner's pick")
+    explain.add_argument("--no-attribution", action="store_true",
+                         help="skip the per-image prune attribution pass")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the plan (and actuals/trace) as JSON")
+
     serve = commands.add_parser(
         "serve-stats",
         help="run a query workload through the concurrent query service "
@@ -114,7 +149,22 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="thread-pool size (default 4)")
     serve.add_argument("--seed", type=int, default=2006)
     serve.add_argument("--json", action="store_true",
-                       help="emit the metrics snapshot as JSON")
+                       help="emit the metrics snapshot as JSON "
+                       "(deterministic: keys are sorted)")
+    serve.add_argument("--prometheus", action="store_true",
+                       help="emit the metrics in Prometheus text "
+                       "exposition format instead")
+    serve.add_argument("--slow", action="store_true",
+                       help="dump the slow-query log after the workload")
+    serve.add_argument("--slow-threshold", type=float, default=None,
+                       metavar="SECONDS",
+                       help="record queries at or over this many seconds "
+                       "into the slow-query log")
+    serve.add_argument("--trace", action="store_true",
+                       help="enable span tracing for the workload")
+    serve.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the collected traces as a Chrome "
+                       "trace_event JSON file (implies --trace)")
     return parser
 
 
@@ -226,9 +276,41 @@ def _cmd_evaluate(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.service import QueryService
+
+    database = load_database(args.directory)
+    database.engine.cache_enabled = True
+    with QueryService(database, max_workers=1) as service:
+        if not args.analyze:
+            plans = service.explain(args.text, strategy=args.strategy)
+            if args.json:
+                payload = [plan.to_dict() for plan in plans]
+                print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+            else:
+                for plan in plans:
+                    print(plan.describe(), file=out)
+            return 0
+        analyzed = service.explain_analyze(
+            args.text,
+            strategy=args.strategy,
+            with_attribution=not args.no_attribution,
+        )
+    if args.json:
+        print(
+            json.dumps(analyzed.to_dict(), indent=2, sort_keys=True), file=out
+        )
+    else:
+        print(analyzed.describe(), file=out)
+    return 0
+
+
 def _cmd_serve_stats(args: argparse.Namespace, out) -> int:
     import json
 
+    from repro.obs import to_chrome_trace, tracing
     from repro.service import QueryService
     from repro.workloads.queries import make_query_workload
 
@@ -238,18 +320,39 @@ def _cmd_serve_stats(args: argparse.Namespace, out) -> int:
     database.engine.cache_enabled = True
     rng = np.random.default_rng(args.seed)
     queries = make_query_workload(database, rng, args.queries)
+    trace_on = args.trace or args.trace_out is not None
     with QueryService(
-        database, max_workers=args.workers, prebuild_indexes=True
+        database,
+        max_workers=args.workers,
+        prebuild_indexes=True,
+        slow_query_threshold=args.slow_threshold,
     ) as service:
-        futures = [service.submit(query) for query in queries]
-        outcomes = [future.result() for future in futures]
+        with tracing(trace_on):
+            futures = [service.submit(query) for query in queries]
+            outcomes = [future.result() for future in futures]
         plan_counts = service.planner.plan_counts(
             plan for outcome in outcomes for plan in outcome.plans
         )
         snapshot = service.metrics_snapshot()
-    snapshot["plan_counts"] = plan_counts
+        exposition = service.prometheus_metrics() if args.prometheus else None
+        slow_dump = service.slow_log.describe() if args.slow else None
+    if args.trace_out is not None:
+        traces = [o.trace for o in outcomes if o.trace is not None]
+        with open(args.trace_out, "w") as handle:
+            json.dump(to_chrome_trace(traces), handle)
+        print(
+            f"wrote {len(traces)} query traces to {args.trace_out}", file=out
+        )
+    if exposition is not None:
+        print(exposition, file=out, end="")
+        if slow_dump is not None:
+            print(slow_dump, file=out)
+        return 0
+    snapshot["plan_counts"] = dict(sorted(plan_counts.items()))
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True), file=out)
+        if slow_dump is not None:
+            print(slow_dump, file=out)
         return 0
     print(
         f"served {len(outcomes)} queries on {args.workers} workers "
@@ -268,10 +371,12 @@ def _cmd_serve_stats(args: argparse.Namespace, out) -> int:
             f"p99 {latency['p99'] * 1e3:.2f}ms",
             file=out,
         )
-    for group in ("counters", "result_cache", "bounds_cache"):
+    for group in ("counters", "result_cache", "bounds_cache", "slow_queries"):
         print(f"{group}:", file=out)
         for key, value in sorted(snapshot[group].items()):
             print(f"  {key}: {value}", file=out)
+    if slow_dump is not None:
+        print(slow_dump, file=out)
     return 0
 
 
@@ -284,8 +389,33 @@ _COMMANDS = {
     "query": _cmd_query,
     "knn": _cmd_knn,
     "evaluate": _cmd_evaluate,
+    "explain": _cmd_explain,
     "serve-stats": _cmd_serve_stats,
 }
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Attach a stderr handler to the package logger for ``-v``.
+
+    The library itself only ever adds a ``NullHandler`` (standard
+    library etiquette); the CLI is the application, so it decides where
+    log output goes.  Idempotent: re-entry (tests call ``main`` many
+    times) only adjusts the level.
+    """
+    if not verbosity:
+        return
+    logger = logging.getLogger("repro")
+    logger.setLevel(logging.DEBUG if verbosity > 1 else logging.INFO)
+    if not any(
+        isinstance(h, logging.StreamHandler)
+        and not isinstance(h, logging.NullHandler)
+        for h in logger.handlers
+    ):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -293,6 +423,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = _build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
     try:
         return _COMMANDS[args.command](args, out)
     except ReproError as exc:

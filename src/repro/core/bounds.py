@@ -241,6 +241,56 @@ class BoundsEngine:
             sequence, frozenset(), self._max_depth
         )
 
+    def walk_states(
+        self, image_id: str
+    ) -> Tuple[EditSequence, List[AllBinsBounds]]:
+        """Per-operation interval states of an edited image's sequence.
+
+        Diagnostic companion to :meth:`bounds_all_bins` for the
+        observability layer (:mod:`repro.obs.attribution`): returns the
+        image's outer edit sequence plus ``len(operations) + 1`` all-bins
+        states — ``states[0]`` is the base image's interval matrix and
+        ``states[i]`` the matrix after ``operations[i - 1]`` — so a
+        caller can attribute *which* operation widened a bin's bounds
+        past a query range.
+
+        Base images and Merge targets resolve through the normal
+        (possibly memoized) :meth:`bounds_all_bins` path — that part is
+        real, memoizable work and counts toward :attr:`rules_applied` —
+        but the replay of the outer sequence itself is never cached and
+        adds nothing to the work metric: it is an explain-path replay,
+        not query processing, and must not skew the §5 numbers.
+        """
+        record = self._store.lookup_for_bounds(image_id)
+        if not isinstance(record, EditSequence):
+            raise RuleError(
+                f"walk_states needs an edited image; {image_id!r} is binary"
+            )
+        base_lo, base_hi, base_height, base_width = self.bounds_all_bins(
+            record.base_id
+        )
+        state = VecRuleState(
+            lo=np.array(base_lo, dtype=np.int64),
+            hi=np.array(base_hi, dtype=np.int64),
+            height=base_height,
+            width=base_width,
+            dr=Rect(0, 0, base_height, base_width),
+        )
+        states: List[AllBinsBounds] = [
+            (state.lo.copy(), state.hi.copy(), state.height, state.width)
+        ]
+        ctx = VecRuleContext(
+            quantizer=self._quantizer,
+            fill_color=self._fill_color,
+            resolve_target=self.bounds_all_bins,
+        )
+        for op in record.operations:
+            state = apply_rule_vec(state, op, ctx)
+            states.append(
+                (state.lo.copy(), state.hi.copy(), state.height, state.width)
+            )
+        return record, states
+
     def fraction_bounds_all_bins(
         self, image_id: str
     ) -> Tuple[np.ndarray, np.ndarray]:

@@ -29,12 +29,15 @@ classes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Set
 
 from repro.color.histogram import ColorHistogram
 from repro.errors import DatabaseError
 from repro.index.mbr import MBR
+
+logger = logging.getLogger(__name__)
 
 
 def verify_integrity(
@@ -195,6 +198,11 @@ class RepairReport:
     actions: List[str] = field(default_factory=list)
     remaining: List[str] = field(default_factory=list)
 
+    def note(self, action: str) -> None:
+        """Record one applied fix (and warn: repairs mean prior damage)."""
+        logger.warning("repair: %s", action)
+        self.actions.append(action)
+
     @property
     def clean(self) -> bool:
         """True when the database verifies clean after the repair."""
@@ -260,7 +268,7 @@ def _repair_histograms(database: "MultimediaDatabase", report: RepairReport) -> 
         recomputed = ColorHistogram.of_image(record.image, database.quantizer)
         if recomputed != record.histogram:
             record.histogram = recomputed
-            report.actions.append(
+            report.note(
                 f"recomputed stale histogram of {image_id!r}"
             )
             # The index entry (if any) sits at the stale point; the index
@@ -286,7 +294,7 @@ def _repair_bwm_structure(database: "MultimediaDatabase", report: RepairReport) 
     placements = {}
     for base_id, cluster in structure.clusters():
         if base_id not in binary_ids:
-            report.actions.append(
+            report.note(
                 f"removed BWM cluster keyed by non-binary {base_id!r}"
             )
         for edited_id in cluster:
@@ -294,25 +302,25 @@ def _repair_bwm_structure(database: "MultimediaDatabase", report: RepairReport) 
     for edited_id in structure.unclassified:
         placements.setdefault(edited_id, []).append("Unclassified")
     for binary_id in binary_ids - set(structure.main):
-        report.actions.append(f"opened missing BWM cluster for {binary_id!r}")
+        report.note(f"opened missing BWM cluster for {binary_id!r}")
 
     for edited_id in sorted(set(placements) - edited_ids):
-        report.actions.append(f"evicted dangling BWM member {edited_id!r}")
+        report.note(f"evicted dangling BWM member {edited_id!r}")
     for edited_id in sorted(edited_ids):
         target = desired[edited_id]
         want = f"Main[{target}]" if target else "Unclassified"
         have = placements.get(edited_id, [])
         if not have:
-            report.actions.append(
+            report.note(
                 f"inserted missing BWM entry for {edited_id!r} ({want})"
             )
         elif len(have) > 1:
-            report.actions.append(
+            report.note(
                 f"removed duplicate BWM entries for {edited_id!r} "
                 f"({', '.join(sorted(have))}; kept {want})"
             )
         elif have[0] != want:
-            report.actions.append(
+            report.note(
                 f"reclassified {edited_id!r} from {have[0]} to {want}"
             )
 
@@ -336,7 +344,7 @@ def _repair_histogram_index(database: "MultimediaDatabase", report: RepairReport
     for box, payload in entries:
         if payload not in binary_ids:
             index.delete(box, payload)
-            report.actions.append(
+            report.note(
                 f"evicted histogram-index entry for unknown image {payload!r}"
             )
     for image_id in sorted(binary_ids):
@@ -344,13 +352,13 @@ def _repair_histogram_index(database: "MultimediaDatabase", report: RepairReport
         mine = [box for box, payload in entries if payload == image_id]
         if not mine:
             index.insert(correct, image_id)
-            report.actions.append(
+            report.note(
                 f"reinserted missing histogram-index entry for {image_id!r}"
             )
         elif len(mine) > 1 or mine[0] != correct:
             for box in mine:
                 index.delete(box, image_id)
             index.insert(correct, image_id)
-            report.actions.append(
+            report.note(
                 f"reindexed {image_id!r} at its correct histogram point"
             )

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -56,6 +57,8 @@ from repro.errors import (
 )
 from repro.images.ppm import read_ppm, write_ppm
 from repro.testing.faults import NoFaults
+
+logger = logging.getLogger(__name__)
 
 _FORMAT_VERSION = 2
 #: Versions this loader understands.  Version 1 predates checksums and
@@ -220,6 +223,9 @@ def _recover_interrupted_save(base: Path) -> None:
         # A bare directory with no manifest cannot be a committed state
         # of ours; clear it so the backup can take its place.
         shutil.rmtree(base)
+    logger.warning(
+        "rolled back interrupted save: restored %s from backup %s", base, old
+    )
     old.replace(base)
 
 
@@ -248,6 +254,10 @@ def load_database(
 
     report = SalvageReport(root=str(base))
     if salvage and manifest.pop("_checksum_warning", None):
+        logger.warning(
+            "salvage of %s: manifest checksum mismatch; contents unverified",
+            base,
+        )
         report.warnings.append("manifest checksum mismatch; contents unverified")
 
     try:
@@ -379,6 +389,7 @@ def _reject(
 ) -> None:
     """Quarantine in salvage mode; re-raise (wrapped) in strict mode."""
     if salvage:
+        logger.warning("salvage quarantined %s (%s): %s", image_id, path, exc)
         report.quarantined.append(
             QuarantineEntry(image_id=image_id, path=str(path), reason=str(exc))
         )

@@ -115,3 +115,9 @@ class ServiceShutdownError(ServiceError):
 class QueryTimeoutError(ServiceError):
     """Raised when a query misses its deadline — either it was still
     queued when the deadline passed, or the caller stopped waiting."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by the tracing / attribution / export layer
+    (:mod:`repro.obs`) — malformed spans, empty exports, or metric
+    names that cannot be rendered in Prometheus exposition format."""

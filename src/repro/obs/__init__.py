@@ -1,0 +1,77 @@
+"""repro.obs — observability for the query-serving stack.
+
+The paper's contribution is an argument about *where time goes* (BWM
+wins because most Table 1 rules only widen bounds, §4–§5); this package
+makes the production stack answer the same question about itself:
+
+* :mod:`repro.obs.trace` — context-local :class:`Tracer` with nestable
+  :class:`Span` trees threaded through the full query path
+  (``parse → plan → admission → lock-wait → execute → cache-publish``),
+  exportable as JSON trace trees or Chrome ``trace_event`` files.  A
+  global switch (:func:`set_tracing`) swaps in a no-op tracer so the
+  disabled path stays out of the hot loop.
+* :mod:`repro.obs.attribution` — per-query prune attribution: every
+  candidate image's outcome (``pruned | must-check | exact``), the rule
+  kinds applied, and which operation last widened ``[HB_min, HB_max]``
+  past the query range.
+* :mod:`repro.obs.prometheus` — text-exposition rendering of the
+  service metrics snapshot (plus a promtool-style validator).
+* :mod:`repro.obs.slowlog` — threshold-triggered ring-buffer log of
+  slow queries with their plans and traces.
+
+Quick start::
+
+    from repro.obs import tracing
+    from repro.service import QueryService
+
+    with tracing():
+        outcome = service.execute("at least 25% blue")
+    print(outcome.trace.to_dict())           # the span tree
+    print(service.prometheus_metrics())      # scrapeable exposition
+"""
+
+from repro.obs.attribution import (
+    AttributionReport,
+    ImageAttribution,
+    OpAttribution,
+    PruneOutcome,
+    attribute_image,
+    attribute_query,
+)
+from repro.obs.prometheus import render_prometheus, validate_exposition
+from repro.obs.slowlog import SlowQuery, SlowQueryLog
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_span,
+    maybe_tracer,
+    set_tracing,
+    to_chrome_trace,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "AttributionReport",
+    "ImageAttribution",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "OpAttribution",
+    "PruneOutcome",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "attribute_image",
+    "attribute_query",
+    "current_span",
+    "maybe_tracer",
+    "render_prometheus",
+    "set_tracing",
+    "to_chrome_trace",
+    "tracing",
+    "tracing_enabled",
+    "validate_exposition",
+]

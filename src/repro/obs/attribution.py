@@ -1,0 +1,278 @@
+"""Prune attribution: *why* each candidate survived or died for a query.
+
+The paper's Table 1 rules exist to prune: an edited image whose
+``[HB_min, HB_max]`` interval misses the query range is excluded without
+instantiation, and BWM beats RBM exactly because most rules only *widen*
+percentage bounds, so whole clusters skip their walks.  Aggregate
+counters show how much pruning happened; this module shows **why it did
+or did not**, per image:
+
+* every **binary** candidate resolves *exactly* — its histogram either
+  satisfies the range or it does not (outcome :attr:`PruneOutcome.EXACT`);
+* every **edited** candidate is either **pruned** (interval misses the
+  range — the win the paper is after) or **must-check** (interval
+  overlaps, so the conservative semantics admit it);
+* for each must-check image, a per-operation replay
+  (:meth:`repro.core.bounds.BoundsEngine.walk_states`) identifies the
+  rule kinds applied and **which operation last widened the interval
+  past the query range** — the operation to blame when a query that
+  "should" prune cannot.
+
+Outcomes over one query always partition the candidate set: the
+per-outcome counts sum exactly to the number of images evaluated
+(asserted in the end-to-end tests), so attribution reports are safe to
+difference across queries and to accumulate into running counters
+(:meth:`AttributionReport.record_metrics`).
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.bounds import BoundsEngine
+from repro.core.query import CatalogView, RangeQuery
+
+logger = logging.getLogger(__name__)
+
+
+class PruneOutcome(enum.Enum):
+    """How one candidate image was resolved for one range query."""
+
+    #: Edited image whose bounds interval missed the query range — it
+    #: was excluded without instantiation (the paper's §3.2 win).
+    PRUNED = "pruned"
+    #: Edited image whose interval overlaps the range — the conservative
+    #: semantics must admit it (a potential false positive).
+    MUST_CHECK = "must-check"
+    #: Binary image — its exact histogram decides with no uncertainty.
+    EXACT = "exact"
+
+
+@dataclass(frozen=True)
+class OpAttribution:
+    """One operation's effect on the queried bin during the replay."""
+
+    #: Position in the edit sequence (0-based).
+    index: int
+    #: Operation class name (``Define``, ``Combine``, ``Modify``,
+    #: ``Mutate``, ``Merge``).
+    kind: str
+    #: Fraction interval for the queried bin *after* this operation.
+    fraction_lo: float
+    fraction_hi: float
+    #: Whether the interval overlaps the query range after this op.
+    overlaps: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "fraction_lo": self.fraction_lo,
+            "fraction_hi": self.fraction_hi,
+            "overlaps": self.overlaps,
+        }
+
+
+@dataclass(frozen=True)
+class ImageAttribution:
+    """The resolved outcome of one candidate image for one query."""
+
+    image_id: str
+    outcome: PruneOutcome
+    #: Whether the image landed in the (conservative) result set.
+    matched: bool
+    #: Final fraction interval for the queried bin (lo == hi for EXACT).
+    fraction_lo: float
+    fraction_hi: float
+    #: Operation class names applied, in sequence order (empty for binary).
+    rule_kinds: Tuple[str, ...] = ()
+    #: The last operation whose application flipped the interval from
+    #: missing the query range to overlapping it, or ``None`` when the
+    #: base interval already overlapped (blame the base, not a rule) or
+    #: the image was pruned / is binary.
+    widening_op: Optional[OpAttribution] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "image_id": self.image_id,
+            "outcome": self.outcome.value,
+            "matched": self.matched,
+            "fraction_lo": self.fraction_lo,
+            "fraction_hi": self.fraction_hi,
+            "rule_kinds": list(self.rule_kinds),
+            "widening_op": (
+                self.widening_op.to_dict() if self.widening_op else None
+            ),
+        }
+
+
+@dataclass
+class AttributionReport:
+    """Per-image outcomes for one query, plus the derived aggregates."""
+
+    query: RangeQuery
+    entries: List[ImageAttribution] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def candidates(self) -> int:
+        """Images evaluated (binary + edited); the outcomes partition it."""
+        return len(self.entries)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """``{outcome value: count}``; values sum to :attr:`candidates`."""
+        counts = {outcome.value: 0 for outcome in PruneOutcome}
+        for entry in self.entries:
+            counts[entry.outcome.value] += 1
+        return counts
+
+    def widening_rule_counts(self) -> Dict[str, int]:
+        """How often each rule kind was the one that defeated pruning."""
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            if entry.widening_op is not None:
+                kind = entry.widening_op.kind
+                counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def pruned_ids(self) -> List[str]:
+        """Ids excluded by bounds alone, sorted."""
+        return sorted(
+            e.image_id for e in self.entries if e.outcome is PruneOutcome.PRUNED
+        )
+
+    def matched_count(self) -> int:
+        """Images admitted to the (conservative) result set."""
+        return sum(1 for e in self.entries if e.matched)
+
+    # ------------------------------------------------------------------
+    def record_metrics(self, metrics) -> None:
+        """Fold this report into running counters on a MetricsRegistry.
+
+        Counter names: ``prune.pruned`` / ``prune.must_check`` /
+        ``prune.exact`` plus ``prune.widened_by.<RuleKind>`` — the
+        Prometheus renderer turns these into labeled series.
+        """
+        for outcome_value, count in self.outcome_counts().items():
+            if count:
+                name = outcome_value.replace("-", "_")
+                metrics.increment(f"prune.{name}", count)
+        for kind, count in self.widening_rule_counts().items():
+            metrics.increment(f"prune.widened_by.{kind}", count)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "query": {
+                "bin_index": self.query.bin_index,
+                "pct_min": self.query.pct_min,
+                "pct_max": self.query.pct_max,
+            },
+            "candidates": self.candidates,
+            "outcomes": self.outcome_counts(),
+            "widened_by": self.widening_rule_counts(),
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def describe(self) -> str:
+        """Compact human-readable summary (one line per aggregate)."""
+        counts = self.outcome_counts()
+        lines = [
+            f"prune attribution for {self.query!r}: "
+            f"{self.candidates} candidates",
+            f"  exact {counts['exact']}  pruned {counts['pruned']}  "
+            f"must-check {counts['must-check']}  "
+            f"(matched {self.matched_count()})",
+        ]
+        widened = self.widening_rule_counts()
+        if widened:
+            blame = ", ".join(f"{kind}: {n}" for kind, n in widened.items())
+            lines.append(f"  pruning defeated by: {blame}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def attribute_image(
+    engine: BoundsEngine, image_id: str, query: RangeQuery
+) -> ImageAttribution:
+    """Attribute one *edited* image's outcome via a per-op replay."""
+    sequence, states = engine.walk_states(image_id)
+    bin_index = query.bin_index
+    ops: List[OpAttribution] = []
+    overlapped = _overlaps(states[0], bin_index, query)
+    widening: Optional[OpAttribution] = None
+    for index, op in enumerate(sequence.operations):
+        state = states[index + 1]
+        lo, hi = _fractions(state, bin_index)
+        overlaps_now = _overlaps(state, bin_index, query)
+        record = OpAttribution(
+            index=index,
+            kind=type(op).__name__,
+            fraction_lo=lo,
+            fraction_hi=hi,
+            overlaps=overlaps_now,
+        )
+        ops.append(record)
+        if overlaps_now and not overlapped:
+            widening = record
+        overlapped = overlaps_now
+    final_lo, final_hi = _fractions(states[-1], bin_index)
+    outcome = PruneOutcome.MUST_CHECK if overlapped else PruneOutcome.PRUNED
+    return ImageAttribution(
+        image_id=image_id,
+        outcome=outcome,
+        matched=overlapped,
+        fraction_lo=final_lo,
+        fraction_hi=final_hi,
+        rule_kinds=tuple(record.kind for record in ops),
+        widening_op=widening if overlapped else None,
+    )
+
+
+def attribute_query(
+    view: CatalogView, engine: BoundsEngine, query: RangeQuery
+) -> AttributionReport:
+    """Attribute every candidate image of one range query.
+
+    ``view`` is any :class:`~repro.core.query.CatalogView` (the MMDBMS
+    catalog); binary candidates resolve exactly against their stored
+    histograms, edited candidates replay their sequences through
+    :func:`attribute_image`.  The entries cover the *whole* candidate
+    population — whatever strategy actually executed the query — so the
+    outcome counts always sum to the number of images evaluated.
+    """
+    report = AttributionReport(query=query)
+    for image_id in view.binary_ids():
+        histogram = view.histogram_of(image_id)
+        fraction = histogram.fraction(query.bin_index)
+        report.entries.append(
+            ImageAttribution(
+                image_id=image_id,
+                outcome=PruneOutcome.EXACT,
+                matched=query.pct_min <= fraction <= query.pct_max,
+                fraction_lo=fraction,
+                fraction_hi=fraction,
+            )
+        )
+    for image_id in view.edited_ids():
+        report.entries.append(attribute_image(engine, image_id, query))
+    logger.debug(
+        "attributed %d candidates for %r: %s",
+        report.candidates,
+        query,
+        report.outcome_counts(),
+    )
+    return report
+
+
+def _fractions(state, bin_index: int) -> Tuple[float, float]:
+    lo, hi, height, width = state
+    total = float(height * width)
+    return (int(lo[bin_index]) / total, int(hi[bin_index]) / total)
+
+
+def _overlaps(state, bin_index: int, query: RangeQuery) -> bool:
+    lo, hi = _fractions(state, bin_index)
+    return lo <= query.pct_max and hi >= query.pct_min

@@ -1,0 +1,180 @@
+"""Ring-buffer slow-query log for the serving layer.
+
+Latency histograms say *that* the tail is bad; the slow-query log says
+*which queries* put it there.  The service records every query whose
+wall time crosses a configurable threshold into a bounded ring buffer —
+memory stays constant under any traffic — together with the executed
+plan, cache outcome, and (when tracing was on) the full span tree, so
+an operator can go from "p99 regressed" to the offending query shape
+without reproducing anything.
+
+Dump it with ``repro serve-stats <dir> --slow`` or programmatically via
+:meth:`SlowQueryLog.snapshot`.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One over-threshold query, frozen at record time."""
+
+    #: Normalized constraint reprs (stable, human-readable).
+    constraints: tuple
+    #: Wall seconds from worker start to completion.
+    seconds: float
+    #: Executed strategy values, one per constraint.
+    strategies: tuple
+    #: Whether the result came from the result cache.
+    cache_hit: bool
+    #: Unix wall-clock timestamp at record time (for correlation with
+    #: external logs; the latency itself is monotonic-clock based).
+    recorded_at: float
+    #: JSON trace tree of the query, when tracing was enabled.
+    trace: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "constraints": list(self.constraints),
+            "seconds": self.seconds,
+            "strategies": list(self.strategies),
+            "cache_hit": self.cache_hit,
+            "recorded_at": self.recorded_at,
+            "trace": self.trace,
+        }
+
+    def describe(self) -> str:
+        plan = "+".join(self.strategies) or "?"
+        source = "cache" if self.cache_hit else plan
+        return (
+            f"{self.seconds * 1e3:9.3f}ms  {source:<18} "
+            f"{' AND '.join(self.constraints)}"
+        )
+
+
+class SlowQueryLog:
+    """Thread-safe bounded ring of the slowest-path queries.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; the oldest entry falls off when full.
+    threshold:
+        Seconds a query must take to be recorded.  ``None`` disables
+        recording entirely (the hot-path check is one comparison).
+    wall_clock:
+        Wall-time source for :attr:`SlowQuery.recorded_at` (injectable
+        for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        threshold: Optional[float] = None,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ObservabilityError("slow-query log capacity must be >= 1")
+        if threshold is not None and threshold < 0:
+            raise ObservabilityError(
+                "slow-query threshold must be non-negative (or None)"
+            )
+        self.threshold = threshold
+        self._wall_clock = wall_clock
+        self._lock = threading.Lock()
+        self._entries: Deque[SlowQuery] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.threshold is not None
+
+    def should_record(self, seconds: float) -> bool:
+        """The hot-path test: enabled and over threshold."""
+        return self.threshold is not None and seconds >= self.threshold
+
+    def record(self, entry: SlowQuery) -> None:
+        """Append one entry (caller already passed :meth:`should_record`)."""
+        with self._lock:
+            self._entries.append(entry)
+            self.recorded += 1
+        logger.warning(
+            "slow query (%.3fms >= %.3fms threshold): %s",
+            entry.seconds * 1e3,
+            (self.threshold or 0.0) * 1e3,
+            " AND ".join(entry.constraints),
+        )
+
+    def observe(
+        self,
+        constraints,
+        seconds: float,
+        strategies,
+        cache_hit: bool,
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> Optional[SlowQuery]:
+        """Record a finished query if it crossed the threshold."""
+        if not self.should_record(seconds):
+            return None
+        entry = SlowQuery(
+            constraints=tuple(repr(c) for c in constraints),
+            seconds=seconds,
+            strategies=tuple(strategies),
+            cache_hit=cache_hit,
+            recorded_at=self._wall_clock(),
+            trace=trace,
+        )
+        self.record(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[SlowQuery]:
+        """Entries oldest-first (a copy; the ring keeps rolling)."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the metrics snapshot (JSON-safe scalars only)."""
+        with self._lock:
+            return {
+                "recorded": self.recorded,
+                "retained": len(self._entries),
+                "capacity": self._entries.maxlen,
+                "threshold_seconds": (
+                    self.threshold if self.threshold is not None else -1.0
+                ),
+            }
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def describe(self) -> str:
+        """Human-readable dump, slowest-last (chronological)."""
+        entries = self.snapshot()
+        if not entries:
+            return "slow-query log: empty"
+        lines = [
+            f"slow-query log: {len(entries)} retained "
+            f"(threshold {self.threshold}s, {self.recorded} recorded)"
+        ]
+        lines.extend(f"  {entry.describe()}" for entry in entries)
+        return "\n".join(lines)

@@ -23,7 +23,7 @@ Quick start::
 """
 
 from repro.service.cache import CacheKey, ResultCache, cache_key
-from repro.service.executor import QueryService, ServiceResult
+from repro.service.executor import AnalyzedQuery, QueryService, ServiceResult
 from repro.service.metrics import (
     HistogramSnapshot,
     LatencyHistogram,
@@ -34,11 +34,13 @@ from repro.service.planner import (
     CatalogProfile,
     CostBasedPlanner,
     ExplainedPlan,
+    PlanActuals,
     PlanAlternative,
     Strategy,
 )
 
 __all__ = [
+    "AnalyzedQuery",
     "CacheKey",
     "CatalogProfile",
     "CostBasedPlanner",
@@ -46,6 +48,7 @@ __all__ = [
     "HistogramSnapshot",
     "LatencyHistogram",
     "MetricsRegistry",
+    "PlanActuals",
     "PlanAlternative",
     "QueryService",
     "ResultCache",

@@ -31,6 +31,7 @@ oracle's exact result set, so the choice affects latency only.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -53,9 +54,20 @@ from repro.index.builders import (
     edited_range_candidates,
 )
 from repro.index.mbr import MBR
+from repro.obs.attribution import AttributionReport, attribute_query
+from repro.obs.prometheus import render_prometheus
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Span, Tracer, maybe_tracer
 from repro.service.cache import ResultCache, cache_key
 from repro.service.metrics import MetricsRegistry
-from repro.service.planner import CostBasedPlanner, ExplainedPlan, Strategy
+from repro.service.planner import (
+    CostBasedPlanner,
+    ExplainedPlan,
+    PlanActuals,
+    Strategy,
+)
+
+logger = logging.getLogger(__name__)
 
 #: What callers may pass as a query: a parsed constraint, several
 #: AND-composed constraints, or querylang text.
@@ -123,11 +135,70 @@ class ServiceResult:
     cache_hit: bool
     #: Wall-clock seconds from worker start to completion.
     seconds: float
+    #: The query's span tree when tracing was enabled, else ``None``.
+    trace: Optional[Span] = None
 
     @property
     def strategy(self) -> Strategy:
         """The strategy of the (first) executed plan."""
         return self.plans[0].strategy
+
+
+@dataclass(frozen=True)
+class AnalyzedQuery:
+    """What :meth:`QueryService.explain_analyze` returns.
+
+    Every plan carries :class:`~repro.service.planner.PlanActuals`
+    (estimated vs. actual work, the strategy that actually executed,
+    cache hits, latency), ``attribution`` holds one per-constraint
+    prune-attribution report (or ``None`` per constraint when disabled),
+    and ``trace`` is the full span tree — EXPLAIN ANALYZE is always
+    traced regardless of the global switch.
+    """
+
+    constraints: Tuple[RangeQuery, ...]
+    result: QueryResult
+    plans: Tuple[ExplainedPlan, ...]
+    attribution: Tuple[Optional[AttributionReport], ...]
+    trace: Span
+    seconds: float
+
+    def describe(self) -> str:
+        """The relational-style EXPLAIN ANALYZE rendering."""
+        lines: List[str] = []
+        for index, plan in enumerate(self.plans):
+            lines.append(plan.describe())
+            report = self.attribution[index]
+            if report is not None:
+                lines.append(report.describe())
+        lines.append(
+            f"TOTAL {len(self.result)} matches in {self.seconds * 1e3:.3f}ms"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (plans flattened through their actuals)."""
+        return {
+            "constraints": [repr(c) for c in self.constraints],
+            "matches": sorted(self.result.matches),
+            "seconds": self.seconds,
+            "plans": [
+                {
+                    "strategy": plan.strategy.value,
+                    "estimated_cost": plan.estimated_cost,
+                    "selectivity": plan.selectivity,
+                    "actuals": (
+                        plan.actuals.to_dict() if plan.actuals else None
+                    ),
+                }
+                for plan in self.plans
+            ],
+            "attribution": [
+                report.to_dict() if report is not None else None
+                for report in self.attribution
+            ],
+            "trace": self.trace.to_dict(),
+        }
 
 
 class QueryService:
@@ -151,6 +222,12 @@ class QueryService:
         Deadline in seconds applied when a call passes none.
     cache_capacity / cache_ttl:
         Result cache sizing (see :class:`ResultCache`).
+    slow_query_threshold:
+        Seconds beyond which a finished query is recorded into the
+        ring-buffer slow-query log (``None`` disables recording; the
+        hot-path cost of disabled is one comparison).
+    slow_log_capacity:
+        Ring size of the slow-query log.
     prebuild_indexes:
         Build the point + interval indexes at construction so the
         planner may choose INDEX_ASSISTED from the first query.
@@ -167,6 +244,8 @@ class QueryService:
         default_timeout: Optional[float] = None,
         cache_capacity: int = 256,
         cache_ttl: Optional[float] = None,
+        slow_query_threshold: Optional[float] = None,
+        slow_log_capacity: int = 128,
         prebuild_indexes: bool = False,
         planner: Optional[CostBasedPlanner] = None,
         clock: Callable[[], float] = time.monotonic,
@@ -184,6 +263,9 @@ class QueryService:
             capacity=cache_capacity, ttl=cache_ttl, clock=clock
         )
         self.cache.attach_to_engine(database.engine)
+        self.slow_log = SlowQueryLog(
+            capacity=slow_log_capacity, threshold=slow_query_threshold
+        )
         self._rwlock = _ReadWriteLock()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-query"
@@ -247,10 +329,17 @@ class QueryService:
         :class:`ServiceShutdownError` *synchronously* when the query is
         not admitted at all.
         """
-        constraints = self._normalize(query)
+        # One branch when tracing is off: NULL_TRACER's methods are
+        # constant-time no-ops, so the disabled path allocates nothing.
+        tracer = maybe_tracer("query")
+        with tracer.span("parse"):
+            constraints = self._normalize(query)
         forced = self._normalize_strategy(strategy)
         timeout = timeout if timeout is not None else self._default_timeout
         deadline = self._clock() + timeout if timeout is not None else None
+        # Opened on the submitting thread, closed by the worker: its
+        # duration is the admission-queue wait.
+        admission = tracer.start_span("admission")
         with self._admission:
             if self._closed:
                 raise ServiceShutdownError(
@@ -258,6 +347,11 @@ class QueryService:
                 )
             if self._in_flight >= self._capacity:
                 self.metrics.increment("queries_shed")
+                logger.warning(
+                    "load shed: %d queries in flight at capacity %d",
+                    self._in_flight,
+                    self._capacity,
+                )
                 raise ServiceOverloadedError(
                     f"service overloaded: {self._in_flight} queries in "
                     f"flight at capacity {self._capacity}"
@@ -265,7 +359,8 @@ class QueryService:
             self._in_flight += 1
         try:
             future = self._pool.submit(
-                self._run, constraints, deadline, forced, expand_to_bases
+                self._run, constraints, deadline, forced, expand_to_bases,
+                tracer, admission,
             )
         except BaseException as exc:
             with self._admission:
@@ -370,32 +465,75 @@ class QueryService:
         deadline: Optional[float],
         forced: Optional[Strategy],
         expand_to_bases: bool,
+        tracer=None,
+        admission=None,
     ) -> ServiceResult:
+        if tracer is None:
+            tracer = maybe_tracer("query")
+            admission = tracer.start_span("admission")
+        tracer.finish_span(admission)
         start = self._clock()
         if deadline is not None and start >= deadline:
             self.metrics.increment("queries_timed_out")
+            logger.warning(
+                "query timed out in the admission queue (deadline %.3f)",
+                deadline,
+            )
             raise QueryTimeoutError(
                 "query deadline passed while waiting in the admission queue"
             )
         key = cache_key(constraints, expand_to_bases)
+        lock_wait = tracer.start_span("lock-wait")
         with self._rwlock.read_locked():
-            cached = self.cache.get(key)
+            tracer.finish_span(lock_wait)
+            with tracer.span("cache-lookup"):
+                cached = self.cache.get(key)
             if cached is not None:
                 result, plans = cached
                 seconds = self._clock() - start
-                self._record(plans, seconds, cache_hit=True)
-                return ServiceResult(constraints, result, plans, True, seconds)
-            plans = tuple(
-                self._plan(constraint, forced) for constraint in constraints
-            )
-            result = self._execute_plans(constraints, plans, expand_to_bases)
+                trace = self._finish_trace(tracer, cache_hit=True)
+                self._record(
+                    constraints, plans, seconds, cache_hit=True, trace=trace
+                )
+                return ServiceResult(
+                    constraints, result, plans, True, seconds, trace
+                )
+            with tracer.span("plan"):
+                plans = tuple(
+                    self._plan(constraint, forced) for constraint in constraints
+                )
+            with tracer.span("execute") as execute_span:
+                result = self._execute_plans(constraints, plans, expand_to_bases)
+                if execute_span:
+                    execute_span.set(
+                        "strategies", [p.strategy.value for p in plans]
+                    ).set("matches", len(result)).set(
+                        "rules_applied", result.stats.rules_applied
+                    )
             # Stored while still holding the read lock: a mutation (write
             # lock) cannot interleave between compute and publish, so the
             # cache never readmits a result from before an invalidation.
-            self.cache.put(key, (result, plans))
+            with tracer.span("cache-publish"):
+                self.cache.put(key, (result, plans))
         seconds = self._clock() - start
-        self._record(plans, seconds, cache_hit=False)
-        return ServiceResult(constraints, result, plans, False, seconds)
+        trace = self._finish_trace(tracer, cache_hit=False)
+        self._record(constraints, plans, seconds, cache_hit=False, trace=trace)
+        return ServiceResult(constraints, result, plans, False, seconds, trace)
+
+    def _finish_trace(self, tracer, cache_hit: bool) -> Optional[Span]:
+        """Close a query's trace; fold span durations into the metrics.
+
+        Returns the finished root span, or ``None`` when tracing was
+        disabled (the null tracer finishes to ``None``).
+        """
+        root = tracer.finish()
+        if root is None:
+            return None
+        root.set("cache_hit", cache_hit)
+        for span in root.iter_spans():
+            self.metrics.increment(f"spans.{span.name}")
+            self.metrics.observe(f"span_seconds.{span.name}", span.duration)
+        return root
 
     def _plan(
         self, constraint: RangeQuery, forced: Optional[Strategy]
@@ -424,6 +562,12 @@ class QueryService:
             self._execute_one(constraint, plan)
             for constraint, plan in zip(constraints, plans)
         ]
+        return self._merge_results(results, expand_to_bases)
+
+    def _merge_results(
+        self, results: List[QueryResult], expand_to_bases: bool
+    ) -> QueryResult:
+        """AND-combine per-constraint results (and optionally add bases)."""
         matches = set(results[0].matches)
         stats = QueryStats()
         for result in results:
@@ -448,6 +592,114 @@ class QueryService:
         if plan.strategy is Strategy.INDEX_ASSISTED:
             return self._execute_indexed(query)
         raise ServiceError(f"unexecutable strategy {plan.strategy!r}")
+
+    # ------------------------------------------------------------------
+    # EXPLAIN / EXPLAIN ANALYZE
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query: QueryLike,
+        *,
+        strategy: Optional[Union[Strategy, str]] = None,
+    ) -> Tuple[ExplainedPlan, ...]:
+        """Cost the strategies for ``query`` without executing anything.
+
+        One :class:`~repro.service.planner.ExplainedPlan` per normalized
+        constraint, each listing every costed alternative.  Use
+        :meth:`explain_analyze` to also execute and attach actuals.
+        """
+        constraints = self._normalize(query)
+        forced = self._normalize_strategy(strategy)
+        with self._rwlock.read_locked():
+            return tuple(
+                self._plan(constraint, forced) for constraint in constraints
+            )
+
+    def explain_analyze(
+        self,
+        query: QueryLike,
+        *,
+        strategy: Optional[Union[Strategy, str]] = None,
+        expand_to_bases: bool = False,
+        with_attribution: bool = True,
+    ) -> AnalyzedQuery:
+        """Plan, execute, and measure one query — the ANALYZE companion
+        to the planner's EXPLAIN.
+
+        Runs synchronously on the calling thread under the read lock
+        (it is a diagnostic, so it bypasses admission control and the
+        result cache: the point is to measure the *plan*, not the
+        cache).  Every returned plan carries
+        :class:`~repro.service.planner.PlanActuals` — estimated vs.
+        actual work units, the strategy that actually executed, latency,
+        bounds-memo hits — and, with ``with_attribution`` (default), a
+        per-constraint prune-attribution report whose outcome counts sum
+        exactly to the candidate images evaluated.  The query is always
+        traced, regardless of the global tracing switch.
+        """
+        constraints = self._normalize(query)
+        forced = self._normalize_strategy(strategy)
+        engine = self._database.engine
+        tracer = Tracer("explain_analyze")
+        lock_wait = tracer.start_span("lock-wait")
+        with self._rwlock.read_locked():
+            tracer.finish_span(lock_wait)
+            with tracer.span("plan"):
+                base_plans = tuple(
+                    self._plan(constraint, forced) for constraint in constraints
+                )
+            plans: List[ExplainedPlan] = []
+            results: List[QueryResult] = []
+            reports: List[Optional[AttributionReport]] = []
+            for index, (constraint, plan) in enumerate(
+                zip(constraints, base_plans)
+            ):
+                hits_before = engine.cache_hits
+                started = self._clock()
+                with tracer.span(
+                    "execute", constraint=index, strategy=plan.strategy.value
+                ):
+                    result = self._execute_one(constraint, plan)
+                elapsed = self._clock() - started
+                report: Optional[AttributionReport] = None
+                if with_attribution:
+                    with tracer.span("attribute", constraint=index):
+                        report = attribute_query(
+                            self._database.catalog, engine, constraint
+                        )
+                    report.record_metrics(self.metrics)
+                actuals = PlanActuals(
+                    executed_strategy=plan.strategy.value,
+                    seconds=elapsed,
+                    actual_work_units=PlanActuals.work_units(result.stats),
+                    matches=len(result),
+                    cache_hit=False,
+                    bounds_cache_hits=engine.cache_hits - hits_before,
+                    stats=result.stats,
+                    images_pruned=(
+                        report.outcome_counts()["pruned"]
+                        if report is not None
+                        else -1
+                    ),
+                    clusters_short_circuited=(
+                        result.stats.clusters_short_circuited
+                    ),
+                )
+                plans.append(plan.analyzed(actuals))
+                results.append(result)
+                reports.append(report)
+            with tracer.span("merge"):
+                merged = self._merge_results(results, expand_to_bases)
+        root = tracer.finish()
+        self.metrics.increment("explain_analyze_total")
+        return AnalyzedQuery(
+            constraints=constraints,
+            result=merged,
+            plans=tuple(plans),
+            attribution=tuple(reports),
+            trace=root,
+            seconds=root.duration,
+        )
 
     # ------------------------------------------------------------------
     # Index-assisted path
@@ -530,12 +782,22 @@ class QueryService:
     # ------------------------------------------------------------------
     def _record(
         self,
+        constraints: Tuple[RangeQuery, ...],
         plans: Tuple[ExplainedPlan, ...],
         seconds: float,
         cache_hit: bool,
+        trace: Optional[Span] = None,
     ) -> None:
         self.metrics.increment("queries_total")
         self.metrics.observe("query_seconds", seconds)
+        if self.slow_log.should_record(seconds):
+            self.slow_log.observe(
+                constraints,
+                seconds,
+                (plan.strategy.value for plan in plans),
+                cache_hit,
+                trace=trace.to_dict() if trace is not None else None,
+            )
         if cache_hit:
             self.metrics.increment("result_cache_hits")
             return
@@ -544,19 +806,35 @@ class QueryService:
             self.metrics.increment(f"plans.{plan.strategy.value}")
 
     def metrics_snapshot(self) -> dict:
-        """One dict with service, cache, and engine counters.
+        """One dict with service, cache, engine, and slow-log counters.
 
         Shape: ``counters`` / ``histograms`` from the metrics registry,
-        plus ``result_cache`` (LRU/TTL counters), ``bounds_cache`` (the
-        engine's memo counters), and ``service`` (capacity and load).
+        plus ``result_cache`` (LRU/TTL hit/miss counters),
+        ``bounds_cache`` (the engine's memo counters including vec-memo
+        occupancy as ``vector_entries``), ``service`` (capacity and
+        load), and ``slow_queries`` (ring-buffer counters).  Every level
+        is key-sorted, so serializing the snapshot is deterministic even
+        without ``sort_keys`` — successive scrapes diff cleanly.
         """
         snapshot = self.metrics.snapshot()
-        snapshot["result_cache"] = self.cache.stats()
-        snapshot["bounds_cache"] = self._database.engine.cache_stats()
+        snapshot["result_cache"] = dict(sorted(self.cache.stats().items()))
+        snapshot["bounds_cache"] = dict(
+            sorted(self._database.engine.cache_stats().items())
+        )
         snapshot["service"] = {
-            "in_flight": self.in_flight,
             "capacity": self._capacity,
-            "indexes_fresh": self._indexes_fresh,
             "closed": self._closed,
+            "in_flight": self.in_flight,
+            "indexes_fresh": self._indexes_fresh,
         }
-        return snapshot
+        snapshot["slow_queries"] = dict(sorted(self.slow_log.stats().items()))
+        return dict(sorted(snapshot.items()))
+
+    def prometheus_metrics(self, prefix: str = "repro") -> str:
+        """The metrics snapshot in Prometheus text-exposition format.
+
+        Serve this from a ``/metrics`` endpoint (or dump it with
+        ``repro serve-stats --prometheus``); it passes the
+        promtool-style validator in :mod:`repro.obs.prometheus`.
+        """
+        return render_prometheus(self.metrics_snapshot(), prefix=prefix)

@@ -161,14 +161,18 @@ class MetricsRegistry:
             return histogram
 
     def snapshot(self) -> Dict[str, Dict[str, MetricValue]]:
-        """``{"counters": {...}, "histograms": {name: {...}}}``."""
+        """``{"counters": {...}, "histograms": {name: {...}}}``.
+
+        Both inner dicts are key-sorted so serialized snapshots are
+        byte-for-byte deterministic regardless of creation order.
+        """
         with self._lock:
             counters = dict(self._counters)
             histograms = dict(self._histograms)
         return {
-            "counters": counters,
+            "counters": {name: counters[name] for name in sorted(counters)},
             "histograms": {
-                name: histogram.snapshot().as_dict()
-                for name, histogram in histograms.items()
+                name: histograms[name].snapshot().as_dict()
+                for name in sorted(histograms)
             },
         }

@@ -33,13 +33,16 @@ the spirit of a relational EXPLAIN.
 from __future__ import annotations
 
 import enum
+import logging
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
-from repro.core.query import RangeQuery
+from repro.core.query import QueryStats, RangeQuery
 from repro.db.statistics import DatabaseStatistics
 from repro.errors import QueryError, ServiceError
+
+logger = logging.getLogger(__name__)
 
 
 class Strategy(enum.Enum):
@@ -90,11 +93,74 @@ class PlanAlternative:
 
 
 @dataclass(frozen=True)
+class PlanActuals:
+    """Post-execution measurements for one plan — the ANALYZE half.
+
+    Work units use the planner's own cost constants over the executed
+    query's :class:`~repro.core.query.QueryStats`, so *estimated vs.
+    actual* compares like with like; ``estimation_error`` is their
+    ratio (> 1 means the planner under-estimated).
+    """
+
+    #: The strategy that actually ran (the plan's, or the cache).
+    executed_strategy: str
+    #: Wall seconds for this constraint's execution.
+    seconds: float
+    #: Actual work in the planner's §5-anchored units.
+    actual_work_units: float
+    #: Result-set size for this constraint.
+    matches: int
+    #: Whether the whole query was served from the result cache.
+    cache_hit: bool
+    #: Bounds-engine memo hits consumed during execution.
+    bounds_cache_hits: int
+    #: The executed query's raw work counters.
+    stats: QueryStats
+    #: Candidate images excluded by bounds alone (from attribution;
+    #: -1 when attribution was not collected).
+    images_pruned: int = -1
+    #: Cluster short-circuits taken by the BWM stage (0 elsewhere).
+    clusters_short_circuited: int = 0
+
+    @staticmethod
+    def work_units(stats: QueryStats) -> float:
+        """§5 work units of one execution's counters."""
+        return (
+            stats.histograms_checked * CostBasedPlanner.COST_HISTOGRAM
+            + stats.rules_applied * CostBasedPlanner.COST_RULE
+        )
+
+    def estimation_error(self, estimated_cost: float) -> float:
+        """``actual / estimated`` (∞ when the estimate was zero)."""
+        if estimated_cost <= 0.0:
+            return math.inf if self.actual_work_units else 1.0
+        return self.actual_work_units / estimated_cost
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "executed_strategy": self.executed_strategy,
+            "seconds": self.seconds,
+            "actual_work_units": self.actual_work_units,
+            "matches": self.matches,
+            "cache_hit": self.cache_hit,
+            "bounds_cache_hits": self.bounds_cache_hits,
+            "images_pruned": self.images_pruned,
+            "clusters_short_circuited": self.clusters_short_circuited,
+            "histograms_checked": self.stats.histograms_checked,
+            "bounds_computed": self.stats.bounds_computed,
+            "rules_applied": self.stats.rules_applied,
+        }
+
+
+@dataclass(frozen=True)
 class ExplainedPlan:
     """The planner's decision for one query, with its alternatives.
 
     ``alternatives`` contains every candidate (including the chosen one)
     sorted cheapest first, so ``alternatives[0].strategy == strategy``.
+    ``actuals`` is ``None`` for a plain EXPLAIN and carries the
+    post-execution measurements after EXPLAIN ANALYZE
+    (:meth:`repro.service.QueryService.explain_analyze`).
     """
 
     query: RangeQuery
@@ -103,6 +169,11 @@ class ExplainedPlan:
     selectivity: float
     profile: CatalogProfile
     alternatives: Tuple[PlanAlternative, ...]
+    actuals: Optional[PlanActuals] = None
+
+    def analyzed(self, actuals: PlanActuals) -> "ExplainedPlan":
+        """A copy of this plan carrying post-execution actuals."""
+        return replace(self, actuals=actuals)
 
     def alternative(self, strategy: Strategy) -> PlanAlternative:
         """The considered entry for one strategy."""
@@ -110,6 +181,26 @@ class ExplainedPlan:
             if candidate.strategy is strategy:
                 return candidate
         raise ServiceError(f"strategy {strategy} was not considered")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (``repro explain --json``)."""
+        return {
+            "query": repr(self.query),
+            "strategy": self.strategy.value,
+            "estimated_cost": self.estimated_cost,
+            "selectivity": self.selectivity,
+            "alternatives": [
+                {
+                    "strategy": candidate.strategy.value,
+                    "estimated_cost": candidate.estimated_cost,
+                    "reason": candidate.reason,
+                }
+                for candidate in self.alternatives
+            ],
+            "actuals": (
+                self.actuals.to_dict() if self.actuals is not None else None
+            ),
+        }
 
     def describe(self) -> str:
         """Human-readable PLAN output (one line per alternative)."""
@@ -124,6 +215,30 @@ class ExplainedPlan:
             lines.append(
                 f"  {marker} {candidate.strategy.value:<17} "
                 f"{candidate.estimated_cost:>10.1f}  {candidate.reason}"
+            )
+        if self.actuals is not None:
+            actual = self.actuals
+            lines.append(
+                f"  executed: {actual.executed_strategy} in "
+                f"{actual.seconds * 1e3:.3f}ms "
+                f"({'result-cache hit' if actual.cache_hit else 'computed'})"
+            )
+            lines.append(
+                f"  actual work: {actual.actual_work_units:.1f} units vs "
+                f"{self.estimated_cost:.1f} estimated "
+                f"(x{actual.estimation_error(self.estimated_cost):.2f}); "
+                f"{actual.stats.histograms_checked} histograms, "
+                f"{actual.stats.rules_applied} rules, "
+                f"{actual.bounds_cache_hits} memo hits"
+            )
+            pruned = (
+                f"{actual.images_pruned} images pruned"
+                if actual.images_pruned >= 0
+                else "pruning not attributed"
+            )
+            lines.append(
+                f"  matches: {actual.matches}; {pruned}; "
+                f"{actual.clusters_short_circuited} clusters short-circuited"
             )
         return "\n".join(lines)
 

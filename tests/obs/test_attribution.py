@@ -1,0 +1,145 @@
+"""Prune attribution: outcomes partition candidates; widening ops blamed."""
+
+import pytest
+
+from repro.core.query import RangeQuery
+from repro.db.database import MultimediaDatabase
+from repro.editing import Combine, EditSequence, Modify
+from repro.errors import RuleError
+from repro.images.raster import Image
+from repro.obs import (
+    PruneOutcome,
+    attribute_image,
+    attribute_query,
+)
+from repro.service import MetricsRegistry
+
+RED = (200, 16, 46)
+BLUE = (0, 40, 104)
+GREEN = (0, 122, 51)
+
+
+@pytest.fixture
+def tiny_database():
+    """One red base; one red->blue Modify variant; one blur variant."""
+    database = MultimediaDatabase()
+    base = database.insert_image(Image.filled(8, 8, RED), image_id="base")
+    database.insert_edited(
+        EditSequence(base, (Modify(RED, BLUE),)), image_id="recolored"
+    )
+    database.insert_edited(
+        EditSequence(base, (Combine.box(),)), image_id="blurred"
+    )
+    return database
+
+
+def bin_of(database, rgb):
+    return database.quantizer.bin_of(rgb)
+
+
+class TestAttributeImage:
+    def test_modify_blamed_for_defeating_pruning(self, tiny_database):
+        """Blue starts at 0; the Modify is the op that widens past it."""
+        query = RangeQuery(bin_of(tiny_database, BLUE), 0.5, 1.0)
+        entry = attribute_image(tiny_database.engine, "recolored", query)
+        assert entry.outcome is PruneOutcome.MUST_CHECK
+        assert entry.matched
+        assert entry.widening_op is not None
+        assert entry.widening_op.kind == "Modify"
+        assert entry.widening_op.index == 0
+        assert entry.rule_kinds == ("Modify",)
+
+    def test_unreachable_bin_pruned_with_no_blame(self, tiny_database):
+        """No op can put green pixels in: interval stays at [0, 0]."""
+        query = RangeQuery(bin_of(tiny_database, GREEN), 0.5, 1.0)
+        entry = attribute_image(tiny_database.engine, "recolored", query)
+        assert entry.outcome is PruneOutcome.PRUNED
+        assert not entry.matched
+        assert entry.widening_op is None
+        assert entry.fraction_hi < 0.5
+
+    def test_already_overlapping_base_blames_no_rule(self, tiny_database):
+        """When the base interval already overlaps, no op gets the blame."""
+        query = RangeQuery(bin_of(tiny_database, RED), 0.0, 1.0)
+        entry = attribute_image(tiny_database.engine, "blurred", query)
+        assert entry.outcome is PruneOutcome.MUST_CHECK
+        assert entry.widening_op is None
+        assert entry.rule_kinds == ("Combine",)
+
+    def test_binary_image_rejected(self, tiny_database):
+        query = RangeQuery(0, 0.0, 1.0)
+        with pytest.raises(RuleError):
+            attribute_image(tiny_database.engine, "base", query)
+
+
+class TestAttributeQuery:
+    def test_outcomes_partition_the_candidate_set(self, small_database):
+        """The acceptance invariant, over a real mixed catalog."""
+        engine = small_database.engine
+        for pct_min in (0.0, 0.2, 0.5, 0.9):
+            query = RangeQuery(5, pct_min, 1.0)
+            report = attribute_query(small_database.catalog, engine, query)
+            counts = report.outcome_counts()
+            assert sum(counts.values()) == report.candidates
+            assert report.candidates == (
+                small_database.catalog.binary_count
+                + small_database.catalog.edited_count
+            )
+
+    def test_matched_set_equals_the_executed_result(self, small_database):
+        """Attribution is a faithful replay of the query semantics."""
+        query = RangeQuery(5, 0.1, 1.0)
+        report = attribute_query(
+            small_database.catalog, small_database.engine, query
+        )
+        oracle = small_database.range_query(query, method="rbm")
+        matched = {e.image_id for e in report.entries if e.matched}
+        assert matched == set(oracle.matches)
+
+    def test_binary_candidates_resolve_exactly(self, tiny_database):
+        query = RangeQuery(bin_of(tiny_database, RED), 0.9, 1.0)
+        report = attribute_query(
+            tiny_database.catalog, tiny_database.engine, query
+        )
+        by_id = {e.image_id: e for e in report.entries}
+        base = by_id["base"]
+        assert base.outcome is PruneOutcome.EXACT
+        assert base.matched
+        assert base.fraction_lo == base.fraction_hi == 1.0
+
+    def test_pruned_ids_and_widened_by(self, tiny_database):
+        """Green query: the recolor prunes; only the blur defeats pruning."""
+        query = RangeQuery(bin_of(tiny_database, GREEN), 0.5, 1.0)
+        report = attribute_query(
+            tiny_database.catalog, tiny_database.engine, query
+        )
+        assert report.pruned_ids() == ["recolored"]
+        assert report.widening_rule_counts() == {"Combine": 1}
+
+
+class TestReportExports:
+    def test_record_metrics_counter_names(self, tiny_database):
+        query = RangeQuery(bin_of(tiny_database, GREEN), 0.5, 1.0)
+        report = attribute_query(
+            tiny_database.catalog, tiny_database.engine, query
+        )
+        metrics = MetricsRegistry()
+        report.record_metrics(metrics)
+        assert metrics.counter("prune.exact") == 1
+        assert metrics.counter("prune.pruned") == 1
+        assert metrics.counter("prune.must_check") == 1
+        assert metrics.counter("prune.widened_by.Combine") == 1
+
+    def test_to_dict_and_describe(self, tiny_database):
+        query = RangeQuery(bin_of(tiny_database, GREEN), 0.5, 1.0)
+        report = attribute_query(
+            tiny_database.catalog, tiny_database.engine, query
+        )
+        exported = report.to_dict()
+        assert exported["candidates"] == 3
+        assert exported["outcomes"]["must-check"] == 1
+        assert exported["outcomes"]["pruned"] == 1
+        assert len(exported["entries"]) == 3
+        text = report.describe()
+        assert "3 candidates" in text
+        assert "Combine" in text

@@ -1,0 +1,217 @@
+"""Span trees, the tracer lifecycle, the global switch, and exports."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_span,
+    maybe_tracer,
+    set_tracing,
+    to_chrome_trace,
+    tracing,
+    tracing_enabled,
+)
+
+
+def fake_clock(values):
+    """A deterministic clock yielding the given readings in order."""
+    iterator = iter(values)
+    return lambda: next(iterator)
+
+
+class TestSpan:
+    def test_duration_and_self_time(self):
+        root = Span("root", 0.0)
+        child = Span("child", 1.0, parent=root)
+        root.children.append(child)
+        child.end = 3.0
+        root.end = 10.0
+        assert root.duration == 10.0
+        assert child.duration == 2.0
+        assert child.self_time == 2.0
+        assert root.self_time == 8.0
+
+    def test_unfinished_span_has_zero_duration(self):
+        span = Span("open", 5.0)
+        assert not span.finished
+        assert span.duration == 0.0
+
+    def test_self_time_clamped_at_zero(self):
+        """Clock jitter cannot make a span account for negative time."""
+        root = Span("root", 0.0)
+        child = Span("child", 0.0, parent=root)
+        root.children.append(child)
+        child.end = 2.0
+        root.end = 1.0
+        assert root.self_time == 0.0
+
+    def test_set_chains_and_records(self):
+        span = Span("s", 0.0)
+        assert span.set("k", 1) is span
+        assert span.attributes == {"k": 1}
+
+    def test_iter_spans_depth_first(self):
+        tracer = Tracer("root", clock=fake_clock([float(i) for i in range(10)]))
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        root = tracer.finish()
+        assert [s.name for s in root.iter_spans()] == ["root", "a", "b", "c"]
+
+    def test_child_lookup(self):
+        tracer = Tracer(clock=fake_clock([float(i) for i in range(6)]))
+        with tracer.span("plan"):
+            pass
+        root = tracer.finish()
+        assert root.child("plan").name == "plan"
+        with pytest.raises(ObservabilityError):
+            root.child("missing")
+
+    def test_to_dict_times_relative_to_root(self):
+        tracer = Tracer("q", clock=fake_clock([100.0, 101.0, 103.0, 104.0]))
+        with tracer.span("work"):
+            pass
+        root = tracer.finish()
+        tree = root.to_dict()
+        assert tree["start"] == 0.0
+        assert tree["children"][0]["start"] == 1.0
+        assert tree["children"][0]["duration"] == 2.0
+        json.dumps(tree)  # must be JSON-serializable as-is
+
+
+class TestTracer:
+    def test_root_accounts_for_children_self_times(self):
+        """The acceptance invariant: root duration >= sum of child self."""
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        root = tracer.finish()
+        assert root.duration >= sum(c.self_time for c in root.children)
+        for span in root.iter_spans():
+            assert span.duration >= sum(c.self_time for c in span.children)
+
+    def test_cross_thread_start_finish(self):
+        """An admission-style span opened here, closed on a worker."""
+        tracer = Tracer(clock=fake_clock([0.0, 1.0, 5.0, 9.0]))
+        admission = tracer.start_span("admission")
+
+        def worker():
+            tracer.finish_span(admission)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=10)
+        assert admission.finished
+        assert admission.duration == 4.0
+        assert tracer.finish().child("admission") is admission
+
+    def test_finish_closes_abandoned_spans(self):
+        tracer = Tracer(clock=fake_clock([0.0, 1.0, 2.0, 7.0]))
+        tracer.start_span("outer")
+        tracer.start_span("inner")
+        root = tracer.finish()
+        for span in root.iter_spans():
+            assert span.finished
+
+    def test_finish_span_of_foreign_span_rejected(self):
+        tracer = Tracer()
+        other = Span("elsewhere", 0.0)
+        with pytest.raises(ObservabilityError):
+            tracer.finish_span(other)
+
+    def test_current_span_published_in_extent(self):
+        tracer = Tracer()
+        assert current_span() is NULL_SPAN
+        with tracer.span("visible") as span:
+            assert current_span() is span
+            current_span().set("deep", True)
+        assert current_span() is NULL_SPAN
+        assert tracer.root.child("visible").attributes["deep"] is True
+
+    def test_concurrent_tracers_do_not_cross_contexts(self):
+        seen = {}
+
+        def query(name):
+            tracer = Tracer(name)
+            with tracer.span("work"):
+                seen[name] = current_span().parent.name
+
+        threads = [
+            threading.Thread(target=query, args=(f"q{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert seen == {f"q{i}": f"q{i}" for i in range(4)}
+
+
+class TestGlobalSwitch:
+    def test_disabled_by_default_yields_null_tracer(self):
+        assert not tracing_enabled()
+        assert maybe_tracer() is NULL_TRACER
+
+    def test_tracing_context_toggles_and_restores(self):
+        with tracing():
+            assert tracing_enabled()
+            assert isinstance(maybe_tracer(), Tracer)
+        assert not tracing_enabled()
+
+    def test_set_tracing_returns_previous(self):
+        assert set_tracing(True) is False
+        try:
+            assert set_tracing(True) is True
+        finally:
+            set_tracing(False)
+
+    def test_null_objects_are_falsy_constant_noops(self):
+        assert not NULL_TRACER and not NULL_SPAN
+        assert NULL_TRACER.start_span("x") is NULL_SPAN
+        assert NULL_TRACER.finish() is None
+        with NULL_TRACER.span("y") as span:
+            assert span is NULL_SPAN
+            assert span.set("k", "v") is span
+        assert NULL_SPAN.attributes == {}
+        assert NULL_SPAN.to_dict() == {}
+        assert list(NULL_SPAN.iter_spans()) == []
+
+
+class TestChromeExport:
+    def test_one_tree_per_tid_microsecond_timestamps(self):
+        clock_a = fake_clock([0.0, 0.001, 0.002, 0.003])
+        clock_b = fake_clock([0.0005, 0.0015])
+        a = Tracer("qa", clock=clock_a)
+        with a.span("work"):
+            pass
+        b = Tracer("qb", clock=clock_b)
+        document = to_chrome_trace([a.finish(), b.finish()], process_name="p")
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["tid"] for e in complete} == {0, 1}
+        by_name = {e["name"]: e for e in complete}
+        assert by_name["qa"]["ts"] == 0.0
+        assert by_name["work"]["ts"] == pytest.approx(1000.0)
+        assert by_name["qb"]["ts"] == pytest.approx(500.0)
+        json.dumps(document)
+
+    def test_single_span_accepted(self):
+        tracer = Tracer()
+        document = to_chrome_trace(tracer.finish())
+        assert len(document["traceEvents"]) == 2
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ObservabilityError):
+            to_chrome_trace([])

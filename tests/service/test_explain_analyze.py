@@ -1,0 +1,191 @@
+"""EXPLAIN / EXPLAIN ANALYZE and the traced query path end to end."""
+
+import json
+
+import pytest
+
+from repro.core.query import RangeQuery
+from repro.obs import tracing, validate_exposition
+from repro.service import QueryService, Strategy
+
+
+@pytest.fixture
+def service(small_database):
+    small_database.engine.cache_enabled = True
+    with QueryService(small_database, max_workers=2) as svc:
+        yield svc
+
+
+QUERY = RangeQuery(5, 0.05, 1.0)
+
+
+class TestExplain:
+    def test_plain_explain_has_no_actuals(self, service):
+        plans = service.explain(QUERY)
+        assert len(plans) == 1
+        assert plans[0].actuals is None
+        assert len(plans[0].alternatives) == len(Strategy)
+
+    def test_explain_executes_nothing(self, service):
+        service.explain(QUERY)
+        assert service.metrics.counter("queries_total") == 0
+
+    def test_forced_strategy_respected(self, service):
+        plans = service.explain(QUERY, strategy="index_assisted")
+        assert plans[0].strategy is Strategy.INDEX_ASSISTED
+
+    def test_plan_to_dict_is_json_ready(self, service):
+        payload = service.explain(QUERY)[0].to_dict()
+        assert payload["actuals"] is None
+        assert {alt["strategy"] for alt in payload["alternatives"]} == {
+            s.value for s in Strategy
+        }
+        json.dumps(payload)
+
+
+class TestExplainAnalyze:
+    def test_actuals_name_the_executed_strategy(self, service):
+        for strategy in Strategy:
+            analyzed = service.explain_analyze(QUERY, strategy=strategy)
+            plan = analyzed.plans[0]
+            assert plan.strategy is strategy
+            assert plan.actuals is not None
+            assert plan.actuals.executed_strategy == strategy.value
+
+    def test_result_matches_the_service_execute_path(self, service):
+        analyzed = service.explain_analyze(QUERY)
+        executed = service.execute(QUERY)
+        assert analyzed.result.matches == executed.result.matches
+
+    def test_attribution_outcomes_sum_to_candidates(self, service, small_database):
+        analyzed = service.explain_analyze(QUERY)
+        report = analyzed.attribution[0]
+        counts = report.outcome_counts()
+        assert sum(counts.values()) == report.candidates
+        assert report.candidates == (
+            small_database.catalog.binary_count
+            + small_database.catalog.edited_count
+        )
+        assert analyzed.plans[0].actuals.images_pruned == counts["pruned"]
+
+    def test_attribution_optional(self, service):
+        analyzed = service.explain_analyze(QUERY, with_attribution=False)
+        assert analyzed.attribution == (None,)
+        assert analyzed.plans[0].actuals.images_pruned == -1
+
+    def test_always_traced_with_accounted_time(self, service):
+        analyzed = service.explain_analyze(QUERY)
+        root = analyzed.trace
+        assert root.finished
+        names = [span.name for span in root.iter_spans()]
+        for expected in ("lock-wait", "plan", "execute", "attribute", "merge"):
+            assert expected in names
+        assert root.duration >= sum(c.self_time for c in root.children)
+        assert analyzed.seconds == root.duration
+
+    def test_bypasses_the_result_cache(self, service):
+        service.execute(QUERY)  # populate the cache
+        analyzed = service.explain_analyze(QUERY)
+        assert analyzed.plans[0].actuals.cache_hit is False
+        assert analyzed.plans[0].actuals.actual_work_units > 0
+
+    def test_estimation_error_compares_like_with_like(self, service):
+        plan = service.explain_analyze(QUERY, strategy="linear_rbm").plans[0]
+        # The scalar-walk cost model is exact for LINEAR_RBM on a catalog
+        # with no Merge-target recursion beyond the profile's averages.
+        assert plan.actuals.estimation_error(plan.estimated_cost) == (
+            pytest.approx(1.0, rel=0.5)
+        )
+
+    def test_describe_and_to_dict(self, service):
+        analyzed = service.explain_analyze(QUERY)
+        text = analyzed.describe()
+        assert "PLAN" in text
+        assert "executed:" in text
+        assert "prune attribution" in text
+        assert "TOTAL" in text
+        json.dumps(analyzed.to_dict())
+
+    def test_conjunctive_text_query(self, service):
+        analyzed = service.explain_analyze(
+            "at least 5% blue and at least 5% red"
+        )
+        assert len(analyzed.plans) == 2
+        assert len(analyzed.attribution) == 2
+        assert all(plan.actuals is not None for plan in analyzed.plans)
+
+
+class TestTracedServicePath:
+    def test_untraced_query_has_no_trace(self, service):
+        outcome = service.execute(QUERY)
+        assert outcome.trace is None
+
+    def test_traced_query_produces_a_full_span_tree(self, service):
+        with tracing():
+            outcome = service.execute(QUERY)
+        root = outcome.trace
+        assert root is not None and root.finished
+        names = [span.name for span in root.iter_spans()]
+        for expected in (
+            "parse", "admission", "lock-wait", "cache-lookup", "plan",
+            "execute", "cache-publish",
+        ):
+            assert expected in names, names
+        for span in root.iter_spans():
+            assert span.duration >= sum(c.self_time for c in span.children)
+        assert root.attributes["cache_hit"] is False
+
+    def test_cache_hit_trace_skips_execution(self, service):
+        with tracing():
+            service.execute(QUERY)
+            again = service.execute(QUERY)
+        assert again.cache_hit
+        names = [span.name for span in again.trace.iter_spans()]
+        assert "cache-lookup" in names
+        assert "execute" not in names
+        assert again.trace.attributes["cache_hit"] is True
+
+    def test_span_counters_feed_the_metrics_registry(self, service):
+        with tracing():
+            service.execute(QUERY)
+        assert service.metrics.counter("spans.execute") == 1
+        assert service.metrics.counter("spans.query") == 1
+        snapshot = service.metrics_snapshot()
+        assert snapshot["histograms"]["span_seconds.execute"]["count"] == 1
+
+    def test_prometheus_export_validates_after_traffic(self, service):
+        with tracing():
+            service.execute(QUERY)
+        service.explain_analyze(QUERY)
+        text = service.prometheus_metrics()
+        assert validate_exposition(text) == []
+        assert 'repro_spans_total{span="execute"}' in text
+        assert 'repro_prune_outcomes_total{outcome=' in text
+
+    def test_metrics_snapshot_is_deterministically_ordered(self, service):
+        service.execute(QUERY)
+        snapshot = service.metrics_snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        for group in ("counters", "histograms", "result_cache",
+                      "bounds_cache", "slow_queries"):
+            assert list(snapshot[group]) == sorted(snapshot[group])
+        assert "vector_entries" in snapshot["bounds_cache"]
+        assert {"hits", "misses"} <= set(snapshot["result_cache"])
+
+
+class TestSlowQueryIntegration:
+    def test_zero_threshold_records_every_query_with_trace(self, small_database):
+        small_database.engine.cache_enabled = True
+        with QueryService(
+            small_database, max_workers=1, slow_query_threshold=0.0
+        ) as svc:
+            with tracing():
+                svc.execute(QUERY)
+            entries = svc.slow_log.snapshot()
+            assert len(entries) == 1
+            assert entries[0].trace["name"] == "query"
+            assert svc.metrics_snapshot()["slow_queries"]["recorded"] == 1
+
+    def test_disabled_by_default(self, service):
+        service.execute(QUERY)
+        assert len(service.slow_log) == 0

@@ -74,6 +74,56 @@ class TestLatencyHistogram:
         }
 
 
+class TestLatencyHistogramEdgeCases:
+    def test_single_sample_is_every_percentile_and_extreme(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.125)
+        snap = histogram.snapshot()
+        assert snap.p50 == snap.p95 == snap.p99 == 0.125
+        assert snap.minimum == snap.maximum == snap.mean == 0.125
+
+    def test_reservoir_overflow_is_deterministic(self):
+        """Eviction is strictly FIFO: same inputs, same snapshot, always."""
+        def build():
+            histogram = LatencyHistogram(reservoir_size=8)
+            for value in range(100):
+                histogram.record(float(value))
+            return histogram.snapshot()
+
+        first, second = build(), build()
+        assert first == second
+        # The reservoir holds exactly the newest 8 samples (92..99).
+        assert first.p50 == 95.0
+        assert first.p99 == 99.0
+        assert first.minimum == 0.0  # aggregates are exact forever
+
+    def test_snapshot_immutable_and_consistent_under_concurrent_record(self):
+        """A snapshot taken mid-traffic is frozen and internally sane."""
+        histogram = LatencyHistogram(reservoir_size=64)
+        histogram.record(1.0)
+        stop = threading.Event()
+
+        def writer():
+            value = 0
+            while not stop.is_set():
+                value += 1
+                histogram.record(float(value % 7 + 1))
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            snapshots = [histogram.snapshot() for _ in range(200)]
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        for snap in snapshots:
+            with pytest.raises(Exception):
+                snap.count = 0  # frozen dataclass
+            assert snap.count >= 1
+            assert snap.minimum <= snap.p50 <= snap.p99 <= snap.maximum
+            assert snap.total >= snap.count * snap.minimum
+
+
 class TestMetricsRegistry:
     def test_counters_created_on_first_use(self):
         registry = MetricsRegistry()
@@ -90,6 +140,15 @@ class TestMetricsRegistry:
         assert snap["counters"] == {"queries": 1}
         assert snap["histograms"]["latency"]["count"] == 1
         assert snap["histograms"]["latency"]["max"] == 0.25
+
+    def test_snapshot_orders_names_deterministically(self):
+        registry = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.increment(name)
+            registry.observe(f"h.{name}", 1.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["alpha", "mid", "zeta"]
+        assert list(snap["histograms"]) == ["h.alpha", "h.mid", "h.zeta"]
 
     def test_concurrent_increments_do_not_lose_updates(self):
         registry = MetricsRegistry()

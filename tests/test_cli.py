@@ -199,6 +199,160 @@ class TestSalvage:
         assert "0 quarantined" in output
 
 
+class TestExplain:
+    def test_plain_explain_lists_alternatives(self, saved_database):
+        directory, _ = saved_database
+        code, output = run_cli("explain", str(directory), "at least 10% red")
+        assert code == 0
+        assert "PLAN" in output
+        assert "chosen:" in output
+        assert "linear_rbm" in output and "bwm" in output
+        assert "executed:" not in output  # no actuals without --analyze
+
+    def test_analyze_reports_actuals_and_attribution(self, saved_database):
+        directory, _ = saved_database
+        code, output = run_cli(
+            "explain", str(directory), "at least 10% red", "--analyze"
+        )
+        assert code == 0
+        assert "executed:" in output
+        assert "actual work:" in output
+        assert "prune attribution" in output
+        assert "TOTAL" in output
+
+    def test_analyze_forced_strategy_and_json(self, saved_database):
+        import json
+
+        directory, _ = saved_database
+        code, output = run_cli(
+            "explain", str(directory), "at least 10% red",
+            "--analyze", "--strategy", "linear_rbm", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["plans"][0]["strategy"] == "linear_rbm"
+        assert payload["plans"][0]["actuals"]["executed_strategy"] == "linear_rbm"
+        outcomes = payload["attribution"][0]["outcomes"]
+        assert sum(outcomes.values()) == payload["attribution"][0]["candidates"]
+
+    def test_no_attribution_flag(self, saved_database):
+        directory, _ = saved_database
+        code, output = run_cli(
+            "explain", str(directory), "at least 10% red",
+            "--analyze", "--no-attribution",
+        )
+        assert code == 0
+        assert "prune attribution" not in output
+
+
+class TestServeStats:
+    def test_human_output_covers_all_groups(self, saved_database):
+        directory, _ = saved_database
+        code, output = run_cli(
+            "serve-stats", str(directory), "--queries", "4", "--workers", "2"
+        )
+        assert code == 0
+        assert "plans chosen:" in output
+        for group in ("counters:", "result_cache:", "bounds_cache:",
+                      "slow_queries:"):
+            assert group in output
+
+    def test_json_output_is_deterministic_and_complete(self, saved_database):
+        import json
+
+        directory, _ = saved_database
+        code, output = run_cli(
+            "serve-stats", str(directory), "--queries", "4", "--json"
+        )
+        assert code == 0
+        snapshot = json.loads(output)
+        assert output == json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+        assert "vector_entries" in snapshot["bounds_cache"]
+        assert {"hits", "misses"} <= set(snapshot["result_cache"])
+        assert "slow_queries" in snapshot
+
+    def test_prometheus_output_validates(self, saved_database):
+        from repro.obs import validate_exposition
+
+        directory, _ = saved_database
+        code, output = run_cli(
+            "serve-stats", str(directory), "--queries", "4", "--prometheus"
+        )
+        assert code == 0
+        assert validate_exposition(output) == []
+        assert "repro_queries_total" in output
+
+    def test_slow_log_dump(self, saved_database):
+        directory, _ = saved_database
+        code, output = run_cli(
+            "serve-stats", str(directory), "--queries", "4",
+            "--slow", "--slow-threshold", "0",
+        )
+        assert code == 0
+        assert "slow-query log: 4 retained" in output
+
+    def test_trace_out_writes_chrome_trace(self, saved_database, tmp_path):
+        import json
+
+        directory, _ = saved_database
+        trace_file = tmp_path / "trace.json"
+        code, output = run_cli(
+            "serve-stats", str(directory), "--queries", "3",
+            "--trace-out", str(trace_file),
+        )
+        assert code == 0
+        assert "wrote 3 query traces" in output
+        document = json.loads(trace_file.read_text())
+        events = document["traceEvents"]
+        assert {e["tid"] for e in events if e["ph"] == "X"} == {0, 1, 2}
+        assert any(e["name"] == "execute" for e in events)
+
+    def test_tracing_switch_restored_after_run(self, saved_database):
+        from repro.obs import tracing_enabled
+
+        directory, _ = saved_database
+        code, _ = run_cli(
+            "serve-stats", str(directory), "--queries", "2", "--trace"
+        )
+        assert code == 0
+        assert not tracing_enabled()
+
+
+class TestVerbose:
+    def test_verbose_attaches_stderr_handler(self, saved_database):
+        import logging
+
+        directory, _ = saved_database
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        try:
+            code, _ = run_cli("-v", "info", str(directory))
+            assert code == 0
+            added = [h for h in logger.handlers if h not in before]
+            assert len(added) == 1
+            assert logger.level == logging.INFO
+            # Re-entry must not stack a second handler.
+            code, _ = run_cli("-vv", "info", str(directory))
+            assert code == 0
+            assert [h for h in logger.handlers if h not in before] == added
+            assert logger.level == logging.DEBUG
+        finally:
+            for handler in list(logger.handlers):
+                if handler not in before:
+                    logger.removeHandler(handler)
+            logger.setLevel(logging.NOTSET)
+
+    def test_package_root_has_null_handler(self):
+        import logging
+
+        import repro
+
+        logger = logging.getLogger(repro.__name__)
+        assert any(
+            isinstance(h, logging.NullHandler) for h in logger.handlers
+        )
+
+
 class TestBrokenPipe:
     def test_broken_pipe_exits_quietly(self, saved_database):
         directory, _ = saved_database
