@@ -34,6 +34,13 @@ import logging as _logging
 # the CLI's ``-v/--verbose`` flag does exactly that.
 _logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
+from repro.analysis import (
+    AnalysisReport,
+    Finding,
+    analyze_database,
+    lint_paths,
+    prove_rules,
+)
 from repro.color import ColorHistogram, UniformQuantizer
 from repro.core import (
     BWMProcessor,
@@ -72,6 +79,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AffineMatrix",
+    "AnalysisReport",
     "AnalyzedQuery",
     "BWMProcessor",
     "BWMStructure",
@@ -83,6 +91,7 @@ __all__ = [
     "EditExecutor",
     "EditSequence",
     "ExplainedPlan",
+    "Finding",
     "Image",
     "Merge",
     "Modify",
@@ -99,8 +108,11 @@ __all__ = [
     "Strategy",
     "UniformQuantizer",
     "__version__",
+    "analyze_database",
     "is_bound_widening",
+    "lint_paths",
     "load_database",
+    "prove_rules",
     "read_ppm",
     "save_database",
     "sequence_is_bound_widening",

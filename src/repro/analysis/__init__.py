@@ -1,0 +1,44 @@
+"""Static analysis over the rule system, the catalog, and the codebase.
+
+Three coordinated passes, all runnable offline (no raster is ever
+instantiated):
+
+* :mod:`repro.analysis.prover` — an interval abstract interpreter that
+  *proves* the §4 bound-widening claims: every rule
+  :func:`repro.core.classify.is_bound_widening` marks as widening must be
+  monotone on the percentage interval over a systematic grid plus a
+  randomized corpus of abstract states, and the scalar
+  (:mod:`repro.core.rules`) and vectorized (:mod:`repro.core.rules_vec`)
+  kernels must agree byte-identically on every state.
+* :mod:`repro.analysis.catalog_lint` — static checks over an
+  :class:`~repro.editing.sequence.EditSequence` catalog: dangling
+  references, Merge cycles, size underflow, BWM placement consistency,
+  cache-dependency-graph agreement, and vacuous-bounds diagnostics
+  (``repro analyze-db``).
+* :mod:`repro.analysis.ast_lint` — a stdlib-``ast`` linter enforcing the
+  repo's concurrency and numeric discipline on ``src/repro/`` itself
+  (``repro lint``).
+
+Every pass reports :class:`~repro.analysis.findings.Finding` objects
+(severity, stable code, location, fix hint) collected into an
+:class:`~repro.analysis.findings.AnalysisReport`, mirroring the
+``describe()`` / ``to_dict()`` conventions of :mod:`repro.obs`.
+"""
+
+from repro.analysis.ast_lint import LINT_RULES, lint_paths, lint_source
+from repro.analysis.catalog_lint import analyze_database
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.prover import ProverReport, RuleVerdict, prove_rules
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "LINT_RULES",
+    "ProverReport",
+    "RuleVerdict",
+    "Severity",
+    "analyze_database",
+    "lint_paths",
+    "lint_source",
+    "prove_rules",
+]

@@ -1,0 +1,380 @@
+"""Concurrency- and numeric-discipline linter over ``src/repro/`` itself.
+
+Pure stdlib-``ast`` analysis (no third-party linter needed) enforcing
+rules the test suite cannot check dynamically because they are about
+*which* code path takes a lock, not what the code computes:
+
+``AL001`` raw-lock (ERROR) — scope ``repro/service/``
+    ``threading.Lock()`` / ``threading.RLock()`` constructed inside the
+    service layer, where the writer-preferring ``_ReadWriteLock`` is the
+    mandated discipline.  The handful of legitimate short-critical-
+    section locks (metrics counters, cache bookkeeping, admission gate)
+    carry an inline ``# repro-lint: disable=AL001`` pragma explaining
+    themselves.
+``AL002`` unlocked-mutation (ERROR) — scope ``repro/service/``
+    A call to a database/catalog mutator (``insert_image``,
+    ``delete_edited``, ...) on a database-like receiver that is not
+    lexically inside a ``with ...write_locked():`` block.  Mutating the
+    catalog while readers hold bounds walks is the exact race the RW
+    lock exists to prevent.
+``AL003`` mutation-without-invalidate (ERROR) — scope ``repro/db/database.py``
+    A function that calls a catalog mutator (``add_edited``,
+    ``remove_binary``, ...) without also calling the bounds engine's
+    ``invalidate`` / ``invalidate_cache`` in the same function body —
+    the memo cache and dependency graph would go stale silently.
+``AL004`` float-eq-on-bounds (ERROR) — all of ``src/repro/``
+    ``==`` / ``!=`` on a percentage-bound value (``fraction_lo``,
+    ``fraction_hi``, ``pct_min``, ``pct_max``).  Bounds comparisons must
+    use exact integer cross-multiplication or explicit tolerances;
+    float equality on derived ratios is how off-by-one-ULP pruning bugs
+    are born.
+
+Suppression: append ``# repro-lint: disable=AL001`` (comma-separate for
+several codes) to the offending physical line.  ``disable=all`` silences
+every rule on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+
+#: Database-level mutators (repro.db.database.MultimediaDatabase).
+DATABASE_MUTATORS: Set[str] = {
+    "insert_image",
+    "insert_edited",
+    "delete_edited",
+    "delete_image",
+    "update_image",
+    "augment",
+}
+
+#: Catalog-level mutators (repro.db.catalog.Catalog).
+CATALOG_MUTATORS: Set[str] = {
+    "add_binary",
+    "add_edited",
+    "remove_binary",
+    "remove_edited",
+}
+
+#: Receiver names that look like they hold the shared database/catalog.
+_DATABASE_RECEIVERS: Set[str] = {
+    "db",
+    "_db",
+    "database",
+    "_database",
+    "catalog",
+    "_catalog",
+}
+
+#: Attributes holding percentage-bound values (float-derived ratios).
+_BOUND_ATTRS: Set[str] = {"fraction_lo", "fraction_hi", "pct_min", "pct_max"}
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One lint rule: a stable code plus the path scope it applies to."""
+
+    code: str
+    summary: str
+    #: Substring of the POSIX-style path the rule applies to ("" = all).
+    path_scope: str
+    fix_hint: str
+
+    def applies_to(self, path: str) -> bool:
+        return self.path_scope in _as_posix(path)
+
+
+LINT_RULES: Dict[str, LintRule] = {
+    rule.code: rule
+    for rule in (
+        LintRule(
+            code="AL001",
+            summary="raw threading.Lock/RLock in the service layer",
+            path_scope="repro/service/",
+            fix_hint=(
+                "use the executor's _ReadWriteLock (read_locked()/"
+                "write_locked()); if a plain mutex is genuinely right, "
+                "say why on the line and add # repro-lint: disable=AL001"
+            ),
+        ),
+        LintRule(
+            code="AL002",
+            summary="database/catalog mutation outside write_locked()",
+            path_scope="repro/service/",
+            fix_hint=(
+                "wrap the mutator call in `with self._rwlock."
+                "write_locked():` like the executor's mutation wrappers"
+            ),
+        ),
+        LintRule(
+            code="AL003",
+            summary="catalog mutation without cache invalidation",
+            path_scope="repro/db/database.py",
+            fix_hint=(
+                "call self.engine.invalidate(image_id) (or "
+                "invalidate_cache()) in the same function as the catalog "
+                "mutation"
+            ),
+        ),
+        LintRule(
+            code="AL004",
+            summary="float == / != on a percentage-bound value",
+            path_scope="",
+            fix_hint=(
+                "compare the underlying integer counts with exact "
+                "cross-multiplication (post.lo * pre.total <= pre.lo * "
+                "post.total), or use an explicit tolerance"
+            ),
+        ),
+    )
+}
+
+
+def _as_posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _receiver_tail(func: ast.AST) -> Optional[str]:
+    """Name of the object a method is called on (``self._database.x()``
+    -> ``_database``); ``None`` for plain function calls."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None
+
+
+def _is_write_locked_with(node: ast.With) -> bool:
+    """True when any item of the ``with`` is a ``*.write_locked()`` call."""
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "write_locked"
+        ):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class _RawFinding:
+    code: str
+    line: int
+    message: str
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass collector for every rule (scoping applied afterwards)."""
+
+    def __init__(self) -> None:
+        self.raw: List[_RawFinding] = []
+        self._write_locked_depth = 0
+
+    # -- AL001 / AL002 -------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        if _is_write_locked_with(node):
+            self._write_locked_depth += 1
+            self.generic_visit(node)
+            self._write_locked_depth -= 1
+        else:
+            self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted in ("threading.Lock", "threading.RLock"):
+            self.raw.append(
+                _RawFinding(
+                    "AL001",
+                    node.lineno,
+                    f"{dotted}() constructed where the RW-lock discipline "
+                    f"applies",
+                )
+            )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in (DATABASE_MUTATORS | CATALOG_MUTATORS)
+            and _receiver_tail(node.func) in _DATABASE_RECEIVERS
+            and self._write_locked_depth == 0
+        ):
+            self.raw.append(
+                _RawFinding(
+                    "AL002",
+                    node.lineno,
+                    f"mutator {node.func.attr}() called outside a "
+                    f"write_locked() block",
+                )
+            )
+        self.generic_visit(node)
+
+    # -- AL003 ---------------------------------------------------------
+    def _check_invalidate_pairing(self, node: ast.AST) -> None:
+        mutations: List[Tuple[str, int]] = []
+        invalidates = False
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            func = child.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in CATALOG_MUTATORS:
+                mutations.append((func.attr, child.lineno))
+            if func.attr in ("invalidate", "invalidate_cache"):
+                invalidates = True
+        if mutations and not invalidates:
+            for name, line in mutations:
+                self.raw.append(
+                    _RawFinding(
+                        "AL003",
+                        line,
+                        f"catalog mutation {name}() with no engine "
+                        f"invalidate in the same function",
+                    )
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_invalidate_pairing(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_invalidate_pairing(node)
+        self.generic_visit(node)
+
+    # -- AL004 ---------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            for operand in [node.left, *node.comparators]:
+                name: Optional[str] = None
+                if isinstance(operand, ast.Attribute):
+                    name = operand.attr
+                elif isinstance(operand, ast.Name):
+                    name = operand.id
+                if name in _BOUND_ATTRS:
+                    self.raw.append(
+                        _RawFinding(
+                            "AL004",
+                            node.lineno,
+                            f"float equality comparison on bound value "
+                            f"{name!r}",
+                        )
+                    )
+                    break
+        self.generic_visit(node)
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """``{line_number: {codes}}`` from ``# repro-lint: disable=`` pragmas."""
+    result: Dict[int, Set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            codes = {c.strip().upper() for c in match.group(1).split(",")}
+            result[number] = {c for c in codes if c}
+    return result
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one module's source text; returns the surviving findings.
+
+    ``rules`` restricts to a subset of codes (default: every rule whose
+    path scope matches ``path``).  Pragma suppressions are honoured.
+    """
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor()
+    visitor.visit(tree)
+    suppressed = _suppressions(source)
+    wanted = set(rules) if rules is not None else set(LINT_RULES)
+    findings: List[Finding] = []
+    for raw in visitor.raw:
+        rule = LINT_RULES[raw.code]
+        if raw.code not in wanted or not rule.applies_to(path):
+            continue
+        line_codes = suppressed.get(raw.line, set())
+        if raw.code in line_codes or "ALL" in line_codes:
+            continue
+        findings.append(
+            Finding(
+                code=raw.code,
+                severity=Severity.ERROR,
+                location=f"{_as_posix(path)}:{raw.line}",
+                message=raw.message,
+                fix_hint=rule.fix_hint,
+            )
+        )
+    return findings
+
+
+def _python_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[Iterable[str]] = None,
+) -> AnalysisReport:
+    """Lint every ``*.py`` under ``paths``; returns the combined report."""
+    report = AnalysisReport(pass_name="lint")
+    files = _python_files([Path(p) for p in paths])
+    for file in files:
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.add(
+                Finding(
+                    code="AL000",
+                    severity=Severity.WARNING,
+                    location=_as_posix(str(file)),
+                    message=f"unreadable source file: {exc}",
+                    fix_hint="fix the encoding or remove the file",
+                )
+            )
+            continue
+        try:
+            report.extend(lint_source(source, str(file), rules=rules))
+        except SyntaxError as exc:
+            report.add(
+                Finding(
+                    code="AL000",
+                    severity=Severity.ERROR,
+                    location=f"{_as_posix(str(file))}:{exc.lineno or 0}",
+                    message=f"syntax error: {exc.msg}",
+                    fix_hint="the module does not parse; fix it first",
+                )
+            )
+    report.subjects_examined = len(files)
+    return report

@@ -1,0 +1,498 @@
+"""Static verifier for an edit-sequence catalog (``repro analyze-db``).
+
+All checks run *offline*: they read records, sequences, and (for the
+prune-power diagnostics) the bounds engine's interval walks — no raster
+is ever instantiated.  Checks and finding codes:
+
+``DB001`` dangling-reference (ERROR)
+    An edited image's base or Merge target names an id the catalog does
+    not hold.  A BOUNDS walk for the image would raise at query time.
+``DB002`` merge-cycle (ERROR)
+    The reference graph (base edges + Merge-target edges) contains a
+    cycle, so a BOUNDS walk can never terminate (the engine's runtime
+    cycle guard would error; this finds it statically).
+``DB003`` size-underflow (ERROR)
+    A dimension-only abstract walk of the sequence reaches a state where
+    a Merge is applied to an empty Defined Region, or produces a
+    zero-pixel image — the rules are inapplicable, so the image is
+    unqueryable.
+``DB004`` bwm-misclassification (ERROR)
+    BWM component placement contradicts the Figure 1 classification:
+    a Main-cluster member with a non-widening operation (soundness
+    hazard — the cluster shortcut could return a wrong result), an
+    all-widening binary-based image filed Unclassified (performance
+    bug only, still reported), a missing edited image, or a cluster
+    under the wrong base.
+``DB005`` cache-dependency-mismatch (ERROR)
+    The bounds engine's recorded reverse-dependency edges disagree with
+    the catalog's sequences: an edge from an image that the dependent's
+    sequence does not reference means invalidation may drop too little
+    (stale results survive mutations).
+``DB006`` vacuous-bounds (INFO)
+    Every bin interval of an edited image spans the full ``[0, 1]``
+    range — BOUNDS can never prune the image for any query, so it is
+    pure overhead over linear scanning (a prune-power diagnostic, not a
+    defect).
+
+The checks deliberately re-derive everything from the catalog rather
+than trusting derived structures, which is how seeded-defect fixtures
+(tests/analysis/test_catalog_lint.py) can plant each defect class and
+assert it is caught.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.core.classify import first_non_widening
+from repro.editing.executor import merge_canvas_geometry
+from repro.editing.operations import Define, Merge, Mutate
+from repro.editing.sequence import EditSequence
+from repro.errors import RuleError
+from repro.images.geometry import Rect, transform_rect_bbox
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.db.database import MultimediaDatabase
+
+
+def analyze_database(
+    database: "MultimediaDatabase",
+    *,
+    with_prune_power: bool = True,
+    vacuous_bin_fraction: float = 1.0,
+) -> AnalysisReport:
+    """Run every static catalog check; returns the combined report.
+
+    ``with_prune_power`` controls the DB006 diagnostics (they walk every
+    edited image's bounds, the only non-constant-time check);
+    ``vacuous_bin_fraction`` is the fraction of bins that must be
+    maximally wide before an image is reported vacuous (1.0 = all bins).
+    """
+    report = AnalysisReport(pass_name="catalog")
+    catalog = database.catalog
+    binary_ids = set(catalog.binary_ids())
+    edited_ids = set(catalog.edited_ids())
+    known = binary_ids | edited_ids
+    sequences: Dict[str, EditSequence] = {
+        image_id: catalog.sequence_of(image_id) for image_id in edited_ids
+    }
+
+    dangling = _check_dangling(sequences, known, report)
+    cyclic = _check_cycles(sequences, report)
+    _check_sizes(database, sequences, dangling | cyclic, report)
+    _check_bwm_placement(database, sequences, binary_ids, report)
+    _check_dependency_graph(database, sequences, known, report)
+    if with_prune_power:
+        _check_prune_power(
+            database, edited_ids - dangling - cyclic, vacuous_bin_fraction, report
+        )
+    report.subjects_examined = len(known)
+    return report
+
+
+# ----------------------------------------------------------------------
+# DB001 — dangling references
+# ----------------------------------------------------------------------
+def _check_dangling(
+    sequences: Dict[str, EditSequence],
+    known: Set[str],
+    report: AnalysisReport,
+) -> Set[str]:
+    """Report unknown base/target references; returns the affected ids."""
+    affected: Set[str] = set()
+    for image_id, sequence in sorted(sequences.items()):
+        for referenced in sequence.referenced_ids():
+            if referenced not in known:
+                kind = "base" if referenced == sequence.base_id else "Merge target"
+                affected.add(image_id)
+                report.add(
+                    Finding(
+                        code="DB001",
+                        severity=Severity.ERROR,
+                        location=image_id,
+                        message=(
+                            f"{kind} reference {referenced!r} is not in the "
+                            f"catalog; BOUNDS walks for this image will fail"
+                        ),
+                        fix_hint=(
+                            "restore the referenced image or delete this "
+                            "edited image (repro repair reconciles derived "
+                            "structures but cannot invent lost records)"
+                        ),
+                        details={"referenced": referenced},
+                    )
+                )
+    return affected
+
+
+# ----------------------------------------------------------------------
+# DB002 — Merge/base reference cycles
+# ----------------------------------------------------------------------
+def _check_cycles(
+    sequences: Dict[str, EditSequence], report: AnalysisReport
+) -> Set[str]:
+    """Detect cycles in the reference graph; returns ids on a cycle."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {image_id: WHITE for image_id in sequences}
+    on_cycle: Set[str] = set()
+
+    def visit(image_id: str, path: List[str]) -> None:
+        color[image_id] = GRAY
+        path.append(image_id)
+        for referenced in sequences[image_id].referenced_ids():
+            if referenced not in sequences:
+                continue  # binary or dangling: cannot extend a cycle
+            state = color[referenced]
+            if state == GRAY:
+                cycle = path[path.index(referenced):] + [referenced]
+                if not on_cycle.issuperset(cycle):
+                    on_cycle.update(cycle)
+                    report.add(
+                        Finding(
+                            code="DB002",
+                            severity=Severity.ERROR,
+                            location=referenced,
+                            message=(
+                                "reference cycle "
+                                + " -> ".join(cycle)
+                                + "; BOUNDS recursion cannot terminate"
+                            ),
+                            fix_hint=(
+                                "break the cycle by deleting or re-basing "
+                                "one image in it"
+                            ),
+                            details={"cycle": cycle},
+                        )
+                    )
+            elif state == WHITE:
+                visit(referenced, path)
+        path.pop()
+        color[image_id] = BLACK
+
+    for image_id in sorted(sequences):
+        if color[image_id] == WHITE:
+            visit(image_id, [])
+    return on_cycle
+
+
+# ----------------------------------------------------------------------
+# DB003 — size underflow / zero-size reachability
+# ----------------------------------------------------------------------
+def _dimensions_of(
+    database: "MultimediaDatabase",
+    image_id: str,
+    sequences: Dict[str, EditSequence],
+    memo: Dict[str, Optional[Tuple[int, int]]],
+    stack: Set[str],
+) -> Optional[Tuple[int, int]]:
+    """Exact ``(height, width)`` of a stored image via geometry alone.
+
+    Returns ``None`` when the dimensions are unknowable (dangling
+    reference, cycle, or a sequence whose own walk underflows) — callers
+    skip rather than double-report.
+    """
+    if image_id in memo:
+        return memo[image_id]
+    if image_id in stack:
+        return None
+    sequence = sequences.get(image_id)
+    if sequence is None:
+        try:
+            record = database.catalog.binary_record(image_id)
+        except Exception:
+            memo[image_id] = None
+            return None
+        dims = (record.image.height, record.image.width)
+        memo[image_id] = dims
+        return dims
+    stack.add(image_id)
+    walk = _walk_dimensions(database, sequence, sequences, memo, stack)
+    stack.discard(image_id)
+    dims = walk[-1][1] if walk and walk[-1][0] is None else None
+    memo[image_id] = dims
+    return dims
+
+
+def _walk_dimensions(
+    database: "MultimediaDatabase",
+    sequence: EditSequence,
+    sequences: Dict[str, EditSequence],
+    memo: Dict[str, Optional[Tuple[int, int]]],
+    stack: Set[str],
+) -> List[Tuple[Optional[str], Optional[Tuple[int, int]], Optional[int]]]:
+    """Replay only the geometry of a sequence.
+
+    Returns a list whose last element is ``(problem, dims, op_index)``:
+    ``problem`` is ``None`` on success (with final ``dims``) or a
+    description of the defect found at operation ``op_index``.
+    """
+    base_dims = _dimensions_of(database, sequence.base_id, sequences, memo, stack)
+    if base_dims is None:
+        return []
+    height, width = base_dims
+    dr = Rect(0, 0, height, width)
+    for index, op in enumerate(sequence.operations):
+        if isinstance(op, Define):
+            dr = op.rect.clip(height, width)
+        elif isinstance(op, Mutate):
+            if dr.is_empty:
+                continue
+            image_bounds = Rect(0, 0, height, width)
+            if op.is_whole_image_scale(dr, image_bounds) and op.matrix.is_integer_scale():
+                sx = int(round(op.matrix.m11))
+                sy = int(round(op.matrix.m22))
+                height, width = height * sx, width * sy
+                dr = Rect(0, 0, height, width)
+            else:
+                try:
+                    dr = transform_rect_bbox(dr, op.matrix).clip(height, width)
+                except RuleError:
+                    return [(f"untransformable DR at op {index}", None, index)]
+        elif isinstance(op, Merge):
+            if dr.is_empty:
+                return [
+                    (
+                        f"Merge at op {index} applies to an empty Defined "
+                        f"Region (size underflow)",
+                        None,
+                        index,
+                    )
+                ]
+            if op.is_crop:
+                height, width = dr.height, dr.width
+            else:
+                target_dims = _dimensions_of(
+                    database, op.target_id, sequences, memo, stack
+                )
+                if target_dims is None:
+                    return []
+                height, width, _, _ = merge_canvas_geometry(
+                    dr.height, dr.width, target_dims[0], target_dims[1], op.x, op.y
+                )
+            dr = Rect(0, 0, height, width)
+        # Combine / Modify never change the geometry.
+        if height <= 0 or width <= 0:
+            return [
+                (
+                    f"zero-size image after op {index} "
+                    f"({height}x{width})",
+                    None,
+                    index,
+                )
+            ]
+    return [(None, (height, width), None)]
+
+
+def _check_sizes(
+    database: "MultimediaDatabase",
+    sequences: Dict[str, EditSequence],
+    skip: Set[str],
+    report: AnalysisReport,
+) -> None:
+    memo: Dict[str, Optional[Tuple[int, int]]] = {}
+    for image_id in sorted(sequences):
+        if image_id in skip:
+            continue
+        walk = _walk_dimensions(
+            database, sequences[image_id], sequences, memo, {image_id}
+        )
+        if not walk:
+            continue  # unknowable via dangling/cycle: reported elsewhere
+        problem, _, op_index = walk[-1]
+        if problem is not None:
+            report.add(
+                Finding(
+                    code="DB003",
+                    severity=Severity.ERROR,
+                    location=image_id,
+                    message=problem,
+                    fix_hint=(
+                        "fix the Define region or drop the operation; the "
+                        "Table 1 Merge rule requires a non-empty DR and a "
+                        "positive result size"
+                    ),
+                    details={"op_index": op_index},
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# DB004 — BWM placement vs. Figure 1 classification
+# ----------------------------------------------------------------------
+def _check_bwm_placement(
+    database: "MultimediaDatabase",
+    sequences: Dict[str, EditSequence],
+    binary_ids: Set[str],
+    report: AnalysisReport,
+) -> None:
+    structure = database.bwm_structure
+    placements: Dict[str, Tuple[str, str]] = {}  # id -> (component, cluster)
+    for base_id, cluster in structure.clusters():
+        for edited_id in cluster:
+            placements[edited_id] = ("main", base_id)
+    for edited_id in structure.unclassified:
+        placements[edited_id] = ("unclassified", "")
+
+    for image_id in sorted(sequences):
+        sequence = sequences[image_id]
+        stop = first_non_widening(sequence)
+        widening = stop == -1
+        should_be_main = widening and sequence.base_id in binary_ids
+        placement = placements.pop(image_id, None)
+        if placement is None:
+            report.add(
+                _bwm_finding(
+                    image_id,
+                    "edited image is missing from the BWM structure entirely",
+                    "re-run repro repair to reconcile the BWM structure",
+                )
+            )
+        elif placement[0] == "main" and not should_be_main:
+            if widening:
+                why = (
+                    f"filed under Main but its base {sequence.base_id!r} is "
+                    f"not a binary image"
+                )
+            else:
+                why = (
+                    f"filed under Main but operation {stop} "
+                    f"({type(sequence.operations[stop]).__name__}) is not "
+                    f"bound-widening — the Figure 2 cluster shortcut could "
+                    f"return a wrong result set"
+                )
+            report.add(
+                _bwm_finding(
+                    image_id, why, "move the image to the Unclassified component"
+                )
+            )
+        elif placement[0] == "main" and placement[1] != sequence.base_id:
+            report.add(
+                _bwm_finding(
+                    image_id,
+                    f"filed under cluster {placement[1]!r} but its sequence "
+                    f"references base {sequence.base_id!r}",
+                    "re-file the image under its own base's cluster",
+                )
+            )
+        elif placement[0] == "unclassified" and should_be_main:
+            report.add(
+                _bwm_finding(
+                    image_id,
+                    "all rules are bound-widening and the base is binary, "
+                    "yet the image sits in Unclassified (it always pays the "
+                    "full BOUNDS walk)",
+                    "re-file under the base's Main cluster",
+                )
+            )
+    for orphan_id, placement in sorted(placements.items()):
+        report.add(
+            _bwm_finding(
+                orphan_id,
+                f"BWM {placement[0]} component lists an id the catalog does "
+                f"not hold as an edited image",
+                "remove the stale entry (repro repair does this)",
+            )
+        )
+
+
+def _bwm_finding(image_id: str, message: str, hint: str) -> Finding:
+    return Finding(
+        code="DB004",
+        severity=Severity.ERROR,
+        location=image_id,
+        message=message,
+        fix_hint=hint,
+    )
+
+
+# ----------------------------------------------------------------------
+# DB005 — cache dependency graph vs. catalog
+# ----------------------------------------------------------------------
+def _check_dependency_graph(
+    database: "MultimediaDatabase",
+    sequences: Dict[str, EditSequence],
+    known: Set[str],
+    report: AnalysisReport,
+) -> None:
+    for referenced, dependent in database.engine.dependency_edges():
+        sequence = sequences.get(dependent)
+        if sequence is None:
+            report.add(
+                _dependency_finding(
+                    dependent,
+                    f"the engine records {dependent!r} as depending on "
+                    f"{referenced!r}, but the catalog holds no such edited "
+                    f"image",
+                    {"referenced": referenced},
+                )
+            )
+        elif referenced not in sequence.referenced_ids():
+            report.add(
+                _dependency_finding(
+                    dependent,
+                    f"the engine records a dependency on {referenced!r} that "
+                    f"the stored sequence does not reference — targeted "
+                    f"invalidation may keep stale entries alive",
+                    {"referenced": referenced},
+                )
+            )
+        elif referenced not in known:
+            report.add(
+                _dependency_finding(
+                    dependent,
+                    f"the engine records a dependency on unknown image "
+                    f"{referenced!r}",
+                    {"referenced": referenced},
+                )
+            )
+
+
+def _dependency_finding(location: str, message: str, details: Dict) -> Finding:
+    return Finding(
+        code="DB005",
+        severity=Severity.ERROR,
+        location=location,
+        message=message,
+        fix_hint=(
+            "flush the memo cache (engine.invalidate_cache()) so the "
+            "dependency graph is re-learned from the live catalog"
+        ),
+        details=details,
+    )
+
+
+# ----------------------------------------------------------------------
+# DB006 — vacuous bounds (prune power)
+# ----------------------------------------------------------------------
+def _check_prune_power(
+    database: "MultimediaDatabase",
+    edited_ids: Set[str],
+    vacuous_bin_fraction: float,
+    report: AnalysisReport,
+) -> None:
+    engine = database.engine
+    for image_id in sorted(edited_ids):
+        try:
+            lo, hi = engine.fraction_bounds_all_bins(image_id)
+        except RuleError:
+            continue  # walk-breaking defects carry their own findings
+        vacuous = int(((lo <= 0.0) & (hi >= 1.0)).sum())
+        if vacuous >= vacuous_bin_fraction * lo.shape[0]:
+            report.add(
+                Finding(
+                    code="DB006",
+                    severity=Severity.INFO,
+                    location=image_id,
+                    message=(
+                        f"bounds are vacuous on {vacuous}/{lo.shape[0]} bins "
+                        f"([0, 1] everywhere): BOUNDS can never prune this "
+                        f"image for any query"
+                    ),
+                    fix_hint=(
+                        "expect no pruning benefit; consider re-authoring "
+                        "the sequence with tighter Defined Regions"
+                    ),
+                    details={"vacuous_bins": vacuous, "bins": int(lo.shape[0])},
+                )
+            )

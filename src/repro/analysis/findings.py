@@ -1,0 +1,157 @@
+"""Structured findings shared by every static-analysis pass.
+
+A :class:`Finding` is one defect or diagnostic: a stable code (``RS*``
+for the rule-soundness prover, ``DB*`` for the catalog verifier, ``AL*``
+for the AST linter), a severity, a location (file/line for lint, image
+or rule identifier for the semantic passes), a human message, and a fix
+hint.  :class:`AnalysisReport` collects findings and renders them with
+the same ``describe()`` / ``to_dict()`` conventions the observability
+layer (:mod:`repro.obs`) established, so CLI consumers and CI gates
+treat every pass uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+
+class Severity(enum.Enum):
+    """How bad one finding is.
+
+    ``ERROR`` findings gate CI (``repro lint`` / ``repro analyze-db``
+    exit non-zero); ``WARNING`` findings indicate likely problems that
+    do not break soundness; ``INFO`` findings are diagnostics (e.g. the
+    vacuous-bounds prune-power report).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect or diagnostic reported by an analysis pass."""
+
+    #: Stable machine-readable code (``RS001``, ``DB003``, ``AL002``...).
+    code: str
+    severity: Severity
+    #: Where: ``path:line`` for lint findings, an image id or rule-case
+    #: name for the semantic passes.
+    location: str
+    #: What is wrong, in one sentence.
+    message: str
+    #: How to fix it (or why it may be acceptable), in one sentence.
+    fix_hint: str = ""
+    #: Pass-specific structured payload (e.g. the prover's minimal
+    #: counterexample state); values must be JSON-serializable.
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """``severity code location: message (hint: ...)``."""
+        text = f"{self.severity.value} {self.code} {self.location}: {self.message}"
+        if self.fix_hint:
+            text += f" (hint: {self.fix_hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "details": dict(self.details),
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Findings from one analysis pass plus derived aggregates."""
+
+    #: Which pass produced the report (``prover`` / ``catalog`` / ``lint``).
+    pass_name: str
+    findings: List[Finding] = field(default_factory=list)
+    #: How many subjects the pass examined (states, images, or files) —
+    #: context for "zero findings" being meaningful rather than vacuous.
+    subjects_examined: int = 0
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when no finding is an ``ERROR``."""
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    @property
+    def clean(self) -> bool:
+        """True when there are no findings at all."""
+        return not self.findings
+
+    def by_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    def by_code(self, code: str) -> List[Finding]:
+        return [f for f in self.findings if f.code == code]
+
+    def codes(self) -> List[str]:
+        """Distinct finding codes, sorted."""
+        return sorted({f.code for f in self.findings})
+
+    def counts(self) -> Dict[str, int]:
+        """``{code: count}`` over all findings, key-sorted."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def sorted_findings(self) -> List[Finding]:
+        """Findings ordered most-severe first, then by code and location."""
+        return sorted(
+            self.findings, key=lambda f: (f.severity.rank, f.code, f.location)
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self, limit: Optional[int] = None) -> str:
+        """Human-readable report: summary line plus one line per finding."""
+        errors = len(self.by_severity(Severity.ERROR))
+        warnings = len(self.by_severity(Severity.WARNING))
+        infos = len(self.by_severity(Severity.INFO))
+        lines = [
+            f"{self.pass_name}: {self.subjects_examined} subjects examined, "
+            f"{errors} errors, {warnings} warnings, {infos} notes"
+        ]
+        shown = self.sorted_findings()
+        if limit is not None and len(shown) > limit:
+            shown = shown[:limit]
+            lines.append(f"  (showing first {limit} of {len(self.findings)})")
+        for finding in shown:
+            lines.append("  " + finding.describe())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pass": self.pass_name,
+            "ok": self.ok,
+            "subjects_examined": self.subjects_examined,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }

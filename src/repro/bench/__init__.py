@@ -15,6 +15,12 @@ from repro.bench.reporting import (
     render_series_csv,
     render_table2,
 )
+from repro.bench.schema import (
+    validate_provenance,
+    validate_result_file,
+    validate_result_payload,
+    validate_results_dir,
+)
 from repro.bench.timing import TimedRun, mean, percent_faster, time_call
 
 __all__ = [
@@ -33,4 +39,8 @@ __all__ = [
     "render_table2",
     "run_figure_sweep",
     "time_call",
+    "validate_provenance",
+    "validate_result_file",
+    "validate_result_payload",
+    "validate_results_dir",
 ]

@@ -1,0 +1,131 @@
+"""Schema validation for the machine-readable benchmark artifacts.
+
+Every JSON file a bench writes to ``benchmarks/results/`` (via the
+suite's ``write_json_result``) must be a self-describing artifact: a
+JSON object stamped with a ``provenance`` block recording which commit,
+interpreter, and wall-clock instant produced the numbers.  A perf
+artifact that has drifted from this shape is unreviewable — CI validates
+every ``benchmarks/results/*.json`` with :func:`validate_result_file`
+and fails on malformed ones.
+
+Implemented with plain checks rather than ``jsonschema`` so the library
+stays dependency-free; each problem is a human-readable string naming
+the offending key path.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+#: Keys every provenance stamp must carry, with their validators.
+_SHA_RE = re.compile(r"^([0-9a-f]{7,40}|unknown)$")
+#: ISO-8601 with an explicit UTC offset, seconds precision.
+_TIMESTAMP_RE = re.compile(
+    r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(\+00:00|Z)$"
+)
+_PYTHON_VERSION_RE = re.compile(r"^\d+\.\d+\.\d+")
+
+
+def validate_provenance(block: Any, prefix: str = "provenance") -> List[str]:
+    """Problems with one provenance stamp (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(block, dict):
+        return [f"{prefix}: expected an object, got {type(block).__name__}"]
+    checks = {
+        "git_sha": _SHA_RE,
+        "python_version": _PYTHON_VERSION_RE,
+        "timestamp_utc": _TIMESTAMP_RE,
+    }
+    for key, pattern in checks.items():
+        value = block.get(key)
+        if value is None:
+            problems.append(f"{prefix}.{key}: missing")
+        elif not isinstance(value, str):
+            problems.append(
+                f"{prefix}.{key}: expected a string, got {type(value).__name__}"
+            )
+        elif not pattern.match(value):
+            problems.append(f"{prefix}.{key}: malformed value {value!r}")
+    for key in sorted(set(block) - set(checks)):
+        problems.append(f"{prefix}.{key}: unexpected key")
+    return problems
+
+
+def _validate_values(node: Any, path: str, problems: List[str]) -> None:
+    """Reject non-finite floats and non-JSON-native values anywhere."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if not isinstance(key, str):
+                problems.append(f"{path}: non-string key {key!r}")
+            else:
+                _validate_values(value, f"{path}.{key}", problems)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            _validate_values(value, f"{path}[{index}]", problems)
+    elif isinstance(node, float):
+        if node != node or node in (float("inf"), float("-inf")):
+            problems.append(f"{path}: non-finite number")
+    elif node is not None and not isinstance(node, (str, int, bool)):
+        problems.append(
+            f"{path}: non-JSON value of type {type(node).__name__}"
+        )
+
+
+def validate_result_payload(payload: Any, name: str = "result") -> List[str]:
+    """Problems with one decoded benchmark artifact (empty = valid)."""
+    if not isinstance(payload, dict):
+        return [f"{name}: artifact root must be an object, got "
+                f"{type(payload).__name__}"]
+    problems: List[str] = []
+    if "provenance" not in payload:
+        problems.append(f"{name}.provenance: missing (write the artifact "
+                        f"through write_json_result so it gets stamped)")
+    else:
+        problems.extend(
+            validate_provenance(payload["provenance"], f"{name}.provenance")
+        )
+    if len(payload) < 2:
+        problems.append(
+            f"{name}: artifact carries no data beyond the provenance stamp"
+        )
+    _validate_values(
+        {k: v for k, v in payload.items() if k != "provenance"},
+        name,
+        problems,
+    )
+    return problems
+
+
+def validate_result_file(path: Union[str, Path]) -> List[str]:
+    """Problems with one ``benchmarks/results/*.json`` file on disk."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"{path.name}: invalid JSON at line {exc.lineno}: {exc.msg}"]
+    return validate_result_payload(payload, path.name)
+
+
+def validate_results_dir(directory: Union[str, Path]) -> Dict[str, List[str]]:
+    """``{file_name: problems}`` for every ``*.json`` under ``directory``.
+
+    Files that validate cleanly are omitted; an empty dict means the
+    whole artifact set is well-formed.  A missing directory is fine (no
+    artifacts have been generated yet).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return {}
+    failures: Dict[str, List[str]] = {}
+    for path in sorted(directory.glob("*.json")):
+        problems = validate_result_file(path)
+        if problems:
+            failures[path.name] = problems
+    return failures

@@ -17,6 +17,14 @@ Subcommands mirror the workflow of the paper's prototype:
               and report planner choices plus service metrics
               (``--prometheus`` for text exposition, ``--slow`` for the
               slow-query log, ``--trace-out`` for a Chrome trace file)
+``lint``      run the concurrency/numeric-discipline AST linter over a
+              source tree (default: the installed ``repro`` package)
+``analyze-db`` static soundness checks over a saved database: dangling
+              references, Merge cycles, size underflow, BWM placement,
+              cache-dependency agreement, vacuous-bounds diagnostics
+``prove-rules`` prove every classified bound-widening rule monotone on
+              the percentage interval and scalar/vectorized kernels
+              byte-identical (``--mode full`` for the larger corpus)
 
 The global ``-v/--verbose`` flag attaches a stderr handler to the
 ``repro`` logger (once for INFO, twice for DEBUG), surfacing salvage,
@@ -165,6 +173,41 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-out", default=None, metavar="FILE",
                        help="write the collected traces as a Chrome "
                        "trace_event JSON file (implies --trace)")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the concurrency/numeric-discipline AST linter",
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint (default: the "
+                      "installed repro package)")
+    lint.add_argument("--rule", action="append", default=None, metavar="CODE",
+                      help="restrict to specific rule codes (repeatable)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the findings as JSON")
+
+    analyze = commands.add_parser(
+        "analyze-db",
+        help="static soundness checks over a saved database",
+    )
+    analyze.add_argument("directory")
+    analyze.add_argument("--no-prune-power", action="store_true",
+                         help="skip the vacuous-bounds diagnostics (the "
+                         "only check that walks bounds)")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the findings as JSON")
+
+    prove = commands.add_parser(
+        "prove-rules",
+        help="prove the Table 1 bound-widening rules monotone and the "
+        "scalar/vectorized kernels identical",
+    )
+    prove.add_argument("--mode", choices=("fast", "full"), default="fast",
+                       help="corpus size (full adds more random states and "
+                       "operation variants)")
+    prove.add_argument("--seed", type=int, default=2006)
+    prove.add_argument("--json", action="store_true",
+                       help="emit verdicts and findings as JSON")
     return parser
 
 
@@ -380,6 +423,60 @@ def _cmd_serve_stats(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import lint_paths
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    report = lint_paths(paths, rules=args.rule)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.describe(), file=out)
+    return 0 if report.ok else 2
+
+
+def _cmd_analyze_db(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.analysis import analyze_database
+
+    database = load_database(args.directory)
+    # The dependency-graph check needs the engine to learn edges, and the
+    # prune-power check walks bounds anyway: turn the cache on.
+    database.engine.cache_enabled = True
+    report = analyze_database(
+        database, with_prune_power=not args.no_prune_power
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.describe(), file=out)
+    return 0 if report.ok else 2
+
+
+def _cmd_prove_rules(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.analysis import prove_rules
+
+    result = prove_rules(mode=args.mode, seed=args.seed)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(result.verdict_table(), file=out)
+        print(file=out)
+        print(result.report.describe(), file=out)
+    return 0 if result.ok else 2
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "check": _cmd_check,
@@ -391,6 +488,9 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "explain": _cmd_explain,
     "serve-stats": _cmd_serve_stats,
+    "lint": _cmd_lint,
+    "analyze-db": _cmd_analyze_db,
+    "prove-rules": _cmd_prove_rules,
 }
 
 

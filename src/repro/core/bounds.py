@@ -353,6 +353,15 @@ class BoundsEngine:
                 if dependent not in seen:
                     seen.add(dependent)
                     stack.append(dependent)
+        # Scrub the invalidated ids out of the surviving reverse edges:
+        # their walks are gone, so an edge pointing at them would keep a
+        # deleted/changed image alive in the graph (stale edges the
+        # static verifier's DB005 check would flag).
+        for referenced in list(self._dependents):
+            dependents = self._dependents[referenced]
+            dependents -= seen
+            if not dependents:
+                del self._dependents[referenced]
         self.cache_invalidated_entries += dropped
         self._notify_invalidation(image_id)
         return dropped
@@ -371,6 +380,21 @@ class BoundsEngine:
         self._vec_cache.clear()
         self._dependents.clear()
         self._notify_invalidation(None)
+
+    def dependency_edges(self) -> List[Tuple[str, str]]:
+        """Snapshot of the learned reverse-dependency graph.
+
+        Returns sorted ``(referenced_id, dependent_id)`` pairs: the walk
+        for ``dependent_id`` consulted ``referenced_id``, so invalidating
+        the former must drop the latter.  Exposed for the static catalog
+        verifier (``repro analyze-db``), which cross-checks these edges
+        against the stored sequences.
+        """
+        return sorted(
+            (referenced, dependent)
+            for referenced, dependents in self._dependents.items()
+            for dependent in dependents
+        )
 
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss/invalidation counters plus current memo sizes."""

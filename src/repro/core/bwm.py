@@ -22,7 +22,7 @@ argument; property-tested in ``tests/core/test_equivalence.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
 from repro.core.bounds import BoundsEngine
 from repro.core.classify import sequence_is_bound_widening
@@ -65,7 +65,7 @@ class OrderedIdSet:
         del self._ids[value]
         return value
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Union[int, slice]) -> Union[str, List[str]]:
         """Positional access (list semantics, O(n); slices return lists)."""
         return list(self._ids)[index]
 

@@ -23,7 +23,7 @@ strictly sound for the executor semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.color.quantization import UniformQuantizer
 from repro.editing.executor import merge_canvas_geometry
@@ -97,7 +97,7 @@ class RuleContext:
     quantizer: UniformQuantizer
     bin_index: int
     fill_color: ColorTuple = (0, 0, 0)
-    resolve_target: TargetBoundsResolver = None  # type: ignore[assignment]
+    resolve_target: Optional[TargetBoundsResolver] = None
 
     @property
     def fill_in_bin(self) -> bool:

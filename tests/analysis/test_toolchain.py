@@ -1,0 +1,55 @@
+"""Third-party static toolchain (ruff/mypy) gates.
+
+These run the exact commands the CI ``static-analysis`` job runs, and
+skip cleanly on machines without the tools installed (the library itself
+depends only on numpy; ruff and mypy live in CI).
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        argv, cwd=REPO_ROOT, capture_output=True, text=True, timeout=600
+    )
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    result = _run("ruff", "check", "src/repro")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean():
+    result = _run(sys.executable, "-m", "mypy")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_pyproject_declares_both_tools():
+    # The configs must exist even where the tools do not: CI consumes
+    # them, and silent config loss would turn the job into a no-op.
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+        pytest.skip("tomllib unavailable")
+    config = tomllib.loads(
+        (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    )
+    assert "ruff" in config["tool"]
+    assert "mypy" in config["tool"]
+    strict_modules = [
+        override["module"]
+        for override in config["tool"]["mypy"]["overrides"]
+        if override.get("disallow_untyped_defs")
+    ]
+    assert ["repro.core.*", "repro.analysis.*"] in strict_modules

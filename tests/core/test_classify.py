@@ -68,6 +68,86 @@ class TestSequenceClassification:
     def test_empty_sequence_is_widening(self):
         assert sequence_is_bound_widening(EditSequence("b"))
 
+    def test_empty_sequence_has_no_non_widening_index(self):
+        assert first_non_widening(EditSequence("b")) == -1
+
+    def test_first_op_non_widening(self):
+        seq = EditSequence("b", (Merge("t", 0, 0), Define(Rect(0, 0, 2, 2))))
+        assert first_non_widening(seq) == 0
+        assert not sequence_is_bound_widening(seq)
+
+    def test_last_op_non_widening(self):
+        seq = EditSequence(
+            "b", (Define(Rect(0, 0, 2, 2)), Combine.box(), Mutate.scale(0.5))
+        )
+        assert first_non_widening(seq) == 2
+
+    def test_first_non_widening_reports_earliest(self):
+        seq = EditSequence(
+            "b", (Define(Rect(0, 0, 2, 2)), Merge("t", 0, 0), Mutate.scale(1.5))
+        )
+        assert first_non_widening(seq) == 1
+
+
+class TestIdentityEdgeCases:
+    """Identity-shaped Modify/Mutate stay in the widening class."""
+
+    def test_identity_color_map_widening(self):
+        assert is_bound_widening(Modify((17, 34, 51), (17, 34, 51)))
+
+    def test_modify_within_one_bin_widening(self):
+        # Old and new colors land in the same histogram bin.
+        assert Q2.bin_of((10, 10, 10)) == Q2.bin_of((40, 30, 20))
+        assert is_bound_widening(Modify((10, 10, 10), (40, 30, 20)))
+
+    def test_identity_matrix_widening(self):
+        assert is_bound_widening(Mutate(AffineMatrix.identity()))
+
+    def test_unit_translation_widening(self):
+        assert is_bound_widening(Mutate.translation(0, 0))
+
+    def test_near_identity_affine_not_widening(self):
+        # Off by a hair from the identity: no rigid-body/integer-scale
+        # branch applies, so the classifier must refuse the claim.
+        assert not is_bound_widening(
+            Mutate(AffineMatrix(1.0 + 1e-3, 0.0, 0.0, 0.0, 1.0, 0.0))
+        )
+
+
+class TestProverParity:
+    """The offline prover and the runtime classifier agree per rule."""
+
+    @pytest.fixture(scope="class")
+    def prover_report(self):
+        from repro.analysis import prove_rules
+
+        return prove_rules(mode="fast")
+
+    def test_classifier_verdicts_match_prover(self, prover_report):
+        from repro.analysis.prover import default_rule_cases
+
+        for case in default_rule_cases():
+            verdict = prover_report.verdict_for(case.name)
+            expected = all(is_bound_widening(op) for op in case.operations)
+            assert verdict.classified_widening == expected, case.name
+
+    def test_sequence_classifier_agrees_with_verified_cases(self, prover_report):
+        from repro.analysis.prover import default_rule_cases
+
+        verified = set(prover_report.widening_cases())
+        for case in default_rule_cases():
+            seq = EditSequence("b", tuple(case.operations))
+            if case.name in verified:
+                assert sequence_is_bound_widening(seq), case.name
+            else:
+                assert not sequence_is_bound_widening(seq), case.name
+
+    def test_every_widening_claim_is_machine_verified(self, prover_report):
+        # No rule the classifier marks widening escaped the prover.
+        for verdict in prover_report.verdicts:
+            if verdict.classified_widening:
+                assert verdict.monotone is True, verdict.case
+
 
 def random_consistent_state(rng) -> RuleState:
     height = int(rng.integers(2, 12))

@@ -363,3 +363,86 @@ class TestBrokenPipe:
 
         code = main(["query", str(directory), "at least 10% red"], out=ClosedPipe())
         assert code == 0
+
+
+class TestLint:
+    def test_shipped_tree_clean(self):
+        code, output = run_cli("lint")
+        assert code == 0
+        assert "0 errors" in output
+
+    def test_violations_exit_nonzero(self, tmp_path):
+        target = tmp_path / "repro" / "service"
+        target.mkdir(parents=True)
+        (target / "bad.py").write_text(
+            "import threading\nlock = threading.Lock()\n", encoding="utf-8"
+        )
+        code, output = run_cli("lint", str(target))
+        assert code == 2
+        assert "AL001" in output
+
+    def test_json_output(self, tmp_path):
+        import json
+
+        target = tmp_path / "repro" / "service"
+        target.mkdir(parents=True)
+        (target / "bad.py").write_text(
+            "import threading\nlock = threading.Lock()\n", encoding="utf-8"
+        )
+        code, output = run_cli("lint", str(target), "--json")
+        assert code == 2
+        payload = json.loads(output)
+        assert payload["counts"] == {"AL001": 1}
+
+    def test_rule_filter(self, tmp_path):
+        target = tmp_path / "repro" / "service"
+        target.mkdir(parents=True)
+        (target / "bad.py").write_text(
+            "import threading\nlock = threading.Lock()\n", encoding="utf-8"
+        )
+        code, _ = run_cli("lint", str(target), "--rule", "AL004")
+        assert code == 0
+
+
+class TestAnalyzeDb:
+    def test_healthy_database(self, saved_database):
+        directory, _ = saved_database
+        code, output = run_cli("analyze-db", str(directory))
+        assert code == 0
+        assert "0 errors" in output
+
+    def test_json_output(self, saved_database):
+        import json
+
+        directory, _ = saved_database
+        code, output = run_cli(
+            "analyze-db", str(directory), "--no-prune-power", "--json"
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["ok"] is True
+        assert payload["pass"] == "catalog"
+
+    def test_missing_directory(self, tmp_path):
+        code, _ = run_cli("analyze-db", str(tmp_path / "nope"))
+        assert code == 1
+
+
+class TestProveRules:
+    def test_fast_mode_verdict_table(self):
+        code, output = run_cli("prove-rules")
+        assert code == 0
+        assert "monotone proved" in output
+        assert "REFUTED" not in output
+        assert "merge-null" in output
+
+    def test_json_output(self):
+        import json
+
+        code, output = run_cli("prove-rules", "--json", "--seed", "7")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["ok"] is True
+        assert {v["case"] for v in payload["verdicts"]} >= {
+            "define", "combine", "modify", "merge-null",
+        }
