@@ -9,6 +9,9 @@ Subcommands mirror the workflow of the paper's prototype:
 ``check``     integrity verification of a saved database
 ``repair``    fix reparable integrity problems and re-save
 ``salvage``   recover the undamaged records of a corrupted database
+``migrate``   migrate a saved database to the v3 segment format in
+              journaled batches (``--resume`` after a crash,
+              ``--rollback`` to abandon, ``--status`` to inspect)
 ``evaluate``  regenerate Table 2 and the Figure 3/4 series
 ``explain``   EXPLAIN (and with ``--analyze``, EXPLAIN ANALYZE) a query:
               costed plan alternatives, executed actuals, prune
@@ -25,6 +28,11 @@ Subcommands mirror the workflow of the paper's prototype:
 ``prove-rules`` prove every classified bound-widening rule monotone on
               the percentage interval and scalar/vectorized kernels
               byte-identical (``--mode full`` for the larger corpus)
+
+Exit codes are uniform across the integrity-facing commands (``check``,
+``repair``, ``salvage``, ``lint``, ``analyze-db``, ``prove-rules``):
+**0** clean (or fully healed/recovered), **2** problems remain or the
+input is unrecoverably corrupt, **1** any other library or usage error.
 
 The global ``-v/--verbose`` flag attaches a stderr handler to the
 ``repro`` logger (once for INFO, twice for DEBUG), surfacing salvage,
@@ -47,7 +55,7 @@ import numpy as np
 from repro.bench.reporting import render_figure, render_table2
 from repro.bench.runner import run_figure_sweep
 from repro.db.persistence import load_database, save_database
-from repro.errors import ReproError
+from repro.errors import CorruptionError, ReproError, SalvageError
 from repro.images.ppm import read_ppm
 from repro.workloads.datasets import build_database
 from repro.workloads.table2 import FLAG_PARAMETERS, HELMET_PARAMETERS
@@ -75,6 +83,10 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=2006)
     build.add_argument("--edited-percentage", type=float, default=None,
                        help="override the binary/edited split (0-100)")
+    build.add_argument("--format", type=int, choices=(2, 3), default=None,
+                       dest="format_version",
+                       help="on-disk format version (default 2; 3 stores "
+                       "each record as a self-verifying segment)")
 
     info = commands.add_parser("info", help="summarize a saved database")
     info.add_argument("directory")
@@ -117,6 +129,28 @@ def _build_parser() -> argparse.ArgumentParser:
     salvage.add_argument("--output", "-o", default=None,
                          help="write the recovered database here instead of "
                          "back into the source directory")
+
+    migrate = commands.add_parser(
+        "migrate",
+        help="migrate a saved database to the v3 segment format in "
+        "journaled, crash-resumable batches",
+    )
+    migrate.add_argument("directory")
+    migrate.add_argument("--batch-size", type=int, default=16,
+                         help="records rewritten per journal/swap cycle "
+                         "(default 16)")
+    migrate_action = migrate.add_mutually_exclusive_group()
+    migrate_action.add_argument("--resume", action="store_true",
+                                help="continue a migration interrupted by "
+                                "a crash or I/O error")
+    migrate_action.add_argument("--rollback", action="store_true",
+                                help="abandon an unfinished migration, "
+                                "restoring the original format")
+    migrate_action.add_argument("--status", action="store_true",
+                                help="report migration progress without "
+                                "changing anything")
+    migrate.add_argument("--json", action="store_true",
+                         help="emit the report/status as JSON")
 
     evaluate = commands.add_parser(
         "evaluate", help="regenerate Table 2 and the Figure 3/4 series"
@@ -220,7 +254,9 @@ def _cmd_build(args: argparse.Namespace, out) -> int:
     database = build_database(
         params, rng, edited_percentage=args.edited_percentage
     )
-    root = save_database(database, args.directory)
+    root = save_database(
+        database, args.directory, format_version=args.format_version
+    )
     summary = database.structure_summary()
     print(f"built {args.dataset} database at {root}", file=out)
     for key, value in summary.items():
@@ -278,7 +314,15 @@ def _cmd_check(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_repair(args: argparse.Namespace, out) -> int:
-    database = load_database(args.directory)
+    try:
+        database = load_database(args.directory)
+    except CorruptionError as exc:
+        # repair fixes *catalog-level* problems in a loadable database;
+        # damaged files are salvage's job.  Exit 2 = unrecoverable here.
+        print(f"unrecoverable corruption: {exc}", file=sys.stderr)
+        print("hint: try `repro salvage` to recover undamaged records",
+              file=sys.stderr)
+        return 2
     report = database.repair(recompute_histograms=not args.fast)
     print(report.describe(), file=out)
     if report.actions and not args.dry_run:
@@ -288,7 +332,11 @@ def _cmd_repair(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_salvage(args: argparse.Namespace, out) -> int:
-    database, report = load_database(args.directory, salvage=True)
+    try:
+        database, report = load_database(args.directory, salvage=True)
+    except SalvageError as exc:
+        print(f"unrecoverable corruption: {exc}", file=sys.stderr)
+        return 2
     print(report.describe(), file=out)
     target = args.output if args.output is not None else args.directory
     save_database(database, target)
@@ -297,7 +345,32 @@ def _cmd_salvage(args: argparse.Namespace, out) -> int:
         f"{database.catalog.edited_count} edited images) at {target}",
         file=out,
     )
-    return 0 if report.clean else 3
+    return 0 if report.clean else 2
+
+
+def _cmd_migrate(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.db.migration import Migrator
+
+    migrator = Migrator(args.directory, batch_size=args.batch_size)
+    if args.status:
+        status = migrator.status()
+        if args.json:
+            print(json.dumps(status.to_dict(), indent=2, sort_keys=True),
+                  file=out)
+        else:
+            print(status.describe(), file=out)
+        return 0
+    if args.rollback:
+        report = migrator.rollback()
+    else:
+        report = migrator.run(resume=args.resume)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.describe(), file=out)
+    return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace, out) -> int:
@@ -482,6 +555,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "repair": _cmd_repair,
     "salvage": _cmd_salvage,
+    "migrate": _cmd_migrate,
     "info": _cmd_info,
     "query": _cmd_query,
     "knn": _cmd_knn,

@@ -14,12 +14,26 @@ from repro.db.integrity import (
     verify_integrity,
 )
 from repro.db.database import KNN_METHODS, RANGE_METHODS, MultimediaDatabase
+from repro.db.migration import (
+    MigrationReport,
+    MigrationStatus,
+    Migrator,
+    migrate_database,
+    migration_status,
+    rollback_migration,
+)
 from repro.db.multifeature import FeatureWeights, MultiFeatureSearch
 from repro.db.persistence import (
     QuarantineEntry,
     SalvageReport,
     load_database,
     save_database,
+)
+from repro.db.versioning import (
+    CURRENT_VERSION,
+    DEFAULT_SAVE_VERSION,
+    SUPPORTED_VERSIONS,
+    RecordPointer,
 )
 from repro.db.processors import (
     InstantiateProcessor,
@@ -41,7 +55,9 @@ __all__ = [
     "BINARY_FORMAT",
     "BinaryImageRecord",
     "BinStatistics",
+    "CURRENT_VERSION",
     "Catalog",
+    "DEFAULT_SAVE_VERSION",
     "DatabaseStatistics",
     "EDITED_FORMAT",
     "EditedImageRecord",
@@ -51,12 +67,17 @@ __all__ = [
     "KNNResult",
     "KNNStats",
     "KNN_METHODS",
+    "MigrationReport",
+    "MigrationStatus",
+    "Migrator",
     "MultiFeatureSearch",
     "MultimediaDatabase",
     "QuarantineEntry",
     "QueryExplanation",
     "RANGE_METHODS",
+    "RecordPointer",
     "RepairReport",
+    "SUPPORTED_VERSIONS",
     "SalvageReport",
     "SimilaritySearch",
     "StorageReport",
@@ -64,10 +85,13 @@ __all__ = [
     "augment_with_distortions",
     "load_database",
     "measure_storage",
+    "migrate_database",
+    "migration_status",
     "plan_distortion_sequences",
     "plan_variant_sequences",
     "repair",
     "require_integrity",
+    "rollback_migration",
     "save_database",
     "verify_integrity",
 ]

@@ -4,15 +4,17 @@ Layout mirrors the paper's prototype (ppm files plus operation lists,
 no commercial DBMS underneath)::
 
     <root>/
-      catalog.json          manifest: config, insertion order, checksums
-      binary/<id>.ppm       rasters (binary P6 ppm)
-      edited/<id>.eseq      serialized edit sequences
+      catalog.json          manifest: config, insertion order, record table
+      binary/<id>.ppm       rasters (binary P6 ppm) — v1/v2 records
+      edited/<id>.eseq      serialized edit sequences — v1/v2 records
+      segments/<id>.seg     self-verifying per-record segments — v3 records
+      migration.journal     present only while an online migration is live
 
 Loading replays insertions in the recorded order, so histograms, the BWM
 structure, and the histogram index are rebuilt exactly.
 
-Durability protocol (format version 2)
---------------------------------------
+Durability protocol (format versions 2 and 3)
+---------------------------------------------
 :func:`save_database` never mutates the target directory in place.  The
 complete new state is written to a ``<root>.saving`` sibling first, the
 manifest (carrying a SHA-256 per content file plus a whole-manifest
@@ -24,9 +26,27 @@ either the previous complete state, the new complete state, or a
 Orphaned content files from deleted images cannot survive a save, since
 only the current catalog is ever written to the fresh directory.
 
+Version handling is delegated to :mod:`repro.db.versioning`: the
+manifest declares a format version, every record row carries its own
+segment version stamp, and each stamp resolves through the versioned
+reader registry — so v1, v2, v3, and *mixed-version* catalogs (the
+steady state while :mod:`repro.db.migration` rewrites segments in the
+background) all load through the same code path.
+
 Every durable side effect is routed through a fault plan
-(:mod:`repro.testing.faults`), so the kill-point sweep in
-``tests/db/test_faults.py`` can crash the protocol at every boundary.
+(:mod:`repro.testing.faults`), so the kill-point sweeps in
+``tests/db/test_faults.py`` and ``tests/db/test_migration.py`` can
+crash the protocols at every boundary.  An injected *I/O error*
+(``ENOSPC``/``EIO``) instead of a crash is handled, not propagated raw:
+the scratch directory is pruned, the previous committed state stays
+untouched, and the failure surfaces as :class:`PersistenceError`.
+
+In-process readers and writers of the same root are serialized by a
+per-root commit lock: a loader racing a saver (or the migrator's
+pointer swap) observes either the fully-old or the fully-new catalog,
+never a half-renamed one.  Cross-*process* coordination is out of scope
+(the crash-recovery protocol still protects those readers, at the cost
+of a retry).
 
 :func:`load_database` verifies checksums and wraps any damage in
 :class:`repro.errors.CorruptionError` naming the offending file; with
@@ -38,16 +58,30 @@ and why.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import logging
+import os
 import shutil
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.color.quantization import UniformQuantizer
 from repro.db.database import MultimediaDatabase
+from repro.db.versioning import (
+    DEFAULT_SAVE_VERSION,
+    SUPPORTED_VERSIONS,
+    RecordPointer,
+    encode_segment,
+    ordered_pointers,
+    pointers_from_v2_manifest,
+    pointers_from_v3_manifest,
+    read_record,
+    segment_relpath,
+    sha256_hex,
+    v2_relpath,
+)
 from repro.editing.sequence import EditSequence
 from repro.errors import (
     CorruptionError,
@@ -60,24 +94,42 @@ from repro.testing.faults import NoFaults
 
 logger = logging.getLogger(__name__)
 
-_FORMAT_VERSION = 2
-#: Versions this loader understands.  Version 1 predates checksums and
-#: atomic commits; its directories still load (without verification).
-_SUPPORTED_VERSIONS = (1, 2)
-
 _TMP_SUFFIX = ".saving"
 _OLD_SUFFIX = ".old"
 
+#: Files under a root that are protocol state, not record content.
+_JOURNAL_NAME = "migration.journal"
 
-def _sha256(payload: bytes) -> str:
-    return hashlib.sha256(payload).hexdigest()
 
-
-def _manifest_checksum(manifest: Dict[str, object]) -> str:
+def manifest_checksum(manifest: Dict[str, object]) -> str:
     """Checksum over the manifest's canonical JSON, sans the field itself."""
     stripped = {k: v for k, v in manifest.items() if k != "manifest_checksum"}
     canonical = json.dumps(stripped, sort_keys=True, separators=(",", ":"))
-    return _sha256(canonical.encode("utf-8"))
+    return sha256_hex(canonical.encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Per-root commit locks — in-process reader/writer atomicity
+# ----------------------------------------------------------------------
+_ROOT_LOCKS: Dict[str, threading.Lock] = {}
+_ROOT_LOCKS_GUARD = threading.Lock()
+
+
+def root_lock(base: Union[str, Path]) -> threading.Lock:
+    """The commit lock for one database root (one lock per absolute path).
+
+    Held across a save's commit renames, a migration's manifest swap,
+    and an entire load.  The registry is tiny (one entry per distinct
+    root this process ever touches) and never pruned — a lock object is
+    ~100 bytes and pruning would race its own users.
+    """
+    key = os.path.abspath(str(base))
+    with _ROOT_LOCKS_GUARD:
+        lock = _ROOT_LOCKS.get(key)
+        if lock is None:
+            lock = threading.Lock()
+            _ROOT_LOCKS[key] = lock
+        return lock
 
 
 # ----------------------------------------------------------------------
@@ -130,23 +182,61 @@ class SalvageReport:
 # ----------------------------------------------------------------------
 # Saving
 # ----------------------------------------------------------------------
+def _existing_format_version(base: Path) -> Optional[int]:
+    """The committed manifest's version, or ``None`` when unreadable."""
+    try:
+        manifest = json.loads(
+            (base / "catalog.json").read_text(encoding="utf-8")
+        )
+        version = manifest.get("format_version")
+        return int(version) if isinstance(version, int) else None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError, ValueError):
+        return None
+
+
+def _record_payload(database: MultimediaDatabase, kind: str, image_id: str) -> bytes:
+    if kind == "binary":
+        return write_ppm(database.catalog.binary_record(image_id).image)
+    return (
+        database.catalog.edited_record(image_id)
+        .sequence.serialize()
+        .encode("utf-8")
+    )
+
+
 def save_database(
     database: MultimediaDatabase,
     root: Union[str, Path],
     faults: Optional[NoFaults] = None,
     checksums: bool = True,
+    format_version: Optional[int] = None,
 ) -> Path:
     """Atomically write the database under ``root`` (created if missing).
 
     ``faults`` is the durability seam: every file write and commit
-    rename goes through it (tests inject crashes; production uses the
-    default pass-through plan).  ``checksums=False`` skips the SHA-256
-    bookkeeping — measurably faster on large databases, at the price of
-    load-time verification (the persistence benchmark tracks the gap).
+    rename goes through it (tests inject crashes or I/O errors; the
+    default plan is the production pass-through).  ``checksums=False``
+    skips the SHA-256 bookkeeping — measurably faster on large v2
+    databases, at the price of load-time verification (v3 segments are
+    always checksummed; their envelope needs the digest anyway).
+
+    ``format_version`` selects the on-disk format: ``2`` (the current
+    default), ``3`` (per-record segments), or ``None`` to *preserve* the
+    version already committed at ``root`` — a repair re-save of a
+    migrated catalog must not silently downgrade it.
     """
     plan = faults if faults is not None else NoFaults()
     base = Path(root)
     _recover_interrupted_save(base)
+
+    if format_version is None:
+        existing = _existing_format_version(base)
+        format_version = 3 if existing == 3 else DEFAULT_SAVE_VERSION
+    if format_version not in (2, 3):
+        raise PersistenceError(
+            f"cannot save format version {format_version!r} "
+            "(writable versions: 2, 3)"
+        )
 
     tmp = base.with_name(base.name + _TMP_SUFFIX)
     old = base.with_name(base.name + _OLD_SUFFIX)
@@ -154,32 +244,62 @@ def save_database(
         if leftover.exists():
             shutil.rmtree(leftover)
 
-    binary_dir = tmp / "binary"
-    edited_dir = tmp / "edited"
-    binary_dir.mkdir(parents=True)
-    edited_dir.mkdir(parents=True)
+    try:
+        if format_version == 3:
+            _write_tree_v3(database, tmp, plan)
+        else:
+            _write_tree_v2(database, tmp, plan, checksums)
+    except OSError as exc:
+        # Injected or real I/O failure (ENOSPC, EIO): nothing has been
+        # committed — prune the scratch tree and surface a typed error.
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise PersistenceError(
+            f"save of {base} failed before commit: {exc}"
+        ) from exc
+
+    # Commit.  Renames are atomic on POSIX; a crash between them leaves
+    # the ``.old`` backup that load-time recovery rolls back.  The
+    # per-root lock makes the swap atomic for in-process readers too.
+    try:
+        with root_lock(base):
+            if base.exists():
+                plan.rename(base, old)
+                plan.rename(tmp, base)
+            else:
+                plan.rename(tmp, base)
+    except OSError as exc:
+        _recover_interrupted_save(base)  # undo a half-done swap
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise PersistenceError(
+            f"save of {base} failed during commit: {exc}"
+        ) from exc
+    shutil.rmtree(old, ignore_errors=True)
+    return base
+
+
+def _write_tree_v2(
+    database: MultimediaDatabase, tmp: Path, plan: NoFaults, checksums: bool
+) -> None:
+    """The complete v2 state of ``database`` under the scratch dir."""
+    (tmp / "binary").mkdir(parents=True)
+    (tmp / "edited").mkdir(parents=True)
 
     files: Dict[str, Dict[str, object]] = {}
-
-    def _emit(relative: str, payload: bytes) -> None:
-        plan.write_bytes(tmp / relative, payload)
-        if checksums:
-            files[relative] = {"sha256": _sha256(payload), "bytes": len(payload)}
-
     binary_ids = list(database.catalog.binary_ids())
     edited_ids = list(database.catalog.edited_ids())
-    for image_id in binary_ids:
-        record = database.catalog.binary_record(image_id)
-        _emit(f"binary/{image_id}.ppm", write_ppm(record.image))
-    for image_id in edited_ids:
-        record = database.catalog.edited_record(image_id)
-        _emit(
-            f"edited/{image_id}.eseq",
-            record.sequence.serialize().encode("utf-8"),
-        )
+    for kind, ids in (("binary", binary_ids), ("edited", edited_ids)):
+        for image_id in ids:
+            relative = v2_relpath(kind, image_id)
+            payload = _record_payload(database, kind, image_id)
+            plan.write_bytes(tmp / relative, payload)
+            if checksums:
+                files[relative] = {
+                    "sha256": sha256_hex(payload),
+                    "bytes": len(payload),
+                }
 
     manifest: Dict[str, object] = {
-        "format_version": _FORMAT_VERSION,
+        "format_version": 2,
         "quantizer": {
             "divisions": database.quantizer.divisions,
             "space": database.quantizer.space,
@@ -189,21 +309,52 @@ def save_database(
         "edited_ids": edited_ids,
         "files": files,
     }
-    manifest["manifest_checksum"] = _manifest_checksum(manifest)
+    manifest["manifest_checksum"] = manifest_checksum(manifest)
     plan.write_bytes(
         tmp / "catalog.json",
         json.dumps(manifest, indent=2).encode("utf-8"),
     )
 
-    # Commit.  Renames are atomic on POSIX; a crash between them leaves
-    # the ``.old`` backup that load-time recovery rolls back.
-    if base.exists():
-        plan.rename(base, old)
-        plan.rename(tmp, base)
-        shutil.rmtree(old)
-    else:
-        plan.rename(tmp, base)
-    return base
+
+def _write_tree_v3(
+    database: MultimediaDatabase, tmp: Path, plan: NoFaults
+) -> None:
+    """The complete v3 state: one self-verifying segment per record."""
+    (tmp / "segments").mkdir(parents=True)
+
+    records: Dict[str, Dict[str, object]] = {}
+    binary_ids = list(database.catalog.binary_ids())
+    edited_ids = list(database.catalog.edited_ids())
+    for kind, ids in (("binary", binary_ids), ("edited", edited_ids)):
+        for image_id in ids:
+            payload = _record_payload(database, kind, image_id)
+            relative = segment_relpath(image_id)
+            plan.write_bytes(tmp / relative, encode_segment(image_id, kind, payload))
+            records[image_id] = RecordPointer(
+                image_id=image_id,
+                kind=kind,
+                segment_version=3,
+                path=relative,
+                sha256=sha256_hex(payload),
+                size=len(payload),
+            ).to_json()
+
+    manifest: Dict[str, object] = {
+        "format_version": 3,
+        "quantizer": {
+            "divisions": database.quantizer.divisions,
+            "space": database.quantizer.space,
+        },
+        "fill_color": list(database.fill_color),
+        "binary_ids": binary_ids,
+        "edited_ids": edited_ids,
+        "records": records,
+    }
+    manifest["manifest_checksum"] = manifest_checksum(manifest)
+    plan.write_bytes(
+        tmp / "catalog.json",
+        json.dumps(manifest, indent=2).encode("utf-8"),
+    )
 
 
 def _recover_interrupted_save(base: Path) -> None:
@@ -238,6 +389,10 @@ def load_database(
 ) -> Union[MultimediaDatabase, Tuple[MultimediaDatabase, SalvageReport]]:
     """Rebuild a database saved by :func:`save_database`.
 
+    Reads every supported format — v1, v2, v3, and mixed-version v3
+    catalogs mid-migration — by resolving each record's version stamp
+    through the reader registry in :mod:`repro.db.versioning`.
+
     Strict mode (the default) raises :class:`PersistenceError` — or its
     :class:`CorruptionError` subclass, naming the damaged file — on any
     inconsistency.  With ``salvage=True`` it quarantines damaged records
@@ -246,9 +401,18 @@ def load_database(
     anchor recovery on) raises :class:`SalvageError`.
 
     Either mode first rolls back a save that crashed mid-commit, so a
-    directory with a ``.old`` backup loads as the previous state.
+    directory with a ``.old`` backup loads as the previous state.  The
+    whole load runs under the per-root commit lock, so an in-process
+    writer can never swap the directory out from underneath it.
     """
     base = Path(root)
+    with root_lock(base):
+        return _load_locked(base, salvage)
+
+
+def _load_locked(
+    base: Path, salvage: bool
+) -> Union[MultimediaDatabase, Tuple[MultimediaDatabase, SalvageReport]]:
     _recover_interrupted_save(base)
     manifest = _read_manifest(base, salvage=salvage)
 
@@ -268,11 +432,13 @@ def load_database(
         fill_color = tuple(manifest["fill_color"])
         binary_ids = list(manifest["binary_ids"])
         edited_ids = list(manifest["edited_ids"])
+        version = int(manifest["format_version"])
+        if version >= 3:
+            pointers = pointers_from_v3_manifest(manifest)
+        else:
+            pointers = pointers_from_v2_manifest(manifest, version)
     except (KeyError, TypeError, ValueError, ReproError) as exc:
         raise _manifest_error(base, exc, salvage) from exc
-    files = manifest.get("files", {})
-    if not isinstance(files, dict):
-        files = {}
 
     try:
         database = MultimediaDatabase(quantizer=quantizer, fill_color=fill_color)
@@ -281,38 +447,38 @@ def load_database(
 
     available = set()
     for image_id in binary_ids:
-        relative = f"binary/{image_id}.ppm"
+        pointer = pointers.get(image_id)
         try:
-            payload = _read_verified(base, relative, files)
+            payload = _pointer_payload(base, pointer, image_id, "binary")
             database.insert_image(read_ppm(payload), image_id=image_id)
         except (PersistenceError, ReproError, OSError, ValueError) as exc:
-            _reject(report, image_id, base / relative, exc, salvage)
+            _reject(report, image_id, _pointer_path(base, pointer), exc, salvage)
             continue
         available.add(image_id)
         report.loaded_binary += 1
 
     for image_id in edited_ids:
-        relative = f"edited/{image_id}.eseq"
+        pointer = pointers.get(image_id)
         try:
-            payload = _read_verified(base, relative, files)
+            payload = _pointer_payload(base, pointer, image_id, "edited")
             sequence = EditSequence.parse(payload.decode("utf-8"))
         except (PersistenceError, ReproError, OSError, ValueError) as exc:
-            _reject(report, image_id, base / relative, exc, salvage)
+            _reject(report, image_id, _pointer_path(base, pointer), exc, salvage)
             continue
         missing = [r for r in sequence.referenced_ids() if r not in available]
         if missing:
             # Strict mode surfaces the same condition as a corrupt
             # sequence file; salvage records the transitive loss.
             exc = CorruptionError(
-                f"{base / relative}: references unrecoverable image(s) "
-                f"{sorted(missing)}"
+                f"{_pointer_path(base, pointer)}: references unrecoverable "
+                f"image(s) {sorted(missing)}"
             )
-            _reject(report, image_id, base / relative, exc, salvage)
+            _reject(report, image_id, _pointer_path(base, pointer), exc, salvage)
             continue
         try:
             database.insert_edited(sequence, image_id=image_id)
         except ReproError as exc:
-            _reject(report, image_id, base / relative, exc, salvage)
+            _reject(report, image_id, _pointer_path(base, pointer), exc, salvage)
             continue
         available.add(image_id)
         report.loaded_edited += 1
@@ -320,6 +486,27 @@ def load_database(
     if salvage:
         return database, report
     return database
+
+
+def _pointer_payload(
+    base: Path, pointer: Optional[RecordPointer], image_id: str, kind: str
+) -> bytes:
+    """One record's payload via the registry; missing pointers surface
+    as the missing v2-layout file they would have lived in."""
+    if pointer is None:
+        raise PersistenceError(
+            f"missing file {base / v2_relpath(kind, image_id)}"
+        )
+    if pointer.kind != kind:
+        raise CorruptionError(
+            f"{base / pointer.path}: manifest lists {image_id!r} as "
+            f"{kind} but its record pointer says {pointer.kind}"
+        )
+    return read_record(base, pointer)
+
+
+def _pointer_path(base: Path, pointer: Optional[RecordPointer]) -> Path:
+    return base / pointer.path if pointer is not None else base
 
 
 def _read_manifest(base: Path, salvage: bool) -> Dict[str, object]:
@@ -338,12 +525,15 @@ def _read_manifest(base: Path, salvage: bool) -> Dict[str, object]:
         raise SalvageError(message) if salvage else CorruptionError(message)
 
     version = manifest.get("format_version")
-    if version not in _SUPPORTED_VERSIONS:
-        message = f"unsupported format version {version!r} under {base}"
+    if version not in SUPPORTED_VERSIONS:
+        message = (
+            f"unsupported format version {version!r} under {base} "
+            f"(this build reads {', '.join(map(str, SUPPORTED_VERSIONS))})"
+        )
         raise SalvageError(message) if salvage else PersistenceError(message)
 
     recorded = manifest.get("manifest_checksum")
-    if recorded is not None and recorded != _manifest_checksum(manifest):
+    if recorded is not None and recorded != manifest_checksum(manifest):
         if not salvage:
             raise CorruptionError(
                 f"{manifest_path}: manifest checksum mismatch "
@@ -356,28 +546,6 @@ def _read_manifest(base: Path, salvage: bool) -> Dict[str, object]:
 def _manifest_error(base: Path, exc: Exception, salvage: bool) -> PersistenceError:
     message = f"malformed manifest under {base}: {exc}"
     return SalvageError(message) if salvage else PersistenceError(message)
-
-
-def _read_verified(
-    base: Path, relative: str, files: Dict[str, Dict[str, object]]
-) -> bytes:
-    """Read a content file, verifying its recorded checksum if any."""
-    path = base / relative
-    if not path.is_file():
-        raise PersistenceError(f"missing file {path}")
-    try:
-        payload = path.read_bytes()
-    except OSError as exc:
-        raise CorruptionError(f"unreadable file {path}: {exc}") from exc
-    recorded = files.get(relative)
-    if recorded is not None:
-        expected = recorded.get("sha256")
-        if expected is not None and _sha256(payload) != expected:
-            raise CorruptionError(
-                f"checksum mismatch for {path} "
-                f"({len(payload)} bytes on disk; file is damaged)"
-            )
-    return payload
 
 
 def _reject(

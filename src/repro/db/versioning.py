@@ -1,0 +1,347 @@
+"""Versioned on-disk record formats and the reader registry.
+
+The persistence layer is on its third on-disk format, and ROADMAP items
+1–2 (columnar op tables, sharding) will bring a fourth.  This module is
+the seam that lets those land incrementally: every stored record carries
+its own **segment version stamp**, loaders resolve each stamp through a
+**registry** of per-version readers, and a catalog may legally hold a
+*mixture* of versions — which is exactly what a catalog looks like while
+the online migrator (:mod:`repro.db.migration`) is halfway through
+rewriting it.
+
+Format versions
+---------------
+``1``
+    PR-0 era.  ``catalog.json`` without checksums; content files under
+    ``binary/<id>.ppm`` and ``edited/<id>.eseq``.  Read-only.
+``2``
+    PR 1.  Same layout plus per-file SHA-256 checksums and a
+    whole-manifest checksum; atomic rename commits.  The default save
+    format until items 1–2 land.
+``3``
+    This PR.  Per-record **segments** under ``segments/<id>.seg``: a
+    one-line JSON header (version stamp, kind, payload checksum and
+    size) followed by the raw payload bytes.  The manifest carries a
+    ``records`` table of :class:`RecordPointer` entries, each with its
+    *own* ``segment_version`` — so a v3 manifest can point some records
+    at v2-layout files and others at v3 segments.  Future formats add a
+    reader here and a rewrite rule to the migrator; old catalogs keep
+    loading.
+
+Nothing in this module touches a lock or a service; it is pure
+format knowledge shared by :mod:`repro.db.persistence` (save/load) and
+:mod:`repro.db.migration` (background rewrite).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import CorruptionError, PersistenceError
+
+#: The newest format this build can read *and* write.
+CURRENT_VERSION = 3
+#: What :func:`repro.db.persistence.save_database` writes by default.
+#: Stays at 2 until the columnar/sharded formats (ROADMAP 1–2) make v3
+#: segments the universal carrier; ``format_version=3`` opts in today.
+DEFAULT_SAVE_VERSION = 2
+#: Every manifest version a loader in this build understands.
+SUPPORTED_VERSIONS: Tuple[int, ...] = (1, 2, 3)
+#: Record-level stamps that may appear inside a v3 ``records`` table.
+SUPPORTED_SEGMENT_VERSIONS: Tuple[int, ...] = (1, 2, 3)
+
+#: Record kinds and the v1/v2 layout conventions for each.
+KIND_BINARY = "binary"
+KIND_EDITED = "edited"
+_V2_LAYOUT = {
+    KIND_BINARY: ("binary", ".ppm"),
+    KIND_EDITED: ("edited", ".eseq"),
+}
+
+
+def sha256_hex(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def v2_relpath(kind: str, image_id: str) -> str:
+    """The v1/v2 layout path of a record (``binary/<id>.ppm`` etc.)."""
+    directory, suffix = _V2_LAYOUT[kind]
+    return f"{directory}/{image_id}{suffix}"
+
+
+def segment_relpath(image_id: str) -> str:
+    """The v3 layout path of a record's segment file."""
+    return f"segments/{image_id}.seg"
+
+
+# ----------------------------------------------------------------------
+# Record pointers — one manifest row per stored record
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RecordPointer:
+    """Where one record lives on disk and how to read it.
+
+    ``segment_version`` selects the reader; ``sha256`` is ``None`` only
+    for v1 records (the pre-checksum era), in which case loading skips
+    verification exactly as the v1 manifest reader always has.
+    """
+
+    image_id: str
+    kind: str  # KIND_BINARY | KIND_EDITED
+    segment_version: int
+    path: str  # relative to the database root
+    sha256: Optional[str] = None
+    size: Optional[int] = None
+
+    def to_json(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "kind": self.kind,
+            "segment_version": self.segment_version,
+            "path": self.path,
+        }
+        if self.sha256 is not None:
+            row["sha256"] = self.sha256
+        if self.size is not None:
+            row["bytes"] = self.size
+        return row
+
+    @staticmethod
+    def from_json(image_id: str, row: Dict[str, object]) -> "RecordPointer":
+        try:
+            kind = str(row["kind"])
+            version = int(row["segment_version"])  # type: ignore[arg-type]
+            path = str(row["path"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(
+                f"malformed record pointer for {image_id!r}: {exc}"
+            ) from exc
+        if kind not in _V2_LAYOUT:
+            raise PersistenceError(
+                f"record {image_id!r} has unknown kind {kind!r}"
+            )
+        sha = row.get("sha256")
+        size = row.get("bytes")
+        return RecordPointer(
+            image_id=image_id,
+            kind=kind,
+            segment_version=version,
+            path=path,
+            sha256=str(sha) if sha is not None else None,
+            size=int(size) if size is not None else None,  # type: ignore[arg-type]
+        )
+
+
+def pointers_from_v2_manifest(
+    manifest: Dict[str, object], format_version: int
+) -> Dict[str, RecordPointer]:
+    """Normalize a v1/v2 manifest into the pointer table v3 loaders use.
+
+    v1 manifests have no ``files`` block, so their pointers carry no
+    checksum (``segment_version=1``); v2 pointers carry the recorded
+    SHA-256 and byte size.
+    """
+    files = manifest.get("files")
+    if not isinstance(files, dict):
+        files = {}
+    pointers: Dict[str, RecordPointer] = {}
+    for kind, key in ((KIND_BINARY, "binary_ids"), (KIND_EDITED, "edited_ids")):
+        for image_id in manifest.get(key, ()):  # type: ignore[union-attr]
+            image_id = str(image_id)
+            relative = v2_relpath(kind, image_id)
+            recorded = files.get(relative)
+            sha = size = None
+            if isinstance(recorded, dict):
+                sha = recorded.get("sha256")
+                size = recorded.get("bytes")
+            pointers[image_id] = RecordPointer(
+                image_id=image_id,
+                kind=kind,
+                segment_version=2 if format_version >= 2 and sha else 1,
+                path=relative,
+                sha256=str(sha) if sha else None,
+                size=int(size) if size is not None else None,
+            )
+    return pointers
+
+
+def pointers_from_v3_manifest(
+    manifest: Dict[str, object]
+) -> Dict[str, RecordPointer]:
+    """The pointer table of a v3 manifest (possibly mixed-version)."""
+    records = manifest.get("records")
+    if not isinstance(records, dict):
+        raise PersistenceError("v3 manifest has no records table")
+    pointers: Dict[str, RecordPointer] = {}
+    for image_id, row in records.items():
+        if not isinstance(row, dict):
+            raise PersistenceError(
+                f"malformed record pointer for {image_id!r}: not an object"
+            )
+        pointers[str(image_id)] = RecordPointer.from_json(str(image_id), row)
+    return pointers
+
+
+# ----------------------------------------------------------------------
+# v3 segment envelope
+# ----------------------------------------------------------------------
+_HEADER_KEYS = ("segment_version", "kind", "image_id", "payload_sha256",
+                "payload_bytes")
+
+
+def encode_segment(image_id: str, kind: str, payload: bytes) -> bytes:
+    """A v3 segment blob: one JSON header line, then the raw payload.
+
+    The header carries the record's own version stamp and payload
+    checksum, so a segment file is self-verifying even when found
+    without its manifest (salvage, forensic tooling).
+    """
+    if kind not in _V2_LAYOUT:
+        raise PersistenceError(f"unknown record kind {kind!r}")
+    header = {
+        "segment_version": 3,
+        "kind": kind,
+        "image_id": image_id,
+        "payload_sha256": sha256_hex(payload),
+        "payload_bytes": len(payload),
+    }
+    line = json.dumps(header, sort_keys=True, separators=(",", ":"))
+    return line.encode("utf-8") + b"\n" + payload
+
+
+def decode_segment(blob: bytes, path: str = "<segment>") -> Tuple[Dict[str, object], bytes]:
+    """Parse and verify a v3 segment blob into ``(header, payload)``.
+
+    Raises :class:`CorruptionError` naming ``path`` on any damage: a
+    missing or unparseable header line, a header without the required
+    keys, a payload shorter than declared (torn write), or a payload
+    checksum mismatch.
+    """
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise CorruptionError(f"{path}: segment has no header line")
+    try:
+        header = json.loads(blob[:newline].decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CorruptionError(f"{path}: unparseable segment header: {exc}") from exc
+    if not isinstance(header, dict) or any(k not in header for k in _HEADER_KEYS):
+        raise CorruptionError(f"{path}: segment header missing required keys")
+    payload = blob[newline + 1:]
+    declared = header["payload_bytes"]
+    if not isinstance(declared, int) or len(payload) != declared:
+        raise CorruptionError(
+            f"{path}: segment payload is {len(payload)} bytes, "
+            f"header declares {declared!r} (torn write)"
+        )
+    if sha256_hex(payload) != header["payload_sha256"]:
+        raise CorruptionError(f"{path}: segment payload checksum mismatch")
+    return header, payload
+
+
+# ----------------------------------------------------------------------
+# The reader registry
+# ----------------------------------------------------------------------
+#: A segment reader takes (database root, pointer) and returns the raw
+#: record payload, fully verified for its version's guarantees.
+SegmentReader = Callable[[object, RecordPointer], bytes]
+
+_SEGMENT_READERS: Dict[int, SegmentReader] = {}
+
+
+def register_segment_reader(version: int):
+    """Class of decorators registering a reader for one version stamp.
+
+    Future formats (columnar op tables, sharded segments) register here;
+    :func:`read_record` then resolves their stamps with no change to
+    ``load_database``.
+    """
+
+    def deco(reader: SegmentReader) -> SegmentReader:
+        _SEGMENT_READERS[version] = reader
+        return reader
+
+    return deco
+
+
+def supported_segment_versions() -> Tuple[int, ...]:
+    return tuple(sorted(_SEGMENT_READERS))
+
+
+def _read_file(base, pointer: RecordPointer) -> bytes:
+    path = base / pointer.path
+    if not path.is_file():
+        raise PersistenceError(f"missing file {path}")
+    try:
+        return path.read_bytes()
+    except OSError as exc:
+        raise CorruptionError(f"unreadable file {path}: {exc}") from exc
+
+
+@register_segment_reader(1)
+def _read_record_v1(base, pointer: RecordPointer) -> bytes:
+    """v1: raw payload file, nothing to verify against (pre-checksum)."""
+    return _read_file(base, pointer)
+
+
+@register_segment_reader(2)
+def _read_record_v2(base, pointer: RecordPointer) -> bytes:
+    """v2: raw payload file verified against the manifest's SHA-256."""
+    payload = _read_file(base, pointer)
+    if pointer.sha256 is not None and sha256_hex(payload) != pointer.sha256:
+        raise CorruptionError(
+            f"checksum mismatch for {base / pointer.path} "
+            f"({len(payload)} bytes on disk; file is damaged)"
+        )
+    return payload
+
+
+@register_segment_reader(3)
+def _read_record_v3(base, pointer: RecordPointer) -> bytes:
+    """v3: self-verifying segment envelope, cross-checked with the manifest."""
+    blob = _read_file(base, pointer)
+    header, payload = decode_segment(blob, str(base / pointer.path))
+    if header["image_id"] != pointer.image_id or header["kind"] != pointer.kind:
+        raise CorruptionError(
+            f"{base / pointer.path}: segment header names "
+            f"{header['kind']}/{header['image_id']}, manifest expects "
+            f"{pointer.kind}/{pointer.image_id} (files swapped?)"
+        )
+    if pointer.sha256 is not None and header["payload_sha256"] != pointer.sha256:
+        raise CorruptionError(
+            f"{base / pointer.path}: segment checksum disagrees with the "
+            "manifest (stale segment)"
+        )
+    return payload
+
+
+def read_record(base, pointer: RecordPointer) -> bytes:
+    """Read one record's payload through the versioned reader registry."""
+    reader = _SEGMENT_READERS.get(pointer.segment_version)
+    if reader is None:
+        known = ", ".join(str(v) for v in supported_segment_versions())
+        raise PersistenceError(
+            f"record {pointer.image_id!r} has segment version "
+            f"{pointer.segment_version}, but this build only reads "
+            f"versions {known} — upgrade the library or migrate the "
+            "catalog down"
+        )
+    return reader(base, pointer)
+
+
+def ordered_pointers(
+    pointers: Dict[str, RecordPointer],
+    binary_ids: Iterable[str],
+    edited_ids: Iterable[str],
+) -> List[RecordPointer]:
+    """Pointers in insertion-replay order (bases before derivations)."""
+    ordered: List[RecordPointer] = []
+    for image_id in list(binary_ids) + list(edited_ids):
+        pointer = pointers.get(str(image_id))
+        if pointer is None:
+            raise PersistenceError(
+                f"manifest lists {image_id!r} but has no record pointer for it"
+            )
+        ordered.append(pointer)
+    return ordered

@@ -96,6 +96,14 @@ class SalvageError(PersistenceError):
     reconstructed)."""
 
 
+class MigrationError(PersistenceError):
+    """Raised by the online schema migrator (:mod:`repro.db.migration`)
+    — a migration that cannot start (one is already journaled and
+    neither ``resume`` nor ``rollback`` was requested), a rollback after
+    finalization, or an I/O failure mid-batch.  The previous committed
+    catalog state is always still loadable when this is raised."""
+
+
 class ServiceError(ReproError):
     """Raised by the concurrent query service (:mod:`repro.service`)."""
 

@@ -39,6 +39,7 @@ _LABELED_FAMILIES: Tuple[Tuple[str, str, str], ...] = (
     ("prune.widened_by.", "prune_widened_by_total", "rule"),
     ("prune.", "prune_outcomes_total", "outcome"),
     ("spans.", "spans_total", "span"),
+    ("migration.", "migration_events_total", "event"),
 )
 
 
@@ -135,6 +136,12 @@ def render_prometheus(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
             out.sample(full, data.get(key, 0.0), {"quantile": quantile})
         out.sample(f"{full}_sum", data.get("total", 0.0))
         out.sample(f"{full}_count", data.get("count", 0))
+
+    # -- registry gauges ----------------------------------------------
+    gauges: Dict[str, Any] = dict(snapshot.get("gauges", {}))
+    for name in sorted(gauges):
+        full = out.family(_sanitize(name), "gauge", f"registry gauge {name}")
+        out.sample(full, gauges[name])
 
     # -- nested gauge groups (caches, service state) ------------------
     for group in ("result_cache", "bounds_cache", "service", "slow_queries"):

@@ -420,6 +420,26 @@ class QueryService:
         with self._admission:
             return self._in_flight
 
+    @property
+    def database(self):
+        """The served database.  Read-only access is always safe; any
+        mutation must happen under :meth:`write_locked` (the mutation
+        wrappers below do this for you)."""
+        return self._database
+
+    @contextmanager
+    def write_locked(self):
+        """Hold the write side of the service's readers-writer lock.
+
+        For out-of-band catalog mutators — notably the online schema
+        migrator's per-batch pointer swaps — that need the same
+        queries-drained exclusivity the built-in mutation wrappers get.
+        Keep the critical section short: every query waits while it is
+        held, and writer preference means new readers queue behind it.
+        """
+        with self._rwlock.write_locked():
+            yield
+
     # ------------------------------------------------------------------
     # Normalization
     # ------------------------------------------------------------------

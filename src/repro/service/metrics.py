@@ -134,6 +134,7 @@ class MetricsRegistry:
         # Short critical sections over counters; no catalog access.
         self._lock = threading.Lock()  # repro-lint: disable=AL001
         self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}
         self._reservoir_size = reservoir_size
 
@@ -148,6 +149,18 @@ class MetricsRegistry:
         """Current counter value (0 for a never-incremented name)."""
         with self._lock:
             return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a gauge — a value that can go up *or* down (phase of a
+        background migration, in-flight count).  Unlike counters, a
+        gauge reports its last-set value, not a running total."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Current gauge value (``default`` for a never-set name)."""
+        with self._lock:
+            return self._gauges.get(name, default)
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation into a named histogram."""
@@ -165,16 +178,23 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Dict[str, MetricValue]]:
         """``{"counters": {...}, "histograms": {name: {...}}}``.
 
-        Both inner dicts are key-sorted so serialized snapshots are
-        byte-for-byte deterministic regardless of creation order.
+        A ``"gauges"`` table is included only when at least one gauge
+        has been set, so snapshots from gauge-free services (the common
+        case) keep their historical shape.  Every inner dict is
+        key-sorted so serialized snapshots are byte-for-byte
+        deterministic regardless of creation order.
         """
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = dict(self._histograms)
-        return {
+        snapshot: Dict[str, Dict[str, MetricValue]] = {
             "counters": {name: counters[name] for name in sorted(counters)},
             "histograms": {
                 name: histograms[name].snapshot().as_dict()
                 for name in sorted(histograms)
             },
         }
+        if gauges:
+            snapshot["gauges"] = {name: gauges[name] for name in sorted(gauges)}
+        return snapshot

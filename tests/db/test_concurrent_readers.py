@@ -1,0 +1,148 @@
+"""Readers racing writers on one database directory.
+
+The per-root commit lock in :mod:`repro.db.persistence` makes the
+save protocol's two-rename commit window (``catalog`` → ``.old``,
+``.saving`` → ``catalog``) invisible to in-process readers: a
+``load_database`` that races a ``save_database`` or an online migration
+must observe a *complete* catalog — entirely the old state or entirely
+the new one — never a missing manifest, a half-swapped pointer table, or
+a mixture of the two states' records.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.color.names import FLAG_PALETTE
+from repro.db.database import MultimediaDatabase
+from repro.db.migration import Migrator
+from repro.db.persistence import load_database, save_database
+from repro.images.generators import random_palette_image
+
+QUERY = "at least 25% blue"
+
+
+def _make_database(seed, bases=2, variants=2):
+    rng = np.random.default_rng(seed)
+    database = MultimediaDatabase()
+    base_ids = [
+        database.insert_image(random_palette_image(rng, 10, 12, FLAG_PALETTE))
+        for _ in range(bases)
+    ]
+    for base_id in base_ids:
+        database.augment(base_id, rng, variants, FLAG_PALETTE,
+                         merge_target_pool=base_ids)
+    return database
+
+
+def _fingerprint(database):
+    return (
+        tuple(sorted(database.catalog.binary_ids())),
+        tuple(sorted(database.catalog.edited_ids())),
+    )
+
+
+def _race(root, writer, legal_fingerprints, readers=3, per_reader=12):
+    """Run loader threads against ``writer``; every load must land in
+    ``legal_fingerprints`` and never raise."""
+    failures = []
+    start = threading.Barrier(readers + 1)
+
+    def read_loop():
+        start.wait()
+        for _ in range(per_reader):
+            try:
+                seen = _fingerprint(load_database(root))
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                failures.append(exc)
+                return
+            if seen not in legal_fingerprints:
+                failures.append(
+                    AssertionError(f"mixed catalog state observed: {seen}")
+                )
+                return
+
+    threads = [threading.Thread(target=read_loop) for _ in range(readers)]
+    for thread in threads:
+        thread.start()
+    start.wait()
+    writer()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+
+
+class TestLoadersVersusSave:
+    def test_loads_racing_resaves_see_whole_states(self, tmp_path):
+        old_state = _make_database(31)
+        new_state = _make_database(31)
+        new_state.insert_image(
+            random_palette_image(
+                np.random.default_rng(5), 10, 12, FLAG_PALETTE
+            )
+        )
+        victim = sorted(new_state.catalog.edited_ids())[0]
+        new_state.delete_edited(victim)
+        root = tmp_path / "db"
+        save_database(old_state, root)
+        legal = {_fingerprint(old_state), _fingerprint(new_state)}
+
+        def writer():
+            # Flip between the two states repeatedly to widen the race
+            # window across many commit cycles.
+            for state in (new_state, old_state, new_state):
+                save_database(state, root)
+
+        _race(root, writer, legal)
+
+    def test_loads_racing_v3_resave(self, tmp_path):
+        database = _make_database(37)
+        root = tmp_path / "db"
+        save_database(database, root)
+        legal = {_fingerprint(database)}
+
+        def writer():
+            save_database(database, root, format_version=3)
+            save_database(database, root, format_version=2)
+
+        _race(root, writer, legal)
+
+
+class TestLoadersVersusMigration:
+    def test_loads_racing_migration_see_consistent_catalogs(self, tmp_path):
+        database = _make_database(41)
+        root = tmp_path / "db"
+        save_database(database, root)
+        oracle = sorted(database.text_query(QUERY, method="rbm").matches)
+        failures = []
+        start = threading.Barrier(4)
+
+        def read_loop():
+            start.wait()
+            for _ in range(10):
+                try:
+                    loaded = load_database(root)
+                    got = sorted(
+                        loaded.text_query(QUERY, method="rbm").matches
+                    )
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    failures.append(exc)
+                    return
+                if got != oracle:
+                    failures.append(
+                        AssertionError(f"oracle drift mid-migration: {got}")
+                    )
+                    return
+
+        threads = [threading.Thread(target=read_loop) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        # Tiny batches maximize the number of swap windows raced over.
+        Migrator(root, batch_size=1).run()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+        assert sorted(
+            load_database(root).text_query(QUERY, method="rbm").matches
+        ) == oracle

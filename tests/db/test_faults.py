@@ -19,7 +19,12 @@ from repro.db.database import MultimediaDatabase
 from repro.db.persistence import load_database, save_database
 from repro.errors import PersistenceError, SalvageError
 from repro.images.generators import random_palette_image
-from repro.testing.faults import CountingFaults, FaultPlan, InjectedCrash
+from repro.testing.faults import (
+    CountingFaults,
+    ErrorPlan,
+    FaultPlan,
+    InjectedCrash,
+)
 
 
 def _make_database(seed, bases=2, variants=2):
@@ -252,6 +257,78 @@ class TestMutatorRollback:
         monkeypatch.undo()
         assert database.catalog.binary_record(image_id).histogram == before_hist
         assert database.verify_integrity() == []
+
+
+class TestErrorPlan:
+    """Injected ENOSPC/EIO: the save must *handle* it, not crash.
+
+    Unlike :class:`InjectedCrash` (power loss), an injected ``OSError``
+    models a live process hitting a full disk or failing device — the
+    protocol is expected to surface :class:`PersistenceError` and leave
+    the previously committed version byte-for-byte loadable.
+    """
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorPlan(fail_at=0)
+        with pytest.raises(ValueError):
+            ErrorPlan(fail_at=1, error="EPIPE")
+        with pytest.raises(ValueError):
+            ErrorPlan(fail_at=1, ops=("write", "sideways"))
+
+    @pytest.mark.parametrize("error", ["ENOSPC", "EIO"])
+    def test_save_error_preserves_previous_version(self, tmp_path, error):
+        previous = _make_database(41)
+        upcoming = _make_database(41)
+        upcoming.insert_image(
+            random_palette_image(np.random.default_rng(6), 10, 12, FLAG_PALETTE)
+        )
+        root = tmp_path / "db"
+        save_database(previous, root)
+        counter = CountingFaults()
+        save_database(upcoming, tmp_path / "count", faults=counter)
+
+        for index in range(1, counter.writes + 1):
+            plan = ErrorPlan(fail_at=index, error=error)
+            try:
+                save_database(upcoming, root, faults=plan)
+            except PersistenceError as exc:
+                # Typed, message names the root, and no scratch debris.
+                assert str(root) in str(exc)
+                assert plan.raised is not None
+                loaded = load_database(root)
+                assert _fingerprint(loaded) in (
+                    _fingerprint(previous), _fingerprint(upcoming)
+                )
+                assert loaded.verify_integrity() == []
+                assert not root.with_name(root.name + ".saving").exists()
+                # Re-save previous so every iteration starts identically.
+                save_database(previous, root)
+            else:
+                # The error landed after the commit point (or the sweep
+                # ran past the boundary count): new state is complete.
+                assert _fingerprint(load_database(root)) == _fingerprint(
+                    upcoming
+                )
+                save_database(previous, root)
+
+    def test_error_on_fresh_directory_leaves_no_debris(self, tmp_path):
+        database = _make_database(43)
+        root = tmp_path / "db"
+        plan = ErrorPlan(fail_at=2, error="ENOSPC")
+        with pytest.raises(PersistenceError):
+            save_database(database, root, faults=plan)
+        assert not root.exists()
+        assert not root.with_name(root.name + ".saving").exists()
+
+    def test_injected_oserror_is_not_raised_raw(self, tmp_path):
+        """Callers see the library's typed error, never a bare OSError."""
+        database = _make_database(44)
+        plan = ErrorPlan(fail_at=1, error="EIO")
+        with pytest.raises(PersistenceError) as excinfo:
+            save_database(database, tmp_path / "db", faults=plan)
+        assert not isinstance(excinfo.value, OSError)
+        assert isinstance(excinfo.value.__cause__, OSError)
 
 
 def test_injected_crash_is_not_a_repro_error(tmp_path):

@@ -1,0 +1,197 @@
+"""The v3 segment format and the versioned reader registry.
+
+Unit-level coverage of :mod:`repro.db.versioning`: segment envelope
+round-trips, torn/corrupt segment detection, pointer-table parsing for
+v1/v2/v3 manifests, and per-record reader dispatch (including the
+"upgrade the library" error for versions from the future).  The
+integration-level behavior — mixed-version catalogs produced by a
+half-finished migration — is exercised in ``test_migration.py``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.color.names import FLAG_PALETTE
+from repro.db.database import MultimediaDatabase
+from repro.db.persistence import load_database, save_database
+from repro.db.versioning import (
+    CURRENT_VERSION,
+    DEFAULT_SAVE_VERSION,
+    KIND_BINARY,
+    KIND_EDITED,
+    RecordPointer,
+    decode_segment,
+    encode_segment,
+    pointers_from_v2_manifest,
+    read_record,
+    segment_relpath,
+    sha256_hex,
+    v2_relpath,
+)
+from repro.errors import CorruptionError, PersistenceError
+from repro.images.generators import random_palette_image
+
+
+def _make_database(seed, bases=2, variants=2):
+    rng = np.random.default_rng(seed)
+    database = MultimediaDatabase()
+    base_ids = [
+        database.insert_image(random_palette_image(rng, 10, 12, FLAG_PALETTE))
+        for _ in range(bases)
+    ]
+    for base_id in base_ids:
+        database.augment(base_id, rng, variants, FLAG_PALETTE,
+                         merge_target_pool=base_ids)
+    return database
+
+
+class TestSegmentEnvelope:
+    def test_round_trip(self):
+        payload = b"P6\n10 12\n255\n" + bytes(range(256)) * 2
+        blob = encode_segment("img-1", KIND_BINARY, payload)
+        header, decoded = decode_segment(blob, "img-1.seg")
+        assert decoded == payload
+        assert header["image_id"] == "img-1"
+        assert header["kind"] == KIND_BINARY
+        assert header["segment_version"] == 3
+        assert header["payload_sha256"] == sha256_hex(payload)
+        assert header["payload_bytes"] == len(payload)
+
+    def test_payload_may_contain_newlines(self):
+        payload = b"line one\nline two\n\nline four"
+        blob = encode_segment("edit-1", KIND_EDITED, payload)
+        _, decoded = decode_segment(blob, "x.seg")
+        assert decoded == payload
+
+    def test_torn_segment_detected(self):
+        blob = encode_segment("img-1", KIND_BINARY, b"x" * 100)
+        with pytest.raises(CorruptionError, match="torn"):
+            decode_segment(blob[:-10], "img-1.seg")
+
+    def test_flipped_payload_byte_detected(self):
+        blob = bytearray(encode_segment("img-1", KIND_BINARY, b"x" * 100))
+        blob[-1] ^= 0xFF
+        with pytest.raises(CorruptionError, match="checksum"):
+            decode_segment(bytes(blob), "img-1.seg")
+
+    def test_damaged_header_detected(self):
+        blob = encode_segment("img-1", KIND_BINARY, b"payload")
+        with pytest.raises(CorruptionError):
+            decode_segment(b"not json" + blob, "img-1.seg")
+
+    def test_empty_blob_detected(self):
+        with pytest.raises(CorruptionError):
+            decode_segment(b"", "img-1.seg")
+
+
+class TestRecordPointer:
+    def test_json_round_trip(self):
+        pointer = RecordPointer(
+            image_id="img-1", kind=KIND_BINARY, segment_version=3,
+            path=segment_relpath("img-1"), sha256="ab" * 32, size=123,
+        )
+        assert RecordPointer.from_json("img-1", pointer.to_json()) == pointer
+
+    def test_v2_manifest_pointers(self):
+        manifest = {
+            "binary_ids": ["img-1"],
+            "edited_ids": ["edit-1"],
+            "files": {
+                v2_relpath(KIND_BINARY, "img-1"): {"sha256": "aa", "bytes": 5},
+                v2_relpath(KIND_EDITED, "edit-1"): {"sha256": "bb", "bytes": 6},
+            },
+        }
+        pointers = pointers_from_v2_manifest(manifest, 2)
+        assert pointers["img-1"].segment_version == 2
+        assert pointers["img-1"].kind == KIND_BINARY
+        assert pointers["edit-1"].kind == KIND_EDITED
+        assert pointers["edit-1"].sha256 == "bb"
+
+    def test_v1_manifest_pointers_have_no_checksums(self):
+        manifest = {"binary_ids": ["img-1"], "edited_ids": []}
+        pointers = pointers_from_v2_manifest(manifest, 1)
+        assert pointers["img-1"].segment_version == 1
+        assert pointers["img-1"].sha256 is None
+
+
+class TestReaderRegistry:
+    def test_unknown_future_version_names_the_cure(self, tmp_path):
+        (tmp_path / "segments").mkdir()
+        pointer = RecordPointer(
+            image_id="img-1", kind=KIND_BINARY, segment_version=99,
+            path=segment_relpath("img-1"),
+        )
+        with pytest.raises(PersistenceError, match="upgrade"):
+            read_record(tmp_path, pointer)
+
+    def test_v3_reader_cross_checks_header_identity(self, tmp_path):
+        (tmp_path / "segments").mkdir()
+        # A segment whose header claims a different record: stale file
+        # recycled under the wrong name.
+        blob = encode_segment("img-2", KIND_BINARY, b"payload")
+        (tmp_path / segment_relpath("img-1")).write_bytes(blob)
+        pointer = RecordPointer(
+            image_id="img-1", kind=KIND_BINARY, segment_version=3,
+            path=segment_relpath("img-1"),
+        )
+        with pytest.raises(CorruptionError, match="img-2"):
+            read_record(tmp_path, pointer)
+
+
+class TestFormatSelection:
+    def test_default_save_is_v2(self, tmp_path):
+        save_database(_make_database(3), tmp_path / "db")
+        manifest = json.loads((tmp_path / "db" / "catalog.json").read_text())
+        assert manifest["format_version"] == DEFAULT_SAVE_VERSION == 2
+
+    def test_v3_save_and_load_round_trip(self, tmp_path):
+        database = _make_database(3)
+        save_database(database, tmp_path / "db", format_version=3)
+        manifest = json.loads((tmp_path / "db" / "catalog.json").read_text())
+        assert manifest["format_version"] == CURRENT_VERSION == 3
+        assert "records" in manifest
+        assert (tmp_path / "db" / "segments").is_dir()
+        loaded = load_database(tmp_path / "db")
+        assert sorted(loaded.catalog.binary_ids()) == sorted(
+            database.catalog.binary_ids()
+        )
+        assert sorted(loaded.catalog.edited_ids()) == sorted(
+            database.catalog.edited_ids()
+        )
+
+    def test_resave_preserves_v3(self, tmp_path):
+        database = _make_database(3)
+        save_database(database, tmp_path / "db", format_version=3)
+        save_database(load_database(tmp_path / "db"), tmp_path / "db")
+        manifest = json.loads((tmp_path / "db" / "catalog.json").read_text())
+        assert manifest["format_version"] == 3
+
+    def test_unwritable_version_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError, match="format version"):
+            save_database(_make_database(3), tmp_path / "db", format_version=7)
+
+    def test_v3_flipped_segment_byte_fails_strict_load(self, tmp_path):
+        database = _make_database(3)
+        save_database(database, tmp_path / "db", format_version=3)
+        victim = sorted(database.catalog.binary_ids())[0]
+        target = tmp_path / "db" / segment_relpath(victim)
+        blob = bytearray(target.read_bytes())
+        blob[-1] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        with pytest.raises(CorruptionError):
+            load_database(tmp_path / "db")
+
+    def test_v3_salvage_quarantines_damaged_segment(self, tmp_path):
+        database = _make_database(3)
+        save_database(database, tmp_path / "db", format_version=3)
+        victim = sorted(database.catalog.binary_ids())[0]
+        target = tmp_path / "db" / segment_relpath(victim)
+        blob = bytearray(target.read_bytes())
+        blob[-1] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        loaded, report = load_database(tmp_path / "db", salvage=True)
+        assert not report.clean
+        assert victim in {entry.image_id for entry in report.quarantined}
+        assert victim not in set(loaded.catalog.binary_ids())
