@@ -17,12 +17,18 @@ module checks it mechanically with an interval abstract interpreter:
    verify the results are byte-identical: same counts, same dimensions,
    same Defined Region, and the same :class:`~repro.errors.RuleError`
    on the same inputs.
+3. **Columnar sweep parity** — stack heterogeneous per-bin states into
+   one multi-row :class:`~repro.core.optable.BatchRuleState`, apply the
+   columnar kernel (:func:`repro.core.optable.apply_rule_batched`) to
+   every row at once, and verify each row is byte-identical to the
+   scalar oracle — including which rows fail with a
+   :class:`~repro.errors.RuleError`.
 
 Any violation is reported as a :class:`~repro.analysis.findings.Finding`
-(``RS001`` non-monotone widening rule, ``RS002`` scalar/vec divergence)
-carrying a *minimal* reproducing state: the prover greedily shrinks the
-failing state (dimensions, counts, Defined Region) until no smaller
-state still fails.
+(``RS001`` non-monotone widening rule, ``RS002`` scalar/vec divergence,
+``RS003`` scalar/columnar divergence) carrying a *minimal* reproducing
+state: the prover greedily shrinks the failing state (dimensions,
+counts, Defined Region) until no smaller state still fails.
 
 The prover is pure computation over abstract states — no catalog, no
 raster, no instantiation — so it runs in CI's fast mode in about a
@@ -41,6 +47,7 @@ import numpy as np
 from repro.analysis.findings import AnalysisReport, Finding, Severity
 from repro.color.quantization import UniformQuantizer
 from repro.core.classify import is_bound_widening
+from repro.core.optable import BatchRuleState, apply_rule_batched
 from repro.core.rules import RuleContext, RuleState, apply_rule
 from repro.core.rules_vec import VecRuleContext, VecRuleState, apply_rule_vec
 from repro.editing.operations import (
@@ -58,6 +65,11 @@ from repro.images.geometry import AffineMatrix, Rect
 ScalarApply = Callable[[RuleState, Operation, RuleContext], RuleState]
 #: Signature of the vectorized rule applier.
 VecApply = Callable[[VecRuleState, Operation, VecRuleContext], VecRuleState]
+#: Signature of the columnar (multi-row) rule applier.
+BatchedApply = Callable[
+    [BatchRuleState, np.ndarray, Operation, VecRuleContext],
+    Dict[int, RuleError],
+]
 #: Signature of the static classifier under test.
 ClassifyFn = Callable[[Operation], bool]
 
@@ -431,11 +443,19 @@ class RuleVerdict:
     parity_states_checked: int
     #: Minimal reproducing state for the first violation, if any.
     counterexample: Optional[Dict[str, Any]] = None
+    #: Columnar multi-row kernel agreed with the scalar oracle per row.
+    batched_parity_ok: bool = True
+    #: Rows the columnar parity check covered.
+    batched_states_checked: int = 0
 
     @property
     def verified(self) -> bool:
         """Machine-verified sound: monotone when claimed, kernels agree."""
-        return self.parity_ok and self.monotone is not False
+        return (
+            self.parity_ok
+            and self.batched_parity_ok
+            and self.monotone is not False
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -446,6 +466,8 @@ class RuleVerdict:
             "parity_ok": self.parity_ok,
             "states_checked": self.states_checked,
             "parity_states_checked": self.parity_states_checked,
+            "batched_parity_ok": self.batched_parity_ok,
+            "batched_states_checked": self.batched_states_checked,
             "counterexample": self.counterexample,
         }
 
@@ -475,7 +497,10 @@ class ProverReport:
         return [
             v.case
             for v in self.verdicts
-            if v.classified_widening and v.monotone is True and v.parity_ok
+            if v.classified_widening
+            and v.monotone is True
+            and v.parity_ok
+            and v.batched_parity_ok
         ]
 
     def verdict_table(self) -> str:
@@ -485,6 +510,7 @@ class ProverReport:
             "classified widening",
             "monotone proved",
             "scalar==vec",
+            "scalar==batched",
             "states",
         )
         rows = []
@@ -495,7 +521,9 @@ class ProverReport:
                     "yes" if v.classified_widening else "no",
                     {True: "yes", False: "REFUTED", None: "n/a"}[v.monotone],
                     "yes" if v.parity_ok else "DIVERGED",
-                    f"{v.states_checked}+{v.parity_states_checked}",
+                    "yes" if v.batched_parity_ok else "DIVERGED",
+                    f"{v.states_checked}+{v.parity_states_checked}"
+                    f"+{v.batched_states_checked}",
                 )
             )
         widths = [
@@ -531,14 +559,16 @@ def prove_rules(
     classify_fn: ClassifyFn = is_bound_widening,
     apply_scalar: ScalarApply = apply_rule,
     apply_vec: VecApply = apply_rule_vec,
+    apply_batched: BatchedApply = apply_rule_batched,
 ) -> ProverReport:
     """Prove (or refute) the bound-widening claims on an abstract corpus.
 
     ``mode`` is ``"fast"`` (the CI gate: grid corpus + a small random
     corpus) or ``"full"`` (a larger random corpus and more random
     operation variants per case).  The ``classify_fn`` / ``apply_scalar``
-    / ``apply_vec`` hooks exist so tests can seed a deliberately broken
-    rule and assert the prover reports it with a minimal counterexample.
+    / ``apply_vec`` / ``apply_batched`` hooks exist so tests can seed a
+    deliberately broken rule and assert the prover reports it with a
+    minimal counterexample.
     """
     if mode not in ("fast", "full"):
         raise ValueError(f"unknown prover mode {mode!r}")
@@ -547,6 +577,7 @@ def prove_rules(
     cases = tuple(cases) if cases is not None else default_rule_cases()
     random_state_count = 40 if mode == "fast" else 200
     random_op_count = 2 if mode == "fast" else 6
+    batched_row_cap = 48 if mode == "fast" else 10_000
 
     corpus = grid_states() + random_states(rng, random_state_count)
     prover = ProverReport()
@@ -567,10 +598,16 @@ def prove_rules(
             classify_fn,
             apply_scalar,
             apply_vec,
+            apply_batched,
+            batched_row_cap,
             prover.report,
         )
         prover.verdicts.append(verdict)
-        subjects += verdict.states_checked + verdict.parity_states_checked
+        subjects += (
+            verdict.states_checked
+            + verdict.parity_states_checked
+            + verdict.batched_states_checked
+        )
     prover.report.subjects_examined = subjects
     return prover
 
@@ -584,18 +621,28 @@ def _prove_case(
     classify_fn: ClassifyFn,
     apply_scalar: ScalarApply,
     apply_vec: VecApply,
+    apply_batched: BatchedApply,
+    batched_row_cap: int,
     report: AnalysisReport,
 ) -> RuleVerdict:
     bin_count = quantizer.bin_count
     classified = all(classify_fn(op) for op in operations)
     monotone: Optional[bool] = True if classified else None
     parity_ok = True
+    batched_ok = True
     states_checked = 0
     parity_checked = 0
+    batched_checked = 0
     # First counterexample of each kind, reported independently so an
     # early parity divergence cannot mask a monotonicity refutation.
     mono_counterexample: Optional[Dict[str, Any]] = None
     parity_counterexample: Optional[Dict[str, Any]] = None
+    batched_counterexample: Optional[Dict[str, Any]] = None
+    adapted_corpus = [
+        adapted
+        for state in corpus
+        if (adapted := _adapt_state(state, case)) is not None
+    ]
 
     for op in operations:
         op_classified = classify_fn(op)
@@ -650,6 +697,34 @@ def _prove_case(
                         )
                     )
 
+        # ---- scalar/columnar parity over one heterogeneous batch -----
+        batch_states = adapted_corpus[:batched_row_cap]
+        batched_checked += len(batch_states)
+        batched_divergence = _check_batched_parity(
+            batch_states, op, quantizer, rng, target, apply_scalar, apply_batched
+        )
+        if batched_divergence is not None:
+            batched_ok = False
+            if batched_counterexample is None:
+                batched_counterexample = batched_divergence
+                report.add(
+                    Finding(
+                        code="RS003",
+                        severity=Severity.ERROR,
+                        location=case.name,
+                        message=(
+                            f"scalar and columnar kernels diverge for "
+                            f"{op!r}: {batched_divergence['reason']}"
+                        ),
+                        fix_hint=(
+                            "make the repro.core.optable batched kernels "
+                            "mirror the scalar branch exactly (same clamps, "
+                            "same errors, same failing rows)"
+                        ),
+                        details=batched_divergence,
+                    )
+                )
+
     return RuleVerdict(
         case=case.name,
         operation=repr(operations[0]),
@@ -658,10 +733,16 @@ def _prove_case(
         parity_ok=parity_ok,
         states_checked=states_checked,
         parity_states_checked=parity_checked,
+        batched_parity_ok=batched_ok,
+        batched_states_checked=batched_checked,
         counterexample=(
             mono_counterexample
             if mono_counterexample is not None
-            else parity_counterexample
+            else (
+                parity_counterexample
+                if parity_counterexample is not None
+                else batched_counterexample
+            )
         ),
     )
 
@@ -823,3 +904,165 @@ def _check_parity(
                 bin_index,
             )
     return None
+
+
+def _batched_row_divergence(
+    states: Sequence[RuleState],
+    op: Operation,
+    quantizer: UniformQuantizer,
+    rng: np.random.Generator,
+    target: Optional[_TargetFixture],
+    apply_scalar: ScalarApply,
+    apply_batched: BatchedApply,
+) -> Optional[Dict[str, Any]]:
+    """All ``states`` as rows of ONE batch vs the per-bin scalar oracle.
+
+    Returns the first per-row divergence (row index, reason, state), or
+    ``None`` when every row — results and failures alike — matches.
+    """
+    if not states:
+        return None
+    bin_count = quantizer.bin_count
+    stacked = []
+    vectors: List[Tuple[np.ndarray, np.ndarray]] = []
+    for state in states:
+        total = state.total
+        lo = rng.integers(0, total + 1, bin_count).astype(np.int64)
+        hi = (
+            (lo + rng.integers(0, total + 1, bin_count))
+            .clip(max=total)
+            .astype(np.int64)
+        )
+        lo[0], hi[0] = state.lo, state.hi
+        stacked.append((lo, hi, state.height, state.width, state.dr))
+        vectors.append((lo, hi))
+    batch = BatchRuleState.stack(stacked)
+    vec_ctx = VecRuleContext(
+        quantizer=quantizer,
+        fill_color=(0, 0, 0),
+        resolve_target=target.vec_resolver() if target is not None else None,
+    )
+    rows = np.arange(len(states), dtype=np.int64)
+    errors = apply_batched(batch, rows, op, vec_ctx)
+
+    for row, state in enumerate(states):
+        lo, hi = vectors[row]
+
+        def payload(reason: str, bin_index: Optional[int] = None) -> Dict[str, Any]:
+            return {
+                "reason": f"row {row}: {reason}",
+                "operation": repr(op),
+                "row": row,
+                "bin_index": bin_index,
+                "state": _state_payload(state),
+                "lo_vector": [int(v) for v in lo],
+                "hi_vector": [int(v) for v in hi],
+            }
+
+        scalar_error: Optional[str] = None
+        scalar_results: List[Optional[RuleState]] = []
+        for bin_index in range(bin_count):
+            ctx = _scalar_ctx(quantizer, bin_index, target)
+            scalar_state = RuleState(
+                lo=int(lo[bin_index]),
+                hi=int(hi[bin_index]),
+                height=state.height,
+                width=state.width,
+                dr=state.dr,
+            )
+            try:
+                scalar_results.append(apply_scalar(scalar_state, op, ctx))
+            except RuleError as exc:
+                scalar_error = type(exc).__name__
+                scalar_results.append(None)
+        batched_error = errors.get(row)
+        if (batched_error is None) != (scalar_error is None):
+            batched_name = type(batched_error).__name__ if batched_error else "ok"
+            return payload(
+                f"error mismatch: batched={batched_name} "
+                f"scalar={scalar_error or 'ok'}"
+            )
+        if batched_error is not None:
+            continue  # both refused this row
+        b_lo, b_hi, b_h, b_w, b_dr = batch.row_state(row)
+        for bin_index, scalar_post in enumerate(scalar_results):
+            if scalar_post is None:
+                return payload("scalar raised on one bin only", bin_index)
+            # The batch layout normalizes empty DRs to the zero row, so
+            # empty-vs-empty counts as identical.
+            dr_same = b_dr == scalar_post.dr or (
+                b_dr.is_empty and scalar_post.dr.is_empty
+            )
+            if (
+                int(b_lo[bin_index]) != scalar_post.lo
+                or int(b_hi[bin_index]) != scalar_post.hi
+                or b_h != scalar_post.height
+                or b_w != scalar_post.width
+                or not dr_same
+            ):
+                return payload(
+                    f"bin {bin_index}: batched [{int(b_lo[bin_index])}, "
+                    f"{int(b_hi[bin_index])}] ({b_h}x{b_w}) != scalar "
+                    f"[{scalar_post.lo}, {scalar_post.hi}] "
+                    f"({scalar_post.height}x{scalar_post.width})",
+                    bin_index,
+                )
+    return None
+
+
+def _check_batched_parity(
+    states: Sequence[RuleState],
+    op: Operation,
+    quantizer: UniformQuantizer,
+    rng: np.random.Generator,
+    target: Optional[_TargetFixture],
+    apply_scalar: ScalarApply,
+    apply_batched: BatchedApply,
+) -> Optional[Dict[str, Any]]:
+    """RS003: the columnar kernel vs the scalar oracle, with shrinking.
+
+    The whole adapted corpus rides in one heterogeneous batch — rows of
+    different dimensions, counts, and Defined Regions advanced by a
+    single masked kernel call, exactly how the catalog sweep uses it.
+    On divergence the offending row's state is greedily minimized
+    (re-checked as a single-row batch with a deterministic vector seed).
+    """
+    divergence = _batched_row_divergence(
+        states, op, quantizer, rng, target, apply_scalar, apply_batched
+    )
+    if divergence is None:
+        return None
+    failing = states[int(divergence["row"])]
+
+    def still_fails(candidate: RuleState) -> bool:
+        return (
+            _batched_row_divergence(
+                [candidate],
+                op,
+                quantizer,
+                np.random.default_rng(0),
+                target,
+                apply_scalar,
+                apply_batched,
+            )
+            is not None
+        )
+
+    try:
+        if still_fails(failing):
+            minimal = minimize_state(failing, still_fails)
+            shrunk = _batched_row_divergence(
+                [minimal],
+                op,
+                quantizer,
+                np.random.default_rng(0),
+                target,
+                apply_scalar,
+                apply_batched,
+            )
+            if shrunk is not None:
+                shrunk["shrunk_from"] = _state_payload(failing)
+                return shrunk
+    except RuleError:  # pragma: no cover — broken hooks may raise anywhere
+        pass
+    return divergence

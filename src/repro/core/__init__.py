@@ -8,6 +8,14 @@ from repro.core.classify import (
     sequence_is_bound_widening,
 )
 from repro.core.batch import BatchBWMProcessor, BatchRBMProcessor
+from repro.core.optable import (
+    BatchRuleState,
+    CatalogOpTable,
+    OpTableManager,
+    SweepOutcome,
+    apply_rule_batched,
+    sweep_table,
+)
 from repro.core.query import (
     CatalogView,
     ConjunctiveQuery,
@@ -37,8 +45,12 @@ __all__ = [
     "BoundsEngine",
     "BatchBWMProcessor",
     "BatchRBMProcessor",
+    "BatchRuleState",
     "BoundsStore",
+    "CatalogOpTable",
     "CatalogView",
+    "OpTableManager",
+    "SweepOutcome",
     "ConjunctiveQuery",
     "OrderedIdSet",
     "PixelBounds",
@@ -51,7 +63,9 @@ __all__ = [
     "VecRuleContext",
     "VecRuleState",
     "apply_rule",
+    "apply_rule_batched",
     "apply_rule_vec",
+    "sweep_table",
     "describe_rule",
     "first_non_widening",
     "initial_state",

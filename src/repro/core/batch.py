@@ -3,8 +3,10 @@
 A retrieval front-end (or the evaluation harness) frequently submits many
 range queries at once.  Processing them together amortizes the per-image
 catalog walk: each binary histogram is fetched once and checked against
-every query, and each edited image pays a *single* vectorized BOUNDS walk
-(:meth:`repro.core.bounds.BoundsEngine.bounds_all_bins`) shared by every
+every query, and the edited images the batch needs are computed by *one*
+columnar sweep
+(:meth:`repro.core.bounds.BoundsEngine.bounds_all_bins_batch` over the
+:mod:`repro.core.optable` structure-of-arrays kernel) shared by every
 query in the batch, whatever bins they target.
 
 The result sets are identical to running the queries one at a time with
@@ -37,7 +39,7 @@ def _bin_bounds(all_bins: AllBinsBounds, bin_index: int) -> PixelBounds:
 
 
 class BatchRBMProcessor:
-    """RBM over a batch: one vectorized BOUNDS walk per edited image."""
+    """RBM over a batch: one columnar sweep covers every edited image."""
 
     name = "rbm-batch"
 
@@ -63,10 +65,11 @@ class BatchRBMProcessor:
                     if query.pct_min <= fraction <= query.pct_max:
                         matches[position].add(image_id)
 
-        for image_id in self._view.edited_ids():
-            rules_before = self._engine.rules_applied
-            all_bins = self._engine.bounds_all_bins(image_id)
-            stats.rules_applied += self._engine.rules_applied - rules_before
+        edited_ids = list(self._view.edited_ids())
+        rules_before = self._engine.rules_applied
+        all_bounds = self._engine.bounds_all_bins_batch(edited_ids)
+        stats.rules_applied += self._engine.rules_applied - rules_before
+        for image_id, all_bins in zip(edited_ids, all_bounds):
             for bin_index, positions in groups.items():
                 bounds = _bin_bounds(all_bins, bin_index)
                 stats.bounds_computed += 1
@@ -105,8 +108,10 @@ class BatchBWMProcessor:
         groups = _group_by_bin(queries)
         matches: List[set] = [set() for _ in queries]
         stats = QueryStats()
-        walked: Dict[str, AllBinsBounds] = {}
 
+        # Phase 1: base-histogram short-circuiting decides which members
+        # need BOUNDS at all (pure histogram checks, no rule work).
+        failing_clusters: List[Tuple[List[str], Dict[int, List[int]]]] = []
         for base_id, cluster in self._structure.clusters():
             histogram = self._view.histogram_of(base_id)
             stats.histograms_checked += 1
@@ -122,11 +127,36 @@ class BatchBWMProcessor:
                         stats.edited_accepted_without_rules += len(cluster)
                     else:
                         failing_by_bin.setdefault(bin_index, []).append(position)
-            if not failing_by_bin or not cluster:
-                continue
+            if failing_by_bin and cluster:
+                failing_clusters.append((list(cluster), failing_by_bin))
+
+        # Phase 2: every member that survived short-circuiting plus the
+        # unclassified stragglers pay one shared columnar sweep.
+        needed: List[str] = []
+        seen = set()
+        for cluster, _ in failing_clusters:
+            for edited_id in cluster:
+                if edited_id not in seen:
+                    seen.add(edited_id)
+                    needed.append(edited_id)
+        for edited_id in self._structure.unclassified:
+            if edited_id not in seen:
+                seen.add(edited_id)
+                needed.append(edited_id)
+        walked: Dict[str, AllBinsBounds] = {}
+        if needed:
+            rules_before = self._engine.rules_applied
+            for edited_id, all_bins in zip(
+                needed, self._engine.bounds_all_bins_batch(needed)
+            ):
+                walked[edited_id] = all_bins
+            stats.rules_applied += self._engine.rules_applied - rules_before
+
+        for cluster, failing_by_bin in failing_clusters:
             for edited_id in cluster:
                 for bin_index, positions in failing_by_bin.items():
-                    bounds = self._shared_bounds(edited_id, bin_index, stats, walked)
+                    stats.bounds_computed += 1
+                    bounds = _bin_bounds(walked[edited_id], bin_index)
                     for position in positions:
                         query = queries[position]
                         if bounds.overlaps(query.pct_min, query.pct_max):
@@ -134,28 +164,11 @@ class BatchBWMProcessor:
 
         for edited_id in self._structure.unclassified:
             for bin_index, positions in groups.items():
-                bounds = self._shared_bounds(edited_id, bin_index, stats, walked)
+                stats.bounds_computed += 1
+                bounds = _bin_bounds(walked[edited_id], bin_index)
                 for position in positions:
                     query = queries[position]
                     if bounds.overlaps(query.pct_min, query.pct_max):
                         matches[position].add(edited_id)
 
         return [QueryResult(frozenset(found), stats) for found in matches]
-
-    def _shared_bounds(
-        self,
-        edited_id: str,
-        bin_index: int,
-        stats: QueryStats,
-        walked: Dict[str, AllBinsBounds],
-    ) -> PixelBounds:
-        # One vectorized walk per member per batch, even when the
-        # engine's own memo cache is disabled.
-        all_bins = walked.get(edited_id)
-        if all_bins is None:
-            rules_before = self._engine.rules_applied
-            all_bins = self._engine.bounds_all_bins(edited_id)
-            stats.rules_applied += self._engine.rules_applied - rules_before
-            walked[edited_id] = all_bins
-        stats.bounds_computed += 1
-        return _bin_bounds(all_bins, bin_index)

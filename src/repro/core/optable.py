@@ -1,0 +1,1440 @@
+"""Columnar op table: one structure-of-arrays sweep over the whole catalog.
+
+The vectorized BOUNDS kernel (:mod:`repro.core.rules_vec`) removed the
+per-*bin* loop but kept the per-*image* one: a full-catalog range query is
+still N independent Python walks, each paying interpreter dispatch per
+operation.  This module removes the per-image loop too.
+
+The catalog's edit sequences compile into a fixed-width structure of
+arrays — one contiguous column per operation attribute, with CSR-style
+``offsets`` delimiting each image's slice:
+
+================  ======================  =====================================
+column            dtype / shape           contents
+================  ======================  =====================================
+``codes``         int8 ``(total_ops,)``   dispatch code (``OP_DEFINE`` … )
+``params``        int64 ``(ops, 4)``      rect coords / bins / scale / paste xy
+``floats``        float64 ``(ops, 6)``    affine matrix ``m11 m12 m13 m21 m22 m23``
+``trefs``         int32 ``(ops,)``        Merge-target slot in ``target_ids``
+``offsets``       int64 ``(rows + 1,)``   row ``r`` owns ``codes[offsets[r]:offsets[r+1]]``
+``alive``         bool ``(rows,)``        tombstone flag (false = dead row)
+================  ======================  =====================================
+
+Modify colors are pre-quantized to bin indices at compile time and Mutate
+matrices are pre-classified (identity / integer axis scale / general), so
+the sweep never touches a Python operation object.
+
+:func:`sweep_table` advances *all* sequences one op-rank at a time: rows
+are grouped into dependency strata (by referenced-subtree height, so a
+chained base or Merge target is always finished before its dependents
+start), and within a stratum each rank applies one masked, vectorized
+Table-1 rule per op code to every active row at once.  The arithmetic
+reproduces :mod:`repro.core.rules_vec` branch for branch — including IEEE
+evaluation order for Mutate corner transforms — so the resulting
+``(images x bins)`` interval matrix is byte-identical to the per-image
+walk, which remains the oracle (property-tested, and machine-checked by
+the RS003 prover pass in :mod:`repro.analysis.prover`).
+
+:class:`OpTableManager` keeps the table fresh incrementally off the
+:meth:`repro.core.bounds.BoundsEngine.add_invalidation_listener` change
+feed: inserts append, deletes tombstone, resaves tombstone-and-append,
+and a compaction rebuild runs only when dead rows dominate.  The
+fixed-width layout is deliberately mmap-friendly — the stepping stone to
+format-v4 zero-copy segments (ROADMAP item 5).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.color.histogram import ColorHistogram
+from repro.color.quantization import UniformQuantizer
+from repro.core.rules_vec import VecRuleContext
+from repro.editing.operations import (
+    Combine,
+    Define,
+    Merge,
+    Modify,
+    Mutate,
+    Operation,
+)
+from repro.editing.sequence import EditSequence
+from repro.errors import ReproError, RuleError, UnknownObjectError
+from repro.images.geometry import Rect
+from repro.images.raster import ColorTuple
+
+#: Op codes of the ``codes`` column.  Mutate pre-classifies into the three
+#: branches of :func:`repro.core.rules_vec.apply_mutate_vec` and Merge
+#: splits on crop-vs-target, so the sweep dispatches without re-deriving
+#: geometry classifications per call.
+OP_DEFINE = 0
+OP_COMBINE = 1
+OP_MODIFY = 2
+OP_MUTATE_IDENTITY = 3
+OP_MUTATE_SCALE = 4
+OP_MUTATE_GENERAL = 5
+OP_MERGE_CROP = 6
+OP_MERGE_TARGET = 7
+
+OP_CODE_NAMES: Dict[int, str] = {
+    OP_DEFINE: "define",
+    OP_COMBINE: "combine",
+    OP_MODIFY: "modify",
+    OP_MUTATE_IDENTITY: "mutate-identity",
+    OP_MUTATE_SCALE: "mutate-scale",
+    OP_MUTATE_GENERAL: "mutate-general",
+    OP_MERGE_CROP: "merge-crop",
+    OP_MERGE_TARGET: "merge-target",
+}
+
+#: ``fail(row, error)``: a per-row rule failure during a batched kernel.
+#: The row index is the *global* table row; the sweep maps it back to an
+#: image id, the prover keeps it as a state index.
+FailCallback = Callable[[int, RuleError], None]
+
+#: Resolver used by the Merge-target kernel: maps the surviving rows of
+#: one batched group (plus their positions in the kernel's original
+#: ``rows`` argument) to target interval matrices.  Returns a boolean
+#: "resolved" mask aligned with the input rows plus the target columns
+#: for the resolved subset; unresolved rows must have been reported
+#: through the fail callback already.
+BatchTargetResolver = Callable[
+    [np.ndarray, np.ndarray],
+    Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+]
+
+_CYCLE_MSG = "cyclic Merge reference through {image_id!r}"
+
+
+@dataclass
+class BatchRuleState:
+    """Interval-walk state for many images at once (SoA mirror of
+    :class:`repro.core.rules_vec.VecRuleState`).
+
+    ``lo``/``hi`` are ``(rows, bins)`` int64 matrices; ``heights``,
+    ``widths`` are ``(rows,)`` int64 vectors; ``dr`` is ``(rows, 4)``
+    int64 holding ``(x1, y1, x2, y2)`` with empty regions normalized to
+    all zeros, exactly like :data:`repro.images.geometry.EMPTY_RECT`.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+    heights: np.ndarray
+    widths: np.ndarray
+    dr: np.ndarray
+
+    @classmethod
+    def zeros(cls, rows: int, bins: int) -> "BatchRuleState":
+        """An all-zero state block for ``rows`` images over ``bins`` bins."""
+        return cls(
+            lo=np.zeros((rows, bins), dtype=np.int64),
+            hi=np.zeros((rows, bins), dtype=np.int64),
+            heights=np.zeros(rows, dtype=np.int64),
+            widths=np.zeros(rows, dtype=np.int64),
+            dr=np.zeros((rows, 4), dtype=np.int64),
+        )
+
+    @classmethod
+    def stack(
+        cls, states: Sequence[Tuple[np.ndarray, np.ndarray, int, int, Rect]]
+    ) -> "BatchRuleState":
+        """Pack per-image ``(lo, hi, height, width, dr)`` tuples into rows."""
+        if not states:
+            raise RuleError("cannot stack an empty state batch")
+        out = cls.zeros(len(states), int(np.asarray(states[0][0]).shape[0]))
+        for row, (lo, hi, height, width, dr) in enumerate(states):
+            out.lo[row] = np.asarray(lo, dtype=np.int64)
+            out.hi[row] = np.asarray(hi, dtype=np.int64)
+            out.heights[row] = int(height)
+            out.widths[row] = int(width)
+            out.dr[row] = _rect_to_row(dr)
+        return out
+
+    def row_state(self, row: int) -> Tuple[np.ndarray, np.ndarray, int, int, Rect]:
+        """One row back out as ``(lo, hi, height, width, dr)``."""
+        return (
+            self.lo[row].copy(),
+            self.hi[row].copy(),
+            int(self.heights[row]),
+            int(self.widths[row]),
+            _row_to_rect(self.dr[row]),
+        )
+
+
+def _rect_to_row(rect: Rect) -> np.ndarray:
+    if rect.is_empty:
+        return np.zeros(4, dtype=np.int64)
+    return np.array([rect.x1, rect.y1, rect.x2, rect.y2], dtype=np.int64)
+
+
+def _row_to_rect(row: np.ndarray) -> Rect:
+    return Rect(int(row[0]), int(row[1]), int(row[2]), int(row[3]))
+
+
+def _dr_areas(state: BatchRuleState, rows: np.ndarray) -> np.ndarray:
+    d = state.dr[rows]
+    return (d[:, 2] - d[:, 0]) * (d[:, 3] - d[:, 1])
+
+
+def _totals(state: BatchRuleState, rows: np.ndarray) -> np.ndarray:
+    return state.heights[rows] * state.widths[rows]
+
+
+def _validate_rows(
+    state: BatchRuleState, rows: np.ndarray, fail: FailCallback
+) -> np.ndarray:
+    """Batched :meth:`VecRuleState.validate`; returns the surviving rows."""
+    if rows.size == 0:
+        return rows
+    lo = state.lo[rows]
+    hi = state.hi[rows]
+    total = _totals(state, rows)
+    ok = (
+        (lo.min(axis=1) >= 0)
+        & ((hi - lo).min(axis=1) >= 0)
+        & (hi.max(axis=1) <= total)
+    )
+    for row in rows[~ok]:
+        row_i = int(row)
+        fail(
+            row_i,
+            RuleError(
+                f"inconsistent vec rule state "
+                f"(total={int(state.heights[row_i] * state.widths[row_i])}): "
+                f"lo range [{int(state.lo[row_i].min())}, "
+                f"{int(state.lo[row_i].max())}], "
+                f"hi range [{int(state.hi[row_i].min())}, "
+                f"{int(state.hi[row_i].max())}]"
+            ),
+        )
+    return rows[ok]
+
+
+# ----------------------------------------------------------------------
+# Masked batched Table-1 kernels
+#
+# Each kernel mutates `state` in place for `rows` (global row indices)
+# with per-row parameter columns, reproducing the matching apply_*_vec
+# branch arithmetic exactly — same clip bounds, same int64 promotion,
+# same IEEE float evaluation order.
+# ----------------------------------------------------------------------
+def _kernel_define(
+    state: BatchRuleState, rows: np.ndarray, rect4: np.ndarray
+) -> None:
+    """Define: ``dr = rect.clip(height, width)``, bins untouched."""
+    h = state.heights[rows]
+    w = state.widths[rows]
+    x1 = np.maximum(rect4[:, 0], 0)
+    y1 = np.maximum(rect4[:, 1], 0)
+    x2 = np.minimum(rect4[:, 2], h)
+    y2 = np.minimum(rect4[:, 3], w)
+    out = np.stack([x1, y1, x2, y2], axis=1)
+    out[(x2 <= x1) | (y2 <= y1)] = 0
+    state.dr[rows] = out
+
+
+def _kernel_combine(state: BatchRuleState, rows: np.ndarray) -> None:
+    """Combine: every DR pixel may enter or leave any bin."""
+    area = _dr_areas(state, rows)[:, None]
+    total = _totals(state, rows)[:, None]
+    state.lo[rows] = np.clip(state.lo[rows] - area, 0, total)
+    state.hi[rows] = np.clip(state.hi[rows] + area, 0, total)
+
+
+def _kernel_modify(
+    state: BatchRuleState,
+    rows: np.ndarray,
+    old_bins: np.ndarray,
+    new_bins: np.ndarray,
+) -> None:
+    """Modify: two-element update per row; same-bin rows are no-ops."""
+    moved = old_bins != new_bins
+    sub = rows[moved]
+    if sub.size == 0:
+        return
+    area = _dr_areas(state, sub)
+    total = _totals(state, sub)
+    nb = new_bins[moved]
+    ob = old_bins[moved]
+    state.hi[sub, nb] = np.minimum(state.hi[sub, nb] + area, total)
+    state.lo[sub, ob] = np.maximum(state.lo[sub, ob] - area, 0)
+
+
+def _kernel_mutate(
+    state: BatchRuleState,
+    rows: np.ndarray,
+    fmat: np.ndarray,
+    int_scale: np.ndarray,
+    sx: np.ndarray,
+    sy: np.ndarray,
+) -> None:
+    """Mutate: scale / general branches, selected per row at runtime.
+
+    ``int_scale`` marks rows whose matrix is an integer axis scale; the
+    whole-image test (``dr.contains(image_bounds)``) depends on the
+    evolving DR, so it is evaluated here, not at compile time.  Identity
+    matrices never reach this kernel (``OP_MUTATE_IDENTITY`` is a no-op
+    at dispatch), matching the scalar early return.
+    """
+    d = state.dr[rows]
+    active = (d[:, 2] - d[:, 0]) * (d[:, 3] - d[:, 1]) > 0
+    if not active.any():
+        return
+    rows = rows[active]
+    d = d[active]
+    fmat = fmat[active]
+    int_scale = int_scale[active]
+    h = state.heights[rows]
+    w = state.widths[rows]
+    whole = (d[:, 0] <= 0) & (d[:, 1] <= 0) & (d[:, 2] >= h) & (d[:, 3] >= w)
+    scale_sel = int_scale & whole
+
+    if scale_sel.any():
+        sub = rows[scale_sel]
+        fx = sx[active][scale_sel]
+        fy = sy[active][scale_sel]
+        factor = (fx * fy)[:, None]
+        state.lo[sub] = state.lo[sub] * factor
+        state.hi[sub] = state.hi[sub] * factor
+        nh = h[scale_sel] * fx
+        nw = w[scale_sel] * fy
+        state.heights[sub] = nh
+        state.widths[sub] = nw
+        zeros = np.zeros_like(nh)
+        state.dr[sub] = np.stack([zeros, zeros, nh, nw], axis=1)
+
+    general = ~scale_sel
+    if general.any():
+        sub = rows[general]
+        dg = d[general]
+        hg = h[general]
+        wg = w[general]
+        # Corner fan-out of transform_rect_bbox: the DR is non-empty here,
+        # so the scalar max(x1, x2 - 1) clamps never fire.
+        cx = np.stack([dg[:, 0], dg[:, 0], dg[:, 2] - 1, dg[:, 2] - 1], axis=1)
+        cy = np.stack([dg[:, 1], dg[:, 3] - 1, dg[:, 1], dg[:, 3] - 1], axis=1)
+        fg = fmat[general]
+        # Same association as AffineMatrix.apply_point: (m*x + m*y) + m13.
+        tx = fg[:, 0][:, None] * cx + fg[:, 1][:, None] * cy + fg[:, 2][:, None]
+        ty = fg[:, 3][:, None] * cx + fg[:, 4][:, None] * cy + fg[:, 5][:, None]
+        bx1 = np.floor(tx.min(axis=1)).astype(np.int64)
+        by1 = np.floor(ty.min(axis=1)).astype(np.int64)
+        bx2 = np.ceil(tx.max(axis=1)).astype(np.int64) + 1
+        by2 = np.ceil(ty.max(axis=1)).astype(np.int64) + 1
+        # .clip(height, width) of the bbox.
+        dx1 = np.maximum(bx1, 0)
+        dy1 = np.maximum(by1, 0)
+        dx2 = np.minimum(bx2, hg)
+        dy2 = np.minimum(by2, wg)
+        dest = np.stack([dx1, dy1, dx2, dy2], axis=1)
+        dest[(dx2 <= dx1) | (dy2 <= dy1)] = 0
+        dest_area = (dest[:, 2] - dest[:, 0]) * (dest[:, 3] - dest[:, 1])
+        # union_area_upper_bound: exact inclusion-exclusion.
+        ix1 = np.maximum(dg[:, 0], dest[:, 0])
+        iy1 = np.maximum(dg[:, 1], dest[:, 1])
+        ix2 = np.minimum(dg[:, 2], dest[:, 2])
+        iy2 = np.minimum(dg[:, 3], dest[:, 3])
+        inter = np.where(
+            (ix2 > ix1) & (iy2 > iy1), (ix2 - ix1) * (iy2 - iy1), 0
+        )
+        dr_area = (dg[:, 2] - dg[:, 0]) * (dg[:, 3] - dg[:, 1])
+        affected = (dr_area + dest_area - inter)[:, None]
+        total = (hg * wg)[:, None]
+        state.lo[sub] = np.clip(state.lo[sub] - affected, 0, total)
+        state.hi[sub] = np.clip(state.hi[sub] + affected, 0, total)
+        state.dr[sub] = dest
+
+
+def _kernel_merge_crop(
+    state: BatchRuleState, rows: np.ndarray, fail: FailCallback
+) -> int:
+    """Merge with NULL target; returns the number of rows applied."""
+    live, _ = _merge_live_rows(state, rows, fail)
+    if live.size == 0:
+        return 0
+    d = state.dr[live]
+    area = (d[:, 2] - d[:, 0]) * (d[:, 3] - d[:, 1])
+    outside = _totals(state, live) - area
+    state.lo[live] = np.maximum(state.lo[live] - outside[:, None], 0)
+    state.hi[live] = np.minimum(state.hi[live], area[:, None])
+    nh = d[:, 2] - d[:, 0]
+    nw = d[:, 3] - d[:, 1]
+    state.heights[live] = nh
+    state.widths[live] = nw
+    zeros = np.zeros_like(nh)
+    state.dr[live] = np.stack([zeros, zeros, nh, nw], axis=1)
+    return int(_validate_rows(state, live, fail).size)
+
+
+def _kernel_merge_target(
+    state: BatchRuleState,
+    rows: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    resolve: BatchTargetResolver,
+    fill_bin: int,
+    fail: FailCallback,
+) -> int:
+    """Merge onto resolved targets; returns the number of rows applied.
+
+    The empty-DR check precedes target resolution, matching the scalar
+    rule's raise order; ``resolve`` reports per-row resolution failures
+    through ``fail`` itself and returns the surviving subset.
+    """
+    live, live_pos = _merge_live_rows(state, rows, fail)
+    if live.size == 0:
+        return 0
+    ok, t_lo, t_hi, t_h, t_w = resolve(live, live_pos)
+    sub = live[ok]
+    if sub.size == 0:
+        return 0
+    sub_pos = live_pos[ok]
+    x = x[sub_pos]
+    y = y[sub_pos]
+    d = state.dr[sub]
+    dr_h = d[:, 2] - d[:, 0]
+    dr_w = d[:, 3] - d[:, 1]
+    area = dr_h * dr_w
+    outside = _totals(state, sub) - area
+    dr_lo = np.maximum(state.lo[sub] - outside[:, None], 0)
+    dr_hi = np.minimum(state.hi[sub], area[:, None])
+    t_total = t_h * t_w
+    # merge_canvas_geometry over rows.
+    nh = np.maximum(x + dr_h, t_h) - np.minimum(x, 0)
+    nw = np.maximum(y + dr_w, t_w) - np.minimum(y, 0)
+    # covered = paste_rect.intersect(target bounds).area
+    ix1 = np.maximum(x, 0)
+    iy1 = np.maximum(y, 0)
+    ix2 = np.minimum(x + dr_h, t_h)
+    iy2 = np.minimum(y + dr_w, t_w)
+    covered = np.where((ix2 > ix1) & (iy2 > iy1), (ix2 - ix1) * (iy2 - iy1), 0)
+    fill_count = nh * nw - area - t_total + covered
+    lo = dr_lo + np.maximum(t_lo - covered[:, None], 0)
+    hi = dr_hi + np.minimum(t_hi, (t_total - covered)[:, None])
+    # Adding zero is the vectorized form of the scalar `if fill_count:`.
+    lo[:, fill_bin] += fill_count
+    hi[:, fill_bin] += fill_count
+    state.lo[sub] = lo
+    state.hi[sub] = hi
+    state.heights[sub] = nh
+    state.widths[sub] = nw
+    zeros = np.zeros_like(nh)
+    state.dr[sub] = np.stack([zeros, zeros, nh, nw], axis=1)
+    return int(_validate_rows(state, sub, fail).size)
+
+
+def _merge_live_rows(
+    state: BatchRuleState, rows: np.ndarray, fail: FailCallback
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fail the empty-DR rows of a Merge group.
+
+    Returns ``(live, live_pos)``: the surviving rows and their positions
+    within the original ``rows`` argument (so aligned per-op columns can
+    be sliced without searching).
+    """
+    areas = _dr_areas(state, rows)
+    empty = areas == 0
+    for row in rows[empty]:
+        fail(int(row), RuleError("Merge rule requires a non-empty Defined Region"))
+    live_pos = np.nonzero(~empty)[0]
+    return rows[live_pos], live_pos
+
+
+def _classify_mutate(op: Mutate) -> Tuple[int, int, int]:
+    """Pre-classify a Mutate into ``(code, sx, sy)`` at compile time."""
+    matrix = op.matrix
+    if (
+        matrix.m11 == 1.0
+        and matrix.m22 == 1.0
+        and matrix.m12 == 0.0
+        and matrix.m21 == 0.0
+        and matrix.m13 == 0.0
+        and matrix.m23 == 0.0
+    ):
+        return (OP_MUTATE_IDENTITY, 1, 1)
+    if matrix.is_integer_scale():
+        return (OP_MUTATE_SCALE, int(round(matrix.m11)), int(round(matrix.m22)))
+    return (OP_MUTATE_GENERAL, 1, 1)
+
+
+def apply_rule_batched(
+    state: BatchRuleState,
+    rows: np.ndarray,
+    op: Operation,
+    ctx: VecRuleContext,
+) -> Dict[int, RuleError]:
+    """Apply one operation's batched kernel to ``rows`` of ``state``.
+
+    This is the single-op entry the rule-soundness prover exercises
+    (RS003): it compiles ``op`` exactly as :class:`CatalogOpTable` does
+    and dispatches to the same private kernels the full-catalog sweep
+    uses, so a parity proof over this function covers the shipped sweep
+    arithmetic.  Returns per-row :class:`RuleError` failures keyed by row
+    index (empty when every row applied cleanly); failed rows' state is
+    unspecified, matching the scalar walk where a raise abandons the
+    image.
+    """
+    errors: Dict[int, RuleError] = {}
+
+    def fail(row: int, error: RuleError) -> None:
+        errors[row] = error
+
+    count = rows.size
+    if isinstance(op, Define):
+        rect4 = np.tile(
+            np.array(
+                [op.rect.x1, op.rect.y1, op.rect.x2, op.rect.y2], dtype=np.int64
+            ),
+            (count, 1),
+        )
+        _kernel_define(state, rows, rect4)
+    elif isinstance(op, Combine):
+        _kernel_combine(state, rows)
+    elif isinstance(op, Modify):
+        old_bins = np.full(count, ctx.quantizer.bin_of(op.rgb_old), dtype=np.int64)
+        new_bins = np.full(count, ctx.quantizer.bin_of(op.rgb_new), dtype=np.int64)
+        _kernel_modify(state, rows, old_bins, new_bins)
+    elif isinstance(op, Mutate):
+        code, sx, sy = _classify_mutate(op)
+        if code != OP_MUTATE_IDENTITY:
+            matrix = op.matrix
+            fmat = np.tile(
+                np.array(
+                    [
+                        matrix.m11,
+                        matrix.m12,
+                        matrix.m13,
+                        matrix.m21,
+                        matrix.m22,
+                        matrix.m23,
+                    ],
+                    dtype=np.float64,
+                ),
+                (count, 1),
+            )
+            _kernel_mutate(
+                state,
+                rows,
+                fmat,
+                np.full(count, code == OP_MUTATE_SCALE, dtype=bool),
+                np.full(count, sx, dtype=np.int64),
+                np.full(count, sy, dtype=np.int64),
+            )
+    elif isinstance(op, Merge):
+        if op.is_crop:
+            _kernel_merge_crop(state, rows, fail)
+        else:
+            bins = state.lo.shape[1]
+
+            def resolve(
+                live: np.ndarray, positions: np.ndarray
+            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+                ok = np.zeros(live.size, dtype=bool)
+                empty = np.zeros((0, bins), dtype=np.int64)
+                none = np.zeros(0, dtype=np.int64)
+                if ctx.resolve_target is None:
+                    for row in live:
+                        fail(
+                            int(row),
+                            RuleError(
+                                f"Merge target {op.target_id!r} requires "
+                                f"a target resolver"
+                            ),
+                        )
+                    return (ok, empty, empty, none, none)
+                try:
+                    t_lo, t_hi, t_height, t_width = ctx.resolve_target(
+                        str(op.target_id)
+                    )
+                except RuleError as exc:
+                    for row in live:
+                        fail(int(row), exc)
+                    return (ok, empty, empty, none, none)
+                ok[:] = True
+                return (
+                    ok,
+                    np.broadcast_to(
+                        np.asarray(t_lo, dtype=np.int64), (live.size, bins)
+                    ),
+                    np.broadcast_to(
+                        np.asarray(t_hi, dtype=np.int64), (live.size, bins)
+                    ),
+                    np.full(live.size, int(t_height), dtype=np.int64),
+                    np.full(live.size, int(t_width), dtype=np.int64),
+                )
+
+            _kernel_merge_target(
+                state,
+                rows,
+                np.full(count, op.x, dtype=np.int64),
+                np.full(count, op.y, dtype=np.int64),
+                resolve,
+                ctx.fill_bin,
+                fail,
+            )
+    else:
+        raise RuleError(f"no rule for operation {op!r}")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# The columnar table
+# ----------------------------------------------------------------------
+@dataclass
+class _RowOps:
+    """One compiled edit sequence (the pre-seal row granule)."""
+
+    codes: np.ndarray
+    params: np.ndarray
+    floats: np.ndarray
+    trefs: np.ndarray
+
+
+class CatalogOpTable:
+    """Append-friendly structure-of-arrays over every edit sequence.
+
+    Rows are append-only with tombstones: an insert appends a compiled
+    row, a delete flips ``alive`` off, and a resave is
+    tombstone-then-append (``row_of`` always points at the live row).
+    :meth:`seal` materializes the contiguous columns, concatenating only
+    rows added since the previous seal; :meth:`compact` rebuilds from
+    live rows once tombstones dominate.  ``version`` bumps on every
+    structural change so sweep plans can be cached against it.
+    """
+
+    def __init__(self, quantizer: UniformQuantizer) -> None:
+        self._quantizer = quantizer
+        self.image_ids: List[str] = []
+        self.base_ids: List[str] = []
+        self.row_of: Dict[str, int] = {}
+        self.target_ids: List[str] = []
+        self._target_index: Dict[str, int] = {}
+        self._refs: List[Tuple[str, ...]] = []
+        self._alive: List[bool] = []
+        self._row_ops: List[_RowOps] = []
+        self.version = 0
+        #: Total sequence compilations ever — the append-friendliness
+        #: metric (an insert must cost exactly one compile).
+        self.compiled_rows = 0
+        self._sealed_rows = 0
+        self.codes = np.zeros(0, dtype=np.int8)
+        self.params = np.zeros((0, 4), dtype=np.int64)
+        self.floats = np.zeros((0, 6), dtype=np.float64)
+        self.trefs = np.zeros(0, dtype=np.int32)
+        self.offsets = np.zeros(1, dtype=np.int64)
+        self.alive = np.zeros(0, dtype=bool)
+        #: Single-slot scheduling cache: repeat sweeps over an unchanged
+        #: table and wanted set skip the reachability/stratification work.
+        self._sweep_plan: Optional["_SweepPlan"] = None
+
+    @property
+    def quantizer(self) -> UniformQuantizer:
+        """The quantizer Modify colors were compiled against."""
+        return self._quantizer
+
+    @property
+    def row_count(self) -> int:
+        """All rows ever appended, tombstoned ones included."""
+        return len(self.image_ids)
+
+    @property
+    def live_count(self) -> int:
+        """Rows that currently describe a catalog image."""
+        return len(self.row_of)
+
+    @property
+    def dead_count(self) -> int:
+        """Tombstoned rows awaiting compaction."""
+        return self.row_count - self.live_count
+
+    @property
+    def op_count(self) -> int:
+        """Total compiled operations across all rows (sealed or not)."""
+        return sum(len(ops.codes) for ops in self._row_ops)
+
+    def upsert(self, image_id: str, sequence: EditSequence) -> int:
+        """Insert or replace ``image_id``'s row; returns the new row index."""
+        self.remove(image_id)
+        row_ops, refs = self._compile(sequence)
+        row = len(self.image_ids)
+        self.image_ids.append(image_id)
+        self.base_ids.append(sequence.base_id)
+        self._refs.append(refs)
+        self._alive.append(True)
+        self._row_ops.append(row_ops)
+        self.row_of[image_id] = row
+        self.version += 1
+        self.compiled_rows += 1
+        return row
+
+    def remove(self, image_id: str) -> bool:
+        """Tombstone ``image_id``'s row; False when it has no live row."""
+        row = self.row_of.pop(image_id, None)
+        if row is None:
+            return False
+        self._alive[row] = False
+        self.version += 1
+        return True
+
+    def refs_of(self, image_id: str) -> Tuple[str, ...]:
+        """Base id followed by Merge-target ids in operation order."""
+        row = self.row_of.get(image_id)
+        if row is None:
+            raise UnknownObjectError(f"no op-table row for {image_id!r}")
+        return self._refs[row]
+
+    def refs_of_row(self, row: int) -> Tuple[str, ...]:
+        """Like :meth:`refs_of` by row index (tombstoned rows included)."""
+        return self._refs[row]
+
+    def clear(self) -> None:
+        """Drop every row (the full-invalidation path)."""
+        version = self.version
+        compiled = self.compiled_rows
+        self.__init__(self._quantizer)  # noqa: PLC2801 — deliberate reset
+        self.version = version + 1
+        self.compiled_rows = compiled
+
+    def seal(self) -> None:
+        """Materialize the contiguous columns for rows added since last seal."""
+        if self._sealed_rows < len(self._row_ops):
+            fresh = self._row_ops[self._sealed_rows :]
+            self.codes = np.concatenate([self.codes] + [r.codes for r in fresh])
+            self.params = np.concatenate([self.params] + [r.params for r in fresh])
+            self.floats = np.concatenate([self.floats] + [r.floats for r in fresh])
+            self.trefs = np.concatenate([self.trefs] + [r.trefs for r in fresh])
+            lengths = np.array([len(r.codes) for r in fresh], dtype=np.int64)
+            self.offsets = np.concatenate(
+                [self.offsets, self.offsets[-1] + np.cumsum(lengths)]
+            )
+            self._sealed_rows = len(self._row_ops)
+        self.alive = np.array(self._alive, dtype=bool)
+
+    def compact(self) -> None:
+        """Rebuild the table from live rows, dropping tombstones."""
+        live = [
+            (self.image_ids[row], self.base_ids[row], self._refs[row], ops)
+            for row, ops in enumerate(self._row_ops)
+            if self._alive[row]
+        ]
+        quantizer = self._quantizer
+        target_ids = self.target_ids
+        target_index = self._target_index
+        version = self.version
+        compiled = self.compiled_rows
+        self.__init__(quantizer)  # noqa: PLC2801 — deliberate reset
+        self.target_ids = target_ids
+        self._target_index = target_index
+        self.compiled_rows = compiled
+        for image_id, base_id, refs, ops in live:
+            row = len(self.image_ids)
+            self.image_ids.append(image_id)
+            self.base_ids.append(base_id)
+            self._refs.append(refs)
+            self._alive.append(True)
+            self._row_ops.append(ops)
+            self.row_of[image_id] = row
+        self.version = version + 1
+
+    def _target_slot(self, target_id: str) -> int:
+        slot = self._target_index.get(target_id)
+        if slot is None:
+            slot = len(self.target_ids)
+            self.target_ids.append(target_id)
+            self._target_index[target_id] = slot
+        return slot
+
+    def _compile(
+        self, sequence: EditSequence
+    ) -> Tuple[_RowOps, Tuple[str, ...]]:
+        """Lower one edit sequence into fixed-width column rows."""
+        count = len(sequence.operations)
+        codes = np.zeros(count, dtype=np.int8)
+        params = np.zeros((count, 4), dtype=np.int64)
+        floats = np.zeros((count, 6), dtype=np.float64)
+        trefs = np.full(count, -1, dtype=np.int32)
+        refs: List[str] = [sequence.base_id]
+        for rank, op in enumerate(sequence.operations):
+            if isinstance(op, Define):
+                codes[rank] = OP_DEFINE
+                params[rank] = (op.rect.x1, op.rect.y1, op.rect.x2, op.rect.y2)
+            elif isinstance(op, Combine):
+                codes[rank] = OP_COMBINE
+            elif isinstance(op, Modify):
+                codes[rank] = OP_MODIFY
+                params[rank, 0] = self._quantizer.bin_of(op.rgb_old)
+                params[rank, 1] = self._quantizer.bin_of(op.rgb_new)
+            elif isinstance(op, Mutate):
+                code, sx, sy = _classify_mutate(op)
+                codes[rank] = code
+                params[rank, 0] = sx
+                params[rank, 1] = sy
+                matrix = op.matrix
+                floats[rank] = (
+                    matrix.m11,
+                    matrix.m12,
+                    matrix.m13,
+                    matrix.m21,
+                    matrix.m22,
+                    matrix.m23,
+                )
+            elif isinstance(op, Merge):
+                if op.is_crop:
+                    codes[rank] = OP_MERGE_CROP
+                else:
+                    codes[rank] = OP_MERGE_TARGET
+                    target_id = str(op.target_id)
+                    trefs[rank] = self._target_slot(target_id)
+                    refs.append(target_id)
+                params[rank, 0] = op.x
+                params[rank, 1] = op.y
+            else:
+                raise RuleError(f"no rule for operation {op!r}")
+        return (_RowOps(codes, params, floats, trefs), tuple(refs))
+
+
+# ----------------------------------------------------------------------
+# The full-catalog sweep
+# ----------------------------------------------------------------------
+@dataclass
+class SweepOutcome:
+    """Everything one batched sweep produced.
+
+    ``results`` maps image id to a read-only ``(lo, hi, height, width)``
+    matching :data:`repro.core.bounds.AllBinsBounds`; ``failures`` holds
+    the exact per-image error the scalar walk would have raised;
+    ``swept_ids`` lists every row actually computed (requested images
+    plus transitive edited references) for dependency registration;
+    ``ops_applied`` counts successful rule applications, the §5 work
+    metric.
+    """
+
+    results: Dict[str, Tuple[np.ndarray, np.ndarray, int, int]] = field(
+        default_factory=dict
+    )
+    failures: Dict[str, ReproError] = field(default_factory=dict)
+    swept_ids: Tuple[str, ...] = ()
+    ops_applied: int = 0
+
+
+@dataclass
+class _SweepPlan:
+    """Cached scheduling artifacts for one (table version, wanted set).
+
+    Reachability and stratification are pure functions of the table
+    structure and the wanted rows, so repeat sweeps — the steady state
+    once the table is compiled — reuse them and go straight to kernel
+    dispatch.  Everything here is read-only during a sweep.
+    """
+
+    version: int
+    wanted_rows: FrozenSet[int]
+    rows: List[int]
+    heights: Dict[int, float]
+    strata: List[np.ndarray]
+
+
+class _Sweep:
+    """One sweep execution: scheduling, init, rank dispatch, errors."""
+
+    def __init__(
+        self,
+        table: CatalogOpTable,
+        store: "BoundsStoreLike",
+        fill_color: ColorTuple,
+        max_depth: int,
+        wanted: Sequence[str],
+    ) -> None:
+        table.seal()
+        self.table = table
+        self.store = store
+        self.fill_color = fill_color
+        self.max_depth = max_depth
+        self.wanted = [w for w in wanted if w in table.row_of]
+        self.bins = table.quantizer.bin_count
+        self.fill_bin = table.quantizer.bin_of(fill_color)
+        self.state = BatchRuleState.zeros(table.row_count, self.bins)
+        self.failed: Dict[int, ReproError] = {}
+        self.failed_mask = np.zeros(table.row_count, dtype=bool)
+        self.done = np.zeros(table.row_count, dtype=bool)
+        self.heights: Dict[int, float] = {}
+        self.ops_applied = 0
+        self._binary_memo: Dict[
+            str, Union[Tuple[np.ndarray, int, int], ReproError]
+        ] = {}
+
+    # -- scheduling ----------------------------------------------------
+    def _needed_rows(self) -> List[int]:
+        """Rows reachable from the wanted ids through live references."""
+        table = self.table
+        seen: Set[int] = set()
+        stack = [table.row_of[image_id] for image_id in self.wanted]
+        while stack:
+            row = stack.pop()
+            if row in seen:
+                continue
+            seen.add(row)
+            for ref in table.refs_of_row(row):
+                ref_row = table.row_of.get(ref)
+                if ref_row is not None and ref_row not in seen:
+                    stack.append(ref_row)
+        return sorted(seen)
+
+    def _ref_heights(self, rows: Sequence[int]) -> Dict[int, float]:
+        """Longest ref-path (edges) to a leaf per row; inf marks cycles."""
+        table = self.table
+        children: Dict[int, List[int]] = {}
+        waiting: Dict[int, int] = {}
+        dependents: Dict[int, List[int]] = {}
+        for row in rows:
+            refs = [
+                table.row_of[ref]
+                for ref in table.refs_of_row(row)
+                if ref in table.row_of
+            ]
+            children[row] = refs
+            waiting[row] = len(refs)
+            for ref_row in refs:
+                dependents.setdefault(ref_row, []).append(row)
+        heights: Dict[int, float] = {}
+        ready = [row for row in rows if waiting[row] == 0]
+        while ready:
+            row = ready.pop()
+            heights[row] = 1.0 + max(
+                (heights[child] for child in children[row]), default=0.0
+            )
+            for dependent in dependents.get(row, ()):
+                waiting[dependent] -= 1
+                if waiting[dependent] == 0:
+                    ready.append(dependent)
+        for row in rows:
+            heights.setdefault(row, math.inf)
+        return heights
+
+    def _base_chain_height(self, row: int, memo: Dict[int, float]) -> float:
+        """Height along base edges only; inf for base-chain cycles."""
+        table = self.table
+        chain: List[int] = []
+        on_chain: Set[int] = set()
+        current: Optional[int] = row
+        while current is not None and current not in memo:
+            if current in on_chain:
+                for member in chain:
+                    memo[member] = math.inf
+                break
+            chain.append(current)
+            on_chain.add(current)
+            current = table.row_of.get(table.base_ids[current])
+        for member in reversed(chain):
+            if member in memo:
+                continue
+            base_row = table.row_of.get(table.base_ids[member])
+            memo[member] = (
+                1.0 if base_row is None else 1.0 + memo.get(base_row, math.inf)
+            )
+        return memo[row]
+
+    def _strata(self, rows: List[int]) -> List[np.ndarray]:
+        """Dependency-safe batches: references always land in earlier ones."""
+        self.heights = self._ref_heights(rows)
+        finite: Dict[float, List[int]] = {}
+        infinite: List[int] = []
+        for row in rows:
+            height = self.heights[row]
+            if math.isinf(height):
+                infinite.append(row)
+            else:
+                finite.setdefault(height, []).append(row)
+        strata = [
+            np.array(sorted(finite[height]), dtype=np.int64)
+            for height in sorted(finite)
+        ]
+        if infinite:
+            # Rows above reference cycles still need their base values in
+            # order, so batch them by base-chain height; base-cycle rows
+            # fail at init and can share the final batch.
+            memo: Dict[int, float] = {}
+            buckets: Dict[float, List[int]] = {}
+            tail: List[int] = []
+            for row in infinite:
+                chain_height = self._base_chain_height(row, memo)
+                if math.isinf(chain_height):
+                    tail.append(row)
+                else:
+                    buckets.setdefault(chain_height, []).append(row)
+            strata.extend(
+                np.array(sorted(buckets[height]), dtype=np.int64)
+                for height in sorted(buckets)
+            )
+            if tail:
+                strata.append(np.array(sorted(tail), dtype=np.int64))
+        return strata
+
+    # -- structural error replay ---------------------------------------
+    def _fetch_binary(
+        self, image_id: str
+    ) -> Union[Tuple[np.ndarray, int, int], ReproError]:
+        cached = self._binary_memo.get(image_id)
+        if cached is not None:
+            return cached
+        result: Union[Tuple[np.ndarray, int, int], ReproError]
+        try:
+            record = self.store.lookup_for_bounds(image_id)
+        except ReproError as exc:
+            result = exc
+        else:
+            if isinstance(record, tuple):
+                histogram, height, width = record
+                result = (histogram.counts, height, width)
+            elif isinstance(record, EditSequence):
+                # The coverage fixpoint should have compiled this row;
+                # reaching here means the table is stale mid-sweep.
+                result = RuleError(
+                    f"op table has no row for edited image {image_id!r}"
+                )
+            else:
+                result = UnknownObjectError(
+                    f"unexpected store record for {image_id!r}"
+                )
+        self._binary_memo[image_id] = result
+        return result
+
+    def _structural_error(
+        self, image_id: str, visiting: FrozenSet[str], depth: int
+    ) -> Optional[ReproError]:
+        """Replay the scalar walk's structural checks from ``image_id``.
+
+        Mirrors ``_all_bins_inner``'s order — cyclic check, then depth,
+        then store lookup, then base-first/targets-in-op-order recursion —
+        so cycle, depth, and unknown-id failures surface with the exact
+        message the per-image walk raises.  Returns None when the walk is
+        structurally sound (any remaining failure is a rule error owned
+        by some referenced row).
+        """
+        try:
+            self._structural_visit(image_id, visiting, depth)
+        except ReproError as exc:
+            return exc
+        return None
+
+    def _structural_visit(
+        self, image_id: str, visiting: FrozenSet[str], depth: int
+    ) -> None:
+        if image_id in visiting:
+            raise RuleError(f"cyclic Merge reference through {image_id!r}")
+        if depth <= 0:
+            raise RuleError(
+                f"Merge recursion deeper than {self.max_depth} at {image_id!r}"
+            )
+        row = self.table.row_of.get(image_id)
+        if row is None:
+            fetched = self._fetch_binary(image_id)
+            if isinstance(fetched, ReproError):
+                raise fetched
+            return
+        inner = visiting | {image_id}
+        for ref in self.table.refs_of_row(row):
+            self._structural_visit(ref, inner, depth - 1)
+
+    # -- execution ------------------------------------------------------
+    def run(self) -> SweepOutcome:
+        table = self.table
+        wanted_rows = frozenset(table.row_of[image_id] for image_id in self.wanted)
+        plan = table._sweep_plan
+        if (
+            plan is None
+            or plan.version != table.version
+            or plan.wanted_rows != wanted_rows
+        ):
+            rows = self._needed_rows()
+            strata = self._strata(rows)
+            plan = _SweepPlan(
+                table.version, wanted_rows, rows, self.heights, strata
+            )
+            table._sweep_plan = plan
+        else:
+            self.heights = plan.heights
+        rows = plan.rows
+        for stratum in plan.strata:
+            self._run_stratum(stratum)
+        outcome = SweepOutcome(ops_applied=self.ops_applied)
+        # The state matrices die with the sweep, so per-row results are
+        # read-only views into them rather than 2·R row copies.
+        self.state.lo.setflags(write=False)
+        self.state.hi.setflags(write=False)
+        heights = self.state.heights
+        widths = self.state.widths
+        swept = []
+        for row in rows:
+            image_id = table.image_ids[row]
+            swept.append(image_id)
+            error = self.failed.get(row)
+            if error is not None:
+                outcome.failures[image_id] = error
+                continue
+            outcome.results[image_id] = (
+                self.state.lo[row],
+                self.state.hi[row],
+                int(heights[row]),
+                int(widths[row]),
+            )
+        outcome.swept_ids = tuple(swept)
+        return outcome
+
+    def _fail(self, row: int, error: ReproError) -> None:
+        if row not in self.failed:
+            self.failed[row] = error
+            self.failed_mask[row] = True
+
+    def _init_rows(self, rows: np.ndarray) -> None:
+        """Seed each row from its base image's interval (or fail it)."""
+        table = self.table
+        by_binary: Dict[str, List[int]] = {}
+        from_rows: List[int] = []
+        base_rows: List[int] = []
+        for row in rows:
+            row_i = int(row)
+            image_id = table.image_ids[row_i]
+            base_id = table.base_ids[row_i]
+            base_row = table.row_of.get(base_id)
+            if base_row is None:
+                if base_id == image_id or self.max_depth < 2:
+                    self._fail_structurally(row_i)
+                else:
+                    by_binary.setdefault(base_id, []).append(row_i)
+            else:
+                base_height = self.heights.get(base_row, math.inf)
+                # The base is walked before any op, so base-chain cycles,
+                # depth overruns, and failed bases surface at init; a
+                # row's *own* cyclic or too-deep Merge targets must wait
+                # for their op rank (scalar raise order).
+                if base_row in self.failed or base_height > self.max_depth - 2:
+                    self._fail_structurally(row_i, inherited_from=base_row)
+                else:
+                    from_rows.append(row_i)
+                    base_rows.append(base_row)
+        for base_id, targets in by_binary.items():
+            fetched = self._fetch_binary(base_id)
+            sub = np.array(targets, dtype=np.int64)
+            if isinstance(fetched, ReproError):
+                for row_i in targets:
+                    self._fail(row_i, fetched)
+                continue
+            counts, height, width = fetched
+            self.state.lo[sub] = counts[None, :]
+            self.state.hi[sub] = counts[None, :]
+            self.state.heights[sub] = height
+            self.state.widths[sub] = width
+            self.state.dr[sub] = np.array([0, 0, height, width], dtype=np.int64)
+        if from_rows:
+            sub = np.array(from_rows, dtype=np.int64)
+            src = np.array(base_rows, dtype=np.int64)
+            self.state.lo[sub] = self.state.lo[src]
+            self.state.hi[sub] = self.state.hi[src]
+            heights = self.state.heights[src]
+            widths = self.state.widths[src]
+            self.state.heights[sub] = heights
+            self.state.widths[sub] = widths
+            zeros = np.zeros_like(heights)
+            self.state.dr[sub] = np.stack([zeros, zeros, heights, widths], axis=1)
+
+    def _fail_structurally(
+        self, row: int, inherited_from: Optional[int] = None
+    ) -> None:
+        image_id = self.table.image_ids[row]
+        error = self._structural_error(image_id, frozenset(), self.max_depth)
+        if error is None and inherited_from is not None:
+            error = self.failed.get(inherited_from)
+        if error is None:
+            error = RuleError(
+                f"unresolvable base chain for {image_id!r}"
+            )  # pragma: no cover — defensive; structural walk finds real causes
+        self._fail(row, error)
+
+    def _run_stratum(self, rows: np.ndarray) -> None:
+        if rows.size == 0:
+            return
+        self._init_rows(rows)
+        table = self.table
+        lengths = table.offsets[rows + 1] - table.offsets[rows]
+        max_len = int(lengths.max())
+        self._complete(rows[(lengths == 0) & ~self.failed_mask[rows]])
+        for rank in range(max_len):
+            active = rows[(lengths > rank) & ~self.failed_mask[rows]]
+            if active.size == 0:
+                continue
+            idx = table.offsets[active] + rank
+            codes = table.codes[idx]
+            for code in np.unique(codes):
+                group_sel = codes == code
+                self._dispatch(int(code), active[group_sel], idx[group_sel])
+            self._complete(
+                rows[(lengths == rank + 1) & ~self.failed_mask[rows]]
+            )
+
+    def _complete(self, rows: np.ndarray) -> None:
+        """End-of-sequence validate (the walk's final ``state.validate()``)."""
+        if rows.size == 0:
+            return
+        surviving = _validate_rows(self.state, rows, self._fail)
+        self.done[surviving] = True
+
+    def _dispatch(self, code: int, rows: np.ndarray, idx: np.ndarray) -> None:
+        table = self.table
+        state = self.state
+        before = len(self.failed)
+        if code == OP_DEFINE:
+            _kernel_define(state, rows, table.params[idx])
+        elif code == OP_COMBINE:
+            _kernel_combine(state, rows)
+        elif code == OP_MODIFY:
+            _kernel_modify(state, rows, table.params[idx, 0], table.params[idx, 1])
+        elif code == OP_MUTATE_IDENTITY:
+            pass
+        elif code in (OP_MUTATE_SCALE, OP_MUTATE_GENERAL):
+            _kernel_mutate(
+                state,
+                rows,
+                table.floats[idx],
+                np.full(rows.size, code == OP_MUTATE_SCALE, dtype=bool),
+                table.params[idx, 0],
+                table.params[idx, 1],
+            )
+        elif code == OP_MERGE_CROP:
+            _kernel_merge_crop(state, rows, self._fail)
+        elif code == OP_MERGE_TARGET:
+            _kernel_merge_target(
+                state,
+                rows,
+                table.params[idx, 0],
+                table.params[idx, 1],
+                self._make_target_resolver(rows, idx),
+                self.fill_bin,
+                self._fail,
+            )
+        else:  # pragma: no cover — compile assigns only known codes
+            raise RuleError(f"unknown op code {code}")
+        self.ops_applied += rows.size - (len(self.failed) - before)
+
+    def _make_target_resolver(
+        self, rows: np.ndarray, idx: np.ndarray
+    ) -> BatchTargetResolver:
+        """Resolver over the table's computed rows and binary store data."""
+        table = self.table
+        del rows  # positions passed to resolve index into ``idx`` directly
+
+        def resolve(
+            live: np.ndarray, positions: np.ndarray
+        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+            count = live.size
+            ok = np.zeros(count, dtype=bool)
+            t_lo = np.zeros((count, self.bins), dtype=np.int64)
+            t_hi = np.zeros((count, self.bins), dtype=np.int64)
+            t_h = np.zeros(count, dtype=np.int64)
+            t_w = np.zeros(count, dtype=np.int64)
+            slots = table.trefs[idx[positions]]
+            for slot in np.unique(slots):
+                target_id = table.target_ids[int(slot)]
+                members = np.nonzero(slots == slot)[0]
+                target_row = table.row_of.get(target_id)
+                if target_row is not None:
+                    target_height = self.heights.get(target_row, math.inf)
+                    if (
+                        not math.isinf(target_height)
+                        and target_height <= self.max_depth - 2
+                        and self.done[target_row]
+                        and target_row not in self.failed
+                    ):
+                        ok[members] = True
+                        t_lo[members] = self.state.lo[target_row]
+                        t_hi[members] = self.state.hi[target_row]
+                        t_h[members] = self.state.heights[target_row]
+                        t_w[members] = self.state.widths[target_row]
+                    else:
+                        # Structural replay per source row: the scalar
+                        # walk resolves targets with the *source* image
+                        # in its visiting set.
+                        for member in members:
+                            row_i = int(live[member])
+                            source_id = table.image_ids[row_i]
+                            error: Optional[ReproError] = self._structural_error(
+                                target_id,
+                                frozenset({source_id}),
+                                self.max_depth - 1,
+                            )
+                            if error is None:
+                                error = self.failed.get(target_row)
+                            if error is None:  # pragma: no cover — defensive
+                                error = RuleError(
+                                    f"unresolvable Merge target {target_id!r}"
+                                )
+                            self._fail(row_i, error)
+                else:
+                    fetched = self._fetch_binary(target_id)
+                    if isinstance(fetched, ReproError):
+                        for member in members:
+                            self._fail(int(live[member]), fetched)
+                        continue
+                    counts, height, width = fetched
+                    ok[members] = True
+                    t_lo[members] = counts[None, :]
+                    t_hi[members] = counts[None, :]
+                    t_h[members] = height
+                    t_w[members] = width
+            return (ok, t_lo[ok], t_hi[ok], t_h[ok], t_w[ok])
+
+        return resolve
+
+
+class BoundsStoreLike:
+    """Structural stand-in for :class:`repro.core.bounds.BoundsStore`.
+
+    Declared here (rather than imported) to keep ``optable`` importable
+    from ``bounds`` without a cycle; any object with the catalog's
+    ``lookup_for_bounds`` contract works.
+    """
+
+    def lookup_for_bounds(
+        self, image_id: str
+    ) -> Union[Tuple[ColorHistogram, int, int], EditSequence]:
+        """``(histogram, h, w)`` for binary images, sequence for edited."""
+        raise NotImplementedError
+
+
+def sweep_table(
+    table: CatalogOpTable,
+    store: BoundsStoreLike,
+    wanted: Sequence[str],
+    fill_color: ColorTuple = (0, 0, 0),
+    max_depth: int = 8,
+) -> SweepOutcome:
+    """Compute all-bins BOUNDS for ``wanted`` rows in one batched sweep.
+
+    ``wanted`` ids without a table row are silently skipped (the engine
+    resolves binary and unknown ids before sweeping); everything else
+    lands in ``results`` or ``failures``.
+    """
+    return _Sweep(table, store, fill_color, max_depth, wanted).run()
+
+
+class OpTableManager:
+    """Keeps a :class:`CatalogOpTable` fresh off the engine's change feed.
+
+    Subscribe :meth:`on_invalidation` via
+    :meth:`repro.core.bounds.BoundsEngine.add_invalidation_listener`;
+    every catalog mutation then marks the image dirty and the next
+    :meth:`compute` reconciles just those rows — recompile on resave,
+    tombstone on delete, full reset on a whole-cache flush — before
+    extending coverage to any newly referenced sequences and sweeping.
+    Thread-safe for concurrent readers: the service serializes writers,
+    but multiple query threads may trigger coverage compiles at once.
+    """
+
+    def __init__(
+        self, store: BoundsStoreLike, quantizer: UniformQuantizer
+    ) -> None:
+        self._store = store
+        self._table = CatalogOpTable(quantizer)
+        self._dirty: Set[str] = set()
+        self._full_dirty = False
+        self._lock = threading.Lock()
+        #: Reconciliation counters for observability and tests.
+        self.recompiled = 0
+        self.tombstoned = 0
+        self.compactions = 0
+
+    @property
+    def table(self) -> CatalogOpTable:
+        """The live columnar table (callers must not mutate it)."""
+        return self._table
+
+    def on_invalidation(self, image_id: Optional[str]) -> None:
+        """Change-feed callback: ``None`` flushes, ids mark dirty."""
+        with self._lock:
+            if image_id is None:
+                self._full_dirty = True
+            else:
+                self._dirty.add(image_id)
+
+    def refresh(self, requested: Sequence[str]) -> None:
+        """Reconcile dirty rows and compile coverage for ``requested``."""
+        with self._lock:
+            self._refresh_locked(requested)
+
+    def _refresh_locked(self, requested: Sequence[str]) -> None:
+        table = self._table
+        if self._full_dirty:
+            table.clear()
+            self._full_dirty = False
+            self._dirty.clear()
+        if self._dirty:
+            for image_id in sorted(self._dirty):
+                if image_id not in table.row_of:
+                    continue
+                try:
+                    record = self._store.lookup_for_bounds(image_id)
+                except ReproError:
+                    record = None
+                if isinstance(record, EditSequence):
+                    table.upsert(image_id, record)
+                    self.recompiled += 1
+                else:
+                    table.remove(image_id)
+                    self.tombstoned += 1
+            self._dirty.clear()
+        # Coverage fixpoint: every requested edited image and every
+        # edited image transitively referenced by one gets a row.
+        stack = list(requested)
+        seen: Set[str] = set()
+        while stack:
+            image_id = stack.pop()
+            if image_id in seen:
+                continue
+            seen.add(image_id)
+            if image_id in table.row_of:
+                refs = table.refs_of(image_id)
+            else:
+                try:
+                    record = self._store.lookup_for_bounds(image_id)
+                except ReproError:
+                    continue
+                if not isinstance(record, EditSequence):
+                    continue
+                table.upsert(image_id, record)
+                refs = table.refs_of(image_id)
+            stack.extend(ref for ref in refs if ref not in seen)
+        if table.dead_count > max(table.live_count, 32):
+            table.compact()
+            self.compactions += 1
+
+    def compute(
+        self,
+        requested: Sequence[str],
+        fill_color: ColorTuple = (0, 0, 0),
+        max_depth: int = 8,
+    ) -> SweepOutcome:
+        """Refresh then sweep: all-bins BOUNDS for ``requested`` ids."""
+        with self._lock:
+            self._refresh_locked(requested)
+            return sweep_table(
+                self._table,
+                self._store,
+                wanted=requested,
+                fill_color=fill_color,
+                max_depth=max_depth,
+            )

@@ -206,9 +206,11 @@ class SimilaritySearch:
             )
 
         candidates: List[Tuple[float, str]] = []
-        for image_id in self._catalog.edited_ids():
+        edited_ids = list(self._catalog.edited_ids())
+        for image_id, (lower, upper) in zip(
+            edited_ids, self._engine.fraction_bounds_all_bins_batch(edited_ids)
+        ):
             stats.candidates_considered += 1
-            lower, upper = self._engine.fraction_bounds_all_bins(image_id)
             candidates.append(
                 (l1_lower_bound(query_fractions, lower, upper), image_id)
             )
@@ -249,9 +251,11 @@ class SimilaritySearch:
             if distance <= epsilon:
                 matches.append((distance, image_id))
 
-        for image_id in self._catalog.edited_ids():
+        edited_ids = list(self._catalog.edited_ids())
+        for image_id, (lower, upper) in zip(
+            edited_ids, self._engine.fraction_bounds_all_bins_batch(edited_ids)
+        ):
             stats.candidates_considered += 1
-            lower, upper = self._engine.fraction_bounds_all_bins(image_id)
             if l1_lower_bound(query_fractions, lower, upper) > epsilon:
                 stats.edited_pruned += 1
                 continue
@@ -294,9 +298,11 @@ class SimilaritySearch:
             best.push((-similarity, image_id))
 
         candidates: List[Tuple[float, str]] = []
-        for image_id in self._catalog.edited_ids():
+        edited_ids = list(self._catalog.edited_ids())
+        for image_id, (_, upper) in zip(
+            edited_ids, self._engine.fraction_bounds_all_bins_batch(edited_ids)
+        ):
             stats.candidates_considered += 1
-            _, upper = self._engine.fraction_bounds_all_bins(image_id)
             bound = intersection_upper_bound(query_fractions, upper)
             candidates.append((-bound, image_id))
         heapq.heapify(candidates)

@@ -81,7 +81,7 @@ def build_edited_bounds_index(
     *,
     max_entries: int = 8,
 ) -> IntervalIndex:
-    """Index every edited image's BOUNDS box from one vectorized walk each.
+    """Index every edited image's BOUNDS box from one columnar sweep.
 
     The box for image ``E`` spans ``[BOUND_min/size, BOUND_max/size]``
     in every bin dimension, so a single-bin query slab intersects it iff
@@ -97,8 +97,10 @@ def build_edited_bounds_index(
             f"unknown interval index kind {kind!r}; "
             f"expected one of {INTERVAL_INDEX_KINDS}"
         )
-    for image_id in catalog.edited_ids():
-        lower, upper = engine.fraction_bounds_all_bins(image_id)
+    edited_ids = list(catalog.edited_ids())
+    for image_id, (lower, upper) in zip(
+        edited_ids, engine.fraction_bounds_all_bins_batch(edited_ids)
+    ):
         index.insert(MBR(lower, upper), image_id)
     return index
 

@@ -95,6 +95,39 @@ class TestCostModel:
         assert warm.estimated_cost < cold.estimated_cost
         planner.close()
 
+    def test_batched_wins_large_catalogs_loses_tiny_ones(self):
+        """The measured constants pin the crossover: the columnar sweep
+        beats both classic strategies on a 10k-image catalog and loses
+        to them on a small one, across the selectivity range."""
+        from repro.service.planner import CatalogProfile
+
+        planner = CostBasedPlanner(MultimediaDatabase())
+        tiny = CatalogProfile(
+            binary_count=4,
+            edited_count=12,
+            total_operations=50,
+            main_edited=8,
+            unclassified=4,
+        )
+        large = CatalogProfile(
+            binary_count=100,
+            edited_count=10_000,
+            total_operations=50_000,
+            main_edited=7_000,
+            unclassified=3_000,
+        )
+        for selectivity in (0.05, 0.5, 0.95):
+            tiny_batched = planner._cost_vectorized(tiny).estimated_cost
+            assert tiny_batched > planner._cost_linear_rbm(tiny).estimated_cost
+            assert tiny_batched > planner._cost_bwm(tiny, selectivity).estimated_cost
+            large_batched = planner._cost_vectorized(large).estimated_cost
+            assert large_batched < planner._cost_linear_rbm(large).estimated_cost
+            assert (
+                large_batched
+                < planner._cost_bwm(large, selectivity).estimated_cost
+            )
+        planner.close()
+
     def test_selectivity_steers_bwm_cost(self, small_database):
         """A near-certain base match short-circuits clusters: BWM gets cheap."""
         planner = CostBasedPlanner(small_database)
