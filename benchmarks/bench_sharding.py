@@ -1,0 +1,309 @@
+"""Sharded catalog under sustained ingest and a zipfian churn/query mix.
+
+Two claims, measured:
+
+1. **Sustained ingest** — the WAL-durable streaming path (append, fsync,
+   apply, under the owning shard's write lock) sustains a usable
+   mutation rate, and the rate is reported per shard count so the
+   scatter layer's overhead over a single catalog is visible.
+
+2. **Cost-aware compaction pays on a zipfian mix** — a skewed update
+   stream keeps re-invalidating the hot base images' dependents, so a
+   query arriving after churn pays the full Table 1 re-walk for every
+   dropped BOUNDS matrix.  With the background compactor re-warming
+   after each churn burst, that walk happens off the query path: the
+   per-query work-unit (histogram checks + rule applications, the
+   paper's §5 currency) p95 must drop measurably.  Work units are
+   deterministic counts, so the acceptance bound is exact, not a timing
+   gamble.  Result parity between the compaction-on and compaction-off
+   runs is asserted query by query.
+
+Artifacts: ``benchmarks/results/sharding.txt`` (human table) and
+``benchmarks/results/sharding.json`` (machine-readable twin validated
+by ``repro.bench.schema`` in CI).
+
+Environment knobs for CI smoke runs: ``REPRO_BENCH_SHARDING_SCALE``
+(default 1.0, scales the corpus), ``REPRO_BENCH_SHARDING_ROUNDS``
+(default 12 churn/query rounds), ``REPRO_BENCH_SHARDING_QUERIES``
+(default 6 queries per round).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_json_result, write_result
+from repro.bench.reporting import format_table
+from repro.color.names import FLAG_PALETTE
+from repro.core.query import RangeQuery
+from repro.editing.operations import Combine, Define, Merge, Modify, Mutate
+from repro.editing.sequence import EditSequence
+from repro.images.generators import random_palette_image
+from repro.service.metrics import percentile
+from repro.shard import CompactionPolicy, Compactor, ShardedCatalog
+
+SCALE = float(os.environ.get("REPRO_BENCH_SHARDING_SCALE", "1.0"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_SHARDING_ROUNDS", "12"))
+QUERIES_PER_ROUND = int(os.environ.get("REPRO_BENCH_SHARDING_QUERIES", "6"))
+
+BINARY_COUNT = max(4, int(24 * SCALE))
+EDITED_COUNT = max(4, int(48 * SCALE))
+CHURN_PER_ROUND = 3
+SHARD_COUNTS = (1, 4)
+
+#: Acceptance bound: compaction must cut the zipfian mix's per-query
+#: work-unit p95 by at least this fraction.  Work units are
+#: deterministic, so this is a hard floor, not a noise-tolerant bound.
+MIN_P95_REDUCTION = 0.05
+
+#: The background compactor's eager posture for the bench: every edited
+#: image is a candidate the moment a query has touched its shard.
+EAGER = CompactionPolicy(
+    min_ops=1, max_per_cycle=256, min_score=0.0, require_demand=False
+)
+
+
+def _random_image(rng: np.random.Generator):
+    return random_palette_image(rng, 10, 12, FLAG_PALETTE)
+
+
+def _random_sequence(rng: np.random.Generator, base_id: str) -> EditSequence:
+    """A longish shard-local sequence: compaction leverage grows with
+    operation count (each dropped matrix costs a full re-walk)."""
+    count = int(rng.integers(4, 11))
+    ops: List[object] = []
+    for _ in range(count):
+        roll = int(rng.integers(0, 5))
+        if roll == 0:
+            ops.append(Define.of(1, 1, 8, 9))
+        elif roll == 1:
+            ops.append(Combine.box())
+        elif roll == 2:
+            old = FLAG_PALETTE[int(rng.integers(0, len(FLAG_PALETTE)))]
+            new = FLAG_PALETTE[int(rng.integers(0, len(FLAG_PALETTE)))]
+            ops.append(Modify(old, new))
+        elif roll == 3:
+            ops.append(Mutate.translation(int(rng.integers(-2, 3)), 1))
+        else:
+            ops.append(Merge(base_id, int(rng.integers(0, 3)), 1))
+    return EditSequence(base_id, tuple(ops))
+
+
+def _corpus(seed: int):
+    """A deterministic insert stream: (kind, payload) tuples."""
+    rng = np.random.default_rng(seed)
+    stream: List[Tuple[str, object, str]] = []
+    base_ids = [f"flag-{index:04d}" for index in range(BINARY_COUNT)]
+    for image_id in base_ids:
+        stream.append(("binary", _random_image(rng), image_id))
+    for index in range(EDITED_COUNT):
+        base = base_ids[index % len(base_ids)]
+        stream.append(
+            ("edited", _random_sequence(rng, base), f"edit-{index:04d}")
+        )
+    return stream, base_ids
+
+
+def _ingest(catalog: ShardedCatalog, stream) -> float:
+    started = time.perf_counter()
+    for kind, payload, image_id in stream:
+        if kind == "binary":
+            catalog.insert_image(payload, image_id=image_id)
+        else:
+            catalog.insert_edited(payload, image_id=image_id)
+    return time.perf_counter() - started
+
+
+def _zipf_weights(count: int) -> np.ndarray:
+    weights = 1.0 / np.arange(1, count + 1)
+    return weights / weights.sum()
+
+
+def _work_units(result) -> int:
+    return result.stats.histograms_checked + result.stats.rules_applied
+
+
+def _churn_query_mix(catalog, base_ids, compactor, seed):
+    """ROUNDS bursts of zipf-skewed base updates, each followed by a
+    query batch; returns (per-query work units, per-query matches)."""
+    rng = np.random.default_rng(seed)
+    weights = _zipf_weights(len(base_ids))
+    work: List[int] = []
+    matches: List[frozenset] = []
+    for _ in range(ROUNDS):
+        for _ in range(CHURN_PER_ROUND):
+            victim = base_ids[int(rng.choice(len(base_ids), p=weights))]
+            catalog.update_image(victim, _random_image(rng))
+        if compactor is not None:
+            compactor.run_once()
+        for _ in range(QUERIES_PER_ROUND):
+            bin_index = int(rng.integers(0, catalog.quantizer.bin_count))
+            pct_min = float(rng.uniform(0.0, 0.3))
+            query = RangeQuery(bin_index, pct_min, pct_min + 0.4)
+            result = catalog.range_query(query, method="rbm")
+            work.append(_work_units(result))
+            matches.append(frozenset(result.matches))
+    return work, matches
+
+
+def _percentiles(samples: List[int]) -> Dict[str, float]:
+    ordered = sorted(samples)
+    return {
+        "count": len(ordered),
+        "p50": percentile(ordered, 0.50),
+        "p95": percentile(ordered, 0.95),
+        "mean": float(np.mean(ordered)),
+        "total": int(np.sum(ordered)),
+    }
+
+
+@pytest.fixture(scope="module")
+def measurement(tmp_path_factory):
+    stream, base_ids = _corpus(BENCH_SEED + 61)
+
+    # --- sustained WAL-durable ingest, per shard count -----------------
+    ingest_rows = []
+    for shard_count in SHARD_COUNTS:
+        root = tmp_path_factory.mktemp("bench-sharding") / f"s{shard_count}"
+        catalog = ShardedCatalog(shard_count, root=root)
+        try:
+            elapsed = _ingest(catalog, stream)
+            appends = catalog.metrics_snapshot()["counters"].get(
+                "wal.appends", 0
+            )
+            catalog.save()
+        finally:
+            catalog.close()
+        reopened = ShardedCatalog.open(root)
+        try:
+            assert len(reopened) == len(stream), "checkpoint round-trip"
+        finally:
+            reopened.close()
+        ingest_rows.append(
+            {
+                "shard_count": shard_count,
+                "records": len(stream),
+                "seconds": elapsed,
+                "ops_per_sec": len(stream) / elapsed,
+                "wal_appends": int(appends),
+            }
+        )
+
+    # --- zipfian churn/query mix: compaction off vs on -----------------
+    runs: Dict[str, Dict[str, object]] = {}
+    for mode in ("off", "on"):
+        catalog = ShardedCatalog(SHARD_COUNTS[-1])
+        try:
+            _ingest(catalog, stream)
+            compactor = None
+            materialized_total = 0
+            if mode == "on":
+                compactor = Compactor(catalog, EAGER)
+                materialized_total += len(compactor.run_once().materialized)
+            work, matches = _churn_query_mix(
+                catalog, base_ids, compactor, BENCH_SEED + 62
+            )
+            if compactor is not None:
+                materialized_total = compactor.status()["total_materialized"]
+            runs[mode] = {
+                "stats": _percentiles(work),
+                "matches": matches,
+                "materialized_total": int(materialized_total),
+            }
+        finally:
+            catalog.close()
+
+    # Query-by-query parity: compaction changes the cost, never the
+    # answer (both runs see the identical deterministic mutation stream).
+    assert runs["off"]["matches"] == runs["on"]["matches"]
+    return {"ingest": ingest_rows, "runs": runs}
+
+
+def test_compaction_cuts_zipfian_p95_work(measurement):
+    """The acceptance bound, plus the diffable artifacts."""
+    off = measurement["runs"]["off"]["stats"]
+    on = measurement["runs"]["on"]["stats"]
+    assert off["count"] == on["count"] == ROUNDS * QUERIES_PER_ROUND
+    reduction = 1.0 - on["p95"] / off["p95"]
+    assert reduction >= MIN_P95_REDUCTION, (
+        f"compaction-on p95 {on['p95']:.0f} work units vs off "
+        f"{off['p95']:.0f}: reduction {reduction:.1%} under the "
+        f"{MIN_P95_REDUCTION:.0%} floor"
+    )
+
+    ingest_rows = [
+        (
+            row["shard_count"],
+            row["records"],
+            f"{row['seconds']:.3f}",
+            f"{row['ops_per_sec']:.0f}",
+            row["wal_appends"],
+        )
+        for row in measurement["ingest"]
+    ]
+    mix_rows = [
+        (
+            f"compaction {mode}",
+            stats["count"],
+            f"{stats['p50']:.0f}",
+            f"{stats['p95']:.0f}",
+            f"{stats['mean']:.1f}",
+        )
+        for mode, stats in (
+            ("off", off),
+            ("on", on),
+        )
+    ]
+    text = (
+        format_table(
+            ("shards", "records", "ingest s", "ops/s", "wal appends"),
+            ingest_rows,
+        )
+        + "\n\n"
+        + format_table(
+            ("zipfian mix", "queries", "p50 wu", "p95 wu", "mean wu"),
+            mix_rows,
+        )
+        + f"\n\np95 work-unit reduction with compaction: {reduction:.1%}"
+    )
+    write_result("sharding.txt", text)
+    write_json_result(
+        "sharding.json",
+        {
+            "scale": SCALE,
+            "rounds": ROUNDS,
+            "queries_per_round": QUERIES_PER_ROUND,
+            "churn_per_round": CHURN_PER_ROUND,
+            "binary_count": BINARY_COUNT,
+            "edited_count": EDITED_COUNT,
+            "min_p95_reduction": MIN_P95_REDUCTION,
+            "ingest": measurement["ingest"],
+            "zipfian_mix": {
+                "compaction_off": off,
+                "compaction_on": on,
+                "p95_reduction": reduction,
+                "materialized_total": measurement["runs"]["on"][
+                    "materialized_total"
+                ],
+            },
+        },
+    )
+
+
+def test_scatter_gather_range_query(benchmark, measurement):
+    """pytest-benchmark hook: one fanned-out RBM range query, warm."""
+    stream, _ = _corpus(BENCH_SEED + 63)
+    catalog = ShardedCatalog(SHARD_COUNTS[-1])
+    try:
+        _ingest(catalog, stream)
+        query = RangeQuery(0, 0.0, 0.4)
+        catalog.range_query(query, method="rbm")  # warm the caches
+        result = benchmark(lambda: catalog.range_query(query, method="rbm"))
+        assert result.stats.histograms_checked > 0
+    finally:
+        catalog.close()

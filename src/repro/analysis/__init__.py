@@ -26,7 +26,7 @@ Every pass reports :class:`~repro.analysis.findings.Finding` objects
 """
 
 from repro.analysis.ast_lint import LINT_RULES, lint_paths, lint_source
-from repro.analysis.catalog_lint import analyze_database
+from repro.analysis.catalog_lint import analyze_database, check_shard_routing
 from repro.analysis.findings import AnalysisReport, Finding, Severity
 from repro.analysis.prover import ProverReport, RuleVerdict, prove_rules
 
@@ -38,6 +38,7 @@ __all__ = [
     "RuleVerdict",
     "Severity",
     "analyze_database",
+    "check_shard_routing",
     "lint_paths",
     "lint_source",
     "prove_rules",

@@ -33,6 +33,13 @@ is ever instantiated.  Checks and finding codes:
     range — BOUNDS can never prune the image for any query, so it is
     pure overhead over linear scanning (a prune-power diagnostic, not a
     defect).
+``DB007`` cross-shard-reference (ERROR)
+    Sharded catalogs only (:func:`check_shard_routing`): a binary image
+    parked off its hash shard, a placement entry disagreeing with the
+    shard that actually holds the record, or an edited image whose base
+    or Merge target resolves to a different shard (or to none) — the
+    dangling-after-routing case, where every shard-local DB001 check
+    passes but a scatter-gathered BOUNDS walk would still fail.
 
 The checks deliberately re-derive everything from the catalog rather
 than trusting derived structures, which is how seeded-defect fixtures
@@ -54,6 +61,7 @@ from repro.images.geometry import Rect, transform_rect_bbox
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.db.database import MultimediaDatabase
+    from repro.shard.sharded import ShardedCatalog
 
 
 def analyze_database(
@@ -496,3 +504,143 @@ def _check_prune_power(
                     details={"vacuous_bins": vacuous, "bins": int(lo.shape[0])},
                 )
             )
+
+
+# ----------------------------------------------------------------------
+# DB007 — shard routing (sharded catalogs only)
+# ----------------------------------------------------------------------
+def check_shard_routing(sharded: "ShardedCatalog") -> AnalysisReport:
+    """Verify a sharded catalog's routing invariants (``DB007``).
+
+    Three layers, each re-derived from the shard databases rather than
+    trusted from the router's in-memory placement map:
+
+    1. every binary image sits on its hash shard;
+    2. the placement map and the shards' actual holdings agree both
+       ways (no phantom placements, no unrouted records);
+    3. no edited image's reference (base or Merge target) resolves to a
+       different shard than the image itself, or to no shard at all —
+       the *dangling-after-routing* defect: per-shard DB001 checks all
+       pass, yet a scatter-gathered BOUNDS walk would still fail.
+    """
+    from repro.shard.sharded import hash_shard
+
+    report = AnalysisReport(pass_name="shard")
+    placement = sharded.placement()
+    shard_count = sharded.shard_count
+
+    holdings: Dict[str, int] = {}
+    for index in range(shard_count):
+        catalog = sharded.shard_database(index).catalog
+        for image_id in catalog.binary_ids():
+            holdings[image_id] = index
+            expected = hash_shard(image_id, shard_count)
+            if expected != index:
+                report.add(
+                    Finding(
+                        code="DB007",
+                        severity=Severity.ERROR,
+                        location=image_id,
+                        message=(
+                            f"binary image stored on shard {index} but its "
+                            f"id hashes to shard {expected}; WAL replay in "
+                            f"a fresh process would route it elsewhere"
+                        ),
+                        fix_hint=(
+                            "reinsert the image through "
+                            "ShardedCatalog.insert_image so the stable "
+                            "hash places it"
+                        ),
+                        details={"shard": index, "expected_shard": expected},
+                    )
+                )
+        for image_id in catalog.edited_ids():
+            holdings[image_id] = index
+
+    for image_id, index in sorted(placement.items()):
+        if holdings.get(image_id) != index:
+            actual = holdings.get(image_id)
+            report.add(
+                Finding(
+                    code="DB007",
+                    severity=Severity.ERROR,
+                    location=image_id,
+                    message=(
+                        f"placement map says shard {index} but the record "
+                        + (
+                            f"actually lives on shard {actual}"
+                            if actual is not None
+                            else "is not held by any shard"
+                        )
+                    ),
+                    fix_hint=(
+                        "the router's placement map has drifted from the "
+                        "shard databases (an out-of-band mutation?); "
+                        "reopen the catalog to rebuild placement from disk"
+                    ),
+                    details={"placed_shard": index, "actual_shard": actual},
+                )
+            )
+    for image_id, index in sorted(holdings.items()):
+        if image_id not in placement:
+            report.add(
+                Finding(
+                    code="DB007",
+                    severity=Severity.ERROR,
+                    location=image_id,
+                    message=(
+                        f"shard {index} holds this record but the router's "
+                        f"placement map does not know it; routed reads "
+                        f"(instantiate, delete) would raise UnknownObjectError"
+                    ),
+                    fix_hint=(
+                        "mutate only through the ShardedCatalog wrapper; "
+                        "reopen the catalog to rebuild placement from disk"
+                    ),
+                    details={"shard": index},
+                )
+            )
+
+    for index in range(shard_count):
+        catalog = sharded.shard_database(index).catalog
+        for image_id in sorted(catalog.edited_ids()):
+            sequence = catalog.sequence_of(image_id)
+            for referenced in sequence.referenced_ids():
+                resolved = holdings.get(referenced)
+                if resolved == index:
+                    continue
+                kind = (
+                    "base" if referenced == sequence.base_id else "Merge target"
+                )
+                report.add(
+                    Finding(
+                        code="DB007",
+                        severity=Severity.ERROR,
+                        location=image_id,
+                        message=(
+                            f"{kind} reference {referenced!r} "
+                            + (
+                                f"resolves to shard {resolved}, not this "
+                                f"image's shard {index}"
+                                if resolved is not None
+                                else "resolves to no shard at all"
+                            )
+                            + " — dangling after routing; a scatter-"
+                            "gathered BOUNDS walk would fail"
+                        ),
+                        fix_hint=(
+                            "dependency chains must stay shard-local: "
+                            "re-author the sequence against same-shard "
+                            "images (the wrapper's insert_edited enforces "
+                            "this; the defect means a shard database was "
+                            "mutated directly)"
+                        ),
+                        details={
+                            "referenced": referenced,
+                            "shard": index,
+                            "referenced_shard": resolved,
+                        },
+                    )
+                )
+    report.subjects_examined = len(holdings)
+    return report

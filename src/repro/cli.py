@@ -24,7 +24,11 @@ Subcommands mirror the workflow of the paper's prototype:
               source tree (default: the installed ``repro`` package)
 ``analyze-db`` static soundness checks over a saved database: dangling
               references, Merge cycles, size underflow, BWM placement,
-              cache-dependency agreement, vacuous-bounds diagnostics
+              cache-dependency agreement, vacuous-bounds diagnostics;
+              a sharded root (``shards.json`` present) is analyzed
+              per shard plus the DB007 cross-shard routing check
+``shards``    inspect a sharded catalog root (``--status``) or run one
+              synchronous compaction cycle first (``--compact-now``)
 ``prove-rules`` prove every classified bound-widening rule monotone on
               the percentage interval and scalar/vectorized kernels
               byte-identical (``--mode full`` for the larger corpus)
@@ -230,6 +234,28 @@ def _build_parser() -> argparse.ArgumentParser:
                          "only check that walks bounds)")
     analyze.add_argument("--json", action="store_true",
                          help="emit the findings as JSON")
+
+    shards = commands.add_parser(
+        "shards",
+        help="inspect or compact a sharded catalog root",
+    )
+    shards.add_argument("directory")
+    shards.add_argument("--status", action="store_true",
+                        help="report per-shard record counts, versions, "
+                        "served queries, and materializations (default "
+                        "action)")
+    shards.add_argument("--compact-now", action="store_true",
+                        help="run one synchronous compaction cycle before "
+                        "reporting")
+    shards.add_argument("--min-ops", type=int, default=2, metavar="N",
+                        help="compaction policy: minimum sequence length "
+                        "worth materializing (default 2)")
+    shards.add_argument("--max-per-cycle", type=int, default=4, metavar="N",
+                        help="compaction policy: materializations per "
+                        "cycle (default 4)")
+    shards.add_argument("--json", action="store_true",
+                        help="emit the status (and compaction report) as "
+                        "JSON")
 
     prove = commands.add_parser(
         "prove-rules",
@@ -518,21 +544,89 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
 
 def _cmd_analyze_db(args: argparse.Namespace, out) -> int:
     import json
+    from pathlib import Path
 
     from repro.analysis import analyze_database
 
-    database = load_database(args.directory)
-    # The dependency-graph check needs the engine to learn edges, and the
-    # prune-power check walks bounds anyway: turn the cache on.
-    database.engine.cache_enabled = True
-    report = analyze_database(
-        database, with_prune_power=not args.no_prune_power
-    )
+    if (Path(args.directory) / "shards.json").is_file():
+        report = _analyze_sharded_root(args)
+    else:
+        database = load_database(args.directory)
+        # The dependency-graph check needs the engine to learn edges, and
+        # the prune-power check walks bounds anyway: turn the cache on.
+        database.engine.cache_enabled = True
+        report = analyze_database(
+            database, with_prune_power=not args.no_prune_power
+        )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
     else:
         print(report.describe(), file=out)
     return 0 if report.ok else 2
+
+
+def _analyze_sharded_root(args: argparse.Namespace):
+    """Sharded-root analyze-db: per-shard checks plus DB007 routing."""
+    from repro.analysis import analyze_database, check_shard_routing
+    from repro.analysis.findings import AnalysisReport
+    from repro.shard import ShardedCatalog
+
+    combined = AnalysisReport(pass_name="sharded-catalog")
+    with ShardedCatalog.open(args.directory) as sharded:
+        for index in range(sharded.shard_count):
+            shard_report = analyze_database(
+                sharded.shard_database(index),
+                with_prune_power=not args.no_prune_power,
+            )
+            combined.extend(shard_report.findings)
+            combined.subjects_examined += shard_report.subjects_examined
+        routing = check_shard_routing(sharded)
+        combined.extend(routing.findings)
+    return combined
+
+
+def _cmd_shards(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.shard import CompactionPolicy, Compactor, ShardedCatalog
+
+    with ShardedCatalog.open(args.directory) as sharded:
+        compaction_report = None
+        if args.compact_now:
+            compactor = Compactor(
+                sharded,
+                CompactionPolicy(
+                    min_ops=args.min_ops,
+                    max_per_cycle=args.max_per_cycle,
+                    min_score=0.0,
+                    require_demand=False,
+                ),
+            )
+            report = compactor.run_once()
+            compaction_report = {
+                "candidates_considered": report.candidates_considered,
+                "materialized": list(report.materialized),
+                "skipped_stale": report.skipped_stale,
+                "projected_saving": report.projected_saving,
+            }
+        status = sharded.status()
+        if args.json:
+            payload = dict(status)
+            if compaction_report is not None:
+                payload["compaction"] = compaction_report
+            print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        else:
+            print(sharded.describe_status(), file=out)
+            if compaction_report is not None:
+                print(
+                    f"compaction: {len(compaction_report['materialized'])} "
+                    f"materialized of "
+                    f"{compaction_report['candidates_considered']} "
+                    f"candidate(s), {compaction_report['skipped_stale']} "
+                    f"stale",
+                    file=out,
+                )
+    return 0
 
 
 def _cmd_prove_rules(args: argparse.Namespace, out) -> int:
@@ -565,6 +659,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "analyze-db": _cmd_analyze_db,
     "prove-rules": _cmd_prove_rules,
+    "shards": _cmd_shards,
 }
 
 

@@ -320,6 +320,63 @@ class BoundsEngine:
         total = float(height * width)
         return (lo / total, hi / total)
 
+    def seed_bounds(self, image_id: str, bounds: AllBinsBounds) -> None:
+        """Install a precomputed all-bins matrix into the memo cache.
+
+        The shard compactor (:mod:`repro.shard.compactor`) materializes
+        hot sequences in the background and commits the result here, so
+        the next query serves the matrix as a cache hit instead of
+        re-walking the rules.  The caller is responsible for ``bounds``
+        being exactly what :meth:`bounds_all_bins` would compute —
+        parity is property-tested, and results are unchanged either way
+        because the memo cache is transparent.
+
+        Dependency edges register along the image's whole reference
+        closure — each node's *direct* references only, matching what a
+        real walk records (the DB005 verifier checks every edge against
+        the dependent's own sequence) — so a targeted
+        :meth:`invalidate` anywhere upstream still drops the seeded
+        entry transitively.
+        """
+        if not self.cache_enabled:
+            raise RuleError(
+                "seed_bounds requires cache_enabled (there is no memo "
+                "cache to seed)"
+            )
+        lo_in, hi_in, height, width = bounds
+        expected = (self._quantizer.bin_count,)
+        lo = np.array(lo_in, dtype=np.int64)
+        hi = np.array(hi_in, dtype=np.int64)
+        if lo.shape != expected or hi.shape != expected:
+            raise RuleError(
+                f"seeded bounds for {image_id!r} have shapes "
+                f"{lo.shape}/{hi.shape}, expected {expected}"
+            )
+        lo.setflags(write=False)
+        hi.setflags(write=False)
+        stack: List[str] = [image_id]
+        seen: Set[str] = {image_id}
+        while stack:
+            current = stack.pop()
+            record = self._store.lookup_for_bounds(current)
+            if not isinstance(record, EditSequence):
+                continue
+            self._register_dependencies(current, record)
+            for referenced in record.referenced_ids():
+                if referenced not in seen:
+                    seen.add(referenced)
+                    stack.append(referenced)
+        self._vec_cache[image_id] = (lo, hi, int(height), int(width))
+
+    def has_cached_bounds(self, image_id: str) -> bool:
+        """Whether an all-bins matrix for ``image_id`` is currently memoized.
+
+        Lets cache-adjacent book-keeping (the shard compactor's
+        materialization ledger) observe invalidation fallout without
+        reaching into the private memo dict.
+        """
+        return image_id in self._vec_cache
+
     # ------------------------------------------------------------------
     # Batched walk (all images x all bins in one columnar sweep)
     # ------------------------------------------------------------------

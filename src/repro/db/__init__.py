@@ -26,6 +26,7 @@ from repro.db.multifeature import FeatureWeights, MultiFeatureSearch
 from repro.db.persistence import (
     QuarantineEntry,
     SalvageReport,
+    has_committed_state,
     load_database,
     save_database,
 )
@@ -83,6 +84,7 @@ __all__ = [
     "StorageReport",
     "augment_image",
     "augment_with_distortions",
+    "has_committed_state",
     "load_database",
     "measure_storage",
     "migrate_database",

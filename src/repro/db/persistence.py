@@ -100,6 +100,12 @@ _OLD_SUFFIX = ".old"
 #: Files under a root that are protocol state, not record content.
 _JOURNAL_NAME = "migration.journal"
 
+#: The shard layout manifest marking a *sharded* root (one segment root
+#: per shard underneath).  Defined here so :func:`load_database` can
+#: detect and redirect without importing :mod:`repro.shard` (which
+#: imports this module).
+SHARD_MANIFEST_NAME = "shards.json"
+
 
 def manifest_checksum(manifest: Dict[str, object]) -> str:
     """Checksum over the manifest's canonical JSON, sans the field itself."""
@@ -357,6 +363,24 @@ def _write_tree_v3(
     )
 
 
+def has_committed_state(root: Union[str, Path]) -> bool:
+    """Whether ``root`` holds a loadable committed save.
+
+    Counts the ``.old`` backup a crash between the two commit renames
+    leaves behind (``root`` itself is momentarily absent then):
+    :func:`load_database` rolls the backup back, so such a root is
+    loadable, not empty.  Callers that treat "no directory" as "nothing
+    was ever saved here" — the sharded catalog's opener — must use this
+    instead of a bare ``is_dir()`` check or they silently discard the
+    recoverable state.
+    """
+    base = Path(root)
+    if (base / "catalog.json").is_file():
+        return True
+    old = base.with_name(base.name + _OLD_SUFFIX)
+    return (old / "catalog.json").is_file()
+
+
 def _recover_interrupted_save(base: Path) -> None:
     """Roll back a save that crashed between its two commit renames.
 
@@ -406,6 +430,13 @@ def load_database(
     writer can never swap the directory out from underneath it.
     """
     base = Path(root)
+    if (base / SHARD_MANIFEST_NAME).is_file():
+        raise PersistenceError(
+            f"{base} is a sharded catalog root ({SHARD_MANIFEST_NAME} "
+            f"present); load it with repro.shard.ShardedCatalog.open() — "
+            f"load_database() reads one shard's segment root, e.g. "
+            f"{base}/shard-000"
+        )
     with root_lock(base):
         return _load_locked(base, salvage)
 

@@ -104,6 +104,19 @@ class MigrationError(PersistenceError):
     catalog state is always still loadable when this is raised."""
 
 
+class ShardError(DatabaseError):
+    """Raised by the sharded catalog tier (:mod:`repro.shard`) — bad
+    shard counts, mutations against a closed catalog, or a shard layout
+    on disk that disagrees with its manifest."""
+
+
+class CrossShardReferenceError(ShardError):
+    """Raised when an edit sequence's references (base image plus Merge
+    targets) do not all resolve to the same shard.  Dependency chains
+    must stay shard-local so BOUNDS walks and BWM clusters never cross a
+    shard boundary; the message names the offending ids and shards."""
+
+
 class ServiceError(ReproError):
     """Raised by the concurrent query service (:mod:`repro.service`)."""
 

@@ -40,6 +40,9 @@ _LABELED_FAMILIES: Tuple[Tuple[str, str, str], ...] = (
     ("prune.", "prune_outcomes_total", "outcome"),
     ("spans.", "spans_total", "span"),
     ("migration.", "migration_events_total", "event"),
+    ("shard.", "shard_events_total", "event"),
+    ("wal.", "wal_events_total", "event"),
+    ("compaction.", "compaction_events_total", "event"),
 )
 
 

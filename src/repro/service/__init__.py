@@ -23,7 +23,12 @@ Quick start::
 """
 
 from repro.service.cache import CacheKey, ResultCache, cache_key
-from repro.service.executor import AnalyzedQuery, QueryService, ServiceResult
+from repro.service.executor import (
+    AnalyzedQuery,
+    QueryService,
+    ReadWriteLock,
+    ServiceResult,
+)
 from repro.service.metrics import (
     HistogramSnapshot,
     LatencyHistogram,
@@ -51,6 +56,7 @@ __all__ = [
     "PlanActuals",
     "PlanAlternative",
     "QueryService",
+    "ReadWriteLock",
     "ResultCache",
     "ServiceResult",
     "Strategy",

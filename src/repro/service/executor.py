@@ -74,12 +74,16 @@ logger = logging.getLogger(__name__)
 QueryLike = Union[RangeQuery, Sequence[RangeQuery], str]
 
 
-class _ReadWriteLock:
+class ReadWriteLock:
     """A writer-preferring readers-writer lock.
 
     Queries share the read side; catalog mutations take the write side.
     Writer preference keeps a steady query stream from starving
     mutations (the regime the concurrency stress test exercises).
+    Public because the sharded catalog (:mod:`repro.shard`) guards each
+    shard with one of these — scatter-gather queries take the read side
+    per shard, WAL-journaled mutations and compaction swaps the write
+    side.
     """
 
     def __init__(self) -> None:
@@ -118,6 +122,10 @@ class _ReadWriteLock:
             with self._cond:
                 self._writer_active = False
                 self._cond.notify_all()
+
+
+#: Backwards-compatible alias (the lock predates its public name).
+_ReadWriteLock = ReadWriteLock
 
 
 @dataclass(frozen=True)
@@ -266,7 +274,7 @@ class QueryService:
         self.slow_log = SlowQueryLog(
             capacity=slow_log_capacity, threshold=slow_query_threshold
         )
-        self._rwlock = _ReadWriteLock()
+        self._rwlock = ReadWriteLock()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-query"
         )

@@ -1,0 +1,332 @@
+"""Cost-aware background compaction of hot, long edit sequences.
+
+The §5 cost model says an edited image costs its sequence length in
+Table 1 rule applications every time a query's BOUNDS walk reaches it
+cold.  The compactor turns that recurring cost into a one-time one: it
+picks the sequences worth the space — long chains on shards that are
+actually serving queries, in color regions the catalog is dense in —
+computes their exact all-bins BOUNDS matrices off the query path, and
+swaps each matrix into the owning shard's engine cache under the shard
+write lock.  The swap is journaled to the WAL (a ``compact`` record
+carrying the matrix) so a re-opened catalog is warm immediately, fires
+the invalidation feed so planners and result caches drop stale state,
+and is rollbackable (``decompact``).
+
+Materialization never changes results: the engine's vector cache is
+consulted transparently by both the scalar and vectorized query paths,
+and the matrix seeded is the exact one a cold walk would compute — the
+parity tests in ``tests/shard/test_compactor.py`` assert byte-identical
+query results with the compactor on and off.
+
+Scoring
+-------
+For an edited image with an ``n``-op sequence on a shard that has
+served ``q`` queries::
+
+    score = q x n x COST_RULE x demand_weight
+
+``demand_weight`` leans on :class:`repro.db.statistics.DatabaseStatistics`:
+the estimated fraction of catalog images with meaningful mass in the
+candidate's base dominant bin.  A dense color region means range
+queries on those bins keep visiting the cluster, so its long sequences
+pay off first; a lonely region decays toward the floor weight.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bounds import BoundsEngine
+from repro.db.records import EditedImageRecord
+from repro.db.statistics import DatabaseStatistics
+from repro.errors import QueryError, ShardError
+from repro.obs.trace import maybe_tracer
+from repro.service.planner import CostBasedPlanner
+from repro.shard.sharded import ShardedCatalog, _Shard
+
+#: Weight floor so sparse color regions still compact eventually.
+_WEIGHT_FLOOR = 0.25
+
+#: "Meaningful mass" threshold for the demand estimate: the fraction of
+#: catalog images holding at least this much of the candidate's
+#: dominant bin.
+_DOMINANT_MASS = 0.10
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """What the compactor considers worth materializing.
+
+    Parameters
+    ----------
+    min_ops:
+        Sequences shorter than this are never materialized — a one-op
+        sequence costs one rule per walk, which the memo cache already
+        amortizes well.
+    max_per_cycle:
+        Materializations per :meth:`Compactor.run_once` across all
+        shards, so one cycle's write-lock time stays bounded.
+    min_score:
+        Candidates scoring below this are left alone (a shard that has
+        served no queries scores 0 — nothing compacts until demand
+        exists).
+    require_demand:
+        When True (default), shards that have served no queries are not
+        compacted at all — the background loop only spends write-lock
+        time where reads are happening.  ``repro shards --compact-now``
+        sets it False: an operator asking for a cycle wants the matrices
+        built now, ahead of the demand.
+    """
+
+    min_ops: int = 2
+    max_per_cycle: int = 4
+    min_score: float = 1.0
+    require_demand: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_ops < 1:
+            raise ShardError(f"min_ops must be >= 1, got {self.min_ops}")
+        if self.max_per_cycle < 1:
+            raise ShardError(
+                f"max_per_cycle must be >= 1, got {self.max_per_cycle}"
+            )
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one compaction cycle did."""
+
+    candidates_considered: int
+    materialized: Tuple[str, ...]
+    skipped_stale: int
+    projected_saving: float
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    shard_index: int
+    image_id: str
+    score: float
+    shard_version: int
+
+
+@dataclass
+class _CompactorState:
+    cycles: int = 0
+    total_materialized: int = 0
+    last_report: Optional[CompactionReport] = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class Compactor:
+    """Background materializer for a :class:`ShardedCatalog`.
+
+    Run it as a daemon thread (:meth:`start` / :meth:`stop`) or drive
+    cycles synchronously with :meth:`run_once` (what the CLI's
+    ``repro shards --compact-now`` and the benchmarks do).
+
+    Every commit happens under the owning shard's write lock and only
+    after re-checking the shard version recorded when the candidate was
+    scored — a mutation that slipped in between invalidates the scratch
+    matrix, so the commit is skipped rather than published stale.
+    """
+
+    def __init__(
+        self,
+        catalog: ShardedCatalog,
+        policy: Optional[CompactionPolicy] = None,
+        interval: float = 0.25,
+    ) -> None:
+        if interval <= 0:
+            raise ShardError(f"interval must be positive, got {interval}")
+        self.catalog = catalog
+        self.policy = policy if policy is not None else CompactionPolicy()
+        self.interval = interval
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._state = _CompactorState()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background loop (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="shard-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the background loop and join the thread."""
+        self._stop_event.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            try:
+                self.run_once()
+            except ShardError:
+                # The catalog closed underneath us; the loop is done.
+                return
+
+    # ------------------------------------------------------------------
+    # One cycle
+    # ------------------------------------------------------------------
+    def run_once(self) -> CompactionReport:
+        """Score, materialize, commit — one bounded compaction cycle."""
+        tracer = maybe_tracer("compaction")
+        with tracer.span("compaction.cycle"):
+            with tracer.span("compaction.score"):
+                candidates = self._score_candidates()
+            chosen = candidates[: self.policy.max_per_cycle]
+            materialized: List[str] = []
+            skipped_stale = 0
+            projected_total = 0.0
+            # Our own commits bump shard versions; track them so later
+            # same-shard candidates in this cycle are not self-staled.
+            own_bumps: Dict[int, int] = {}
+            for candidate in chosen:
+                expected = candidate.shard_version + own_bumps.get(
+                    candidate.shard_index, 0
+                )
+                with tracer.span(
+                    "compaction.materialize", image_id=candidate.image_id
+                ):
+                    committed = self._materialize(candidate, expected)
+                if committed:
+                    own_bumps[candidate.shard_index] = (
+                        own_bumps.get(candidate.shard_index, 0) + 1
+                    )
+                    materialized.append(candidate.image_id)
+                    projected_total += candidate.score
+                else:
+                    skipped_stale += 1
+        self.catalog.metrics.increment("compaction.runs")
+        if skipped_stale:
+            self.catalog.metrics.increment(
+                "compaction.skipped_stale", skipped_stale
+            )
+        report = CompactionReport(
+            candidates_considered=len(candidates),
+            materialized=tuple(materialized),
+            skipped_stale=skipped_stale,
+            projected_saving=projected_total,
+        )
+        with self._state.lock:
+            self._state.cycles += 1
+            self._state.total_materialized += len(materialized)
+            self._state.last_report = report
+        return report
+
+    def rollback(self, image_id: str) -> bool:
+        """Retract one materialization; True if it existed."""
+        return self.catalog.rollback_materialization(image_id)
+
+    def status(self) -> Dict[str, object]:
+        """Cycle counters plus the last report, for the CLI."""
+        with self._state.lock:
+            last = self._state.last_report
+            return {
+                "running": self._thread is not None
+                and self._thread.is_alive(),
+                "cycles": self._state.cycles,
+                "total_materialized": self._state.total_materialized,
+                "last_report": None
+                if last is None
+                else {
+                    "candidates_considered": last.candidates_considered,
+                    "materialized": list(last.materialized),
+                    "skipped_stale": last.skipped_stale,
+                    "projected_saving": last.projected_saving,
+                },
+            }
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _score_candidates(self) -> List[_Candidate]:
+        candidates: List[_Candidate] = []
+        for shard in self.catalog._shards:
+            with shard.lock.read_locked():
+                if shard.queries_served == 0 and self.policy.require_demand:
+                    continue
+                hotness = max(1, shard.queries_served)
+                statistics = DatabaseStatistics(shard.database)
+                for image_id in shard.database.catalog.edited_ids():
+                    if image_id in shard.materialized:
+                        continue
+                    record = shard.database.catalog.edited_record(image_id)
+                    ops = len(record.sequence)
+                    if ops < self.policy.min_ops:
+                        continue
+                    weight = self._demand_weight(shard, record, statistics)
+                    score = (
+                        hotness * ops * CostBasedPlanner.COST_RULE * weight
+                    )
+                    if score < self.policy.min_score:
+                        continue
+                    candidates.append(
+                        _Candidate(shard.index, image_id, score, shard.version)
+                    )
+        candidates.sort(key=lambda c: (-c.score, c.shard_index, c.image_id))
+        return candidates
+
+    @staticmethod
+    def _demand_weight(
+        shard: _Shard,
+        record: EditedImageRecord,
+        statistics: DatabaseStatistics,
+    ) -> float:
+        """How much of the catalog shares the candidate's color region."""
+        try:
+            histogram = shard.database.catalog.histogram_of(
+                record.sequence.base_id
+            )
+        except Exception:  # base may be edited too; fall back to neutral
+            return 1.0
+        fractions = histogram.fractions()
+        dominant = int(fractions.argmax())
+        try:
+            selectivity = statistics.bin_statistics(
+                dominant
+            ).estimate_selectivity(_DOMINANT_MASS, 1.0)
+        except QueryError:
+            return 1.0
+        return max(_WEIGHT_FLOOR, float(selectivity))
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def _materialize(self, candidate: _Candidate, expected_version: int) -> bool:
+        """Compute off-path, re-check the version, commit under lock."""
+        shard = self.catalog._shards[candidate.shard_index]
+        # Scratch engine: exact, uncached walk against the live catalog,
+        # under the read lock so no mutation shifts the ground mid-walk.
+        with shard.lock.read_locked():
+            if shard.version != expected_version:
+                return False
+            scratch = BoundsEngine(
+                shard.database.catalog,
+                self.catalog.quantizer,
+                fill_color=self.catalog.fill_color,
+                cache_enabled=False,
+            )
+            bounds = scratch.bounds_all_bins(candidate.image_id)
+        with shard.lock.write_locked():
+            if shard.version != expected_version:
+                # A writer slipped in between our read and write locks;
+                # the matrix may describe a history that no longer
+                # exists.  Drop it — the next cycle re-scores.
+                return False
+            self.catalog._commit_materialization(
+                shard, candidate.image_id, bounds, candidate.score
+            )
+        return True

@@ -1,0 +1,1131 @@
+"""`ShardedCatalog` — N shard-local databases behind one routed facade.
+
+Partitioning
+------------
+Binary images route by a stable hash of their id; an edited image lives
+on the shard of its referenced images (base plus Merge targets), which
+must all agree — so every Merge/BWM dependency chain is shard-local and
+a BOUNDS walk never crosses a shard boundary.  The hash is pure (no
+process salt) because the write-ahead log records shard indexes and a
+replayer in a fresh process must route identically.
+
+Durability
+----------
+Every mutation appends to the WAL (:class:`~repro.shard.wal.ShardWAL`)
+**before** it is applied to the owning shard, under that shard's write
+lock.  The bounds engine's invalidation change feed is the ingestion
+spine: the sharded wrapper registers each mutation's ``(image_id,
+version)`` key before applying, and the per-shard feed listener dedupes
+the echo — so one logical mutation writes exactly one WAL record even
+though the feed also observes it.  Out-of-band mutations (someone
+poking a shard's database directly) reach the listener with no
+registered key and are captured as payload-free ``change`` records.
+:meth:`ShardedCatalog.save` checkpoints every shard into its own
+segment root (one atomic v2/v3 save each) and truncates the WAL;
+:meth:`ShardedCatalog.open` loads the shard roots and replays whatever
+the WAL holds beyond them.  Replay is idempotent, so a crash anywhere
+— mid-append, between append and apply, mid-checkpoint — converges to
+the no-crash state (swept by ``tests/shard/test_wal_replay_faults.py``).
+
+Queries
+-------
+Scatter-gather: each query fans out across shards under their read
+locks (a small thread pool), and the per-shard results merge —
+set-union for range/conjunctive results, an ordered ``heapq.merge`` of
+the per-shard k-best lists for kNN (each shard's list is exact and
+sorted, so the first k of the merge are the global k-best, byte for
+byte what the single-catalog oracle returns).
+:meth:`planned_range_query` is the router-aware planner path: each
+shard plans independently over the strategies the router can dispatch.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import logging
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
+from heapq import merge as heap_merge
+from itertools import islice
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+import numpy as np
+
+from repro.color.histogram import ColorHistogram
+from repro.color.quantization import UniformQuantizer
+from repro.core.bounds import AllBinsBounds
+from repro.core.query import ConjunctiveQuery, QueryResult, QueryStats, RangeQuery
+from repro.db.database import MultimediaDatabase
+from repro.db.persistence import (
+    SHARD_MANIFEST_NAME,
+    has_committed_state,
+    load_database,
+    save_database,
+)
+from repro.db.processors import KNNResult, KNNStats
+from repro.db.versioning import sha256_hex
+from repro.editing.sequence import EditSequence
+from repro.errors import (
+    CrossShardReferenceError,
+    DuplicateObjectError,
+    PersistenceError,
+    QueryError,
+    ShardError,
+    UnknownObjectError,
+)
+from repro.images.ppm import read_ppm, write_ppm
+from repro.images.raster import ColorTuple, Image, validate_color
+from repro.obs.prometheus import render_prometheus
+from repro.service.executor import ReadWriteLock
+from repro.service.metrics import MetricsRegistry
+from repro.service.planner import CostBasedPlanner, Strategy
+from repro.shard.wal import ShardWAL
+from repro.testing.faults import NoFaults
+
+logger = logging.getLogger(__name__)
+
+#: Strategies the scatter-gather router can dispatch per shard.  The
+#: spatial-index strategy needs serving-layer index builds the router
+#: does not maintain per shard, so the planner is restricted to these.
+ROUTER_STRATEGIES: Tuple[Strategy, ...] = (
+    Strategy.LINEAR_RBM,
+    Strategy.BWM,
+    Strategy.VECTORIZED_BATCH,
+)
+
+_T = TypeVar("_T")
+
+
+def hash_shard(image_id: str, shard_count: int) -> int:
+    """The owning shard of a binary image id — a pure, stable hash.
+
+    SHA-256 based so the assignment survives process restarts and
+    Python hash randomization: the WAL records shard indexes, and
+    replay in a fresh process must route every id identically.
+    """
+    digest = hashlib.sha256(image_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shard_count
+
+
+def shard_dirname(index: int) -> str:
+    """Directory name of one shard's segment root under the base root."""
+    return f"shard-{index:03d}"
+
+
+class _Shard:
+    """One shard: a database, its lock, and its ingestion bookkeeping."""
+
+    __slots__ = (
+        "index",
+        "database",
+        "lock",
+        "version",
+        "journaled",
+        "planner",
+        "queries_served",
+        "materialized",
+    )
+
+    def __init__(self, index: int, database: MultimediaDatabase) -> None:
+        self.index = index
+        self.database = database
+        self.lock = ReadWriteLock()
+        #: Shard-local mutation version; each committed mutation is +1.
+        self.version = 0
+        #: ``(image_id, version)`` keys of in-flight wrapper mutations,
+        #: consumed by the feed listener so the WAL never records the
+        #: same mutation twice (the dedupe satellite).
+        self.journaled: Set[Tuple[str, int]] = set()
+        self.planner: Optional[CostBasedPlanner] = None
+        #: Queries this shard served (the compactor's hotness signal).
+        self.queries_served = 0
+        #: image_id -> projected per-query work-unit saving of its
+        #: materialized BOUNDS matrix (the compactor's commits).
+        self.materialized: Dict[str, float] = {}
+
+
+class ShardedCatalog:
+    """N shard-local MMDBMS instances behind one WAL-durable facade.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of shards (>= 1).  Fixed for the life of a root: the
+        manifest records it and :meth:`open` restores it.
+    root:
+        Directory for the WAL, the shard manifest, and one segment root
+        per shard.  ``None`` runs ephemeral (no WAL, no save) — useful
+        for pure in-memory parity tests.
+    quantizer / fill_color / index_kind:
+        Forwarded to every shard's :class:`MultimediaDatabase`; all
+        shards share one quantizer object.
+    faults:
+        Fault plan routing the WAL's and checkpoint's durable writes
+        (swappable afterwards via :attr:`faults` for kill-point sweeps).
+    scatter_workers:
+        Thread-pool width for scatter-gather (default: ``shard_count``
+        capped at 8).
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 4,
+        *,
+        root: Optional[Union[str, Path]] = None,
+        quantizer: Optional[UniformQuantizer] = None,
+        fill_color: Sequence[int] = (0, 0, 0),
+        index_kind: str = "rtree",
+        faults: Optional[NoFaults] = None,
+        scatter_workers: Optional[int] = None,
+    ) -> None:
+        if shard_count < 1:
+            raise ShardError(f"shard_count must be >= 1, got {shard_count}")
+        self.quantizer = (
+            quantizer if quantizer is not None else UniformQuantizer(4, "rgb")
+        )
+        self.fill_color: ColorTuple = validate_color(fill_color)
+        self.index_kind = index_kind
+        self.faults: NoFaults = faults if faults is not None else NoFaults()
+        self.root = Path(root) if root is not None else None
+        self.metrics = MetricsRegistry()
+        self._placement: Dict[str, int] = {}
+        self._id_counters: Dict[str, int] = {}
+        self._replaying = False
+        self._closed = False
+        self._alloc_lock = threading.Lock()
+        self._shards: List[_Shard] = [
+            self._make_shard(index) for index in range(shard_count)
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=(
+                scatter_workers
+                if scatter_workers is not None
+                else min(shard_count, 8)
+            ),
+            thread_name_prefix="shard-query",
+        )
+        self._wal: Optional[ShardWAL] = None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._check_or_write_manifest()
+            self._wal = ShardWAL(self.root)
+        self.metrics.set_gauge("shard.count", shard_count)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _make_shard(self, index: int) -> _Shard:
+        database = MultimediaDatabase(
+            quantizer=self.quantizer,
+            fill_color=self.fill_color,
+            index_kind=self.index_kind,
+            bounds_cache=True,
+        )
+        shard = _Shard(index, database)
+        self._attach(shard)
+        return shard
+
+    def _attach(self, shard: _Shard) -> None:
+        """Subscribe the ingestion listener and planner to a shard's db."""
+        shard.database.engine.cache_enabled = True
+        shard.database.engine.add_invalidation_listener(
+            self._listener_for(shard)
+        )
+        shard.planner = CostBasedPlanner(shard.database)
+
+    def _listener_for(self, shard: _Shard) -> Callable[[Optional[str]], None]:
+        def _on_invalidation(image_id: Optional[str]) -> None:
+            if image_id is None:
+                return  # whole-cache flush, not a catalog mutation
+            key = (image_id, shard.version + 1)
+            if key in shard.journaled:
+                # The wrapper path journaled this mutation before
+                # applying it; the feed echo must not journal it again.
+                shard.journaled.discard(key)
+                self.metrics.increment("wal.deduped")
+                return
+            if self._replaying or self._closed:
+                return
+            # Out-of-band change (a direct shard-database mutation that
+            # bypassed the wrapper): capture it so WAL consumers learn
+            # to drop caches, even though there is no payload to replay.
+            version = shard.version + 1
+            if self._wal is not None:
+                self._wal.append(
+                    self.faults,
+                    "change",
+                    shard=shard.index,
+                    image_id=image_id,
+                    version=version,
+                )
+                self.metrics.increment("wal.appends")
+            shard.version = version
+            self.metrics.increment("wal.out_of_band")
+
+        return _on_invalidation
+
+    def _check_or_write_manifest(self) -> None:
+        assert self.root is not None
+        path = self.root / SHARD_MANIFEST_NAME
+        if path.is_file():
+            manifest = _read_shard_manifest(path)
+            existing = int(manifest["shard_count"])  # type: ignore[arg-type]
+            if existing != len(self._shards):
+                raise ShardError(
+                    f"{path} holds a {existing}-shard layout; use "
+                    f"ShardedCatalog.open({str(self.root)!r}) instead of "
+                    f"constructing with shard_count={len(self._shards)}"
+                )
+        else:
+            self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        assert self.root is not None
+        manifest: Dict[str, object] = {
+            "format": 1,
+            "shard_count": len(self._shards),
+            "quantizer": {
+                "divisions": self.quantizer.divisions,
+                "space": self.quantizer.space,
+            },
+            "fill_color": list(self.fill_color),
+            "index_kind": self.index_kind,
+            "versions": [shard.version for shard in self._shards],
+        }
+        canonical = json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+        manifest["manifest_sha256"] = sha256_hex(canonical.encode("utf-8"))
+        payload = json.dumps(manifest, sort_keys=True, indent=2).encode("utf-8")
+        path = self.root / SHARD_MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        self.faults.write_bytes(tmp, payload)
+        self.faults.fsync(tmp)
+        self.faults.rename(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, image_id: str) -> int:
+        """The shard index holding ``image_id`` (raises when unknown)."""
+        index = self._placement.get(image_id)
+        if index is None:
+            raise UnknownObjectError(f"image {image_id!r} not in any shard")
+        return index
+
+    def placement(self) -> Dict[str, int]:
+        """A snapshot of the id -> shard map (for the DB007 verifier)."""
+        return dict(self._placement)
+
+    def shard_database(self, index: int) -> MultimediaDatabase:
+        """Direct access to one shard's database (verifier / tests)."""
+        return self._shards[index].database
+
+    def _route_new_binary(self, image_id: str) -> _Shard:
+        return self._shards[hash_shard(image_id, len(self._shards))]
+
+    def _route_sequence(self, sequence: EditSequence) -> _Shard:
+        """The single shard every referenced image lives on."""
+        located: Dict[str, int] = {}
+        for referenced in sequence.referenced_ids():
+            index = self._placement.get(referenced)
+            if index is None:
+                raise UnknownObjectError(
+                    f"sequence references {referenced!r}, which is not in "
+                    f"any shard"
+                )
+            located[referenced] = index
+        indexes = set(located.values())
+        if len(indexes) > 1:
+            raise CrossShardReferenceError(
+                f"sequence references straddle shards {sorted(indexes)}: "
+                f"{located} — Merge/BWM dependency chains must stay "
+                f"shard-local (route Merge targets into the base image's "
+                f"cluster)"
+            )
+        return self._shards[indexes.pop()]
+
+    def _owning_shard(self, image_id: str) -> _Shard:
+        return self._shards[self.shard_of(image_id)]
+
+    def _allocate(self, prefix: str) -> str:
+        with self._alloc_lock:
+            counter = self._id_counters.get(prefix, 1)
+            while f"{prefix}-{counter}" in self._placement:
+                counter += 1
+            self._id_counters[prefix] = counter + 1
+            return f"{prefix}-{counter}"
+
+    def _note_allocated(self, image_id: str) -> None:
+        """Keep the id counters ahead of explicitly-chosen ids."""
+        prefix, _, suffix = image_id.rpartition("-")
+        if prefix and suffix.isdigit():
+            with self._alloc_lock:
+                current = self._id_counters.get(prefix, 1)
+                self._id_counters[prefix] = max(current, int(suffix) + 1)
+
+    # ------------------------------------------------------------------
+    # Mutations (WAL first, then apply, under the shard write lock)
+    # ------------------------------------------------------------------
+    def _journal(
+        self,
+        shard: _Shard,
+        op: str,
+        image_id: str,
+        version: int,
+        **payload: object,
+    ) -> None:
+        self._ensure_open()
+        shard.journaled.add((image_id, version))
+        if self._wal is not None:
+            self._wal.append(
+                self.faults,
+                op,
+                shard=shard.index,
+                image_id=image_id,
+                version=version,
+                **payload,
+            )
+            self.metrics.increment("wal.appends")
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ShardError("sharded catalog is closed")
+
+    @staticmethod
+    def _apply(
+        shard: _Shard,
+        image_id: str,
+        version: int,
+        apply: Callable[[], object],
+    ) -> None:
+        """Run a journaled mutation's apply step.
+
+        On failure, the dedupe key :meth:`_journal` registered is
+        retired so the next mutation at the same version number is not
+        silently swallowed by the feed listener.  The WAL record stays:
+        replay re-attempts the apply and, when it fails the same way,
+        skips the record — converging with the live outcome.
+        """
+        try:
+            apply()
+        except BaseException:
+            shard.journaled.discard((image_id, version))
+            raise
+
+    @staticmethod
+    def _prune_materialized(shard: _Shard) -> None:
+        """Retire ledger entries whose matrices invalidation just dropped.
+
+        A mutation's transitive invalidation can evict materialized
+        matrices of *other* images (dependents of the mutated one); the
+        ledger must follow, or the compactor would consider them
+        materialized forever and never re-warm them.
+        """
+        if shard.materialized:
+            engine = shard.database.engine
+            stale = [
+                image_id
+                for image_id in shard.materialized
+                if not engine.has_cached_bounds(image_id)
+            ]
+            for image_id in stale:
+                shard.materialized.pop(image_id, None)
+
+    def insert_image(self, image: Image, image_id: Optional[str] = None) -> str:
+        """Insert a binary image on its hash shard (WAL first)."""
+        self._ensure_open()
+        assigned = image_id if image_id is not None else self._allocate("img")
+        if assigned in self._placement:
+            raise DuplicateObjectError(
+                f"image id {assigned!r} already stored in shard "
+                f"{self._placement[assigned]}"
+            )
+        shard = self._route_new_binary(assigned)
+        with shard.lock.write_locked():
+            version = shard.version + 1
+            ppm = base64.b64encode(write_ppm(image)).decode("ascii")
+            self._journal(shard, "insert_image", assigned, version, ppm=ppm)
+            self._apply(
+                shard,
+                assigned,
+                version,
+                lambda: shard.database.insert_image(image, assigned),
+            )
+            shard.version = version
+            self._placement[assigned] = shard.index
+        self._note_allocated(assigned)
+        self.metrics.increment("shard.mutations")
+        return assigned
+
+    def insert_edited(
+        self, sequence: EditSequence, image_id: Optional[str] = None
+    ) -> str:
+        """Insert an edited image on its references' shard (WAL first)."""
+        self._ensure_open()
+        assigned = image_id if image_id is not None else self._allocate("edit")
+        if assigned in self._placement:
+            raise DuplicateObjectError(
+                f"image id {assigned!r} already stored in shard "
+                f"{self._placement[assigned]}"
+            )
+        shard = self._route_sequence(sequence)
+        with shard.lock.write_locked():
+            version = shard.version + 1
+            self._journal(
+                shard,
+                "insert_edited",
+                assigned,
+                version,
+                sequence=sequence.serialize(),
+            )
+            self._apply(
+                shard,
+                assigned,
+                version,
+                lambda: shard.database.insert_edited(sequence, assigned),
+            )
+            self._prune_materialized(shard)
+            shard.version = version
+            self._placement[assigned] = shard.index
+        self._note_allocated(assigned)
+        self.metrics.increment("shard.mutations")
+        return assigned
+
+    def delete_edited(self, image_id: str) -> None:
+        shard = self._owning_shard(image_id)
+        with shard.lock.write_locked():
+            version = shard.version + 1
+            self._journal(shard, "delete_edited", image_id, version)
+            self._apply(
+                shard,
+                image_id,
+                version,
+                lambda: shard.database.delete_edited(image_id),
+            )
+            self._prune_materialized(shard)
+            shard.version = version
+            shard.materialized.pop(image_id, None)
+            self._placement.pop(image_id, None)
+        self.metrics.increment("shard.mutations")
+
+    def delete_image(self, image_id: str) -> None:
+        shard = self._owning_shard(image_id)
+        with shard.lock.write_locked():
+            version = shard.version + 1
+            self._journal(shard, "delete_image", image_id, version)
+            self._apply(
+                shard,
+                image_id,
+                version,
+                lambda: shard.database.delete_image(image_id),
+            )
+            self._prune_materialized(shard)
+            shard.version = version
+            self._placement.pop(image_id, None)
+        self.metrics.increment("shard.mutations")
+
+    def update_image(self, image_id: str, image: Image) -> None:
+        shard = self._owning_shard(image_id)
+        with shard.lock.write_locked():
+            version = shard.version + 1
+            ppm = base64.b64encode(write_ppm(image)).decode("ascii")
+            self._journal(shard, "update_image", image_id, version, ppm=ppm)
+            self._apply(
+                shard,
+                image_id,
+                version,
+                lambda: shard.database.update_image(image_id, image),
+            )
+            self._prune_materialized(shard)
+            shard.version = version
+        self.metrics.increment("shard.mutations")
+
+    # ------------------------------------------------------------------
+    # Compaction commits (called by the Compactor under the write lock)
+    # ------------------------------------------------------------------
+    def _commit_materialization(
+        self,
+        shard: _Shard,
+        image_id: str,
+        bounds: AllBinsBounds,
+        projected_saving: float,
+    ) -> None:
+        """Swap a materialized BOUNDS matrix in (write lock held).
+
+        The swap is journaled, fires the invalidation feed (dropping
+        the image's stale memo entries and notifying result caches and
+        planners), and only then seeds the engine's vector cache — so a
+        query racing the commit either sees the old walk-on-demand
+        state or the fully seeded one, never a half-applied mix.
+        """
+        lo, hi, height, width = bounds
+        version = shard.version + 1
+        self._journal(
+            shard,
+            "compact",
+            image_id,
+            version,
+            lo=[int(value) for value in lo],
+            hi=[int(value) for value in hi],
+            height=int(height),
+            width=int(width),
+        )
+        shard.database.engine.invalidate(image_id)
+        shard.database.engine.seed_bounds(image_id, bounds)
+        shard.version = version
+        shard.materialized[image_id] = float(projected_saving)
+        self.metrics.increment("compaction.materialized")
+        self._refresh_materialized_gauge()
+
+    def _rollback_materialization(self, shard: _Shard, image_id: str) -> None:
+        """Retract a materialized matrix (write lock held)."""
+        version = shard.version + 1
+        self._journal(shard, "decompact", image_id, version)
+        shard.database.engine.invalidate(image_id)
+        shard.version = version
+        shard.materialized.pop(image_id, None)
+        self.metrics.increment("compaction.rolled_back")
+        self._refresh_materialized_gauge()
+
+    def rollback_materialization(self, image_id: str) -> bool:
+        """Public retraction of one materialized image; True if it was."""
+        self._ensure_open()
+        shard = self._owning_shard(image_id)
+        with shard.lock.write_locked():
+            if image_id not in shard.materialized:
+                return False
+            self._rollback_materialization(shard, image_id)
+        return True
+
+    def materialized_images(self) -> Dict[str, float]:
+        """Every materialized image id and its projected per-query saving."""
+        combined: Dict[str, float] = {}
+        for shard in self._shards:
+            combined.update(shard.materialized)
+        return combined
+
+    def _refresh_materialized_gauge(self) -> None:
+        total = sum(len(shard.materialized) for shard in self._shards)
+        self.metrics.set_gauge("compaction.materialized_images", total)
+
+    # ------------------------------------------------------------------
+    # Scatter-gather queries
+    # ------------------------------------------------------------------
+    def _scatter(self, task: Callable[[_Shard], _T]) -> List[_T]:
+        """Run ``task`` on every shard under its read lock; shard order."""
+        self._ensure_open()
+
+        def guarded(shard: _Shard) -> _T:
+            with shard.lock.read_locked():
+                shard.queries_served += 1
+                return task(shard)
+
+        if len(self._shards) == 1:
+            return [guarded(self._shards[0])]
+        futures = [
+            self._pool.submit(guarded, shard) for shard in self._shards
+        ]
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def _merge_results(results: Sequence[QueryResult]) -> QueryResult:
+        matches: Set[str] = set()
+        stats = QueryStats()
+        for result in results:
+            matches |= result.matches
+            stats.merge(result.stats)
+        return QueryResult(frozenset(matches), stats)
+
+    def range_query(
+        self,
+        query: RangeQuery,
+        method: str = "bwm",
+        expand_to_bases: bool = False,
+    ) -> QueryResult:
+        """Fan a range query across shards; union of shard results."""
+        results = self._scatter(
+            lambda shard: shard.database.range_query(
+                query, method=method, expand_to_bases=expand_to_bases
+            )
+        )
+        self.metrics.increment("shard.queries")
+        return self._merge_results(results)
+
+    def range_query_batch(
+        self, queries: Sequence[RangeQuery], method: str = "bwm"
+    ) -> List[QueryResult]:
+        """Fan a query batch across shards; element-wise union."""
+        per_shard = self._scatter(
+            lambda shard: shard.database.range_query_batch(
+                queries, method=method
+            )
+        )
+        self.metrics.increment("shard.queries")
+        return [
+            self._merge_results([shard_results[i] for shard_results in per_shard])
+            for i in range(len(queries))
+        ]
+
+    def conjunctive_query(
+        self,
+        query: ConjunctiveQuery,
+        method: str = "bwm",
+        expand_to_bases: bool = False,
+    ) -> QueryResult:
+        """AND-composed constraints; per-shard intersections union.
+
+        Correct because shards partition the id space: the global
+        intersection distributes over the disjoint per-shard unions.
+        """
+        results = self._scatter(
+            lambda shard: shard.database.conjunctive_query(
+                query, method=method, expand_to_bases=expand_to_bases
+            )
+        )
+        self.metrics.increment("shard.queries")
+        return self._merge_results(results)
+
+    def text_query(
+        self,
+        text: str,
+        method: str = "bwm",
+        expand_to_bases: bool = False,
+    ) -> QueryResult:
+        """Parse once at the router, then fan out like the database does."""
+        from repro.querylang.parser import parse_conjunctive_query
+
+        parsed = parse_conjunctive_query(text)
+        constraints = tuple(
+            RangeQuery(self.quantizer.bin_of(p.rgb), p.pct_min, p.pct_max)
+            for p in parsed
+        )
+        if len(constraints) == 1:
+            return self.range_query(
+                constraints[0], method=method, expand_to_bases=expand_to_bases
+            )
+        return self.conjunctive_query(
+            ConjunctiveQuery(constraints),
+            method=method,
+            expand_to_bases=expand_to_bases,
+        )
+
+    def knn(
+        self,
+        query: Union[Image, ColorHistogram],
+        k: int,
+        method: str = "bounded",
+    ) -> KNNResult:
+        """Global k nearest neighbors: ordered merge of shard k-bests.
+
+        Each shard returns its exact local k-best ascending by
+        ``(distance, id)``; the global k-best is the first k of their
+        ordered merge — identical to the single-catalog result because
+        no excluded local candidate can outrank an included one.
+        """
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        histogram = (
+            ColorHistogram.of_image(query, self.quantizer)
+            if isinstance(query, Image)
+            else query
+        )
+        if histogram.quantizer != self.quantizer:
+            raise QueryError("query histogram uses a different quantizer")
+        results = self._scatter(
+            lambda shard: shard.database.knn(histogram, k, method=method)
+        )
+        self.metrics.increment("shard.queries")
+        neighbors = tuple(
+            islice(heap_merge(*(result.neighbors for result in results)), k)
+        )
+        stats = KNNStats()
+        for result in results:
+            stats.candidates_considered += result.stats.candidates_considered
+            stats.edited_pruned += result.stats.edited_pruned
+            stats.edited_instantiated += result.stats.edited_instantiated
+        return KNNResult(neighbors, stats)
+
+    def similarity_range(
+        self, query: Union[Image, ColorHistogram], epsilon: float
+    ) -> KNNResult:
+        """All images within L1 distance ``epsilon``: ordered shard merge."""
+        histogram = (
+            ColorHistogram.of_image(query, self.quantizer)
+            if isinstance(query, Image)
+            else query
+        )
+        if histogram.quantizer != self.quantizer:
+            raise QueryError("query histogram uses a different quantizer")
+        results = self._scatter(
+            lambda shard: shard.database.similarity_range(histogram, epsilon)
+        )
+        self.metrics.increment("shard.queries")
+        neighbors = tuple(
+            heap_merge(*(result.neighbors for result in results))
+        )
+        stats = KNNStats()
+        for result in results:
+            stats.candidates_considered += result.stats.candidates_considered
+            stats.edited_pruned += result.stats.edited_pruned
+            stats.edited_instantiated += result.stats.edited_instantiated
+        return KNNResult(neighbors, stats)
+
+    def planned_range_query(self, query: RangeQuery) -> QueryResult:
+        """Router-aware planning: each shard picks its own strategy.
+
+        Shards are independently sized and independently warm, so a hot
+        small shard may serve from its memoized vectorized path while a
+        cold large one still prefers BWM — the planner decides per
+        shard over :data:`ROUTER_STRATEGIES`.
+        """
+
+        def run(shard: _Shard) -> QueryResult:
+            planner = shard.planner
+            assert planner is not None
+            plan = planner.plan(query, strategies=ROUTER_STRATEGIES)
+            self.metrics.increment(f"plans.{plan.strategy.value}")
+            if plan.strategy is Strategy.VECTORIZED_BATCH:
+                return shard.database.range_query_batch([query], method="rbm")[0]
+            method = "rbm" if plan.strategy is Strategy.LINEAR_RBM else "bwm"
+            return shard.database.range_query(query, method=method)
+
+        results = self._scatter(run)
+        self.metrics.increment("shard.queries")
+        return self._merge_results(results)
+
+    # ------------------------------------------------------------------
+    # Object access
+    # ------------------------------------------------------------------
+    def instantiate(self, image_id: str) -> Image:
+        shard = self._owning_shard(image_id)
+        with shard.lock.read_locked():
+            return shard.database.instantiate(image_id)
+
+    def exact_histogram(self, image_id: str) -> ColorHistogram:
+        shard = self._owning_shard(image_id)
+        with shard.lock.read_locked():
+            return shard.database.exact_histogram(image_id)
+
+    def contains(self, image_id: str) -> bool:
+        return image_id in self._placement
+
+    def ids(self) -> Iterable[str]:
+        """Every stored id, shard-major then catalog insertion order."""
+        for shard in self._shards:
+            yield from shard.database.catalog.binary_ids()
+        for shard in self._shards:
+            yield from shard.database.catalog.edited_ids()
+
+    def __len__(self) -> int:
+        return len(self._placement)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self) -> Path:
+        """Checkpoint every shard and truncate the WAL.
+
+        Each shard saves through the normal atomic tmp+rename path into
+        its own segment root, the manifest is rewritten, and only then
+        is the WAL reset.  A crash anywhere leaves the tree loadable:
+        un-checkpointed shards replay the WAL's records idempotently on
+        the next :meth:`open`.
+        """
+        self._ensure_open()
+        if self.root is None:
+            raise ShardError(
+                "ephemeral sharded catalog has no root; construct with "
+                "root=... to enable save()"
+            )
+        with ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.lock.write_locked())
+            for shard in self._shards:
+                save_database(
+                    shard.database,
+                    self.root / shard_dirname(shard.index),
+                    faults=self.faults,
+                )
+            self._write_manifest()
+            assert self._wal is not None
+            self._wal.reset(self.faults)
+        self.metrics.increment("shard.checkpoints")
+        return self.root
+
+    @classmethod
+    def open(
+        cls,
+        root: Union[str, Path],
+        *,
+        faults: Optional[NoFaults] = None,
+        scatter_workers: Optional[int] = None,
+    ) -> "ShardedCatalog":
+        """Load a sharded root: shard segment roots plus WAL replay."""
+        base = Path(root)
+        manifest_path = base / SHARD_MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise PersistenceError(
+                f"{base} is not a sharded catalog root (no "
+                f"{SHARD_MANIFEST_NAME})"
+            )
+        manifest = _read_shard_manifest(manifest_path)
+        quantizer_info = manifest["quantizer"]
+        assert isinstance(quantizer_info, dict)
+        catalog = cls(
+            int(manifest["shard_count"]),  # type: ignore[arg-type]
+            root=base,
+            quantizer=UniformQuantizer(
+                divisions=int(quantizer_info["divisions"]),
+                space=str(quantizer_info["space"]),
+            ),
+            fill_color=tuple(manifest["fill_color"]),  # type: ignore[arg-type]
+            index_kind=str(manifest["index_kind"]),
+            faults=faults,
+            scatter_workers=scatter_workers,
+        )
+        for shard in catalog._shards:
+            shard_root = base / shard_dirname(shard.index)
+            if not has_committed_state(shard_root):
+                continue  # never checkpointed; WAL replay fills it
+            # load_database also rolls back a save that crashed between
+            # its commit renames (shard dir absent, ``.old`` backup left).
+            shard.database = load_database(shard_root)
+            catalog._attach(shard)
+            for image_id in shard.database.ids():
+                catalog._placement[image_id] = shard.index
+                catalog._note_allocated(image_id)
+        versions = manifest.get("versions")
+        if isinstance(versions, list):
+            for shard, version in zip(catalog._shards, versions):
+                shard.version = int(version)
+        catalog._replay()
+        return catalog
+
+    def _replay(self) -> None:
+        """Re-apply WAL records beyond the checkpoint, idempotently.
+
+        A record whose effect is already present (the crash happened
+        after apply, or an earlier partial replay got there) is
+        skipped; a record whose subject is already gone likewise.  The
+        sweep tests prove the result equals the no-crash oracle for a
+        crash at every append/apply boundary.
+        """
+        assert self._wal is not None
+        entries = self._wal.entries()
+        if not entries:
+            return
+        self._replaying = True
+        replayed = skipped = 0
+        try:
+            for entry in entries:
+                shard = self._shards[int(entry["shard"])]  # type: ignore[arg-type]
+                image_id = str(entry["image_id"])
+                version = int(entry["version"])  # type: ignore[arg-type]
+                with shard.lock.write_locked():
+                    if self._replay_entry(shard, str(entry["op"]), image_id, entry):
+                        replayed += 1
+                    else:
+                        skipped += 1
+                    shard.version = max(shard.version, version)
+        finally:
+            self._replaying = False
+        self.metrics.increment("wal.replayed", replayed)
+        self.metrics.increment("wal.replay_skipped", skipped)
+        logger.info(
+            "WAL replay: %d record(s) applied, %d already present",
+            replayed,
+            skipped,
+        )
+
+    def _replay_entry(
+        self,
+        shard: _Shard,
+        op: str,
+        image_id: str,
+        entry: Dict[str, object],
+    ) -> bool:
+        """Apply one WAL record to its shard; False when a no-op."""
+        catalog = shard.database.catalog
+        present = catalog.contains(image_id)
+        if op == "insert_image":
+            if present:
+                return False
+            shard.database.insert_image(_decode_ppm(entry), image_id)
+            self._placement[image_id] = shard.index
+            self._note_allocated(image_id)
+            return True
+        if op == "insert_edited":
+            if present:
+                return False
+            sequence = EditSequence.parse(str(entry["sequence"]))
+            shard.database.insert_edited(sequence, image_id)
+            self._placement[image_id] = shard.index
+            self._note_allocated(image_id)
+            return True
+        if op == "delete_edited":
+            if not present:
+                return False
+            shard.database.delete_edited(image_id)
+            shard.materialized.pop(image_id, None)
+            self._placement.pop(image_id, None)
+            return True
+        if op == "delete_image":
+            if not present:
+                return False
+            shard.database.delete_image(image_id)
+            self._placement.pop(image_id, None)
+            return True
+        if op == "update_image":
+            if not present:
+                return False
+            shard.database.update_image(image_id, _decode_ppm(entry))
+            return True
+        if op == "compact":
+            if not present:
+                return False
+            lo = np.array(entry["lo"], dtype=np.int64)
+            hi = np.array(entry["hi"], dtype=np.int64)
+            bounds: AllBinsBounds = (
+                lo,
+                hi,
+                int(entry["height"]),  # type: ignore[arg-type]
+                int(entry["width"]),  # type: ignore[arg-type]
+            )
+            shard.database.engine.invalidate(image_id)
+            shard.database.engine.seed_bounds(image_id, bounds)
+            shard.materialized[image_id] = 0.0
+            self._refresh_materialized_gauge()
+            return True
+        if op == "decompact":
+            if image_id not in shard.materialized:
+                return False
+            shard.database.engine.invalidate(image_id)
+            shard.materialized.pop(image_id, None)
+            self._refresh_materialized_gauge()
+            return True
+        if op == "change":
+            # Out-of-band capture: nothing to re-apply (no payload), but
+            # surface it — the change itself was lost with the process.
+            self.metrics.increment("wal.unreplayable")
+            logger.warning(
+                "WAL change record for %r (shard %d) has no payload to "
+                "replay; the out-of-band mutation did not survive the "
+                "crash",
+                image_id,
+                shard.index,
+            )
+            return False
+        raise ShardError(f"unknown WAL record kind {op!r} during replay")
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """What ``repro shards --status`` reports."""
+        shards: List[Dict[str, object]] = []
+        for shard in self._shards:
+            with shard.lock.read_locked():
+                summary = shard.database.structure_summary()
+                shards.append(
+                    {
+                        "index": shard.index,
+                        "binary_images": summary["binary_images"],
+                        "edited_images": summary["edited_images"],
+                        "version": shard.version,
+                        "queries_served": shard.queries_served,
+                        "materialized": sorted(shard.materialized),
+                    }
+                )
+        wal_entries = len(self._wal.entries()) if self._wal is not None else 0
+        return {
+            "root": str(self.root) if self.root is not None else None,
+            "shard_count": len(self._shards),
+            "images": len(self._placement),
+            "wal_entries": wal_entries,
+            "shards": shards,
+        }
+
+    def describe_status(self) -> str:
+        status = self.status()
+        lines = [
+            f"sharded catalog at {status['root'] or '<ephemeral>'}: "
+            f"{status['shard_count']} shard(s), {status['images']} image(s), "
+            f"{status['wal_entries']} WAL record(s) since checkpoint",
+        ]
+        for shard in status["shards"]:  # type: ignore[union-attr]
+            assert isinstance(shard, dict)
+            materialized = shard["materialized"]
+            assert isinstance(materialized, list)
+            lines.append(
+                f"  shard {shard['index']}: {shard['binary_images']} binary "
+                f"+ {shard['edited_images']} edited, "
+                f"v{shard['version']}, {shard['queries_served']} queries, "
+                f"{len(materialized)} materialized"
+            )
+        return "\n".join(lines)
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        return self.metrics.snapshot()
+
+    def prometheus_metrics(self) -> str:
+        """The shard tier's metrics in Prometheus text exposition."""
+        return render_prometheus(self.metrics.snapshot())
+
+    def close(self) -> None:
+        """Detach listeners/planners and stop the scatter pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            if shard.planner is not None:
+                shard.planner.close()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedCatalog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Module helpers
+# ----------------------------------------------------------------------
+def _decode_ppm(entry: Dict[str, object]) -> Image:
+    return read_ppm(base64.b64decode(str(entry["ppm"])))
+
+
+def _read_shard_manifest(path: Path) -> Dict[str, object]:
+    """Read and checksum-verify the shard layout manifest."""
+    try:
+        manifest = json.loads(path.read_text("utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"unreadable shard manifest {path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise PersistenceError(f"shard manifest {path} is not a JSON object")
+    recorded = manifest.pop("manifest_sha256", None)
+    canonical = json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+    if recorded != sha256_hex(canonical.encode("utf-8")):
+        raise PersistenceError(
+            f"shard manifest {path} failed its checksum (torn write or "
+            f"hand edit); restore it or rebuild the root"
+        )
+    return manifest

@@ -1,0 +1,207 @@
+"""The shard write-ahead log: append-only, checksummed JSONL.
+
+Every :class:`~repro.shard.sharded.ShardedCatalog` mutation is appended
+here **before** it is applied to the owning shard, which is what makes
+streaming ingestion durable: a crash between append and apply replays
+the record on open; a crash mid-append leaves a torn tail that replay
+detects and drops.  The format deliberately matches the PR 6 migration
+journal line discipline — canonical JSON per line, each carrying
+``line_sha256`` over its own canonical form — because ROADMAP item 3's
+read replicas will tail this same file, and a self-verifying line
+protocol is what lets a replica resume from any byte offset it last
+fsynced.
+
+Record shape
+------------
+Every record carries::
+
+    lsn        log sequence number (1-based, monotonically increasing)
+    op         one of the kinds below
+    shard      owning shard index
+    image_id   the mutated id
+    version    the shard-local version the mutation commits
+
+plus an op-specific payload:
+
+``insert_image`` / ``update_image``
+    ``ppm``: the raster as base64 of its binary PPM encoding.
+``insert_edited``
+    ``sequence``: the edit sequence in its text serialization.
+``delete_image`` / ``delete_edited``
+    no payload.
+``compact`` / ``decompact``
+    the compactor's materialized all-bins matrix (``lo``/``hi`` int
+    lists plus ``height``/``width``) or its retraction.
+``change``
+    an out-of-band catalog change observed through the bounds engine's
+    invalidation feed that did not come through the sharded wrapper —
+    recorded so replicas learn to drop caches, but carrying no payload
+    to re-apply.
+
+Appends go through a fault plan (:mod:`repro.testing.faults`): append
+and fsync are separate kill points, and ``tests/shard/
+test_wal_replay_faults.py`` sweeps a crash over every one.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.db.versioning import sha256_hex
+from repro.errors import CorruptionError
+from repro.testing.faults import NoFaults
+
+logger = logging.getLogger(__name__)
+
+WAL_NAME = "shard.wal"
+
+#: Every record kind the replayer understands, in no particular order.
+_RECORD_KINDS: Tuple[str, ...] = (
+    "insert_image",
+    "insert_edited",
+    "delete_image",
+    "delete_edited",
+    "update_image",
+    "compact",
+    "decompact",
+    "change",
+)
+
+
+def wal_record_kinds() -> Tuple[str, ...]:
+    """The record kinds a WAL consumer must handle (for replicas)."""
+    return _RECORD_KINDS
+
+
+class ShardWAL:
+    """Append-only, per-line-checksummed log of shard mutations.
+
+    Lines are canonical JSON objects; each carries ``line_sha256`` over
+    its own canonical form (sans the field).  Appends go through the
+    fault plan (append + fsync are separate kill points).  Replay
+    tolerates exactly one damaged line *at the tail* — the torn-append
+    crash shape — and treats damage anywhere else as corruption.
+    """
+
+    def __init__(self, base: Path) -> None:
+        self.path = Path(base) / WAL_NAME
+        self._next_lsn: Optional[int] = None
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        plan: NoFaults,
+        op: str,
+        *,
+        shard: int,
+        image_id: str,
+        version: int,
+        **payload: object,
+    ) -> Dict[str, object]:
+        """Durably append one mutation record; returns the full entry."""
+        if op not in _RECORD_KINDS:
+            raise CorruptionError(f"unknown WAL record kind {op!r}")
+        self._truncate_torn_tail()
+        entry: Dict[str, object] = {
+            "lsn": self._allocate_lsn(),
+            "op": op,
+            "shard": shard,
+            "image_id": image_id,
+            "version": version,
+            **payload,
+        }
+        canonical = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        entry["line_sha256"] = sha256_hex(canonical.encode("utf-8"))
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        plan.append_bytes(self.path, line.encode("utf-8") + b"\n")
+        plan.fsync(self.path)
+        return entry
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Verified WAL entries in append order; a torn final line is dropped."""
+        if not self.exists():
+            return []
+        try:
+            raw_lines = self.path.read_bytes().split(b"\n")
+        except OSError as exc:
+            raise CorruptionError(f"unreadable WAL {self.path}: {exc}") from exc
+        lines = [line for line in raw_lines if line.strip()]
+        entries: List[Dict[str, object]] = []
+        for index, line in enumerate(lines):
+            entry = self._verify_line(line)
+            if entry is None:
+                if index == len(lines) - 1:
+                    logger.warning(
+                        "dropping torn tail line of %s (crash mid-append)",
+                        self.path,
+                    )
+                    break
+                raise CorruptionError(
+                    f"{self.path}: damaged WAL line {index + 1} of "
+                    f"{len(lines)} (not a torn tail; refusing to guess)"
+                )
+            entries.append(entry)
+        return entries
+
+    def reset(self, plan: NoFaults) -> None:
+        """Truncate the log after a checkpoint made every entry durable.
+
+        Called by :meth:`~repro.shard.sharded.ShardedCatalog.save` once
+        each shard's segment root holds the state the log describes.  A
+        crash before the truncate just replays records whose effects are
+        already present — replay is idempotent, so the state converges.
+        """
+        plan.write_bytes(self.path, b"")
+        plan.fsync(self.path)
+        self._next_lsn = 1
+
+    # ------------------------------------------------------------------
+    def _allocate_lsn(self) -> int:
+        if self._next_lsn is None:
+            entries = self.entries()
+            last = int(entries[-1]["lsn"]) if entries else 0  # type: ignore[arg-type]
+            self._next_lsn = last + 1
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        return lsn
+
+    def _truncate_torn_tail(self) -> None:
+        """Cut an unterminated final line before appending a new one.
+
+        A crash mid-append leaves a newline-less prefix at the tail;
+        appending straight after it would glue two lines into one
+        garbage line *mid-file*, which replay rightly refuses.  The
+        truncation is recovery of already-damaged state, not a durable
+        protocol step, so it does not go through the fault plan.
+        """
+        if not self.path.is_file():
+            return
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1
+        with open(self.path, "r+b") as handle:
+            handle.truncate(keep)
+
+    @staticmethod
+    def _verify_line(line: bytes) -> Optional[Dict[str, object]]:
+        try:
+            entry = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        recorded = entry.pop("line_sha256", None)
+        canonical = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        if recorded != sha256_hex(canonical.encode("utf-8")):
+            return None
+        return entry
+
+    def remove(self) -> None:
+        self.path.unlink(missing_ok=True)

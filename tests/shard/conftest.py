@@ -1,0 +1,82 @@
+"""Shared corpus builders for the sharded-catalog tests.
+
+Every test that checks router parity builds a *mirrored pair*: a
+:class:`ShardedCatalog` and a plain single-catalog
+:class:`MultimediaDatabase` oracle fed the exact same records under the
+exact same ids.  Edit sequences only reference shard-local images (the
+Merge targets are each image's own base), which is the invariant the
+router enforces — cross-cluster merges are a routing error by design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.color.names import FLAG_PALETTE
+from repro.db.database import MultimediaDatabase
+from repro.editing.operations import Combine, Define, Merge, Modify, Mutate
+from repro.editing.sequence import EditSequence
+from repro.images.generators import random_palette_image
+from repro.images.raster import Image
+from repro.shard import ShardedCatalog
+
+
+def random_image(rng: np.random.Generator, height: int = 10, width: int = 12) -> Image:
+    return random_palette_image(rng, height, width, FLAG_PALETTE)
+
+
+def random_sequence(
+    rng: np.random.Generator, base_id: str, min_ops: int = 1, max_ops: int = 4
+) -> EditSequence:
+    """A shard-local sequence: any Merge targets the image's own base."""
+    count = int(rng.integers(min_ops, max_ops + 1))
+    ops: List[object] = []
+    for _ in range(count):
+        roll = int(rng.integers(0, 5))
+        if roll == 0:
+            ops.append(Define.of(1, 1, 8, 9))
+        elif roll == 1:
+            ops.append(Combine.box())
+        elif roll == 2:
+            old = FLAG_PALETTE[int(rng.integers(0, len(FLAG_PALETTE)))]
+            new = FLAG_PALETTE[int(rng.integers(0, len(FLAG_PALETTE)))]
+            ops.append(Modify(old, new))
+        elif roll == 3:
+            ops.append(Mutate.translation(int(rng.integers(-2, 3)), 1))
+        else:
+            ops.append(Merge(base_id, int(rng.integers(0, 3)), 1))
+    return EditSequence(base_id, tuple(ops))
+
+
+def build_mirrored_pair(
+    rng: np.random.Generator,
+    shard_count: int = 3,
+    binary_count: int = 10,
+    edited_count: int = 8,
+    root=None,
+) -> Tuple[ShardedCatalog, MultimediaDatabase, List[str]]:
+    """A sharded catalog and a single-catalog oracle holding equal state."""
+    sharded = ShardedCatalog(shard_count, root=root)
+    oracle = MultimediaDatabase(quantizer=sharded.quantizer, bounds_cache=True)
+    base_ids: List[str] = []
+    for _ in range(binary_count):
+        image = random_image(rng)
+        image_id = sharded.insert_image(image)
+        oracle.insert_image(image, image_id)
+        base_ids.append(image_id)
+    for index in range(edited_count):
+        base = base_ids[index % len(base_ids)]
+        sequence = random_sequence(rng, base)
+        image_id = sharded.insert_edited(sequence)
+        oracle.insert_edited(sequence, image_id)
+    return sharded, oracle, base_ids
+
+
+@pytest.fixture
+def mirrored_pair(rng):
+    sharded, oracle, base_ids = build_mirrored_pair(rng)
+    yield sharded, oracle, base_ids
+    sharded.close()

@@ -1,0 +1,205 @@
+"""DB007: shard-routing invariants, proved against seeded defects.
+
+Per-shard DB001–DB006 checks cannot see routing damage: each shard's
+database can be internally consistent while a binary image sits on the
+wrong hash shard, the router's placement map has drifted from the disks,
+or an edited image's dependency chain straddles shards (dangling after
+routing).  Every test here seeds exactly that kind of corruption by
+mutating a shard database directly — the defect's very premise — and
+asserts :func:`check_shard_routing` names it.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.analysis import check_shard_routing
+from repro.cli import main
+from repro.shard import ShardedCatalog, hash_shard
+
+from tests.shard.conftest import build_mirrored_pair, random_image
+
+
+def _run_cli(*argv):
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+def _id_hashing_to(shard, shard_count, prefix="seed"):
+    """An image id whose stable hash routes to ``shard``."""
+    for attempt in range(10_000):
+        candidate = f"{prefix}-{attempt}"
+        if hash_shard(candidate, shard_count) == shard:
+            return candidate
+    raise AssertionError("no id found")  # pragma: no cover
+
+
+class TestCleanCatalog:
+    def test_clean_catalog_has_no_findings(self, rng):
+        sharded, _, _ = build_mirrored_pair(rng, shard_count=3)
+        try:
+            report = check_shard_routing(sharded)
+            assert report.pass_name == "shard"
+            assert report.ok
+            assert len(report) == 0
+            assert report.subjects_examined == len(sharded)
+        finally:
+            sharded.close()
+
+
+class TestSeededDefects:
+    def test_wrong_hash_shard_detected(self, rng):
+        sharded = ShardedCatalog(3)
+        try:
+            rogue = _id_hashing_to(0, 3)
+            # Stored on shard 2 though the id hashes to shard 0; the
+            # placement map colludes so only the hash check can object.
+            sharded.shard_database(2).insert_image(
+                random_image(rng), image_id=rogue
+            )
+            sharded._placement[rogue] = 2
+            findings = check_shard_routing(sharded).by_code("DB007")
+            assert len(findings) == 1
+            assert findings[0].location == rogue
+            assert findings[0].details == {"shard": 2, "expected_shard": 0}
+        finally:
+            sharded.close()
+
+    def test_placement_drift_detected(self, rng):
+        sharded = ShardedCatalog(3)
+        try:
+            image_id = sharded.insert_image(random_image(rng))
+            actual = sharded.shard_of(image_id)
+            sharded._placement[image_id] = (actual + 1) % 3
+            findings = check_shard_routing(sharded).by_code("DB007")
+            drift = [
+                f for f in findings if f.details.get("placed_shard") is not None
+            ]
+            assert len(drift) == 1
+            assert drift[0].details["actual_shard"] == actual
+        finally:
+            sharded.close()
+
+    def test_phantom_placement_detected(self, rng):
+        sharded = ShardedCatalog(2)
+        try:
+            sharded.insert_image(random_image(rng))
+            sharded._placement["ghost-1"] = 0
+            findings = check_shard_routing(sharded).by_code("DB007")
+            assert len(findings) == 1
+            assert findings[0].location == "ghost-1"
+            assert "not held by any shard" in findings[0].message
+        finally:
+            sharded.close()
+
+    def test_unrouted_record_detected(self, rng):
+        sharded = ShardedCatalog(3)
+        try:
+            stray = _id_hashing_to(1, 3, prefix="stray")
+            # Correct hash shard, but inserted behind the router's back:
+            # the placement map never learns it.
+            sharded.shard_database(1).insert_image(
+                random_image(rng), image_id=stray
+            )
+            findings = check_shard_routing(sharded).by_code("DB007")
+            assert len(findings) == 1
+            assert findings[0].location == stray
+            assert "placement map does not know it" in findings[0].message
+        finally:
+            sharded.close()
+
+    def test_dangling_reference_after_routing_detected(self, rng):
+        sharded, _, base_ids = build_mirrored_pair(
+            rng, shard_count=3, binary_count=4, edited_count=3
+        )
+        try:
+            base = base_ids[0]
+            home = sharded.shard_of(base)
+            catalog = sharded.shard_database(home).catalog
+            dependents = [
+                edited_id
+                for edited_id in catalog.edited_ids()
+                if base in catalog.sequence_of(edited_id).referenced_ids()
+            ]
+            assert dependents, "corpus must give the base a dependent"
+            # Simulated corruption: the base record vanishes from its
+            # shard (bypassing the referential delete guard), so every
+            # dependent's reference now resolves to no shard at all.
+            catalog._binary.pop(base)
+            catalog._children.pop(base, None)
+            sharded._placement.pop(base)
+            findings = check_shard_routing(sharded).by_code("DB007")
+            dangling = [
+                f for f in findings if f.details.get("referenced") == base
+            ]
+            assert {f.location for f in dangling} == set(dependents)
+            assert all(
+                f.details["referenced_shard"] is None for f in dangling
+            )
+            assert all("dangling after routing" in f.message for f in dangling)
+        finally:
+            sharded.close()
+
+    def test_cross_shard_reference_detected(self, rng):
+        sharded, _, base_ids = build_mirrored_pair(
+            rng, shard_count=3, binary_count=4, edited_count=3
+        )
+        try:
+            base = base_ids[0]
+            home = sharded.shard_of(base)
+            other = (home + 1) % 3
+            # Transplant the base record to another shard wholesale: the
+            # dependents stay behind, their chains now straddle shards.
+            record = sharded.shard_database(home).catalog._binary.pop(base)
+            sharded.shard_database(home).catalog._children.pop(base, None)
+            sharded.shard_database(other).catalog.add_binary(record)
+            sharded._placement[base] = other
+            findings = check_shard_routing(sharded).by_code("DB007")
+            straddling = [
+                f
+                for f in findings
+                if f.details.get("referenced") == base
+                and f.details.get("referenced_shard") == other
+            ]
+            assert straddling, "cross-shard reference must be flagged"
+            # The transplanted binary is also off its hash shard.
+            assert any(
+                f.details == {"shard": other, "expected_shard": home}
+                for f in findings
+            )
+        finally:
+            sharded.close()
+
+
+class TestCLIIntegration:
+    def test_analyze_db_clean_sharded_root(self, rng, tmp_path):
+        sharded, _, _ = build_mirrored_pair(
+            rng, shard_count=2, binary_count=4, edited_count=3, root=tmp_path
+        )
+        try:
+            sharded.save()
+        finally:
+            sharded.close()
+        code, output = _run_cli("analyze-db", str(tmp_path))
+        assert code == 0
+        assert "sharded-catalog" in output
+
+    def test_analyze_db_flags_seeded_defect(self, rng, tmp_path):
+        # A binary saved on the wrong hash shard survives save/reopen
+        # (reopen rebuilds placement from disk, legitimizing everything
+        # *except* the hash invariant), so analyze-db must flag it.
+        root = tmp_path / "rogue"
+        rogue = ShardedCatalog(2, root=root)
+        try:
+            victim = _id_hashing_to(0, 2, prefix="victim")
+            rogue.shard_database(1).insert_image(
+                random_image(rng), image_id=victim
+            )
+            rogue.save()
+        finally:
+            rogue.close()
+        code, output = _run_cli("analyze-db", str(root))
+        assert code == 2
+        assert "DB007" in output
+        assert victim in output

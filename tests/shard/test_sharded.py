@@ -1,0 +1,433 @@
+"""ShardedCatalog: router parity vs the single-catalog oracle, routing
+invariants, WAL dedupe, and shard-aware persistence."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.color.histogram import ColorHistogram
+from repro.color.quantization import UniformQuantizer
+from repro.core.query import ConjunctiveQuery, RangeQuery
+from repro.db.persistence import load_database
+from repro.editing.operations import Define, Merge
+from repro.editing.sequence import EditSequence
+from repro.errors import (
+    CrossShardReferenceError,
+    DuplicateObjectError,
+    PersistenceError,
+    QueryError,
+    ShardError,
+    UnknownObjectError,
+)
+from repro.shard import SHARD_MANIFEST_NAME, ShardedCatalog, hash_shard
+
+from tests.shard.conftest import build_mirrored_pair, random_image, random_sequence
+
+
+def _sample_queries(rng, bin_count, count=12):
+    queries = []
+    for _ in range(count):
+        bin_index = int(rng.integers(0, bin_count))
+        lo = float(rng.uniform(0.0, 0.6))
+        hi = float(rng.uniform(lo, 1.0))
+        queries.append(RangeQuery(bin_index, lo, hi))
+    return queries
+
+
+def _assert_full_parity(sharded, oracle, rng):
+    queries = _sample_queries(rng, sharded.quantizer.bin_count)
+    for query in queries:
+        for method in ("rbm", "bwm"):
+            assert (
+                sharded.range_query(query, method=method).matches
+                == oracle.range_query(query, method=method).matches
+            )
+        assert (
+            sharded.planned_range_query(query).matches
+            == oracle.range_query(query, method="bwm").matches
+        )
+    for method in ("rbm", "bwm"):
+        batched = sharded.range_query_batch(queries, method=method)
+        expected = oracle.range_query_batch(queries, method=method)
+        assert [r.matches for r in batched] == [r.matches for r in expected]
+    conjunctive = ConjunctiveQuery(tuple(queries[:3]))
+    assert (
+        sharded.conjunctive_query(conjunctive).matches
+        == oracle.conjunctive_query(conjunctive).matches
+    )
+    probe = random_image(rng)
+    assert sharded.knn(probe, 5).neighbors == oracle.knn(probe, 5).neighbors
+    assert (
+        sharded.similarity_range(probe, 0.8).neighbors
+        == oracle.similarity_range(probe, 0.8).neighbors
+    )
+
+
+# ----------------------------------------------------------------------
+# Scatter-gather parity
+# ----------------------------------------------------------------------
+class TestRouterParity:
+    def test_range_knn_batch_parity(self, mirrored_pair, rng):
+        sharded, oracle, _ = mirrored_pair
+        _assert_full_parity(sharded, oracle, rng)
+
+    def test_text_query_parity(self, mirrored_pair):
+        sharded, oracle, _ = mirrored_pair
+        text = "at least 10% blue and at most 70% red"
+        assert (
+            sharded.text_query(text).matches == oracle.text_query(text).matches
+        )
+
+    def test_parity_under_mutation_churn(self, rng):
+        sharded, oracle, base_ids = build_mirrored_pair(
+            rng, shard_count=4, binary_count=8, edited_count=6
+        )
+        try:
+            edited = [i for i in sharded.ids() if i.startswith("edit")]
+            for step in range(10):
+                roll = step % 5
+                if roll == 0:
+                    image = random_image(rng)
+                    new_id = sharded.insert_image(image)
+                    oracle.insert_image(image, new_id)
+                    base_ids.append(new_id)
+                elif roll == 1:
+                    base = base_ids[int(rng.integers(0, len(base_ids)))]
+                    sequence = random_sequence(rng, base)
+                    new_id = sharded.insert_edited(sequence)
+                    oracle.insert_edited(sequence, new_id)
+                    edited.append(new_id)
+                elif roll == 2 and edited:
+                    victim = edited.pop()
+                    sharded.delete_edited(victim)
+                    oracle.delete_edited(victim)
+                elif roll == 3:
+                    target = base_ids[int(rng.integers(0, len(base_ids)))]
+                    image = random_image(rng)
+                    sharded.update_image(target, image)
+                    oracle.update_image(target, image)
+                query = RangeQuery(
+                    int(rng.integers(0, sharded.quantizer.bin_count)), 0.0, 0.5
+                )
+                assert (
+                    sharded.range_query(query).matches
+                    == oracle.range_query(query).matches
+                )
+            _assert_full_parity(sharded, oracle, rng)
+        finally:
+            sharded.close()
+
+    def test_queries_consistent_under_concurrent_writes(self, rng):
+        sharded, oracle, base_ids = build_mirrored_pair(
+            rng, shard_count=3, binary_count=6, edited_count=4
+        )
+        try:
+            mutations = []
+            for index in range(12):
+                image = random_image(rng)
+                mutations.append(("insert", image))
+            script_rng = np.random.default_rng(77)
+            errors = []
+            applied = []
+
+            def writer():
+                try:
+                    for kind, image in mutations:
+                        new_id = sharded.insert_image(image)
+                        applied.append((new_id, image))
+                        if int(script_rng.integers(0, 3)) == 0:
+                            sequence = random_sequence(script_rng, new_id)
+                            applied.append(
+                                (sharded.insert_edited(sequence), sequence)
+                            )
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            def reader():
+                try:
+                    for _ in range(30):
+                        query = RangeQuery(
+                            int(script_rng.integers(0, 64)), 0.0, 0.6
+                        )
+                        result = sharded.range_query(query)
+                        assert result.matches <= set(sharded.placement())
+                        sharded.knn(random_image(script_rng), 3)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=writer)] + [
+                threading.Thread(target=reader) for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            # Once the churn settles, mirror it into the oracle and the
+            # router must be back to byte-identical results.
+            for item_id, payload in applied:
+                if isinstance(payload, EditSequence):
+                    oracle.insert_edited(payload, item_id)
+                else:
+                    oracle.insert_image(payload, item_id)
+            _assert_full_parity(sharded, oracle, rng)
+        finally:
+            sharded.close()
+
+    def test_knn_validates_inputs(self, mirrored_pair, rng):
+        sharded, _, _ = mirrored_pair
+        with pytest.raises(QueryError):
+            sharded.knn(random_image(rng), 0)
+        other = ColorHistogram.of_image(
+            random_image(rng), UniformQuantizer(2, "rgb")
+        )
+        with pytest.raises(QueryError):
+            sharded.knn(other, 3)
+
+    def test_instantiate_and_exact_histogram_route(self, mirrored_pair):
+        sharded, oracle, _ = mirrored_pair
+        for image_id in sharded.ids():
+            assert np.array_equal(
+                sharded.instantiate(image_id).pixels,
+                oracle.instantiate(image_id).pixels,
+            )
+            assert (
+                sharded.exact_histogram(image_id).counts.tolist()
+                == oracle.exact_histogram(image_id).counts.tolist()
+            )
+
+
+# ----------------------------------------------------------------------
+# Routing invariants
+# ----------------------------------------------------------------------
+class TestRouting:
+    def test_binary_images_land_on_hash_shard(self, mirrored_pair):
+        sharded, _, base_ids = mirrored_pair
+        for image_id in base_ids:
+            assert sharded.shard_of(image_id) == hash_shard(
+                image_id, sharded.shard_count
+            )
+
+    def test_edited_images_join_their_base_shard(self, mirrored_pair):
+        sharded, _, _ = mirrored_pair
+        for index in range(sharded.shard_count):
+            catalog = sharded.shard_database(index).catalog
+            for edited_id in catalog.edited_ids():
+                for referenced in catalog.sequence_of(edited_id).referenced_ids():
+                    assert sharded.shard_of(referenced) == index
+
+    def test_cross_shard_merge_rejected(self, rng):
+        sharded = ShardedCatalog(4)
+        try:
+            ids = [
+                sharded.insert_image(random_image(rng)) for _ in range(12)
+            ]
+            by_shard = {}
+            for image_id in ids:
+                by_shard.setdefault(sharded.shard_of(image_id), image_id)
+            assert len(by_shard) >= 2, "corpus must span shards"
+            (shard_a, id_a), (shard_b, id_b), *_ = sorted(by_shard.items())
+            sequence = EditSequence(
+                id_a, (Define.of(0, 0, 4, 4), Merge(id_b, 0, 0))
+            )
+            with pytest.raises(CrossShardReferenceError):
+                sharded.insert_edited(sequence)
+        finally:
+            sharded.close()
+
+    def test_unknown_reference_rejected(self, mirrored_pair):
+        sharded, _, _ = mirrored_pair
+        with pytest.raises(UnknownObjectError):
+            sharded.insert_edited(EditSequence("ghost-1", ()))
+
+    def test_duplicate_id_rejected(self, mirrored_pair, rng):
+        sharded, _, base_ids = mirrored_pair
+        with pytest.raises(DuplicateObjectError):
+            sharded.insert_image(random_image(rng), base_ids[0])
+
+    def test_mutations_against_closed_catalog_fail(self, rng):
+        sharded = ShardedCatalog(2)
+        sharded.close()
+        with pytest.raises(ShardError):
+            sharded.insert_image(random_image(rng))
+
+
+# ----------------------------------------------------------------------
+# WAL dedupe (the double-invalidation satellite)
+# ----------------------------------------------------------------------
+class TestWALDedupe:
+    def test_one_wal_record_per_wrapper_mutation(self, rng, tmp_path):
+        sharded, oracle, base_ids = build_mirrored_pair(
+            rng, shard_count=2, binary_count=5, edited_count=3, root=tmp_path
+        )
+        try:
+            mutations = 8  # 5 inserts + 3 edited inserts
+            image = random_image(rng)
+            sharded.update_image(base_ids[0], image)
+            mutations += 1
+            entries = sharded._wal.entries()
+            assert len(entries) == mutations
+            # Every mutation's invalidation-feed echo was consumed by the
+            # dedupe set rather than journaled a second time.
+            assert sharded.metrics.counter("wal.deduped") == mutations
+            assert sharded.metrics.counter("wal.appends") == mutations
+        finally:
+            sharded.close()
+
+    def test_out_of_band_mutation_logged_as_change(self, rng, tmp_path):
+        sharded, _, _ = build_mirrored_pair(
+            rng, shard_count=2, binary_count=4, edited_count=0, root=tmp_path
+        )
+        try:
+            before = len(sharded._wal.entries())
+            # Bypass the wrapper: mutate a shard database directly.  The
+            # invalidation feed still observes it, and the listener has
+            # no journaled key to consume.
+            sharded.shard_database(0).insert_image(random_image(rng), "rogue-1")
+            entries = sharded._wal.entries()
+            assert len(entries) == before + 1
+            assert entries[-1]["op"] == "change"
+            assert entries[-1]["image_id"] == "rogue-1"
+            assert sharded.metrics.counter("wal.out_of_band") == 1
+        finally:
+            sharded.close()
+
+
+# ----------------------------------------------------------------------
+# Persistence: save / open / replay / manifest
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def test_save_open_roundtrip_parity(self, rng, tmp_path):
+        sharded, oracle, _ = build_mirrored_pair(rng, root=tmp_path)
+        versions = None
+        try:
+            sharded.save()
+            assert sharded._wal.entries() == []
+            versions = [s.version for s in sharded._shards]
+        finally:
+            sharded.close()
+        reopened = ShardedCatalog.open(tmp_path)
+        try:
+            assert sorted(reopened.ids()) == sorted(oracle.ids())
+            assert [s.version for s in reopened._shards] == versions
+            _assert_full_parity(reopened, oracle, rng)
+        finally:
+            reopened.close()
+
+    def test_unsaved_tail_replays_from_wal(self, rng, tmp_path):
+        sharded, oracle, base_ids = build_mirrored_pair(rng, root=tmp_path)
+        try:
+            sharded.save()
+            image = random_image(rng)
+            new_id = sharded.insert_image(image)
+            oracle.insert_image(image, new_id)
+            sequence = random_sequence(rng, new_id)
+            edited_id = sharded.insert_edited(sequence)
+            oracle.insert_edited(sequence, edited_id)
+            sharded.delete_edited(edited_id)
+            oracle.delete_edited(edited_id)
+        finally:
+            sharded.close()  # crash-shaped: no second save
+        reopened = ShardedCatalog.open(tmp_path)
+        try:
+            assert reopened.contains(new_id)
+            assert not reopened.contains(edited_id)
+            assert reopened.metrics.counter("wal.replayed") == 3
+            _assert_full_parity(reopened, oracle, rng)
+            # Replay must allocate past replayed ids, not reuse them.
+            another = reopened.insert_image(random_image(rng))
+            assert another != new_id
+        finally:
+            reopened.close()
+
+    def test_reopen_is_idempotent(self, rng, tmp_path):
+        sharded, oracle, _ = build_mirrored_pair(rng, root=tmp_path)
+        try:
+            sharded.save()
+            image = random_image(rng)
+            new_id = sharded.insert_image(image)
+            oracle.insert_image(image, new_id)
+        finally:
+            sharded.close()
+        for _ in range(2):  # replay twice without checkpointing between
+            reopened = ShardedCatalog.open(tmp_path)
+            try:
+                assert reopened.contains(new_id)
+                _assert_full_parity(reopened, oracle, rng)
+            finally:
+                reopened.close()
+
+    def test_load_database_redirects_sharded_roots(self, rng, tmp_path):
+        sharded, _, _ = build_mirrored_pair(
+            rng, binary_count=2, edited_count=0, root=tmp_path
+        )
+        try:
+            sharded.save()
+        finally:
+            sharded.close()
+        with pytest.raises(PersistenceError, match="sharded catalog root"):
+            load_database(tmp_path)
+        # Individual shard segment roots stay loadable directly.
+        load_database(tmp_path / "shard-000")
+
+    def test_manifest_tamper_detected(self, rng, tmp_path):
+        sharded, _, _ = build_mirrored_pair(
+            rng, binary_count=2, edited_count=0, root=tmp_path
+        )
+        try:
+            sharded.save()
+        finally:
+            sharded.close()
+        manifest = tmp_path / SHARD_MANIFEST_NAME
+        manifest.write_text(
+            manifest.read_text().replace('"shard_count": 3', '"shard_count": 5')
+        )
+        with pytest.raises(PersistenceError, match="checksum"):
+            ShardedCatalog.open(tmp_path)
+
+    def test_shard_count_conflict_requires_open(self, rng, tmp_path):
+        sharded, _, _ = build_mirrored_pair(
+            rng, shard_count=2, binary_count=2, edited_count=0, root=tmp_path
+        )
+        sharded.close()
+        with pytest.raises(ShardError, match="open"):
+            ShardedCatalog(5, root=tmp_path)
+
+    def test_ephemeral_catalog_cannot_save(self, rng):
+        sharded = ShardedCatalog(2)
+        try:
+            with pytest.raises(ShardError, match="root"):
+                sharded.save()
+        finally:
+            sharded.close()
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_prometheus_families(self, rng, tmp_path):
+        sharded, _, _ = build_mirrored_pair(
+            rng, binary_count=4, edited_count=2, root=tmp_path
+        )
+        try:
+            sharded.range_query(RangeQuery(0, 0.0, 0.5))
+            text = sharded.prometheus_metrics()
+            assert 'repro_shard_events_total{event="mutations"}' in text
+            assert 'repro_wal_events_total{event="appends"}' in text
+        finally:
+            sharded.close()
+
+    def test_status_shape(self, mirrored_pair):
+        sharded, _, _ = mirrored_pair
+        sharded.range_query(RangeQuery(0, 0.0, 0.5))
+        status = sharded.status()
+        assert status["shard_count"] == sharded.shard_count
+        assert status["images"] == len(sharded)
+        assert len(status["shards"]) == sharded.shard_count
+        for shard_status in status["shards"]:
+            assert shard_status["queries_served"] >= 1
+        assert "shard(s)" in sharded.describe_status()

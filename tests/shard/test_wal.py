@@ -1,0 +1,115 @@
+"""ShardWAL line protocol: checksums, torn tails, LSNs, reset."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.shard import WAL_NAME, ShardWAL, wal_record_kinds
+from repro.testing.faults import CountingFaults, NoFaults
+
+
+@pytest.fixture
+def wal(tmp_path):
+    return ShardWAL(tmp_path)
+
+
+def test_record_kinds_cover_every_mutation():
+    kinds = wal_record_kinds()
+    for expected in (
+        "insert_image",
+        "insert_edited",
+        "delete_image",
+        "delete_edited",
+        "update_image",
+        "compact",
+        "decompact",
+        "change",
+    ):
+        assert expected in kinds
+
+
+def test_append_and_entries_roundtrip(wal):
+    plan = NoFaults()
+    first = wal.append(
+        plan, "insert_image", shard=1, image_id="img-1", version=1, ppm="QUJD"
+    )
+    second = wal.append(plan, "delete_image", shard=0, image_id="img-2", version=3)
+    assert first["lsn"] == 1 and second["lsn"] == 2
+    entries = wal.entries()
+    assert [entry["lsn"] for entry in entries] == [1, 2]
+    assert entries[0]["op"] == "insert_image"
+    assert entries[0]["ppm"] == "QUJD"
+    assert entries[1]["shard"] == 0 and entries[1]["version"] == 3
+
+
+def test_unknown_record_kind_rejected(wal):
+    with pytest.raises(CorruptionError):
+        wal.append(NoFaults(), "truncate", shard=0, image_id="x", version=1)
+
+
+def test_lsn_continues_across_instances(tmp_path):
+    plan = NoFaults()
+    first = ShardWAL(tmp_path)
+    first.append(plan, "change", shard=0, image_id="a", version=1)
+    second = ShardWAL(tmp_path)
+    entry = second.append(plan, "change", shard=0, image_id="b", version=2)
+    assert entry["lsn"] == 2
+
+
+def test_torn_tail_dropped_and_recovered(wal, tmp_path):
+    plan = NoFaults()
+    wal.append(plan, "change", shard=0, image_id="a", version=1)
+    path = tmp_path / WAL_NAME
+    with open(path, "ab") as handle:
+        handle.write(b'{"lsn": 2, "op": "chan')  # crash mid-append
+    entries = wal.entries()
+    assert len(entries) == 1 and entries[0]["image_id"] == "a"
+    # The next append truncates the torn prefix before writing, so the
+    # log stays parseable end to end.
+    wal.append(plan, "change", shard=0, image_id="b", version=2)
+    entries = wal.entries()
+    assert [entry["image_id"] for entry in entries] == ["a", "b"]
+
+
+def test_damaged_interior_line_is_corruption(wal, tmp_path):
+    plan = NoFaults()
+    wal.append(plan, "change", shard=0, image_id="a", version=1)
+    wal.append(plan, "change", shard=0, image_id="b", version=2)
+    path = tmp_path / WAL_NAME
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines[0] = b'{"garbage": true}\n'
+    path.write_bytes(b"".join(lines))
+    with pytest.raises(CorruptionError):
+        wal.entries()
+
+
+def test_checksum_tamper_detected_at_tail_only_drops(wal, tmp_path):
+    plan = NoFaults()
+    wal.append(plan, "change", shard=0, image_id="a", version=1)
+    wal.append(plan, "change", shard=0, image_id="b", version=2)
+    path = tmp_path / WAL_NAME
+    lines = path.read_bytes().splitlines()
+    entry = json.loads(lines[-1])
+    entry["image_id"] = "tampered"
+    lines[-1] = json.dumps(entry, sort_keys=True, separators=(",", ":")).encode()
+    path.write_bytes(b"\n".join(lines) + b"\n")
+    entries = wal.entries()  # tampered tail line == torn tail: dropped
+    assert [e["image_id"] for e in entries] == ["a"]
+
+
+def test_reset_truncates_and_restarts_lsn(wal):
+    plan = NoFaults()
+    wal.append(plan, "change", shard=0, image_id="a", version=1)
+    wal.reset(plan)
+    assert wal.entries() == []
+    entry = wal.append(plan, "change", shard=0, image_id="b", version=2)
+    assert entry["lsn"] == 1
+
+
+def test_append_is_two_durable_boundaries(wal):
+    counting = CountingFaults()
+    wal.append(counting, "change", shard=0, image_id="a", version=1)
+    assert [event.kind for event in counting.events] == ["append", "fsync"]
