@@ -91,6 +91,17 @@ class ReadWriteLock:
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._writer_thread: Optional[int] = None
+
+    def write_held_by_current_thread(self) -> bool:
+        """Whether the calling thread is the active writer.
+
+        The lock is not reentrant, so code that may run either under an
+        already-held write lock or standalone (the sharded catalog's
+        invalidation listener) uses this to decide whether acquiring
+        :meth:`write_locked` would self-deadlock.
+        """
+        return self._writer_thread == threading.get_ident()
 
     @contextmanager
     def read_locked(self):
@@ -116,11 +127,13 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+            self._writer_thread = threading.get_ident()
         try:
             yield
         finally:
             with self._cond:
                 self._writer_active = False
+                self._writer_thread = None
                 self._cond.notify_all()
 
 

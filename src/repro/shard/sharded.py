@@ -82,6 +82,7 @@ from repro.db.versioning import sha256_hex
 from repro.editing.sequence import EditSequence
 from repro.errors import (
     CrossShardReferenceError,
+    DatabaseError,
     DuplicateObjectError,
     PersistenceError,
     QueryError,
@@ -252,32 +253,46 @@ class ShardedCatalog:
         def _on_invalidation(image_id: Optional[str]) -> None:
             if image_id is None:
                 return  # whole-cache flush, not a catalog mutation
-            key = (image_id, shard.version + 1)
-            if key in shard.journaled:
-                # The wrapper path journaled this mutation before
-                # applying it; the feed echo must not journal it again.
-                shard.journaled.discard(key)
-                self.metrics.increment("wal.deduped")
-                return
-            if self._replaying or self._closed:
-                return
-            # Out-of-band change (a direct shard-database mutation that
-            # bypassed the wrapper): capture it so WAL consumers learn
-            # to drop caches, even though there is no payload to replay.
-            version = shard.version + 1
-            if self._wal is not None:
-                self._wal.append(
-                    self.faults,
-                    "change",
-                    shard=shard.index,
-                    image_id=image_id,
-                    version=version,
-                )
-                self.metrics.increment("wal.appends")
-            shard.version = version
-            self.metrics.increment("wal.out_of_band")
+            if shard.lock.write_held_by_current_thread():
+                # The wrapper/compactor/replay paths invalidate with the
+                # shard write lock already held on this thread;
+                # re-acquiring the non-reentrant lock would deadlock.
+                self._observe_invalidation(shard, image_id)
+            else:
+                # Out-of-band caller: take the write lock so the version
+                # read/bump cannot interleave with a wrapper mutation on
+                # the same shard and mis-dedupe its journaled key.
+                with shard.lock.write_locked():
+                    self._observe_invalidation(shard, image_id)
 
         return _on_invalidation
+
+    def _observe_invalidation(self, shard: _Shard, image_id: str) -> None:
+        """Handle one invalidation event (shard write lock held)."""
+        key = (image_id, shard.version + 1)
+        if key in shard.journaled:
+            # The wrapper path journaled this mutation before applying
+            # it; the feed echo must not journal it again.
+            shard.journaled.discard(key)
+            self.metrics.increment("wal.deduped")
+            return
+        if self._replaying or self._closed:
+            return
+        # Out-of-band change (a direct shard-database mutation that
+        # bypassed the wrapper): capture it so WAL consumers learn
+        # to drop caches, even though there is no payload to replay.
+        version = shard.version + 1
+        if self._wal is not None:
+            self._wal.append(
+                self.faults,
+                "change",
+                shard=shard.index,
+                image_id=image_id,
+                version=version,
+            )
+            self.metrics.increment("wal.appends")
+        shard.version = version
+        self.metrics.increment("wal.out_of_band")
 
     def _check_or_write_manifest(self) -> None:
         assert self.root is not None
@@ -924,35 +939,60 @@ class ShardedCatalog:
 
         A record whose effect is already present (the crash happened
         after apply, or an earlier partial replay got there) is
-        skipped; a record whose subject is already gone likewise.  The
-        sweep tests prove the result equals the no-crash oracle for a
-        crash at every append/apply boundary.
+        skipped; a record whose subject is already gone likewise.  A
+        record whose apply fails with a :class:`DatabaseError` is also
+        skipped (with a warning): the WAL records attempts before
+        outcomes, so a mutation that was rejected live — e.g. a
+        ``delete_image`` on a base that still has derived edits — left
+        its record behind, and replay must converge with the live
+        rejection rather than render the root unopenable.  The sweep
+        tests prove the result equals the no-crash oracle for a crash
+        at every append/apply boundary.
         """
         assert self._wal is not None
         entries = self._wal.entries()
         if not entries:
             return
         self._replaying = True
-        replayed = skipped = 0
+        replayed = skipped = failed = 0
         try:
             for entry in entries:
                 shard = self._shards[int(entry["shard"])]  # type: ignore[arg-type]
                 image_id = str(entry["image_id"])
                 version = int(entry["version"])  # type: ignore[arg-type]
                 with shard.lock.write_locked():
-                    if self._replay_entry(shard, str(entry["op"]), image_id, entry):
-                        replayed += 1
+                    try:
+                        applied = self._replay_entry(
+                            shard, str(entry["op"]), image_id, entry
+                        )
+                    except DatabaseError as exc:
+                        failed += 1
+                        logger.warning(
+                            "WAL replay: record lsn=%s (%s %r) failed to "
+                            "apply (%s); skipping — the live apply was "
+                            "rejected the same way",
+                            entry.get("lsn"),
+                            entry["op"],
+                            image_id,
+                            exc,
+                        )
                     else:
-                        skipped += 1
+                        if applied:
+                            replayed += 1
+                        else:
+                            skipped += 1
                     shard.version = max(shard.version, version)
         finally:
             self._replaying = False
         self.metrics.increment("wal.replayed", replayed)
         self.metrics.increment("wal.replay_skipped", skipped)
+        self.metrics.increment("wal.replay_failed", failed)
         logger.info(
-            "WAL replay: %d record(s) applied, %d already present",
+            "WAL replay: %d record(s) applied, %d already present, "
+            "%d rejected",
             replayed,
             skipped,
+            failed,
         )
 
     def _replay_entry(

@@ -47,6 +47,8 @@ from __future__ import annotations
 
 import json
 import logging
+import os
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -84,11 +86,21 @@ class ShardWAL:
     fault plan (append + fsync are separate kill points).  Replay
     tolerates exactly one damaged line *at the tail* — the torn-append
     crash shape — and treats damage anywhere else as corruption.
+
+    Thread-safe: mutations on different shards hold different per-shard
+    write locks but share this one log, and the compactor and the
+    out-of-band listener append from their own threads, so appends,
+    resets, and the LSN counter serialize on an internal lock — LSNs
+    stay unique and monotonic, and no append can interleave with the
+    torn-tail truncation of another.
     """
 
     def __init__(self, base: Path) -> None:
         self.path = Path(base) / WAL_NAME
         self._next_lsn: Optional[int] = None
+        # Reentrant because _allocate_lsn bootstraps the counter by
+        # calling entries() from inside the append critical section.
+        self._lock = threading.RLock()
 
     def exists(self) -> bool:
         return self.path.is_file()
@@ -107,28 +119,30 @@ class ShardWAL:
         """Durably append one mutation record; returns the full entry."""
         if op not in _RECORD_KINDS:
             raise CorruptionError(f"unknown WAL record kind {op!r}")
-        self._truncate_torn_tail()
-        entry: Dict[str, object] = {
-            "lsn": self._allocate_lsn(),
-            "op": op,
-            "shard": shard,
-            "image_id": image_id,
-            "version": version,
-            **payload,
-        }
-        canonical = json.dumps(entry, sort_keys=True, separators=(",", ":"))
-        entry["line_sha256"] = sha256_hex(canonical.encode("utf-8"))
-        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
-        plan.append_bytes(self.path, line.encode("utf-8") + b"\n")
-        plan.fsync(self.path)
-        return entry
+        with self._lock:
+            self._truncate_torn_tail()
+            entry: Dict[str, object] = {
+                "lsn": self._allocate_lsn(),
+                "op": op,
+                "shard": shard,
+                "image_id": image_id,
+                "version": version,
+                **payload,
+            }
+            canonical = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+            entry["line_sha256"] = sha256_hex(canonical.encode("utf-8"))
+            line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+            plan.append_bytes(self.path, line.encode("utf-8") + b"\n")
+            plan.fsync(self.path)
+            return entry
 
     def entries(self) -> List[Dict[str, object]]:
         """Verified WAL entries in append order; a torn final line is dropped."""
         if not self.exists():
             return []
         try:
-            raw_lines = self.path.read_bytes().split(b"\n")
+            with self._lock:
+                raw_lines = self.path.read_bytes().split(b"\n")
         except OSError as exc:
             raise CorruptionError(f"unreadable WAL {self.path}: {exc}") from exc
         lines = [line for line in raw_lines if line.strip()]
@@ -157,9 +171,10 @@ class ShardWAL:
         crash before the truncate just replays records whose effects are
         already present — replay is idempotent, so the state converges.
         """
-        plan.write_bytes(self.path, b"")
-        plan.fsync(self.path)
-        self._next_lsn = 1
+        with self._lock:
+            plan.write_bytes(self.path, b"")
+            plan.fsync(self.path)
+            self._next_lsn = 1
 
     # ------------------------------------------------------------------
     def _allocate_lsn(self) -> int:
@@ -179,12 +194,22 @@ class ShardWAL:
         garbage line *mid-file*, which replay rightly refuses.  The
         truncation is recovery of already-damaged state, not a durable
         protocol step, so it does not go through the fault plan.
+
+        The check runs on every append but stays O(1): only the file's
+        final byte is inspected (every committed line ends in a
+        newline), and the full scan for the last terminator happens
+        only in the rare already-damaged case.
         """
         if not self.path.is_file():
             return
-        data = self.path.read_bytes()
-        if not data or data.endswith(b"\n"):
-            return
+        with open(self.path, "rb") as handle:
+            if handle.seek(0, os.SEEK_END) == 0:
+                return
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            data = handle.read()
         keep = data.rfind(b"\n") + 1
         with open(self.path, "r+b") as handle:
             handle.truncate(keep)

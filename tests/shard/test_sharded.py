@@ -16,6 +16,7 @@ from repro.editing.operations import Define, Merge
 from repro.editing.sequence import EditSequence
 from repro.errors import (
     CrossShardReferenceError,
+    DatabaseError,
     DuplicateObjectError,
     PersistenceError,
     QueryError,
@@ -295,6 +296,33 @@ class TestWALDedupe:
         finally:
             sharded.close()
 
+    def test_out_of_band_under_held_write_lock_does_not_deadlock(
+        self, rng, tmp_path
+    ):
+        """The listener's lock acquisition must be reentrancy-guarded.
+
+        A direct shard-database mutation performed while already holding
+        the shard's write lock fires the invalidation feed on the same
+        thread; the listener must record the change inline instead of
+        re-acquiring the non-reentrant lock and deadlocking.
+        """
+        sharded, _, _ = build_mirrored_pair(
+            rng, shard_count=2, binary_count=2, edited_count=0, root=tmp_path
+        )
+        try:
+            shard = sharded._shards[0]
+            with shard.lock.write_locked():
+                assert shard.lock.write_held_by_current_thread()
+                sharded.shard_database(0).insert_image(
+                    random_image(rng), "rogue-held-1"
+                )
+            entries = sharded._wal.entries()
+            assert entries[-1]["op"] == "change"
+            assert entries[-1]["image_id"] == "rogue-held-1"
+            assert sharded.metrics.counter("wal.out_of_band") == 1
+        finally:
+            sharded.close()
+
 
 # ----------------------------------------------------------------------
 # Persistence: save / open / replay / manifest
@@ -340,6 +368,34 @@ class TestPersistence:
             # Replay must allocate past replayed ids, not reuse them.
             another = reopened.insert_image(random_image(rng))
             assert another != new_id
+        finally:
+            reopened.close()
+
+    def test_rejected_mutation_record_replays_to_skip(self, rng, tmp_path):
+        """A record whose live apply was rejected must not wedge open().
+
+        The WAL records attempts before outcomes: ``delete_image`` on a
+        base that still has derived edits raises after its record is
+        already journaled.  Replay hits the same rejection and must skip
+        the record — not fail open() permanently.
+        """
+        sharded = ShardedCatalog(2, root=tmp_path)
+        base_id = edited_id = None
+        try:
+            base_id = sharded.insert_image(random_image(rng))
+            edited_id = sharded.insert_edited(random_sequence(rng, base_id))
+            with pytest.raises(DatabaseError):
+                sharded.delete_image(base_id)  # derived edit references it
+            # The rejected mutation's record is already in the log.
+            assert len(sharded._wal.entries()) == 3
+        finally:
+            sharded.close()  # crash-shaped: no save
+        reopened = ShardedCatalog.open(tmp_path)
+        try:
+            assert reopened.contains(base_id)
+            assert reopened.contains(edited_id)
+            assert reopened.metrics.counter("wal.replayed") == 2
+            assert reopened.metrics.counter("wal.replay_failed") == 1
         finally:
             reopened.close()
 

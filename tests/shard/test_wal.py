@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
 
@@ -57,6 +58,49 @@ def test_lsn_continues_across_instances(tmp_path):
     second = ShardWAL(tmp_path)
     entry = second.append(plan, "change", shard=0, image_id="b", version=2)
     assert entry["lsn"] == 2
+
+
+def test_concurrent_appends_keep_lsns_unique_and_log_parseable(wal):
+    """Appends from many threads serialize on the WAL's internal lock.
+
+    Mutations on different shards, the compactor, and the out-of-band
+    listener all share one log; without WAL-level locking the LSN
+    counter races (duplicate LSNs) and interleaved writes tear lines
+    mid-file.
+    """
+    plan = NoFaults()
+    threads, per_thread = 8, 25
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def hammer(worker):
+        barrier.wait()
+        try:
+            for i in range(per_thread):
+                wal.append(
+                    plan,
+                    "change",
+                    shard=worker,
+                    image_id=f"w{worker}-{i}",
+                    version=i + 1,
+                )
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=hammer, args=(worker,))
+        for worker in range(threads)
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    assert not errors
+    entries = wal.entries()
+    assert len(entries) == threads * per_thread
+    assert [entry["lsn"] for entry in entries] == list(
+        range(1, threads * per_thread + 1)
+    )
 
 
 def test_torn_tail_dropped_and_recovered(wal, tmp_path):
