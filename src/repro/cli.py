@@ -29,6 +29,14 @@ Subcommands mirror the workflow of the paper's prototype:
               per shard plus the DB007 cross-shard routing check
 ``shards``    inspect a sharded catalog root (``--status``) or run one
               synchronous compaction cycle first (``--compact-now``)
+``top``       live fleet dashboard over a sharded root: per-shard
+              health verdicts, hottest shards, slowest recent queries
+              (with trace ids), and recent compactions
+              (``--queries N`` to drive a warmup workload first,
+              ``--json`` for the payload, ``--prometheus`` for the
+              validated unified exposition)
+``events``    dump or follow the structured wide-event log
+              (``events.jsonl``) of a sharded root
 ``prove-rules`` prove every classified bound-widening rule monotone on
               the percentage interval and scalar/vectorized kernels
               byte-identical (``--mode full`` for the larger corpus)
@@ -256,6 +264,55 @@ def _build_parser() -> argparse.ArgumentParser:
     shards.add_argument("--json", action="store_true",
                         help="emit the status (and compaction report) as "
                         "JSON")
+
+    top = commands.add_parser(
+        "top",
+        help="live fleet dashboard over a sharded catalog root: health "
+        "verdicts, hottest shards, slowest queries, recent compactions",
+    )
+    top.add_argument("directory")
+    top.add_argument("--queries", type=int, default=0, metavar="N",
+                     help="drive N warmup text queries through the "
+                     "catalog first, so a freshly opened root has "
+                     "latency and work-unit distributions to show")
+    top.add_argument("--iterations", type=int, default=1, metavar="N",
+                     help="dashboard frames to render (default 1; "
+                     "pair with --interval to watch live)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="seconds between frames (default 2)")
+    top.add_argument("--json", action="store_true",
+                     help="emit the dashboard payload as JSON instead "
+                     "of the rendered table")
+    top.add_argument("--prometheus", action="store_true",
+                     help="emit (and validate) the unified Prometheus "
+                     "exposition for the whole fleet instead; exit 2 "
+                     "if the exposition fails validation")
+
+    events = commands.add_parser(
+        "events",
+        help="dump or follow the structured wide-event log of a "
+        "sharded catalog root",
+    )
+    events.add_argument("directory")
+    events.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="show only the most recent N events")
+    events.add_argument("--kind", default=None, metavar="KIND",
+                        help="show only events of this kind "
+                        "(e.g. wal.append, compaction.materialized)")
+    events.add_argument("--json", action="store_true",
+                        help="emit the events as a JSON array")
+    events.add_argument("--follow", action="store_true",
+                        help="keep polling the log and print events as "
+                        "they are appended (Ctrl-C to stop)")
+    events.add_argument("--poll", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="polling interval for --follow "
+                        "(default 0.5)")
+    events.add_argument("--max-polls", type=int, default=None,
+                        metavar="N",
+                        help="stop --follow after N polls (default: "
+                        "run until interrupted)")
 
     prove = commands.add_parser(
         "prove-rules",
@@ -629,6 +686,108 @@ def _cmd_shards(args: argparse.Namespace, out) -> int:
     return 0
 
 
+#: Text queries `repro top --queries N` cycles through to warm a root.
+_TOP_WARMUP_QUERIES = (
+    "at least 10% red",
+    "at least 25% blue",
+    "at least 10% green",
+    "at least 50% red",
+)
+
+
+def _cmd_top(args: argparse.Namespace, out) -> int:
+    import json
+    import time as _time
+
+    from repro.obs import (
+        HealthMonitor,
+        render_top,
+        top_payload,
+        validate_exposition,
+    )
+    from repro.shard import ShardedCatalog
+
+    with ShardedCatalog.open(args.directory) as sharded:
+        for index in range(max(0, args.queries)):
+            text = _TOP_WARMUP_QUERIES[index % len(_TOP_WARMUP_QUERIES)]
+            sharded.text_query(text)
+        monitor = HealthMonitor(sharded)
+        for iteration in range(max(1, args.iterations)):
+            if iteration:
+                _time.sleep(args.interval)
+            report = monitor.report()
+            if args.prometheus:
+                exposition = sharded.prometheus_metrics()
+                print(exposition, file=out, end="")
+                problems = validate_exposition(exposition)
+                if problems:
+                    for problem in problems:
+                        print(f"invalid exposition: {problem}",
+                              file=sys.stderr)
+                    return 2
+            elif args.json:
+                print(
+                    json.dumps(
+                        top_payload(sharded, report),
+                        indent=2,
+                        sort_keys=True,
+                    ),
+                    file=out,
+                )
+            else:
+                print(render_top(sharded, report), file=out, end="")
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace, out) -> int:
+    import json
+    import time as _time
+    from pathlib import Path
+
+    from repro.obs.events import EVENTS_NAME, Event, read_events_jsonl
+
+    path = Path(args.directory)
+    if path.is_dir():
+        path = path / EVENTS_NAME
+
+    def emit(event: Event) -> None:
+        if args.json:
+            print(json.dumps(event.to_dict(), sort_keys=True), file=out)
+        else:
+            print(event.describe(), file=out)
+
+    events = read_events_jsonl(path)
+    if args.kind is not None:
+        events = [event for event in events if event.kind == args.kind]
+    if args.limit is not None:
+        events = events[-max(0, args.limit):]
+    if args.json and not args.follow:
+        payload = [event.to_dict() for event in events]
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        for event in events:
+            emit(event)
+    if not args.follow:
+        return 0
+    # Follow mode: poll for appended events by sequence number — seq is
+    # monotone per log, so a reopened file never replays old lines.
+    last_seq = events[-1].seq if events else 0
+    polls = 0
+    try:
+        while args.max_polls is None or polls < args.max_polls:
+            _time.sleep(max(0.01, args.poll))
+            polls += 1
+            for event in read_events_jsonl(path):
+                if event.seq <= last_seq:
+                    continue
+                if args.kind is None or event.kind == args.kind:
+                    emit(event)
+                last_seq = event.seq
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_prove_rules(args: argparse.Namespace, out) -> int:
     import json
 
@@ -660,6 +819,8 @@ _COMMANDS = {
     "analyze-db": _cmd_analyze_db,
     "prove-rules": _cmd_prove_rules,
     "shards": _cmd_shards,
+    "top": _cmd_top,
+    "events": _cmd_events,
 }
 
 

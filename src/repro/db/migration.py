@@ -305,6 +305,7 @@ class Migrator:
         faults: Optional[NoFaults] = None,
         service=None,
         metrics: Optional[MetricsRegistry] = None,
+        events=None,
     ) -> None:
         if batch_size < 1:
             raise MigrationError("batch_size must be at least 1")
@@ -318,6 +319,14 @@ class Migrator:
             self.metrics = service.metrics
         else:
             self.metrics = MetricsRegistry()
+        if events is not None:
+            self.events = events
+        elif service is not None and getattr(service, "events", None) is not None:
+            self.events = service.events
+        else:
+            from repro.obs.events import default_event_log
+
+            self.events = default_event_log()
         self.journal = MigrationJournal(self.base)
 
     # ------------------------------------------------------------------
@@ -438,6 +447,13 @@ class Migrator:
             self.metrics.increment("migration.runs")
         else:
             self.metrics.increment("migration.resumes")
+        self.events.emit(
+            "migration.run",
+            subsystem="migration",
+            root=str(self.base),
+            resumed=bool(entries),
+            pending=len(pending),
+        )
         begin = self._begin_entry(self.journal.entries())
 
         (self.base / "segments").mkdir(exist_ok=True)
@@ -447,6 +463,14 @@ class Migrator:
             report.records_migrated += len(batch)
             self.metrics.increment("migration.batches")
             self.metrics.increment("migration.records", len(batch))
+            self.events.emit(
+                "migration.batch",
+                subsystem="migration",
+                root=str(self.base),
+                batch=report.batches,
+                records=len(batch),
+                first_id=batch[0].image_id,
+            )
 
         complete = self.journal.append(
             self.plan,

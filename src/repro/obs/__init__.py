@@ -15,9 +15,18 @@ makes the production stack answer the same question about itself:
   kinds applied, and which operation last widened ``[HB_min, HB_max]``
   past the query range.
 * :mod:`repro.obs.prometheus` — text-exposition rendering of the
-  service metrics snapshot (plus a promtool-style validator).
+  service metrics snapshot (plus a promtool-style validator and
+  :func:`merge_snapshots` for fleet-wide rollups).
 * :mod:`repro.obs.slowlog` — threshold-triggered ring-buffer log of
   slow queries with their plans and traces.
+* :mod:`repro.obs.events` — the structured wide-event log: one JSONL
+  record per mutation, WAL append/replay, checkpoint, compaction, and
+  migration batch, ring-buffered in memory and streamed to
+  ``events.jsonl`` on disk-backed roots.
+* :mod:`repro.obs.health` — per-shard SLO monitors grading latency
+  percentiles, lock-wait fractions, WAL depth, replay failures, and
+  compactor backlog into green/yellow/red verdicts.
+* :mod:`repro.obs.top` — the ``repro top`` dashboard renderer.
 
 Quick start::
 
@@ -38,15 +47,38 @@ from repro.obs.attribution import (
     attribute_image,
     attribute_query,
 )
-from repro.obs.prometheus import render_prometheus, validate_exposition
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    Event,
+    EventLog,
+    default_event_log,
+    read_events_jsonl,
+    validate_event_dict,
+    write_events_jsonl,
+)
+from repro.obs.health import (
+    HealthMonitor,
+    HealthReport,
+    ShardHealth,
+    SLOPolicy,
+)
+from repro.obs.prometheus import (
+    merge_snapshots,
+    render_prometheus,
+    validate_exposition,
+)
 from repro.obs.slowlog import SlowQuery, SlowQueryLog
+from repro.obs.top import render_top, top_payload
 from repro.obs.trace import (
     NULL_SPAN,
     NULL_TRACER,
     Span,
     Tracer,
     current_span,
+    current_trace_id,
     maybe_tracer,
+    new_trace_id,
     set_tracing,
     to_chrome_trace,
     tracing,
@@ -55,11 +87,19 @@ from repro.obs.trace import (
 
 __all__ = [
     "AttributionReport",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
+    "Event",
+    "EventLog",
+    "HealthMonitor",
+    "HealthReport",
     "ImageAttribution",
     "NULL_SPAN",
     "NULL_TRACER",
     "OpAttribution",
     "PruneOutcome",
+    "SLOPolicy",
+    "ShardHealth",
     "SlowQuery",
     "SlowQueryLog",
     "Span",
@@ -67,11 +107,20 @@ __all__ = [
     "attribute_image",
     "attribute_query",
     "current_span",
+    "current_trace_id",
+    "default_event_log",
     "maybe_tracer",
+    "merge_snapshots",
+    "new_trace_id",
+    "read_events_jsonl",
     "render_prometheus",
+    "render_top",
     "set_tracing",
     "to_chrome_trace",
+    "top_payload",
     "tracing",
     "tracing_enabled",
+    "validate_event_dict",
     "validate_exposition",
+    "write_events_jsonl",
 ]

@@ -19,6 +19,10 @@ metrics`` accepts:
 :func:`validate_exposition` is a promtool-style line checker used by the
 CI job (and usable in production smoke tests) so a rendering bug cannot
 silently break the scrape endpoint.
+
+:func:`merge_snapshots` folds several registries' snapshots (service,
+sharded catalog, migration) into one dict so the whole fleet scrapes
+from a single unified exposition instead of per-subsystem fragments.
 """
 
 from __future__ import annotations
@@ -56,6 +60,19 @@ def _sanitize(name: str) -> str:
     return cleaned
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text-exposition rules.
+
+    The format requires ``\\`` → ``\\\\``, ``"`` → ``\\"`` and newline →
+    ``\\n`` inside quoted label values; anything else passes through.
+    Order matters: backslashes first, or the escapes themselves get
+    re-escaped.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_value(value: Any) -> str:
     if isinstance(value, bool):
         return "1" if value else "0"
@@ -75,9 +92,22 @@ class _Renderer:
             raise ObservabilityError(f"invalid metric prefix {prefix!r}")
         self.prefix = prefix
         self.lines: List[str] = []
+        # family name -> declared kind; repeated same-kind declarations
+        # are deduplicated (several subsystems legitimately contribute
+        # samples to one family), conflicting kinds are a rendering bug.
+        self._declared: Dict[str, str] = {}
 
     def family(self, name: str, kind: str, help_text: str) -> str:
         full = f"{self.prefix}_{name}"
+        declared = self._declared.get(full)
+        if declared is not None:
+            if declared != kind:
+                raise ObservabilityError(
+                    f"metric family {full} declared as both "
+                    f"{declared} and {kind}"
+                )
+            return full  # already declared: append samples, no re-TYPE
+        self._declared[full] = kind
         self.lines.append(f"# HELP {full} {help_text}")
         self.lines.append(f"# TYPE {full} {kind}")
         return full
@@ -86,7 +116,8 @@ class _Renderer:
         label_text = ""
         if labels:
             inner = ",".join(
-                f'{key}="{str(val)}"' for key, val in sorted(dict(labels).items())
+                f'{key}="{_escape_label_value(str(val))}"'
+                for key, val in sorted(dict(labels).items())
             )
             label_text = "{" + inner + "}"
         self.lines.append(f"{name}{label_text} {_format_value(value)}")
@@ -147,7 +178,9 @@ def render_prometheus(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
         out.sample(full, gauges[name])
 
     # -- nested gauge groups (caches, service state) ------------------
-    for group in ("result_cache", "bounds_cache", "service", "slow_queries"):
+    for group in (
+        "result_cache", "bounds_cache", "service", "slow_queries", "events"
+    ):
         values = snapshot.get(group)
         if not isinstance(values, Mapping):
             continue
@@ -170,10 +203,13 @@ _HELP_RE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
 _TYPE_RE = re.compile(
     r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary|histogram|untyped)$"
 )
+#: Label values may contain any character, with ``\\``, ``\"`` and
+#: ``\n`` escaped — mirror that instead of rejecting escapes outright.
+_LABEL_VALUE = r'(?:[^"\\\n]|\\\\|\\"|\\n)*'
 _SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"            # metric name
-    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"'  # first label
-    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})?'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="' + _LABEL_VALUE + r'"'  # first label
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="' + _LABEL_VALUE + r'")*\})?'
     r" (NaN|[+-]Inf|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)"
     r"( [0-9]+)?$"                          # optional timestamp
 )
@@ -185,10 +221,13 @@ def validate_exposition(text: str) -> List[str]:
     Mirrors what ``promtool check metrics`` enforces at the lexical
     level: every line is a valid HELP/TYPE comment or sample, every
     sample's family was TYPE-declared first, and no family is declared
-    twice.  An empty list means the text scrapes cleanly.
+    twice — redeclaring a family with a *different* type (the shape of
+    bug a merged multi-subsystem registry can produce) is flagged with
+    both names so the offender is findable.  An empty list means the
+    text scrapes cleanly.
     """
     problems: List[str] = []
-    declared: set = set()
+    declared: Dict[str, str] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line:
             continue
@@ -200,10 +239,16 @@ def validate_exposition(text: str) -> List[str]:
             if not _TYPE_RE.match(line):
                 problems.append(f"line {lineno}: malformed TYPE: {line!r}")
                 continue
-            family = line.split()[2]
-            if family in declared:
+            family, kind = line.split()[2:4]
+            previous = declared.get(family)
+            if previous is not None and previous != kind:
+                problems.append(
+                    f"line {lineno}: duplicate TYPE for {family} with "
+                    f"conflicting types ({previous}, then {kind})"
+                )
+            elif previous is not None:
                 problems.append(f"line {lineno}: duplicate TYPE for {family}")
-            declared.add(family)
+            declared[family] = kind
             continue
         if line.startswith("#"):
             continue  # free-form comment, legal
@@ -217,3 +262,70 @@ def validate_exposition(text: str) -> List[str]:
                 f"line {lineno}: sample {name!r} before its TYPE declaration"
             )
     return problems
+
+
+# ----------------------------------------------------------------------
+# snapshot merging (the unified fleet registry)
+# ----------------------------------------------------------------------
+def merge_snapshots(*snapshots: Mapping[str, Any]) -> Dict[str, Any]:
+    """Fold several metrics snapshots into one unified snapshot dict.
+
+    This is how the fleet exposes *one* OpenMetrics endpoint: the
+    service registry, the sharded catalog registry, and the migration
+    registry each produce a ``metrics_snapshot()``-shaped dict, and the
+    merge combines them family by family:
+
+    * **counters** sum — two subsystems bumping ``wal.appends`` describe
+      disjoint appends;
+    * **gauges** and nested gauge groups last-wins — a gauge is a level,
+      and later snapshots are assumed fresher;
+    * **histograms** combine exactly for ``count`` / ``total`` / ``min``
+      / ``max``; the percentiles take the elementwise max, a documented
+      *upper-bound* approximation (raw reservoirs are not exported, and
+      for SLO alerting an over-estimate errs on the honest side).
+
+    Key order is sorted at every level, so equal inputs merge to
+    byte-equal output — the determinism the snapshot tests pin down.
+    """
+    counters: Dict[str, Any] = {}
+    gauges: Dict[str, Any] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    groups: Dict[str, Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            gauges[name] = value
+        for name, data in snapshot.get("histograms", {}).items():
+            held = histograms.get(name)
+            if held is None:
+                histograms[name] = dict(data)
+                continue
+            count = held.get("count", 0) + data.get("count", 0)
+            total = held.get("total", 0.0) + data.get("total", 0.0)
+            merged = {
+                "count": count,
+                "total": total,
+                "mean": (total / count) if count else 0.0,
+                "min": min(held.get("min", 0.0), data.get("min", 0.0)),
+                "max": max(held.get("max", 0.0), data.get("max", 0.0)),
+            }
+            for key in ("p50", "p95", "p99"):
+                merged[key] = max(held.get(key, 0.0), data.get(key, 0.0))
+            histograms[name] = merged
+        for group, values in snapshot.items():
+            if group in ("counters", "gauges", "histograms"):
+                continue
+            if not isinstance(values, Mapping):
+                continue
+            held_group = groups.setdefault(group, {})
+            held_group.update(values)
+    merged_out: Dict[str, Any] = {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "histograms": {name: histograms[name] for name in sorted(histograms)},
+    }
+    if gauges:
+        merged_out["gauges"] = {name: gauges[name] for name in sorted(gauges)}
+    for group in sorted(groups):
+        merged_out[group] = {key: groups[group][key] for key in sorted(groups[group])}
+    return merged_out

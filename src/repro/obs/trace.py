@@ -32,6 +32,7 @@ Export: :meth:`Span.to_dict` gives a JSON trace tree;
 from __future__ import annotations
 
 import contextvars
+import itertools
 import threading
 import time
 from contextlib import contextmanager
@@ -44,6 +45,24 @@ _US = 1e6
 
 _enabled = False
 _enabled_lock = threading.Lock()
+
+#: Process-wide trace-id allocator.  ``itertools.count`` is thread-safe
+#: under the GIL (one atomic ``__next__`` per id), so ids stay unique
+#: across concurrent queries without a lock on the hot path.
+_trace_ids = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh process-unique trace id (``trace-00000007``-style).
+
+    Trace ids are the cross-subsystem lineage key: the sharded catalog
+    stamps them onto WAL records and compaction materializations, the
+    wide-event log carries them on every event, and the per-shard query
+    spans echo the last compaction's id — so a slow query, the WAL
+    record behind it, and the background work that preceded it all join
+    on one value.
+    """
+    return f"trace-{next(_trace_ids):08d}"
 
 
 def set_tracing(enabled: bool) -> bool:
@@ -221,13 +240,18 @@ class Tracer:
     future-based lifecycle guarantees.
     """
 
-    __slots__ = ("root", "_stack", "_clock")
+    __slots__ = ("root", "trace_id", "_stack", "_clock")
 
     def __init__(
-        self, name: str = "query", clock: Callable[[], float] = time.perf_counter
+        self,
+        name: str = "query",
+        clock: Callable[[], float] = time.perf_counter,
+        trace_id: Optional[str] = None,
     ) -> None:
         self._clock = clock
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
         self.root = Span(name, clock())
+        self.root.attributes["trace_id"] = self.trace_id
         self._stack: List[Span] = [self.root]
 
     # ------------------------------------------------------------------
@@ -289,6 +313,7 @@ class _NullTracer:
     __slots__ = ()
     root = NULL_SPAN
     current = NULL_SPAN
+    trace_id: Optional[str] = None
 
     @contextmanager
     def span(self, name: str, **attributes: Any):
@@ -314,9 +339,30 @@ class _NullTracer:
 NULL_TRACER = _NullTracer()
 
 
-def maybe_tracer(name: str = "query") -> Union[Tracer, _NullTracer]:
+def maybe_tracer(
+    name: str = "query", trace_id: Optional[str] = None
+) -> Union[Tracer, _NullTracer]:
     """A live :class:`Tracer` when tracing is enabled, else :data:`NULL_TRACER`."""
-    return Tracer(name) if _enabled else NULL_TRACER
+    return Tracer(name, trace_id=trace_id) if _enabled else NULL_TRACER
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id of the trace enclosing this call, or ``None``.
+
+    Walks from the context-local :func:`current_span` to its root, where
+    :class:`Tracer` stamps the id.  This is how subsystems that never
+    see the tracer object (the WAL, the compactor's materialization
+    commit, the migration batch loop) inherit lineage: they call this at
+    the moment they write a record, and outside any traced region it
+    cheaply returns ``None``.
+    """
+    span = _current_span.get()
+    if span is None:
+        return None
+    while span.parent is not None:
+        span = span.parent
+    value = span.attributes.get("trace_id")
+    return str(value) if value is not None else None
 
 
 # ----------------------------------------------------------------------

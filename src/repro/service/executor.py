@@ -55,6 +55,7 @@ from repro.index.builders import (
 )
 from repro.index.mbr import MBR
 from repro.obs.attribution import AttributionReport, attribute_query
+from repro.obs.events import EventLog
 from repro.obs.prometheus import render_prometheus
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import Span, Tracer, maybe_tracer
@@ -270,6 +271,7 @@ class QueryService:
         prebuild_indexes: bool = False,
         planner: Optional[CostBasedPlanner] = None,
         clock: Callable[[], float] = time.monotonic,
+        event_log: Optional[EventLog] = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
@@ -280,6 +282,11 @@ class QueryService:
         self._default_timeout = default_timeout
         self.planner = planner if planner is not None else CostBasedPlanner(database)
         self.metrics = MetricsRegistry()
+        #: Wide-event log for the service tier (slow queries, mutations).
+        #: Pass a shared :class:`EventLog` to merge this service's
+        #: timeline with a catalog's; by default each service keeps a
+        #: private ring so tests stay isolated.
+        self.events = event_log if event_log is not None else EventLog(capacity=256)
         self.cache = ResultCache(
             capacity=cache_capacity, ttl=cache_ttl, clock=clock
         )
@@ -792,33 +799,39 @@ class QueryService:
         """Insert a binary image; drains/queues around running queries."""
         with self._rwlock.write_locked():
             assigned = self._database.insert_image(image, image_id=image_id)
-        self.metrics.increment("mutations")
+        self._record_mutation("insert_image", assigned)
         return assigned
 
     def insert_edited(self, sequence, image_id: Optional[str] = None) -> str:
         """Insert an edited image (edit sequence)."""
         with self._rwlock.write_locked():
             assigned = self._database.insert_edited(sequence, image_id=image_id)
-        self.metrics.increment("mutations")
+        self._record_mutation("insert_edited", assigned)
         return assigned
 
     def delete_edited(self, image_id: str) -> None:
         """Delete an edited image."""
         with self._rwlock.write_locked():
             self._database.delete_edited(image_id)
-        self.metrics.increment("mutations")
+        self._record_mutation("delete_edited", image_id)
 
     def delete_image(self, image_id: str) -> None:
         """Delete a binary image (fails while derived images reference it)."""
         with self._rwlock.write_locked():
             self._database.delete_image(image_id)
-        self.metrics.increment("mutations")
+        self._record_mutation("delete_image", image_id)
 
     def update_image(self, image_id: str, image) -> None:
         """Replace a binary image's raster."""
         with self._rwlock.write_locked():
             self._database.update_image(image_id, image)
+        self._record_mutation("update_image", image_id)
+
+    def _record_mutation(self, op: str, image_id: str) -> None:
         self.metrics.increment("mutations")
+        self.events.emit(
+            "mutation", subsystem="service", image_id=image_id, op=op
+        )
 
     # ------------------------------------------------------------------
     # Reporting
@@ -840,6 +853,18 @@ class QueryService:
                 (plan.strategy.value for plan in plans),
                 cache_hit,
                 trace=trace.to_dict() if trace is not None else None,
+            )
+            self.events.emit(
+                "query.slow",
+                subsystem="service",
+                trace_id=(
+                    trace.attributes.get("trace_id")
+                    if trace is not None
+                    else None
+                ),
+                seconds=round(seconds, 6),
+                constraints=len(constraints),
+                cache_hit=cache_hit,
             )
         if cache_hit:
             self.metrics.increment("result_cache_hits")
@@ -871,6 +896,7 @@ class QueryService:
             "indexes_fresh": self._indexes_fresh,
         }
         snapshot["slow_queries"] = dict(sorted(self.slow_log.stats().items()))
+        snapshot["events"] = self.events.stats()
         return dict(sorted(snapshot.items()))
 
     def prometheus_metrics(self, prefix: str = "repro") -> str:

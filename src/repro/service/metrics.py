@@ -136,11 +136,32 @@ class MetricsRegistry:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}
+        self._kinds: Dict[str, str] = {}
         self._reservoir_size = reservoir_size
+
+    def _claim(self, name: str, kind: str) -> None:
+        """Reserve ``name`` for one metric kind (caller holds the lock).
+
+        A name used as both, say, a counter and a gauge would render as
+        two exposition families with the same name and conflicting
+        types — exactly the scrape-breaking shape
+        :func:`repro.obs.prometheus.validate_exposition` rejects — so
+        the registry refuses it at record time, where the stack trace
+        still points at the offender.
+        """
+        held = self._kinds.get(name)
+        if held is None:
+            self._kinds[name] = kind
+        elif held != kind:
+            raise ServiceError(
+                f"metric {name!r} is already registered as a {held}; "
+                f"cannot reuse it as a {kind}"
+            )
 
     def increment(self, name: str, amount: int = 1) -> int:
         """Add ``amount`` to a counter; returns the new value."""
         with self._lock:
+            self._claim(name, "counter")
             value = self._counters.get(name, 0) + amount
             self._counters[name] = value
             return value
@@ -155,6 +176,7 @@ class MetricsRegistry:
         background migration, in-flight count).  Unlike counters, a
         gauge reports its last-set value, not a running total."""
         with self._lock:
+            self._claim(name, "gauge")
             self._gauges[name] = float(value)
 
     def gauge(self, name: str, default: float = 0.0) -> float:
@@ -171,6 +193,7 @@ class MetricsRegistry:
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
+                self._claim(name, "histogram")
                 histogram = LatencyHistogram(self._reservoir_size)
                 self._histograms[name] = histogram
             return histogram

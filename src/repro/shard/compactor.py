@@ -220,6 +220,19 @@ class Compactor:
             skipped_stale=skipped_stale,
             projected_saving=projected_total,
         )
+        # One wide event per cycle, carrying the cycle's trace id — the
+        # same id the per-image ``compaction.materialized`` events and
+        # ``compact`` WAL records were stamped with, so the whole cycle
+        # reassembles from the event log alone.
+        self.catalog.events.emit(
+            "compaction.cycle",
+            subsystem="compactor",
+            trace_id=tracer.trace_id,
+            candidates=len(candidates),
+            materialized=len(materialized),
+            skipped_stale=skipped_stale,
+            projected_saving=round(projected_total, 3),
+        )
         with self._state.lock:
             self._state.cycles += 1
             self._state.total_materialized += len(materialized)

@@ -46,6 +46,8 @@ import hashlib
 import json
 import logging
 import threading
+import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
 from heapq import merge as heap_merge
@@ -91,7 +93,16 @@ from repro.errors import (
 )
 from repro.images.ppm import read_ppm, write_ppm
 from repro.images.raster import ColorTuple, Image, validate_color
+from repro.obs.events import EVENTS_NAME, EventLog
 from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import (
+    NULL_TRACER,
+    Span,
+    current_trace_id,
+    maybe_tracer,
+    new_trace_id,
+    tracing_enabled,
+)
 from repro.service.executor import ReadWriteLock
 from repro.service.metrics import MetricsRegistry
 from repro.service.planner import CostBasedPlanner, Strategy
@@ -140,6 +151,9 @@ class _Shard:
         "planner",
         "queries_served",
         "materialized",
+        "last_lsn",
+        "last_compaction",
+        "replay_failures",
     )
 
     def __init__(self, index: int, database: MultimediaDatabase) -> None:
@@ -158,6 +172,16 @@ class _Shard:
         #: image_id -> projected per-query work-unit saving of its
         #: materialized BOUNDS matrix (the compactor's commits).
         self.materialized: Dict[str, float] = {}
+        #: LSN of the last WAL record this shard wrote or replayed —
+        #: stamped onto per-shard query spans so a slow query is
+        #: attributable to the write activity that preceded it.
+        self.last_lsn: Optional[int] = None
+        #: Lineage of the most recent compaction commit touching this
+        #: shard: ``{"image_id", "lsn", "trace_id"}`` (or ``None``).
+        self.last_compaction: Optional[Dict[str, object]] = None
+        #: WAL records the replayer had to skip as rejected (a health
+        #: signal: a growing count means the log disagrees with state).
+        self.replay_failures = 0
 
 
 class ShardedCatalog:
@@ -204,6 +228,16 @@ class ShardedCatalog:
         self.faults: NoFaults = faults if faults is not None else NoFaults()
         self.root = Path(root) if root is not None else None
         self.metrics = MetricsRegistry()
+        #: The wide-event log: ring-buffered, and (with a root) mirrored
+        #: to ``events.jsonl`` for ``repro events`` and post-mortems.
+        #: Constructed before the shards so replay/listeners can emit.
+        self.events = EventLog(
+            capacity=1024,
+            sink=(self.root / EVENTS_NAME) if self.root is not None else None,
+        )
+        #: Most recent scatter-gather queries (``repro top``'s slow list).
+        self._recent_queries: "deque[Dict[str, object]]" = deque(maxlen=64)
+        self._recent_lock = threading.Lock()
         self._placement: Dict[str, int] = {}
         self._id_counters: Dict[str, int] = {}
         self._replaying = False
@@ -282,17 +316,30 @@ class ShardedCatalog:
         # bypassed the wrapper): capture it so WAL consumers learn
         # to drop caches, even though there is no payload to replay.
         version = shard.version + 1
+        lsn: Optional[int] = None
         if self._wal is not None:
-            self._wal.append(
+            entry = self._wal.append(
                 self.faults,
                 "change",
                 shard=shard.index,
                 image_id=image_id,
                 version=version,
             )
+            lsn = int(entry["lsn"])  # type: ignore[arg-type]
+            shard.last_lsn = lsn
             self.metrics.increment("wal.appends")
         shard.version = version
         self.metrics.increment("wal.out_of_band")
+        self.events.emit(
+            "wal.append",
+            subsystem="wal",
+            shard=shard.index,
+            image_id=image_id,
+            lsn=lsn,
+            op="change",
+            version=version,
+            out_of_band=True,
+        )
 
     def _check_or_write_manifest(self) -> None:
         assert self.root is not None
@@ -406,19 +453,49 @@ class ShardedCatalog:
         image_id: str,
         version: int,
         **payload: object,
-    ) -> None:
+    ) -> Optional[int]:
+        """Journal one mutation; returns its LSN (None when ephemeral).
+
+        The record is stamped with the enclosing trace's id (if any) —
+        that is the WAL half of lineage: given a slow query's trace id,
+        ``grep`` of the WAL finds every record it wrote, and given a
+        suspicious WAL record, the trace that produced it.  With tracing
+        on but no enclosing span, a fresh id is minted so the record is
+        still attributable.  One wide event is emitted per journaled
+        mutation.
+        """
         self._ensure_open()
         shard.journaled.add((image_id, version))
+        lsn: Optional[int] = None
+        trace_id = current_trace_id()
+        if trace_id is None and tracing_enabled():
+            trace_id = new_trace_id()
         if self._wal is not None:
-            self._wal.append(
+            extra = dict(payload)
+            if trace_id is not None:
+                extra["trace_id"] = trace_id
+            entry = self._wal.append(
                 self.faults,
                 op,
                 shard=shard.index,
                 image_id=image_id,
                 version=version,
-                **payload,
+                **extra,
             )
+            lsn = int(entry["lsn"])  # type: ignore[arg-type]
+            shard.last_lsn = lsn
             self.metrics.increment("wal.appends")
+        self.events.emit(
+            "wal.append",
+            subsystem="wal",
+            shard=shard.index,
+            image_id=image_id,
+            lsn=lsn,
+            trace_id=trace_id,
+            op=op,
+            version=version,
+        )
+        return lsn
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -593,7 +670,7 @@ class ShardedCatalog:
         """
         lo, hi, height, width = bounds
         version = shard.version + 1
-        self._journal(
+        lsn = self._journal(
             shard,
             "compact",
             image_id,
@@ -607,18 +684,38 @@ class ShardedCatalog:
         shard.database.engine.seed_bounds(image_id, bounds)
         shard.version = version
         shard.materialized[image_id] = float(projected_saving)
+        shard.last_compaction = {
+            "image_id": image_id,
+            "lsn": lsn,
+            "trace_id": current_trace_id(),
+        }
         self.metrics.increment("compaction.materialized")
         self._refresh_materialized_gauge()
+        self.events.emit(
+            "compaction.materialized",
+            subsystem="compactor",
+            shard=shard.index,
+            image_id=image_id,
+            lsn=lsn,
+            projected_saving=float(projected_saving),
+        )
 
     def _rollback_materialization(self, shard: _Shard, image_id: str) -> None:
         """Retract a materialized matrix (write lock held)."""
         version = shard.version + 1
-        self._journal(shard, "decompact", image_id, version)
+        lsn = self._journal(shard, "decompact", image_id, version)
         shard.database.engine.invalidate(image_id)
         shard.version = version
         shard.materialized.pop(image_id, None)
         self.metrics.increment("compaction.rolled_back")
         self._refresh_materialized_gauge()
+        self.events.emit(
+            "compaction.rolled_back",
+            subsystem="compactor",
+            shard=shard.index,
+            image_id=image_id,
+            lsn=lsn,
+        )
 
     def rollback_materialization(self, image_id: str) -> bool:
         """Public retraction of one materialized image; True if it was."""
@@ -644,21 +741,82 @@ class ShardedCatalog:
     # ------------------------------------------------------------------
     # Scatter-gather queries
     # ------------------------------------------------------------------
-    def _scatter(self, task: Callable[[_Shard], _T]) -> List[_T]:
-        """Run ``task`` on every shard under its read lock; shard order."""
+    def _scatter(
+        self,
+        task: Callable[[_Shard], _T],
+        tracer=NULL_TRACER,
+    ) -> Tuple[List[_T], List[Tuple[int, float, float]]]:
+        """Run ``task`` on every shard under its read lock; shard order.
+
+        Returns ``(results, timings)`` where each timing is ``(shard
+        index, lock-wait seconds, total seconds)``.  Per-shard latency
+        and lock-wait land in the metrics registry unconditionally (the
+        health monitor's feed); when ``tracer`` is live, one
+        ``shard.execute`` span per shard — carrying its lock-wait,
+        last-written LSN, and last-compaction lineage — is attached
+        under the caller's current span.
+
+        The workers only *measure*; span objects are built on the
+        calling thread afterwards, in shard order, because a tracer's
+        span stack is not thread-safe and deterministic child order
+        makes traces diffable.
+        """
         self._ensure_open()
 
-        def guarded(shard: _Shard) -> _T:
+        def guarded(shard: _Shard) -> Tuple[_T, float, float, float]:
+            queued = time.perf_counter()
             with shard.lock.read_locked():
+                acquired = time.perf_counter()
                 shard.queries_served += 1
-                return task(shard)
+                result = task(shard)
+                finished = time.perf_counter()
+            return result, queued, acquired, finished
 
         if len(self._shards) == 1:
-            return [guarded(self._shards[0])]
-        futures = [
-            self._pool.submit(guarded, shard) for shard in self._shards
-        ]
-        return [future.result() for future in futures]
+            observed = [guarded(self._shards[0])]
+        else:
+            futures = [
+                self._pool.submit(guarded, shard) for shard in self._shards
+            ]
+            observed = [future.result() for future in futures]
+
+        parent = tracer.current if tracer else None
+        results: List[_T] = []
+        timings: List[Tuple[int, float, float]] = []
+        for shard, (result, queued, acquired, finished) in zip(
+            self._shards, observed
+        ):
+            lock_wait = acquired - queued
+            total = finished - queued
+            key = f"s{shard.index:02d}"
+            self.metrics.observe(f"shard_seconds.{key}", total)
+            self.metrics.observe(f"shard_lock_wait_seconds.{key}", lock_wait)
+            if parent is not None:
+                span = Span("shard.execute", queued, parent=parent)
+                span.end = finished
+                span.attributes.update(
+                    {
+                        "shard": shard.index,
+                        "lock_wait_seconds": lock_wait,
+                        "last_lsn": shard.last_lsn,
+                    }
+                )
+                if shard.last_compaction is not None:
+                    span.attributes["last_compaction_lsn"] = (
+                        shard.last_compaction.get("lsn")
+                    )
+                    span.attributes["last_compaction_trace"] = (
+                        shard.last_compaction.get("trace_id")
+                    )
+                wait = Span("lock-wait", queued, parent=span)
+                wait.end = acquired
+                run = Span("run", acquired, parent=span)
+                run.end = finished
+                span.children.extend((wait, run))
+                parent.children.append(span)
+            results.append(result)
+            timings.append((shard.index, lock_wait, total))
+        return results, timings
 
     @staticmethod
     def _merge_results(results: Sequence[QueryResult]) -> QueryResult:
@@ -669,6 +827,68 @@ class ShardedCatalog:
             stats.merge(result.stats)
         return QueryResult(frozenset(matches), stats)
 
+    @staticmethod
+    def _result_work_units(result: QueryResult) -> float:
+        """The paper's §5 work units one shard spent on one result."""
+        return float(
+            result.stats.histograms_checked + result.stats.rules_applied
+        )
+
+    def _finish_query(
+        self,
+        tracer,
+        kind: str,
+        started: float,
+        timings: Sequence[Tuple[int, float, float]],
+        per_shard_work: Sequence[float],
+        matches: int,
+    ) -> None:
+        """Close one scatter-gather query's telemetry.
+
+        Observes per-shard work-unit histograms and the router latency,
+        folds the trace (when live) into span counters, records the
+        query in the recent ring, and emits one wide ``query`` event —
+        the joinable record that ties the query's trace id to its cost.
+        """
+        elapsed = time.perf_counter() - started
+        for (index, _lock_wait, _total), work in zip(timings, per_shard_work):
+            self.metrics.observe(f"shard_work_units.s{index:02d}", work)
+        self.metrics.increment("shard.queries")
+        self.metrics.observe("sharded_query_seconds", elapsed)
+        trace_id = tracer.trace_id
+        if tracer:
+            root = tracer.finish()
+            for span in root.iter_spans():
+                self.metrics.increment(f"spans.{span.name}")
+        slowest = (
+            max(timings, key=lambda timing: timing[2])[0] if timings else None
+        )
+        entry: Dict[str, object] = {
+            "ts": time.time(),
+            "kind": kind,
+            "seconds": elapsed,
+            "work_units": float(sum(per_shard_work)),
+            "matches": matches,
+            "trace_id": trace_id,
+            "slowest_shard": slowest,
+            "shard_seconds": {
+                f"s{index:02d}": round(total, 6)
+                for index, _lock_wait, total in timings
+            },
+        }
+        with self._recent_lock:
+            self._recent_queries.append(entry)
+        self.events.emit(
+            "query",
+            subsystem="router",
+            shard=slowest,
+            trace_id=trace_id,
+            query_kind=kind,
+            seconds=round(elapsed, 6),
+            work_units=float(sum(per_shard_work)),
+            matches=matches,
+        )
+
     def range_query(
         self,
         query: RangeQuery,
@@ -676,28 +896,61 @@ class ShardedCatalog:
         expand_to_bases: bool = False,
     ) -> QueryResult:
         """Fan a range query across shards; union of shard results."""
-        results = self._scatter(
-            lambda shard: shard.database.range_query(
-                query, method=method, expand_to_bases=expand_to_bases
+        started = time.perf_counter()
+        tracer = maybe_tracer("sharded_query")
+        tracer.root.set("kind", "range_query")
+        with tracer.span("fanout", shards=len(self._shards)):
+            results, timings = self._scatter(
+                lambda shard: shard.database.range_query(
+                    query, method=method, expand_to_bases=expand_to_bases
+                ),
+                tracer=tracer,
             )
+        with tracer.span("merge"):
+            merged = self._merge_results(results)
+        self._finish_query(
+            tracer,
+            "range_query",
+            started,
+            timings,
+            [self._result_work_units(result) for result in results],
+            len(merged.matches),
         )
-        self.metrics.increment("shard.queries")
-        return self._merge_results(results)
+        return merged
 
     def range_query_batch(
         self, queries: Sequence[RangeQuery], method: str = "bwm"
     ) -> List[QueryResult]:
         """Fan a query batch across shards; element-wise union."""
-        per_shard = self._scatter(
-            lambda shard: shard.database.range_query_batch(
-                queries, method=method
+        started = time.perf_counter()
+        tracer = maybe_tracer("sharded_query")
+        tracer.root.set("kind", "range_query_batch")
+        with tracer.span("fanout", shards=len(self._shards)):
+            per_shard, timings = self._scatter(
+                lambda shard: shard.database.range_query_batch(
+                    queries, method=method
+                ),
+                tracer=tracer,
             )
+        with tracer.span("merge"):
+            merged = [
+                self._merge_results(
+                    [shard_results[i] for shard_results in per_shard]
+                )
+                for i in range(len(queries))
+            ]
+        self._finish_query(
+            tracer,
+            "range_query_batch",
+            started,
+            timings,
+            [
+                sum(self._result_work_units(result) for result in shard_results)
+                for shard_results in per_shard
+            ],
+            sum(len(result.matches) for result in merged),
         )
-        self.metrics.increment("shard.queries")
-        return [
-            self._merge_results([shard_results[i] for shard_results in per_shard])
-            for i in range(len(queries))
-        ]
+        return merged
 
     def conjunctive_query(
         self,
@@ -710,13 +963,27 @@ class ShardedCatalog:
         Correct because shards partition the id space: the global
         intersection distributes over the disjoint per-shard unions.
         """
-        results = self._scatter(
-            lambda shard: shard.database.conjunctive_query(
-                query, method=method, expand_to_bases=expand_to_bases
+        started = time.perf_counter()
+        tracer = maybe_tracer("sharded_query")
+        tracer.root.set("kind", "conjunctive_query")
+        with tracer.span("fanout", shards=len(self._shards)):
+            results, timings = self._scatter(
+                lambda shard: shard.database.conjunctive_query(
+                    query, method=method, expand_to_bases=expand_to_bases
+                ),
+                tracer=tracer,
             )
+        with tracer.span("merge"):
+            merged = self._merge_results(results)
+        self._finish_query(
+            tracer,
+            "conjunctive_query",
+            started,
+            timings,
+            [self._result_work_units(result) for result in results],
+            len(merged.matches),
         )
-        self.metrics.increment("shard.queries")
-        return self._merge_results(results)
+        return merged
 
     def text_query(
         self,
@@ -764,18 +1031,31 @@ class ShardedCatalog:
         )
         if histogram.quantizer != self.quantizer:
             raise QueryError("query histogram uses a different quantizer")
-        results = self._scatter(
-            lambda shard: shard.database.knn(histogram, k, method=method)
+        started = time.perf_counter()
+        tracer = maybe_tracer("sharded_query")
+        tracer.root.set("kind", "knn")
+        with tracer.span("fanout", shards=len(self._shards)):
+            results, timings = self._scatter(
+                lambda shard: shard.database.knn(histogram, k, method=method),
+                tracer=tracer,
+            )
+        with tracer.span("merge"):
+            neighbors = tuple(
+                islice(heap_merge(*(result.neighbors for result in results)), k)
+            )
+            stats = KNNStats()
+            for result in results:
+                stats.candidates_considered += result.stats.candidates_considered
+                stats.edited_pruned += result.stats.edited_pruned
+                stats.edited_instantiated += result.stats.edited_instantiated
+        self._finish_query(
+            tracer,
+            "knn",
+            started,
+            timings,
+            [float(result.stats.candidates_considered) for result in results],
+            len(neighbors),
         )
-        self.metrics.increment("shard.queries")
-        neighbors = tuple(
-            islice(heap_merge(*(result.neighbors for result in results)), k)
-        )
-        stats = KNNStats()
-        for result in results:
-            stats.candidates_considered += result.stats.candidates_considered
-            stats.edited_pruned += result.stats.edited_pruned
-            stats.edited_instantiated += result.stats.edited_instantiated
         return KNNResult(neighbors, stats)
 
     def similarity_range(
@@ -789,18 +1069,33 @@ class ShardedCatalog:
         )
         if histogram.quantizer != self.quantizer:
             raise QueryError("query histogram uses a different quantizer")
-        results = self._scatter(
-            lambda shard: shard.database.similarity_range(histogram, epsilon)
+        started = time.perf_counter()
+        tracer = maybe_tracer("sharded_query")
+        tracer.root.set("kind", "similarity_range")
+        with tracer.span("fanout", shards=len(self._shards)):
+            results, timings = self._scatter(
+                lambda shard: shard.database.similarity_range(
+                    histogram, epsilon
+                ),
+                tracer=tracer,
+            )
+        with tracer.span("merge"):
+            neighbors = tuple(
+                heap_merge(*(result.neighbors for result in results))
+            )
+            stats = KNNStats()
+            for result in results:
+                stats.candidates_considered += result.stats.candidates_considered
+                stats.edited_pruned += result.stats.edited_pruned
+                stats.edited_instantiated += result.stats.edited_instantiated
+        self._finish_query(
+            tracer,
+            "similarity_range",
+            started,
+            timings,
+            [float(result.stats.candidates_considered) for result in results],
+            len(neighbors),
         )
-        self.metrics.increment("shard.queries")
-        neighbors = tuple(
-            heap_merge(*(result.neighbors for result in results))
-        )
-        stats = KNNStats()
-        for result in results:
-            stats.candidates_considered += result.stats.candidates_considered
-            stats.edited_pruned += result.stats.edited_pruned
-            stats.edited_instantiated += result.stats.edited_instantiated
         return KNNResult(neighbors, stats)
 
     def planned_range_query(self, query: RangeQuery) -> QueryResult:
@@ -822,9 +1117,22 @@ class ShardedCatalog:
             method = "rbm" if plan.strategy is Strategy.LINEAR_RBM else "bwm"
             return shard.database.range_query(query, method=method)
 
-        results = self._scatter(run)
-        self.metrics.increment("shard.queries")
-        return self._merge_results(results)
+        started = time.perf_counter()
+        tracer = maybe_tracer("sharded_query")
+        tracer.root.set("kind", "planned_range_query")
+        with tracer.span("fanout", shards=len(self._shards)):
+            results, timings = self._scatter(run, tracer=tracer)
+        with tracer.span("merge"):
+            merged = self._merge_results(results)
+        self._finish_query(
+            tracer,
+            "planned_range_query",
+            started,
+            timings,
+            [self._result_work_units(result) for result in results],
+            len(merged.matches),
+        )
+        return merged
 
     # ------------------------------------------------------------------
     # Object access
@@ -881,8 +1189,15 @@ class ShardedCatalog:
                 )
             self._write_manifest()
             assert self._wal is not None
+            truncated = len(self._wal.entries())
             self._wal.reset(self.faults)
         self.metrics.increment("shard.checkpoints")
+        self.events.emit(
+            "checkpoint",
+            subsystem="shard",
+            wal_records_truncated=truncated,
+            versions=[shard.version for shard in self._shards],
+        )
         return self.root
 
     @classmethod
@@ -960,6 +1275,7 @@ class ShardedCatalog:
                 shard = self._shards[int(entry["shard"])]  # type: ignore[arg-type]
                 image_id = str(entry["image_id"])
                 version = int(entry["version"])  # type: ignore[arg-type]
+                lsn = entry.get("lsn")
                 with shard.lock.write_locked():
                     try:
                         applied = self._replay_entry(
@@ -967,14 +1283,29 @@ class ShardedCatalog:
                         )
                     except DatabaseError as exc:
                         failed += 1
+                        shard.replay_failures += 1
                         logger.warning(
                             "WAL replay: record lsn=%s (%s %r) failed to "
                             "apply (%s); skipping — the live apply was "
                             "rejected the same way",
-                            entry.get("lsn"),
+                            lsn,
                             entry["op"],
                             image_id,
                             exc,
+                        )
+                        # The structured twin of the warning above: the
+                        # record's full identity — shard, LSN, op, and
+                        # the rejecting error — lands in the event log
+                        # where it is filterable and joinable.
+                        self.events.emit(
+                            "wal.replay_failed",
+                            subsystem="wal",
+                            shard=shard.index,
+                            image_id=image_id,
+                            lsn=int(lsn) if lsn is not None else None,  # type: ignore[arg-type]
+                            trace_id=entry.get("trace_id"),  # type: ignore[arg-type]
+                            op=str(entry["op"]),
+                            error=str(exc),
                         )
                     else:
                         if applied:
@@ -982,11 +1313,20 @@ class ShardedCatalog:
                         else:
                             skipped += 1
                     shard.version = max(shard.version, version)
+                    if lsn is not None:
+                        shard.last_lsn = int(lsn)  # type: ignore[arg-type]
         finally:
             self._replaying = False
         self.metrics.increment("wal.replayed", replayed)
         self.metrics.increment("wal.replay_skipped", skipped)
         self.metrics.increment("wal.replay_failed", failed)
+        self.events.emit(
+            "wal.replay",
+            subsystem="wal",
+            replayed=replayed,
+            skipped=skipped,
+            failed=failed,
+        )
         logger.info(
             "WAL replay: %d record(s) applied, %d already present, "
             "%d rejected",
@@ -1052,6 +1392,12 @@ class ShardedCatalog:
             shard.database.engine.invalidate(image_id)
             shard.database.engine.seed_bounds(image_id, bounds)
             shard.materialized[image_id] = 0.0
+            lsn = entry.get("lsn")
+            shard.last_compaction = {
+                "image_id": image_id,
+                "lsn": int(lsn) if lsn is not None else None,  # type: ignore[arg-type]
+                "trace_id": entry.get("trace_id"),
+            }
             self._refresh_materialized_gauge()
             return True
         if op == "decompact":
@@ -1092,6 +1438,8 @@ class ShardedCatalog:
                         "version": shard.version,
                         "queries_served": shard.queries_served,
                         "materialized": sorted(shard.materialized),
+                        "last_lsn": shard.last_lsn,
+                        "replay_failures": shard.replay_failures,
                     }
                 )
         wal_entries = len(self._wal.entries()) if self._wal is not None else 0
@@ -1122,12 +1470,64 @@ class ShardedCatalog:
             )
         return "\n".join(lines)
 
+    def wal_depth_by_shard(self) -> Dict[int, int]:
+        """Unreplayed WAL records per shard index (health signal)."""
+        if self._wal is None:
+            return {}
+        depths: Dict[int, int] = {}
+        for entry in self._wal.entries():
+            index = int(entry["shard"])  # type: ignore[arg-type]
+            depths[index] = depths.get(index, 0) + 1
+        return depths
+
+    def health_signals(self) -> List[Dict[str, object]]:
+        """Raw per-shard health inputs for the :class:`HealthMonitor`.
+
+        Latency/lock-wait/work-unit distributions are *not* here — the
+        monitor reads those from :meth:`metrics_snapshot`'s per-shard
+        histograms; this returns the state-shaped signals (WAL depth,
+        replay failures, compaction backlog) that have no histogram.
+        """
+        self._ensure_open()
+        depths = self.wal_depth_by_shard()
+        signals: List[Dict[str, object]] = []
+        for shard in self._shards:
+            with shard.lock.read_locked():
+                edited = shard.database.catalog.edited_count
+                signals.append(
+                    {
+                        "shard": shard.index,
+                        "queries_served": shard.queries_served,
+                        "replay_failures": shard.replay_failures,
+                        "wal_depth": depths.get(shard.index, 0),
+                        "backlog": max(0, edited - len(shard.materialized)),
+                        "materialized": len(shard.materialized),
+                        "last_lsn": shard.last_lsn,
+                        "last_compaction": (
+                            dict(shard.last_compaction)
+                            if shard.last_compaction is not None
+                            else None
+                        ),
+                    }
+                )
+        return signals
+
+    def recent_queries(self, count: Optional[int] = None) -> List[Dict[str, object]]:
+        """The most recent scatter-gather queries, oldest-first."""
+        with self._recent_lock:
+            entries = [dict(entry) for entry in self._recent_queries]
+        if count is not None and count >= 0:
+            entries = entries[-count:]
+        return entries
+
     def metrics_snapshot(self) -> Dict[str, object]:
-        return self.metrics.snapshot()
+        snapshot = dict(self.metrics.snapshot())
+        snapshot["events"] = self.events.stats()
+        return {key: snapshot[key] for key in sorted(snapshot)}
 
     def prometheus_metrics(self) -> str:
         """The shard tier's metrics in Prometheus text exposition."""
-        return render_prometheus(self.metrics.snapshot())
+        return render_prometheus(self.metrics_snapshot())
 
     def close(self) -> None:
         """Detach listeners/planners and stop the scatter pool."""
@@ -1138,6 +1538,7 @@ class ShardedCatalog:
             if shard.planner is not None:
                 shard.planner.close()
         self._pool.shutdown(wait=True)
+        self.events.close()
 
     def __enter__(self) -> "ShardedCatalog":
         return self

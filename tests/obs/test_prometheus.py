@@ -124,3 +124,140 @@ class TestValidateExposition:
     def test_special_float_values_accepted(self):
         text = "# TYPE g gauge\ng NaN\n# TYPE h gauge\nh +Inf\n"
         assert validate_exposition(text) == []
+
+
+class TestLabelEscaping:
+    def test_escape_helper_handles_backslash_quote_newline(self):
+        from repro.obs.prometheus import _escape_label_value
+
+        assert _escape_label_value('a\\b') == 'a\\\\b'
+        assert _escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert _escape_label_value('two\nlines') == 'two\\nlines'
+        # Backslashes escape first, or the other escapes double up.
+        assert _escape_label_value('\\n') == '\\\\n'
+
+    def test_rendered_label_values_are_escaped_and_validate(self):
+        text = render_prometheus(snapshot_with(counters={
+            'plans.with"quote': 1,
+            "plans.with\nnewline": 2,
+            "plans.with\\backslash": 3,
+        }))
+        assert 'strategy="with\\"quote"' in text
+        assert 'strategy="with\\nnewline"' in text
+        assert 'strategy="with\\\\backslash"' in text
+        assert "\nnewline" not in text.replace("\\n", "")  # no raw newline
+        assert validate_exposition(text) == []
+
+    def test_validator_accepts_escaped_label_values(self):
+        text = (
+            "# TYPE m counter\n"
+            'm{label="a\\\\b\\"c\\nd"} 1\n'
+        )
+        assert validate_exposition(text) == []
+
+    def test_validator_rejects_raw_quote_runaway(self):
+        problems = validate_exposition(
+            '# TYPE m counter\nm{label="broken\n'
+        )
+        assert any("malformed sample" in p for p in problems)
+
+
+class TestFamilyDedupe:
+    def test_repeated_family_declared_once(self):
+        from repro.obs.prometheus import _Renderer
+
+        out = _Renderer("repro")
+        first = out.family("wal_events_total", "counter", "wal events")
+        second = out.family("wal_events_total", "counter", "wal events")
+        assert first == second
+        assert sum(
+            1 for line in out.lines if line.startswith("# TYPE")
+        ) == 1
+
+    def test_conflicting_kind_raises(self):
+        from repro.obs.prometheus import _Renderer
+
+        out = _Renderer("repro")
+        out.family("depth", "gauge", "queue depth")
+        with pytest.raises(ObservabilityError, match="declared as both"):
+            out.family("depth", "summary", "depth distribution")
+
+    def test_conflicting_kinds_surface_through_render(self):
+        # A counter family name colliding with a histogram of the same
+        # sanitized name is a rendering bug, not a scrape-time surprise.
+        snapshot = snapshot_with(counters={"shard.slow": 1})
+        snapshot["histograms"]["shard_events_total"] = {
+            "count": 1, "total": 0.5, "mean": 0.5, "min": 0.5,
+            "max": 0.5, "p50": 0.5, "p95": 0.5, "p99": 0.5,
+        }
+        with pytest.raises(ObservabilityError, match="declared as both"):
+            render_prometheus(snapshot)
+
+    def test_validator_flags_conflicting_duplicate_types(self):
+        problems = validate_exposition(
+            "# TYPE m counter\nm 1\n# TYPE m gauge\nm 2\n"
+        )
+        assert any(
+            "duplicate TYPE for m with conflicting types (counter, then gauge)"
+            in p
+            for p in problems
+        )
+
+
+class TestMergeSnapshots:
+    def base(self):
+        return {
+            "counters": {"wal.appends": 3, "shard.queries": 2},
+            "histograms": {
+                "query_seconds": {
+                    "count": 2, "total": 0.4, "mean": 0.2, "min": 0.1,
+                    "max": 0.3, "p50": 0.2, "p95": 0.3, "p99": 0.3,
+                },
+            },
+            "gauges": {"health.worst": 0.0},
+            "events": {"emitted": 5},
+        }
+
+    def test_counters_sum_and_gauges_last_win(self):
+        from repro.obs import merge_snapshots
+
+        other = {
+            "counters": {"wal.appends": 4, "migration.runs": 1},
+            "histograms": {},
+            "gauges": {"health.worst": 2.0},
+        }
+        merged = merge_snapshots(self.base(), other)
+        assert merged["counters"]["wal.appends"] == 7
+        assert merged["counters"]["migration.runs"] == 1
+        assert merged["gauges"]["health.worst"] == 2.0
+        assert merged["events"] == {"emitted": 5}
+
+    def test_histograms_combine_exact_counts_and_upper_bound_quantiles(self):
+        from repro.obs import merge_snapshots
+
+        other = {
+            "counters": {},
+            "histograms": {
+                "query_seconds": {
+                    "count": 3, "total": 1.1, "mean": 1.1 / 3, "min": 0.05,
+                    "max": 0.9, "p50": 0.3, "p95": 0.9, "p99": 0.9,
+                },
+            },
+        }
+        merged = merge_snapshots(self.base(), other)
+        data = merged["histograms"]["query_seconds"]
+        assert data["count"] == 5
+        assert data["total"] == pytest.approx(1.5)
+        assert data["mean"] == pytest.approx(0.3)
+        assert data["min"] == 0.05
+        assert data["max"] == 0.9
+        assert data["p95"] == 0.9  # elementwise max: upper bound
+
+    def test_merge_is_deterministic_and_renders_validly(self):
+        from repro.obs import merge_snapshots
+
+        one = merge_snapshots(self.base(), self.base())
+        two = merge_snapshots(self.base(), self.base())
+        assert one == two
+        assert list(one["counters"]) == sorted(one["counters"])
+        assert validate_exposition(render_prometheus(one)) == []

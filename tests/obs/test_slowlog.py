@@ -90,3 +90,62 @@ class TestValidationAndDescribe:
         log = make_log(threshold=0.0)
         entry = log.observe(["'q'"], 0.002, ["bwm"], False)
         assert json.loads(json.dumps(entry.to_dict()))["seconds"] == 0.002
+
+
+class TestConcurrency:
+    def test_concurrent_writers_drop_nothing_and_keep_entries_frozen(self):
+        import threading
+
+        log = SlowQueryLog(capacity=4096, threshold=0.0)
+        workers, per_worker = 8, 50
+        barrier = threading.Barrier(workers)
+        errors = []
+
+        def pound(worker):
+            try:
+                barrier.wait()
+                for index in range(per_worker):
+                    entry = log.observe(
+                        [f"q-{worker}-{index}"],
+                        worker + index / 1000.0,
+                        ["bwm"],
+                        False,
+                    )
+                    assert entry is not None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=pound, args=(w,))
+            for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        entries = log.snapshot()
+        assert len(entries) == workers * per_worker
+        assert log.stats()["recorded"] == workers * per_worker
+        seen = {entry.constraints[0] for entry in entries}
+        assert len(seen) == workers * per_worker
+
+    def test_concurrent_writers_respect_ring_capacity(self):
+        import threading
+
+        log = SlowQueryLog(capacity=16, threshold=0.0)
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    log.observe(["q"], 0.01, ["bwm"], False)
+                    for _ in range(100)
+                ]
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(log.snapshot()) == 16
+        assert log.stats()["recorded"] == 400

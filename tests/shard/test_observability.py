@@ -1,0 +1,398 @@
+"""The fleet observability plane, end to end on a real ShardedCatalog:
+
+connected cross-shard traces, WAL/compaction lineage attributable by
+LSN, the wide-event timeline, health over live signals, the unified
+exposition, and the ``repro top`` renderer.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.query import RangeQuery
+from repro.errors import DatabaseError
+from repro.obs import (
+    HealthMonitor,
+    merge_snapshots,
+    render_top,
+    top_payload,
+    tracing,
+    validate_exposition,
+)
+from repro.obs.events import EVENTS_NAME, read_events_jsonl
+from repro.shard import CompactionPolicy, Compactor, ShardedCatalog
+
+from tests.shard.conftest import (
+    build_mirrored_pair,
+    random_image,
+    random_sequence,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2006)
+
+
+def _span_names(span):
+    yield span.name
+    for child in span.children:
+        yield from _span_names(child)
+
+
+class TestConnectedTraces:
+    def test_scatter_gather_query_produces_one_connected_trace(self, rng):
+        sharded, _, _ = build_mirrored_pair(rng, shard_count=3)
+        collected = []
+        with tracing():
+            from repro.obs.trace import Tracer
+
+            original_finish = Tracer.finish
+
+            def capture(tracer):
+                collected.append(tracer.root)
+                return original_finish(tracer)
+
+            Tracer.finish = capture
+            try:
+                sharded.range_query(RangeQuery(0, 0.1, 0.9))
+            finally:
+                Tracer.finish = original_finish
+        sharded.close()
+        assert len(collected) == 1
+        root = collected[0]
+        assert root.name == "sharded_query"
+        assert root.attributes["kind"] == "range_query"
+        assert str(root.attributes["trace_id"]).startswith("trace-")
+        names = list(_span_names(root))
+        assert "fanout" in names
+        assert "merge" in names
+        assert names.count("shard.execute") == 3
+        fanout = next(c for c in root.children if c.name == "fanout")
+        executes = [
+            c for c in fanout.children if c.name == "shard.execute"
+        ]
+        assert [span.attributes["shard"] for span in executes] == [0, 1, 2]
+        for span in executes:
+            children = [child.name for child in span.children]
+            assert children == ["lock-wait", "run"]
+            assert span.attributes["lock_wait_seconds"] >= 0.0
+
+    def test_untraced_query_pays_no_span_cost_but_still_observes(self, rng):
+        sharded, _, _ = build_mirrored_pair(rng, shard_count=2)
+        sharded.range_query(RangeQuery(0, 0.1, 0.9))
+        snapshot = sharded.metrics_snapshot()
+        assert snapshot["histograms"]["shard_seconds.s00"]["count"] == 1
+        assert snapshot["histograms"]["sharded_query_seconds"]["count"] == 1
+        assert not any(
+            name.startswith("spans.") for name in snapshot["counters"]
+        )
+        sharded.close()
+
+
+class TestLineage:
+    def test_wal_records_carry_the_mutating_trace_id(self, rng, tmp_path):
+        sharded = ShardedCatalog(2, root=tmp_path)
+        try:
+            with tracing():
+                base_id = sharded.insert_image(random_image(rng))
+            entries = sharded._wal.entries()
+            assert len(entries) == 1
+            trace_id = entries[0]["trace_id"]
+            assert trace_id.startswith("trace-")
+            # The wal.append event carries the same trace and LSN, so
+            # the record is attributable from the event log alone.
+            appended = sharded.events.snapshot(kind="wal.append")
+            assert appended[-1].trace_id == trace_id
+            assert appended[-1].lsn == int(entries[0]["lsn"])
+            assert appended[-1].image_id == base_id
+        finally:
+            sharded.close()
+
+    def test_untraced_mutations_emit_events_without_trace_noise(
+        self, rng, tmp_path
+    ):
+        sharded = ShardedCatalog(2, root=tmp_path)
+        try:
+            sharded.insert_image(random_image(rng))
+            entries = sharded._wal.entries()
+            assert "trace_id" not in entries[0]
+            appended = sharded.events.snapshot(kind="wal.append")
+            assert appended[-1].trace_id is None
+            assert appended[-1].lsn == int(entries[0]["lsn"])
+        finally:
+            sharded.close()
+
+    def test_compaction_lineage_connects_cycle_commit_and_wal(
+        self, rng, tmp_path
+    ):
+        sharded, _, _ = build_mirrored_pair(rng, root=tmp_path)
+        try:
+            sharded.range_query(RangeQuery(0, 0.1, 0.9))
+            compactor = Compactor(
+                sharded,
+                CompactionPolicy(min_score=0.0, require_demand=False),
+            )
+            with tracing():
+                report = compactor.run_once()
+            assert report.materialized
+            cycle = sharded.events.snapshot(kind="compaction.cycle")[-1]
+            commits = sharded.events.snapshot(kind="compaction.materialized")
+            assert cycle.trace_id.startswith("trace-")
+            assert {event.trace_id for event in commits} == {cycle.trace_id}
+            compact_entries = [
+                entry for entry in sharded._wal.entries()
+                if entry["op"] == "compact"
+            ]
+            assert {e["trace_id"] for e in compact_entries} == {
+                cycle.trace_id
+            }
+            by_lsn = {int(e["lsn"]): e for e in compact_entries}
+            for event in commits:
+                assert by_lsn[event.lsn]["image_id"] == event.image_id
+            # The per-shard lineage is also queryable from health_signals.
+            signals = {s["shard"]: s for s in sharded.health_signals()}
+            for event in commits:
+                last = signals[event.shard]["last_compaction"]
+                assert last["lsn"] >= event.lsn
+                assert last["trace_id"] == cycle.trace_id
+        finally:
+            sharded.close()
+
+    def test_replay_restores_compaction_lineage(self, rng, tmp_path):
+        sharded, _, _ = build_mirrored_pair(rng, root=tmp_path)
+        try:
+            sharded.range_query(RangeQuery(0, 0.1, 0.9))
+            with tracing():
+                Compactor(
+                    sharded,
+                    CompactionPolicy(min_score=0.0, require_demand=False),
+                ).run_once()
+            commits = sharded.events.snapshot(kind="compaction.materialized")
+            assert commits
+            expected = {
+                (event.shard, event.image_id): (event.lsn, event.trace_id)
+                for event in commits
+            }
+        finally:
+            sharded.close()  # crash-shaped: WAL not truncated
+        reopened = ShardedCatalog.open(tmp_path)
+        try:
+            signals = {s["shard"]: s for s in reopened.health_signals()}
+            for (shard, _), (lsn, trace_id) in expected.items():
+                last = signals[shard]["last_compaction"]
+                assert last["lsn"] >= lsn
+                assert last["trace_id"] == trace_id
+        finally:
+            reopened.close()
+
+
+class TestEventTimeline:
+    def test_replay_failure_is_a_structured_event_with_lsn_and_error(
+        self, rng, tmp_path
+    ):
+        sharded = ShardedCatalog(2, root=tmp_path)
+        base_id = None
+        try:
+            base_id = sharded.insert_image(random_image(rng))
+            sharded.insert_edited(random_sequence(rng, base_id))
+            with pytest.raises(DatabaseError):
+                sharded.delete_image(base_id)  # derived edit references it
+        finally:
+            sharded.close()
+        reopened = ShardedCatalog.open(tmp_path)
+        try:
+            failed = reopened.events.snapshot(kind="wal.replay_failed")
+            assert len(failed) == 1
+            event = failed[0]
+            assert event.image_id == base_id
+            assert event.lsn == 3
+            assert event.shard is not None
+            assert event.detail["op"] == "delete_image"
+            assert "derived" in event.detail["error"] or event.detail["error"]
+            summary = reopened.events.snapshot(kind="wal.replay")[-1]
+            assert summary.detail["replayed"] == 2
+            assert summary.detail["failed"] == 1
+            # ...and the failure count feeds health: one failure = yellow.
+            report = HealthMonitor(reopened).report(record=False)
+            assert report.shard(event.shard).verdict == "yellow"
+        finally:
+            reopened.close()
+
+    def test_checkpoint_event_records_truncated_wal(self, rng, tmp_path):
+        sharded = ShardedCatalog(2, root=tmp_path)
+        try:
+            sharded.insert_image(random_image(rng))
+            sharded.insert_image(random_image(rng))
+            sharded.save()
+            checkpoint = sharded.events.snapshot(kind="checkpoint")[-1]
+            assert checkpoint.detail["wal_records_truncated"] == 2
+        finally:
+            sharded.close()
+
+    def test_events_stream_to_the_root_sink_and_survive_reopen(
+        self, rng, tmp_path
+    ):
+        sharded = ShardedCatalog(2, root=tmp_path)
+        try:
+            sharded.insert_image(random_image(rng))
+            sharded.range_query(RangeQuery(0, 0.1, 0.9))
+            sharded.save()
+        finally:
+            sharded.close()
+        on_disk = read_events_jsonl(tmp_path / EVENTS_NAME)
+        kinds = [event.kind for event in on_disk]
+        assert "wal.append" in kinds
+        assert "query" in kinds
+        assert "checkpoint" in kinds
+        reopened = ShardedCatalog.open(tmp_path)
+        try:
+            # The ring preloads the sink tail and the sequence continues.
+            preloaded = reopened.events.snapshot()
+            assert [e.seq for e in preloaded][: len(on_disk)] == [
+                e.seq for e in on_disk
+            ]
+            reopened.insert_image(random_image(rng))
+            appended = read_events_jsonl(tmp_path / EVENTS_NAME)
+            # save() truncated the WAL, so reopen replays nothing: the
+            # insert's wal.append is the next sequence number.
+            assert appended[-1].seq == on_disk[-1].seq + 1
+        finally:
+            reopened.close()
+
+    def test_ephemeral_catalog_keeps_events_in_memory_only(self, rng):
+        sharded = ShardedCatalog(2)
+        try:
+            sharded.insert_image(random_image(rng))
+            assert sharded.events.sink_path is None
+            assert sharded.events.snapshot(kind="wal.append")
+        finally:
+            sharded.close()
+
+
+class TestRecentQueriesRing:
+    def test_ring_records_each_query_kind_with_work_units(self, rng):
+        sharded, _, _ = build_mirrored_pair(rng, shard_count=2)
+        try:
+            query = RangeQuery(0, 0.1, 0.9)
+            sharded.range_query(query)
+            sharded.knn(random_image(rng), 3)
+            recent = sharded.recent_queries()
+            assert [entry["kind"] for entry in recent] == [
+                "range_query", "knn",
+            ]
+            for entry in recent:
+                assert entry["work_units"] > 0
+                assert entry["slowest_shard"] in (0, 1)
+                assert set(entry["shard_seconds"]) == {"s00", "s01"}
+            assert len(sharded.recent_queries(count=1)) == 1
+        finally:
+            sharded.close()
+
+    def test_ring_is_safe_under_concurrent_queries(self, rng):
+        sharded, _, _ = build_mirrored_pair(rng, shard_count=2)
+        errors = []
+
+        def pound():
+            try:
+                for _ in range(10):
+                    sharded.range_query(RangeQuery(0, 0.1, 0.9))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        try:
+            assert errors == []
+            recent = sharded.recent_queries()
+            assert len(recent) == 40  # ring capacity 64: nothing dropped
+            query_events = sharded.events.snapshot(kind="query")
+            assert len(query_events) == 40
+        finally:
+            sharded.close()
+
+
+class TestUnifiedExposition:
+    def test_snapshot_and_exposition_are_deterministic_and_valid(self, rng):
+        sharded, _, _ = build_mirrored_pair(rng, shard_count=2)
+        try:
+            sharded.range_query(RangeQuery(0, 0.1, 0.9))
+            HealthMonitor(sharded).report()  # adds health.* gauges
+            first = sharded.metrics_snapshot()
+            second = sharded.metrics_snapshot()
+            assert list(first) == sorted(first)
+            assert first == second
+            assert first["events"]["emitted"] > 0
+            exposition = sharded.prometheus_metrics()
+            assert validate_exposition(exposition) == []
+            assert "repro_health_worst" in exposition
+            assert "repro_shard_seconds_s00" in exposition
+        finally:
+            sharded.close()
+
+    def test_merge_snapshots_rolls_up_shard_and_service_planes(self, rng):
+        from repro.db.database import MultimediaDatabase
+        from repro.service import QueryService
+
+        sharded, _, _ = build_mirrored_pair(rng, shard_count=2)
+        database = MultimediaDatabase(quantizer=sharded.quantizer)
+        database.insert_image(random_image(rng))
+        try:
+            sharded.range_query(RangeQuery(0, 0.1, 0.9))
+            with QueryService(database, max_workers=1) as service:
+                service.execute("at least 10% red")
+                merged = merge_snapshots(
+                    sharded.metrics_snapshot(), service.metrics_snapshot()
+                )
+            assert merged["counters"]["shard.queries"] >= 1
+            assert merged["counters"]["queries_total"] >= 1
+            assert "shard_seconds.s00" in merged["histograms"]
+            assert "query_seconds" in merged["histograms"]
+            assert validate_exposition(
+                __import__(
+                    "repro.obs.prometheus", fromlist=["render_prometheus"]
+                ).render_prometheus(merged)
+            ) == []
+        finally:
+            sharded.close()
+
+
+class TestTopRenderer:
+    def test_render_top_shows_health_queries_and_compactions(self, rng):
+        sharded, _, _ = build_mirrored_pair(rng, shard_count=2)
+        try:
+            sharded.range_query(RangeQuery(0, 0.1, 0.9))
+            with tracing():
+                Compactor(
+                    sharded,
+                    CompactionPolicy(min_score=0.0, require_demand=False),
+                ).run_once()
+            report = HealthMonitor(sharded).report()
+            text = render_top(sharded, report)
+            assert "fleet: GREEN" in text
+            assert "shard health" in text
+            assert "range_query" in text
+            assert "recent compactions" in text
+            assert "trace-" in text
+            payload = top_payload(sharded, report)
+            assert payload["health"]["verdict"] == "green"
+            assert payload["slowest_queries"]
+            assert payload["recent_compactions"]
+        finally:
+            sharded.close()
+
+    def test_render_top_handles_a_cold_catalog(self, rng):
+        sharded = ShardedCatalog(2)
+        try:
+            report = HealthMonitor(sharded).report(record=False)
+            text = render_top(sharded, report)
+            assert "no queries recorded yet" in text
+            assert "none since this root opened" in text
+        finally:
+            sharded.close()

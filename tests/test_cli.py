@@ -545,3 +545,121 @@ class TestProveRules:
         assert {v["case"] for v in payload["verdicts"]} >= {
             "define", "combine", "modify", "merge-null",
         }
+
+
+@pytest.fixture(scope="module")
+def sharded_root(tmp_path_factory):
+    """A small on-disk sharded root with queries and events behind it."""
+    from repro.core.query import RangeQuery
+    from repro.shard import ShardedCatalog
+
+    from tests.shard.conftest import build_mirrored_pair
+
+    directory = tmp_path_factory.mktemp("clishard") / "fleet"
+    rng = np.random.default_rng(11)
+    sharded, _, _ = build_mirrored_pair(rng, root=directory)
+    sharded.range_query(RangeQuery(0, 0.1, 0.9))
+    sharded.save()
+    sharded.close()
+    return directory
+
+
+class TestTop:
+    def test_renders_dashboard_with_warmup_queries(self, sharded_root):
+        code, output = run_cli("top", str(sharded_root), "--queries", "4")
+        assert code == 0
+        assert "repro top" in output
+        assert "shard health" in output
+        assert "fleet: GREEN" in output
+        assert "slowest recent queries" in output
+        assert "range_query" in output
+
+    def test_json_payload_has_all_panels(self, sharded_root):
+        import json
+
+        code, output = run_cli(
+            "top", str(sharded_root), "--queries", "2", "--json"
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["health"]["verdict"] == "green"
+        assert payload["status"]["shard_count"] == 3
+        assert payload["slowest_queries"]
+        assert payload["events"]["emitted"] > 0
+
+    def test_prometheus_mode_emits_validated_exposition(self, sharded_root):
+        from repro.obs import validate_exposition
+
+        code, output = run_cli(
+            "top", str(sharded_root), "--queries", "2", "--prometheus"
+        )
+        assert code == 0
+        assert validate_exposition(output) == []
+        assert "repro_health_worst" in output
+        assert "repro_sharded_query_seconds" in output
+
+    def test_missing_root_fails_cleanly(self, tmp_path):
+        code, _ = run_cli("top", str(tmp_path / "nope"))
+        assert code == 1
+
+
+class TestEvents:
+    def test_human_listing_shows_kinds_and_lsns(self, sharded_root):
+        code, output = run_cli("events", str(sharded_root))
+        assert code == 0
+        assert "wal.append" in output
+        assert "checkpoint" in output
+        assert "lsn=" in output
+
+    def test_json_round_trips_through_the_schema(self, sharded_root):
+        import json
+
+        from repro.obs.events import validate_event_dict
+
+        code, output = run_cli("events", str(sharded_root), "--json")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload
+        for event in payload:
+            assert validate_event_dict(event) == []
+
+    def test_kind_filter_and_limit(self, sharded_root):
+        import json
+
+        code, output = run_cli(
+            "events", str(sharded_root), "--json",
+            "--kind", "wal.append", "--limit", "2",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert len(payload) == 2
+        assert {event["kind"] for event in payload} == {"wal.append"}
+
+    def test_follow_picks_up_appended_events(self, sharded_root):
+        import json
+        import threading
+
+        from repro.core.query import RangeQuery
+        from repro.shard import ShardedCatalog
+
+        buffer = io.StringIO()
+        follower = threading.Thread(
+            target=lambda: main(
+                ["events", str(sharded_root), "--follow", "--json",
+                 "--poll", "0.05", "--max-polls", "10"],
+                out=buffer,
+            )
+        )
+        follower.start()
+        with ShardedCatalog.open(sharded_root) as sharded:
+            sharded.range_query(RangeQuery(1, 0.2, 0.8))
+        follower.join(timeout=10)
+        assert not follower.is_alive()
+        lines = [line for line in buffer.getvalue().splitlines() if line]
+        tailed = [json.loads(line) for line in lines]
+        assert any(event["kind"] == "query" for event in tailed)
+
+    def test_empty_log_is_not_an_error(self, tmp_path):
+        code, output = run_cli("events", str(tmp_path), "--json")
+        assert code == 0
+        assert output.strip() == "[]"
