@@ -1,6 +1,6 @@
 """Static analysis over the rule system, the catalog, and the codebase.
 
-Three coordinated passes, all runnable offline (no raster is ever
+Five coordinated passes, all runnable offline (no raster is ever
 instantiated):
 
 * :mod:`repro.analysis.prover` — an interval abstract interpreter that
@@ -18,6 +18,24 @@ instantiated):
 * :mod:`repro.analysis.ast_lint` — a stdlib-``ast`` linter enforcing the
   repo's concurrency and numeric discipline on ``src/repro/`` itself
   (``repro lint``).
+* :mod:`repro.analysis.lockgraph` — an interprocedural lock-order
+  analysis: every lock-acquisition site in ``src/repro/``, the
+  may-hold-while-acquiring graph across call edges, cycles reported as
+  potential deadlocks (``CC001``) and locks held across ``fsync`` /
+  ``rename`` as latency hazards (``CC002``); merged into ``repro
+  lint``'s report.
+* :mod:`repro.analysis.protocol` — a bounded explicit-state model
+  checker for the WAL, compactor, and migration crash protocols:
+  every interleaving and crash point up to a depth bound, checking
+  that no acknowledged mutation is lost, replay is idempotent, no
+  torn state is reader-visible, and rollback restores the origin
+  exactly (``repro check-protocols``; refutations are ``CC003``
+  findings carrying a minimal schedule trace).
+
+A sixth, dynamic companion lives in :mod:`repro.testing.racecheck`
+(``repro race-check``): an Eraser-style lockset race detector over
+instrumented scenarios, reporting ``CC004`` findings through the same
+machinery.
 
 Every pass reports :class:`~repro.analysis.findings.Finding` objects
 (severity, stable code, location, fix hint) collected into an
@@ -28,17 +46,43 @@ Every pass reports :class:`~repro.analysis.findings.Finding` objects
 from repro.analysis.ast_lint import LINT_RULES, lint_paths, lint_source
 from repro.analysis.catalog_lint import analyze_database, check_shard_routing
 from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.lockgraph import (
+    CC_RULES,
+    LockGraph,
+    LockSite,
+    build_lock_graph,
+    check_lock_order,
+)
+from repro.analysis.protocol import (
+    MODELS,
+    ExplorationResult,
+    ProtocolModel,
+    Violation,
+    check_protocols,
+    explore,
+)
 from repro.analysis.prover import ProverReport, RuleVerdict, prove_rules
 
 __all__ = [
     "AnalysisReport",
+    "CC_RULES",
+    "ExplorationResult",
     "Finding",
     "LINT_RULES",
+    "LockGraph",
+    "LockSite",
+    "MODELS",
+    "ProtocolModel",
     "ProverReport",
     "RuleVerdict",
     "Severity",
+    "Violation",
     "analyze_database",
+    "build_lock_graph",
+    "check_lock_order",
+    "check_protocols",
     "check_shard_routing",
+    "explore",
     "lint_paths",
     "lint_source",
     "prove_rules",

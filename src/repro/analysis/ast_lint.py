@@ -11,12 +11,15 @@ rules the test suite cannot check dynamically because they are about
     section locks (metrics counters, cache bookkeeping, admission gate)
     carry an inline ``# repro-lint: disable=AL001`` pragma explaining
     themselves.
-``AL002`` unlocked-mutation (ERROR) — scope ``repro/service/``
+``AL002`` unlocked-mutation (ERROR) — scopes ``repro/service/``,
+    ``repro/shard/sharded.py``, ``repro/shard/compactor.py``
     A call to a database/catalog mutator (``insert_image``,
-    ``delete_edited``, ...) on a database-like receiver that is not
-    lexically inside a ``with ...write_locked():`` block.  Mutating the
-    catalog while readers hold bounds walks is the exact race the RW
-    lock exists to prevent.
+    ``delete_edited``, ...) on a database-like receiver — or to the
+    sharded catalog's materialization committers
+    (``_commit_materialization`` / ``_rollback_materialization``) —
+    that is not lexically inside a ``with ...write_locked():`` block.
+    Mutating the catalog while readers hold bounds walks is the exact
+    race the RW lock exists to prevent.
 ``AL003`` mutation-without-invalidate (ERROR) — scope ``repro/db/database.py``
     A function that calls a catalog mutator (``add_edited``,
     ``remove_binary``, ...) without also calling the bounds engine's
@@ -31,7 +34,10 @@ rules the test suite cannot check dynamically because they are about
 
 Suppression: append ``# repro-lint: disable=AL001`` (comma-separate for
 several codes) to the offending physical line.  ``disable=all`` silences
-every rule on that line.
+every rule on that line.  A pragma on a ``def`` line suppresses those
+codes for the whole function body — for functions whose contract is
+"caller holds the lock" (the WAL replayer's per-entry appliers), where
+per-line pragmas would just repeat the same justification.
 """
 
 from __future__ import annotations
@@ -62,6 +68,13 @@ CATALOG_MUTATORS: Set[str] = {
     "remove_edited",
 }
 
+#: Sharded-tier mutators: the compaction committers swap a shard's
+#: engine state and must run under that shard's write lock.
+SHARD_MUTATORS: Set[str] = {
+    "_commit_materialization",
+    "_rollback_materialization",
+}
+
 #: Receiver names that look like they hold the shared database/catalog.
 _DATABASE_RECEIVERS: Set[str] = {
     "db",
@@ -84,12 +97,14 @@ class LintRule:
 
     code: str
     summary: str
-    #: Substring of the POSIX-style path the rule applies to ("" = all).
+    #: ``|``-separated substrings of the POSIX-style path the rule
+    #: applies to ("" = all); matching any one of them is enough.
     path_scope: str
     fix_hint: str
 
     def applies_to(self, path: str) -> bool:
-        return self.path_scope in _as_posix(path)
+        posix = _as_posix(path)
+        return any(scope in posix for scope in self.path_scope.split("|"))
 
 
 LINT_RULES: Dict[str, LintRule] = {
@@ -108,10 +123,14 @@ LINT_RULES: Dict[str, LintRule] = {
         LintRule(
             code="AL002",
             summary="database/catalog mutation outside write_locked()",
-            path_scope="repro/service/",
+            path_scope=(
+                "repro/service/|repro/shard/sharded.py|"
+                "repro/shard/compactor.py"
+            ),
             fix_hint=(
                 "wrap the mutator call in `with self._rwlock."
-                "write_locked():` like the executor's mutation wrappers"
+                "write_locked():` (service) or `with shard.lock."
+                "write_locked():` (shard tier) like the mutation wrappers"
             ),
         ),
         LintRule(
@@ -216,18 +235,28 @@ class _Visitor(ast.NodeVisitor):
             )
         if (
             isinstance(node.func, ast.Attribute)
-            and node.func.attr in (DATABASE_MUTATORS | CATALOG_MUTATORS)
-            and _receiver_tail(node.func) in _DATABASE_RECEIVERS
             and self._write_locked_depth == 0
         ):
-            self.raw.append(
-                _RawFinding(
-                    "AL002",
-                    node.lineno,
-                    f"mutator {node.func.attr}() called outside a "
-                    f"write_locked() block",
-                )
+            attr = node.func.attr
+            receiver = _receiver_tail(node.func)
+            is_db_mutation = (
+                attr in (DATABASE_MUTATORS | CATALOG_MUTATORS)
+                and receiver in _DATABASE_RECEIVERS
             )
+            # The materialization committers are methods of the sharded
+            # catalog itself, so self-calls count too.
+            is_shard_mutation = attr in SHARD_MUTATORS and (
+                receiver in _DATABASE_RECEIVERS or receiver == "self"
+            )
+            if is_db_mutation or is_shard_mutation:
+                self.raw.append(
+                    _RawFinding(
+                        "AL002",
+                        node.lineno,
+                        f"mutator {attr}() called outside a "
+                        f"write_locked() block",
+                    )
+                )
         self.generic_visit(node)
 
     # -- AL003 ---------------------------------------------------------
@@ -296,6 +325,27 @@ def _suppressions(source: str) -> Dict[int, Set[str]]:
     return result
 
 
+def _function_suppressions(
+    tree: ast.Module, suppressed: Dict[int, Set[str]]
+) -> List[Tuple[int, int, Set[str]]]:
+    """``(start, end, codes)`` spans from pragmas on ``def`` lines.
+
+    A pragma on the line introducing a function suppresses its codes
+    for the function's entire body — the idiom for "caller holds the
+    lock" contracts, where every call site in the body would otherwise
+    need the same pragma and justification.
+    """
+    spans: List[Tuple[int, int, Set[str]]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            codes = suppressed.get(node.lineno)
+            if codes:
+                spans.append(
+                    (node.lineno, node.end_lineno or node.lineno, codes)
+                )
+    return spans
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -311,6 +361,7 @@ def lint_source(
     visitor = _Visitor()
     visitor.visit(tree)
     suppressed = _suppressions(source)
+    function_spans = _function_suppressions(tree, suppressed)
     wanted = set(rules) if rules is not None else set(LINT_RULES)
     findings: List[Finding] = []
     for raw in visitor.raw:
@@ -318,6 +369,9 @@ def lint_source(
         if raw.code not in wanted or not rule.applies_to(path):
             continue
         line_codes = suppressed.get(raw.line, set())
+        for start, end, codes in function_spans:
+            if start <= raw.line <= end:
+                line_codes = line_codes | codes
         if raw.code in line_codes or "ALL" in line_codes:
             continue
         findings.append(

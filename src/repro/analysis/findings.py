@@ -14,7 +14,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+def _location_key(location: str) -> Tuple[str, int]:
+    """``(path, line)`` sort key for a ``path:line`` location string.
+
+    Locations without a trailing ``:<digits>`` (image ids, rule-case
+    names) sort by the whole string with line 0, so semantic-pass
+    findings stay deterministic too.
+    """
+    path, sep, tail = location.rpartition(":")
+    if sep and tail.isdigit():
+        return (path, int(tail))
+    return (location, 0)
 
 
 class Severity(enum.Enum):
@@ -124,9 +137,17 @@ class AnalysisReport:
         return dict(sorted(counts.items()))
 
     def sorted_findings(self) -> List[Finding]:
-        """Findings ordered most-severe first, then by code and location."""
+        """Findings in deterministic ``(code, path, line)`` order.
+
+        The ordering is stable across runs and Python hash seeds so CI
+        diffs of ``--json`` reports and golden-file tests never churn:
+        code first (groups one rule's findings together), then the
+        location split into its path and *numeric* line (``file:9``
+        sorts before ``file:10``), then message as the tiebreak.
+        """
         return sorted(
-            self.findings, key=lambda f: (f.severity.rank, f.code, f.location)
+            self.findings,
+            key=lambda f: (f.code, *_location_key(f.location), f.message),
         )
 
     # ------------------------------------------------------------------

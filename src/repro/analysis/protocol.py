@@ -1,0 +1,1073 @@
+"""Crash-protocol model checking for the WAL / compactor / migrator.
+
+PR 8's kill-point sweeps *sample* crash points along one schedule; this
+pass checks every schedule.  Each durability protocol in the repo is
+modeled as a small explicit state machine — a handful of processes,
+each a fixed sequence of atomic actions over a shared dictionary state
+— and explored exhaustively over all interleavings, with a crash branch
+taken at every reachable state (stateless model checking in the DPOR
+tradition, scaled to protocols small enough to enumerate).
+
+Three models ship:
+
+``wal``
+    The :class:`~repro.shard.wal.ShardWAL` discipline: a writer runs
+    append → fsync → apply → ack per mutation under the shard lock
+    while a checkpointer runs write-segments → reset-WAL under the same
+    lock.  A crash wipes volatile state, optionally drops the torn
+    unsynced tail, and replays the log over the segments.
+``compactor``
+    The background compactor's materialize → version-check → commit /
+    rollback handshake against a concurrent writer.  Purely in-memory
+    (durability is the WAL model's job), so crash branching is off.
+``migration``
+    The journaled migrator: journal-begin → write-batch → journal-batch
+    → swap-manifest (under the swap lock) → journal-swap →
+    journal-complete → cleanup, against a concurrent reader.  Recovery
+    replays the journal: roll forward after ``complete``, otherwise
+    roll back to the origin manifest.
+
+Checked invariants (the four from the issue):
+
+* **acked-durable** — no acknowledged mutation is lost by any
+  crash+recovery.
+* **replay-idempotent** — replaying recovered state changes nothing.
+* **no-torn-read** — no reachable state shows a reader partially
+  applied effects (a mutation applied before it is durably logged; a
+  manifest pointing at segments that do not exist).
+* **rollback-exact** — an aborted compaction leaves the catalog
+  untouched; a rolled-back migration restores the origin exactly.
+
+Violations are reported as ``CC003`` findings whose details carry the
+*minimal* counterexample schedule (breadth-first search finds the
+shortest trace first, mirroring the rule prover's shrunk
+counterexamples).  Exploration uses sleep-set pruning (DPOR-lite):
+independent actions — different processes touching disjoint state —
+are not re-ordered, which prunes redundant interleavings while still
+visiting every reachable state (sleep sets cut duplicate *paths*, not
+states; the visited cache re-expands a state seen with a smaller sleep
+set).
+
+Seeded-defect variants of each model (``DEFECTS``) reorder or corrupt
+one protocol step — apply-before-log, ack-before-fsync, a skipped
+version re-check, a rollback that leaks scratch state, cleanup before
+journal-complete — and exist so the test suite can prove the checker
+actually refutes broken protocols.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+
+State = Dict[str, Any]
+_Key = Tuple[Tuple[str, Any], ...]
+
+#: Default exploration depth.  Every shipped model's longest schedule is
+#: well under this, so the default run is exhaustive (``truncated`` is
+#: False); the bound exists to keep defect variants and future models
+#: from diverging.
+DEFAULT_BOUND = 64
+
+
+def _freeze(state: State) -> _Key:
+    return tuple(sorted(state.items()))
+
+
+# ----------------------------------------------------------------------
+# Model vocabulary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Action:
+    """One atomic protocol step.
+
+    ``reads`` must cover every key the guard or effect looks at and
+    ``writes`` every key the effect may change — independence (and so
+    the soundness of sleep-set pruning) is judged from these sets.
+    """
+
+    name: str
+    process: str
+    effect: Callable[[State], State]
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+    guard: Optional[Callable[[State], bool]] = None
+
+    def enabled(self, state: State) -> bool:
+        return self.guard is None or self.guard(state)
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A safety predicate; returns an error string on violation."""
+
+    name: str
+    check: Callable[[State], Optional[str]]
+    #: "step" invariants run at every reachable state; "crash"
+    #: invariants run on every recovered state.
+    when: str = "step"
+
+
+@dataclass
+class ProtocolModel:
+    """A protocol as processes of atomic actions plus crash semantics."""
+
+    name: str
+    description: str
+    initial: State
+    #: process name -> its fixed action sequence.
+    processes: Dict[str, Sequence[Action]]
+    invariants: Sequence[Invariant]
+    #: Keys that survive a crash (disk contents and "ghost" observer
+    #: state such as the set of acknowledged mutations).
+    durable_keys: FrozenSet[str] = frozenset()
+    #: durable-projection -> possible recovered states (several when a
+    #: torn tail may or may not survive).  ``None`` disables crash
+    #: branching (in-memory protocols).
+    recover: Optional[Callable[[State], List[Tuple[str, State]]]] = None
+
+    def step_invariants(self) -> List[Invariant]:
+        return [inv for inv in self.invariants if inv.when == "step"]
+
+    def crash_invariants(self) -> List[Invariant]:
+        return [inv for inv in self.invariants if inv.when == "crash"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One refuted invariant with its minimal schedule."""
+
+    model: str
+    invariant: str
+    message: str
+    #: Action names in order; a crash branch ends with ``crash(<label>)``.
+    trace: Tuple[str, ...]
+    state: _Key
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "invariant": self.invariant,
+            "message": self.message,
+            "trace": list(self.trace),
+            "state": {key: _jsonable(value) for key, value in self.state},
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, frozenset):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+@dataclass
+class ExplorationResult:
+    """What one exhaustive exploration saw."""
+
+    model: str
+    states_explored: int = 0
+    transitions: int = 0
+    crash_branches: int = 0
+    pruned: int = 0
+    truncated: bool = False
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def exhaustive(self) -> bool:
+        return not self.truncated
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "states_explored": self.states_explored,
+            "transitions": self.transitions,
+            "crash_branches": self.crash_branches,
+            "pruned": self.pruned,
+            "exhaustive": self.exhaustive,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+# ----------------------------------------------------------------------
+# Explorer
+# ----------------------------------------------------------------------
+def _independent(a: Action, b: Action) -> bool:
+    """Commuting actions: different processes, disjoint footprints."""
+    if a.process == b.process:
+        return False
+    if a.writes & (b.reads | b.writes):
+        return False
+    if b.writes & (a.reads | a.writes):
+        return False
+    return True
+
+
+def explore(
+    model: ProtocolModel,
+    *,
+    max_depth: int = DEFAULT_BOUND,
+    crash: bool = True,
+) -> ExplorationResult:
+    """Breadth-first exhaustive exploration with sleep-set pruning.
+
+    BFS guarantees the first trace refuting an invariant is a shortest
+    one.  The visited cache keys on (state, program counters) and
+    stores the sleep sets each node was expanded with; a node is
+    re-expanded when reached with a sleep set that is not a superset of
+    a previous one, which keeps sleep-set pruning sound under state
+    caching.
+    """
+    result = ExplorationResult(model=model.name)
+    process_names = sorted(model.processes)
+    step_invs = model.step_invariants()
+    crash_invs = model.crash_invariants()
+    seen_violations: Set[str] = set()
+    crash_verdicts: Dict[_Key, None] = {}
+
+    def record(
+        invariant: Invariant, error: str, trace: Tuple[str, ...], key: _Key
+    ) -> None:
+        if invariant.name in seen_violations:
+            return
+        seen_violations.add(invariant.name)
+        result.violations.append(
+            Violation(
+                model=model.name,
+                invariant=invariant.name,
+                message=error,
+                trace=trace,
+                state=key,
+            )
+        )
+
+    def check_state(state: State, trace: Tuple[str, ...]) -> None:
+        key = _freeze(state)
+        for invariant in step_invs:
+            error = invariant.check(state)
+            if error is not None:
+                record(invariant, error, trace, key)
+
+    def branch_crash(state: State, trace: Tuple[str, ...]) -> None:
+        if not crash or model.recover is None:
+            return
+        durable = {
+            key: value
+            for key, value in state.items()
+            if key in model.durable_keys
+        }
+        durable_key = _freeze(durable)
+        if durable_key in crash_verdicts:
+            # Identical durable image: recovery is a function of it, so
+            # the verdict cannot differ from the first (shortest) trace.
+            return
+        crash_verdicts[durable_key] = None
+        for label, recovered in model.recover(dict(durable)):
+            result.crash_branches += 1
+            crash_trace = (*trace, f"crash({label})")
+            recovered_key = _freeze(recovered)
+            for invariant in crash_invs:
+                error = invariant.check(recovered)
+                if error is not None:
+                    record(invariant, error, crash_trace, recovered_key)
+
+    initial_pcs = tuple(0 for _ in process_names)
+    initial_state = dict(model.initial)
+    check_state(initial_state, ())
+    branch_crash(initial_state, ())
+
+    # queue entries: (state, pcs, trace, sleep-set of action ids)
+    queue: deque[
+        Tuple[State, Tuple[int, ...], Tuple[str, ...], FrozenSet[str]]
+    ] = deque([(initial_state, initial_pcs, (), frozenset())])
+    visited: Dict[Tuple[_Key, Tuple[int, ...]], List[FrozenSet[str]]] = {
+        (_freeze(initial_state), initial_pcs): [frozenset()]
+    }
+    result.states_explored = 1
+
+    while queue:
+        state, pcs, trace, sleep = queue.popleft()
+        if len(trace) >= max_depth:
+            result.truncated = True
+            continue
+        enabled: List[Tuple[int, Action]] = []
+        for position, process in enumerate(process_names):
+            actions = model.processes[process]
+            pc = pcs[position]
+            if pc < len(actions) and actions[pc].enabled(state):
+                enabled.append((position, actions[pc]))
+        explored_here: List[Action] = []
+        for position, action in enabled:
+            if action.name in sleep:
+                result.pruned += 1
+                continue
+            successor = action.effect(dict(state))
+            next_pcs = tuple(
+                pc + 1 if index == position else pc
+                for index, pc in enumerate(pcs)
+            )
+            next_trace = (*trace, action.name)
+            result.transitions += 1
+            # The successor's sleep set keeps previously-slept and
+            # previously-explored siblings that commute with this step.
+            next_sleep = frozenset(
+                name
+                for name in (
+                    *sleep,
+                    *(prior.name for prior in explored_here),
+                )
+                if _commutes_by_name(model, name, action)
+            )
+            explored_here.append(action)
+            node_key = (_freeze(successor), next_pcs)
+            known = visited.get(node_key)
+            if known is not None and any(
+                previous <= next_sleep for previous in known
+            ):
+                continue  # already expanded at least this freely
+            if known is None:
+                visited[node_key] = [next_sleep]
+                result.states_explored += 1
+                check_state(successor, next_trace)
+                branch_crash(successor, next_trace)
+            else:
+                known.append(next_sleep)
+            queue.append((successor, next_pcs, next_trace, next_sleep))
+    return result
+
+
+def _commutes_by_name(
+    model: ProtocolModel, name: str, action: Action
+) -> bool:
+    other = _action_by_name(model, name)
+    return other is not None and _independent(other, action)
+
+
+def _action_by_name(model: ProtocolModel, name: str) -> Optional[Action]:
+    for actions in model.processes.values():
+        for action in actions:
+            if action.name == name:
+                return action
+    return None
+
+
+# ----------------------------------------------------------------------
+# Model: WAL append -> fsync -> apply -> ack, with checkpointing
+# ----------------------------------------------------------------------
+def build_wal_model(defect: Optional[str] = None) -> ProtocolModel:
+    """The shard WAL discipline.
+
+    Defects: ``apply_before_log`` applies the mutation before its
+    record is appended (torn visibility); ``ack_before_fsync``
+    acknowledges before the record is durable (lost ack on crash);
+    ``blind_replay`` recovers without the idempotency dedup.
+    """
+    if defect not in (None, "apply_before_log", "ack_before_fsync",
+                      "blind_replay"):
+        raise ValueError(f"unknown wal defect {defect!r}")
+
+    def acquire(state: State) -> State:
+        state["lock"] = 1
+        return state
+
+    def release(state: State) -> State:
+        state["lock"] = 0
+        return state
+
+    def lock_free(state: State) -> bool:
+        return state["lock"] == 0
+
+    def writer_steps(mutation: str) -> List[Action]:
+        def append(state: State) -> State:
+            state["wal.pending"] = (*state["wal.pending"], mutation)
+            return state
+
+        def fsync(state: State) -> State:
+            state["wal.synced"] = (
+                *state["wal.synced"],
+                *state["wal.pending"],
+            )
+            state["wal.pending"] = ()
+            return state
+
+        def apply(state: State) -> State:
+            state["mem"] = (*state["mem"], mutation)
+            return state
+
+        def ack(state: State) -> State:
+            state["acked"] = state["acked"] | {mutation}
+            return state
+
+        base = {"process": "writer"}
+        steps = [
+            Action(
+                name=f"w.acquire[{mutation}]",
+                effect=acquire,
+                guard=lock_free,
+                reads=frozenset({"lock"}),
+                writes=frozenset({"lock"}),
+                **base,
+            ),
+            Action(
+                name=f"w.append[{mutation}]",
+                effect=append,
+                reads=frozenset({"wal.pending"}),
+                writes=frozenset({"wal.pending"}),
+                **base,
+            ),
+            Action(
+                name=f"w.fsync[{mutation}]",
+                effect=fsync,
+                reads=frozenset({"wal.pending", "wal.synced"}),
+                writes=frozenset({"wal.pending", "wal.synced"}),
+                **base,
+            ),
+            Action(
+                name=f"w.apply[{mutation}]",
+                effect=apply,
+                reads=frozenset({"mem"}),
+                writes=frozenset({"mem"}),
+                **base,
+            ),
+            Action(
+                name=f"w.ack[{mutation}]",
+                effect=ack,
+                reads=frozenset({"acked"}),
+                writes=frozenset({"acked"}),
+                **base,
+            ),
+            Action(
+                name=f"w.release[{mutation}]",
+                effect=release,
+                reads=frozenset({"lock"}),
+                writes=frozenset({"lock"}),
+                **base,
+            ),
+        ]
+        order = [0, 1, 2, 3, 4, 5]
+        if defect == "apply_before_log":
+            order = [0, 3, 1, 2, 4, 5]  # apply precedes append/fsync
+        elif defect == "ack_before_fsync":
+            order = [0, 1, 4, 2, 3, 5]  # ack precedes fsync
+        return [steps[index] for index in order]
+
+    def write_segments(state: State) -> State:
+        state["seg"] = tuple(state["mem"])
+        return state
+
+    def reset_wal(state: State) -> State:
+        state["wal.synced"] = ()
+        state["wal.pending"] = ()
+        return state
+
+    checkpointer = [
+        Action(
+            name="c.acquire",
+            process="checkpoint",
+            effect=acquire,
+            guard=lock_free,
+            reads=frozenset({"lock"}),
+            writes=frozenset({"lock"}),
+        ),
+        Action(
+            name="c.write_segments",
+            process="checkpoint",
+            effect=write_segments,
+            reads=frozenset({"mem", "seg"}),
+            writes=frozenset({"seg"}),
+        ),
+        Action(
+            name="c.reset_wal",
+            process="checkpoint",
+            effect=reset_wal,
+            reads=frozenset({"wal.synced", "wal.pending"}),
+            writes=frozenset({"wal.synced", "wal.pending"}),
+        ),
+        Action(
+            name="c.release",
+            process="checkpoint",
+            effect=release,
+            reads=frozenset({"lock"}),
+            writes=frozenset({"lock"}),
+        ),
+    ]
+
+    def replay(segments: Tuple[str, ...], log: Tuple[str, ...]) -> Tuple[str, ...]:
+        recovered = list(segments)
+        for mutation in log:
+            if defect == "blind_replay" or mutation not in recovered:
+                recovered.append(mutation)
+        return tuple(recovered)
+
+    def recover(durable: State) -> List[Tuple[str, State]]:
+        branches: List[Tuple[str, Tuple[str, ...]]] = []
+        synced = durable["wal.synced"]
+        pending = durable["wal.pending"]
+        if pending:
+            # The unsynced tail either made it to disk intact or is
+            # dropped as torn by entries(); both worlds are explored.
+            branches.append(("tail-kept", (*synced, *pending)))
+            branches.append(("tail-torn", synced))
+        else:
+            branches.append(("clean", synced))
+        recovered_states: List[Tuple[str, State]] = []
+        for label, log in branches:
+            recovered_states.append(
+                (
+                    label,
+                    {
+                        "lock": 0,
+                        "seg": durable["seg"],
+                        "wal.synced": log,
+                        "wal.pending": (),
+                        "mem": replay(durable["seg"], log),
+                        "acked": durable["acked"],
+                    },
+                )
+            )
+        return recovered_states
+
+    def no_torn_read(state: State) -> Optional[str]:
+        visible = set(state["mem"])
+        logged = set(state["wal.synced"]) | set(state["seg"])
+        unlogged = visible - logged
+        if unlogged:
+            return (
+                "reader-visible mutations not yet durably logged: "
+                + ", ".join(sorted(unlogged))
+            )
+        return None
+
+    def acked_durable(state: State) -> Optional[str]:
+        lost = set(state["acked"]) - set(state["mem"])
+        if lost:
+            return (
+                "acknowledged mutations lost by recovery: "
+                + ", ".join(sorted(lost))
+            )
+        return None
+
+    def replay_idempotent(state: State) -> Optional[str]:
+        once = state["mem"]
+        twice = replay(once, state["wal.synced"])
+        if twice != once:
+            return (
+                f"replaying recovered state changed it: {list(once)} -> "
+                f"{list(twice)}"
+            )
+        return None
+
+    return ProtocolModel(
+        name="wal",
+        description=(
+            "ShardWAL append->fsync->apply->ack vs. checkpoint "
+            "write-segments->reset-WAL"
+        ),
+        initial={
+            "lock": 0,
+            "wal.synced": (),
+            "wal.pending": (),
+            "seg": (),
+            "mem": (),
+            "acked": frozenset(),
+        },
+        processes={
+            "writer": [*writer_steps("m1"), *writer_steps("m2")],
+            "checkpoint": checkpointer,
+        },
+        durable_keys=frozenset(
+            {"wal.synced", "wal.pending", "seg", "acked"}
+        ),
+        recover=recover,
+        invariants=[
+            Invariant("no-torn-read", no_torn_read, when="step"),
+            Invariant("acked-durable", acked_durable, when="crash"),
+            Invariant("replay-idempotent", replay_idempotent, when="crash"),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Model: compactor materialize -> version-check -> commit / rollback
+# ----------------------------------------------------------------------
+def build_compactor_model(defect: Optional[str] = None) -> ProtocolModel:
+    """The version-checked compaction commit.
+
+    Defects: ``skip_version_check`` commits a stale materialization
+    unconditionally; ``dirty_rollback`` lets an aborted materialization
+    leak its scratch state into the catalog.
+    """
+    if defect not in (None, "skip_version_check", "dirty_rollback"):
+        raise ValueError(f"unknown compactor defect {defect!r}")
+
+    def lock_free(state: State) -> bool:
+        return state["lock"] == 0
+
+    def acquire(state: State) -> State:
+        state["lock"] = 1
+        return state
+
+    def release(state: State) -> State:
+        state["lock"] = 0
+        return state
+
+    def writer_steps(mutation: str) -> List[Action]:
+        def mutate(state: State) -> State:
+            state["data"] = (*state["data"], mutation)
+            state["version"] = state["version"] + 1
+            state["applied"] = state["applied"] | {mutation}
+            return state
+
+        return [
+            Action(
+                name=f"w.acquire[{mutation}]",
+                process="writer",
+                effect=acquire,
+                guard=lock_free,
+                reads=frozenset({"lock"}),
+                writes=frozenset({"lock"}),
+            ),
+            Action(
+                name=f"w.mutate[{mutation}]",
+                process="writer",
+                effect=mutate,
+                reads=frozenset({"data", "version", "applied"}),
+                writes=frozenset({"data", "version", "applied"}),
+            ),
+            Action(
+                name=f"w.release[{mutation}]",
+                process="writer",
+                effect=release,
+                reads=frozenset({"lock"}),
+                writes=frozenset({"lock"}),
+            ),
+        ]
+
+    def snapshot(state: State) -> State:
+        # Real code computes the scratch engine under the shard read
+        # lock: writers are excluded, so one atomic step is faithful.
+        state["scratch"] = tuple(sorted(set(state["data"])))
+        state["scratch_version"] = state["version"]
+        return state
+
+    def commit_or_abort(state: State) -> State:
+        stale = state["version"] != state["scratch_version"]
+        if stale and defect != "skip_version_check":
+            # Rollback: discard scratch, leave the catalog untouched.
+            if defect == "dirty_rollback":
+                state["data"] = state["scratch"]
+            state["aborted"] = True
+        else:
+            state["data"] = state["scratch"]
+            state["committed"] = True
+        state["scratch"] = ()
+        return state
+
+    compactor = [
+        Action(
+            name="k.snapshot",
+            process="compactor",
+            effect=snapshot,
+            guard=lock_free,
+            reads=frozenset({"lock", "data", "version"}),
+            writes=frozenset({"scratch", "scratch_version"}),
+        ),
+        Action(
+            name="k.acquire",
+            process="compactor",
+            effect=acquire,
+            guard=lock_free,
+            reads=frozenset({"lock"}),
+            writes=frozenset({"lock"}),
+        ),
+        Action(
+            name="k.commit_or_abort",
+            process="compactor",
+            effect=commit_or_abort,
+            reads=frozenset(
+                {"version", "scratch_version", "scratch", "data"}
+            ),
+            writes=frozenset(
+                {"data", "scratch", "committed", "aborted"}
+            ),
+        ),
+        Action(
+            name="k.release",
+            process="compactor",
+            effect=release,
+            reads=frozenset({"lock"}),
+            writes=frozenset({"lock"}),
+        ),
+    ]
+
+    def rollback_exact(state: State) -> Optional[str]:
+        present = set(state["data"])
+        expected = set(state["applied"])
+        if state["aborted"] and present != expected:
+            return (
+                "aborted compaction changed the catalog: expected "
+                f"{sorted(expected)}, found {sorted(present)}"
+            )
+        return None
+
+    def no_lost_mutation(state: State) -> Optional[str]:
+        if not state["committed"]:
+            return None
+        lost = set(state["applied"]) - set(state["data"])
+        if lost:
+            return (
+                "committed compaction dropped mutations: "
+                + ", ".join(sorted(lost))
+            )
+        return None
+
+    return ProtocolModel(
+        name="compactor",
+        description=(
+            "compactor snapshot->version-check->commit/rollback vs. a "
+            "concurrent writer (in-memory; durability is the wal "
+            "model's concern)"
+        ),
+        initial={
+            "lock": 0,
+            "data": ("m0",),
+            "version": 0,
+            "applied": frozenset({"m0"}),
+            "scratch": (),
+            "scratch_version": -1,
+            "committed": False,
+            "aborted": False,
+        },
+        processes={
+            "writer": [*writer_steps("m1"), *writer_steps("m2")],
+            "compactor": compactor,
+        },
+        durable_keys=frozenset(),
+        recover=None,
+        invariants=[
+            Invariant("rollback-exact", rollback_exact, when="step"),
+            Invariant("no-torn-read", no_lost_mutation, when="step"),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Model: migration journal begin -> batch -> swap -> complete
+# ----------------------------------------------------------------------
+def build_migration_model(defect: Optional[str] = None) -> ProtocolModel:
+    """The journaled manifest migration against a concurrent reader.
+
+    Defects: ``swap_before_batch`` swaps the manifest before the batch
+    segments exist (torn read); ``cleanup_before_complete`` deletes the
+    origin segments before journaling ``complete`` (rollback cannot
+    restore the origin).
+    """
+    if defect not in (None, "swap_before_batch", "cleanup_before_complete"):
+        raise ValueError(f"unknown migration defect {defect!r}")
+
+    def lock_free(state: State) -> bool:
+        return state["lock"] == 0
+
+    def journal(event: str) -> Callable[[State], State]:
+        def effect(state: State) -> State:
+            state["journal"] = (*state["journal"], event)
+            return state
+
+        return effect
+
+    def write_batch(state: State) -> State:
+        state["new_segs"] = state["new_segs"] | {"b1"}
+        return state
+
+    def swap(state: State) -> State:
+        state["manifest"] = "v3"
+        return state
+
+    def cleanup(state: State) -> State:
+        state["old_segs"] = False
+        return state
+
+    def m_acquire(state: State) -> State:
+        state["lock"] = 1
+        return state
+
+    def m_release(state: State) -> State:
+        state["lock"] = 0
+        return state
+
+    steps = {
+        "j_begin": Action(
+            name="m.journal[begin]",
+            process="migrator",
+            effect=journal("begin"),
+            reads=frozenset({"journal"}),
+            writes=frozenset({"journal"}),
+        ),
+        "write_batch": Action(
+            name="m.write_batch",
+            process="migrator",
+            effect=write_batch,
+            reads=frozenset({"new_segs"}),
+            writes=frozenset({"new_segs"}),
+        ),
+        "j_batch": Action(
+            name="m.journal[batch]",
+            process="migrator",
+            effect=journal("batch"),
+            reads=frozenset({"journal"}),
+            writes=frozenset({"journal"}),
+        ),
+        "acquire": Action(
+            name="m.acquire",
+            process="migrator",
+            effect=m_acquire,
+            guard=lock_free,
+            reads=frozenset({"lock"}),
+            writes=frozenset({"lock"}),
+        ),
+        "swap": Action(
+            name="m.swap_manifest",
+            process="migrator",
+            effect=swap,
+            reads=frozenset({"manifest"}),
+            writes=frozenset({"manifest"}),
+        ),
+        "release": Action(
+            name="m.release",
+            process="migrator",
+            effect=m_release,
+            reads=frozenset({"lock"}),
+            writes=frozenset({"lock"}),
+        ),
+        "j_swap": Action(
+            name="m.journal[swap]",
+            process="migrator",
+            effect=journal("swap"),
+            reads=frozenset({"journal"}),
+            writes=frozenset({"journal"}),
+        ),
+        "j_complete": Action(
+            name="m.journal[complete]",
+            process="migrator",
+            effect=journal("complete"),
+            reads=frozenset({"journal"}),
+            writes=frozenset({"journal"}),
+        ),
+        "cleanup": Action(
+            name="m.cleanup_origin",
+            process="migrator",
+            effect=cleanup,
+            reads=frozenset({"old_segs"}),
+            writes=frozenset({"old_segs"}),
+        ),
+    }
+    order = [
+        "j_begin", "write_batch", "j_batch", "acquire", "swap",
+        "release", "j_swap", "j_complete", "cleanup",
+    ]
+    if defect == "swap_before_batch":
+        order = [
+            "j_begin", "acquire", "swap", "release", "write_batch",
+            "j_batch", "j_swap", "j_complete", "cleanup",
+        ]
+    elif defect == "cleanup_before_complete":
+        order = [
+            "j_begin", "write_batch", "j_batch", "acquire", "swap",
+            "release", "j_swap", "cleanup", "j_complete",
+        ]
+    migrator = [steps[key] for key in order]
+
+    def r_read(state: State) -> State:
+        if state["manifest"] == "v3":
+            state["observed"] = (
+                "ok" if "b1" in state["new_segs"] else "torn"
+            )
+        else:
+            state["observed"] = "ok" if state["old_segs"] else "torn"
+        return state
+
+    reader = [
+        Action(
+            name="r.acquire",
+            process="reader",
+            effect=m_acquire,
+            guard=lock_free,
+            reads=frozenset({"lock"}),
+            writes=frozenset({"lock"}),
+        ),
+        Action(
+            name="r.read",
+            process="reader",
+            effect=r_read,
+            reads=frozenset({"manifest", "new_segs", "old_segs"}),
+            writes=frozenset({"observed"}),
+        ),
+        Action(
+            name="r.release",
+            process="reader",
+            effect=m_release,
+            reads=frozenset({"lock"}),
+            writes=frozenset({"lock"}),
+        ),
+    ]
+
+    def recover(durable: State) -> List[Tuple[str, State]]:
+        journal_events = durable["journal"]
+        recovered = dict(durable)
+        recovered["lock"] = 0
+        recovered["observed"] = "ok"
+        if "complete" in journal_events:
+            label = "roll-forward"
+            recovered["rolled_back"] = False
+        else:
+            label = "roll-back"
+            recovered["manifest"] = "v2"
+            recovered["new_segs"] = frozenset()
+            recovered["journal"] = (*journal_events, "rollback_done")
+            recovered["rolled_back"] = True
+        return [(label, recovered)]
+
+    def no_torn_read(state: State) -> Optional[str]:
+        if state["observed"] == "torn":
+            return (
+                f"reader observed manifest {state['manifest']} with its "
+                "segments missing"
+            )
+        return None
+
+    def rollback_exact(state: State) -> Optional[str]:
+        if not state.get("rolled_back"):
+            return None
+        problems = []
+        if state["manifest"] != "v2":
+            problems.append(f"manifest is {state['manifest']}, not v2")
+        if state["new_segs"]:
+            problems.append(
+                "introduced segments survive: "
+                + ", ".join(sorted(state["new_segs"]))
+            )
+        if not state["old_segs"]:
+            problems.append("origin segments were deleted")
+        if problems:
+            return "rollback did not restore origin: " + "; ".join(problems)
+        return None
+
+    def complete_is_final(state: State) -> Optional[str]:
+        if "complete" in state["journal"] and state["manifest"] != "v3":
+            return "journal says complete but the manifest is not v3"
+        return None
+
+    return ProtocolModel(
+        name="migration",
+        description=(
+            "journaled migration begin->batch->swap->complete vs. a "
+            "concurrent reader, with journal-driven crash recovery"
+        ),
+        initial={
+            "lock": 0,
+            "manifest": "v2",
+            "old_segs": True,
+            "new_segs": frozenset(),
+            "journal": (),
+            "observed": "ok",
+            "rolled_back": False,
+        },
+        processes={"migrator": migrator, "reader": reader},
+        durable_keys=frozenset(
+            {"manifest", "old_segs", "new_segs", "journal"}
+        ),
+        recover=recover,
+        invariants=[
+            Invariant("no-torn-read", no_torn_read, when="step"),
+            Invariant("rollback-exact", rollback_exact, when="crash"),
+            Invariant("rollback-exact", complete_is_final, when="step"),
+        ],
+    )
+
+
+#: Model registry: name -> builder accepting an optional defect.
+MODELS: Dict[str, Callable[[Optional[str]], ProtocolModel]] = {
+    "wal": build_wal_model,
+    "compactor": build_compactor_model,
+    "migration": build_migration_model,
+}
+
+#: Seeded-defect variants per model, for the refutation fixtures.
+DEFECTS: Dict[str, Tuple[str, ...]] = {
+    "wal": ("apply_before_log", "ack_before_fsync", "blind_replay"),
+    "compactor": ("skip_version_check", "dirty_rollback"),
+    "migration": ("swap_before_batch", "cleanup_before_complete"),
+}
+
+
+def check_protocols(
+    models: Optional[Iterable[str]] = None,
+    *,
+    max_depth: int = DEFAULT_BOUND,
+    defects: Optional[Mapping[str, str]] = None,
+) -> AnalysisReport:
+    """Explore the protocol models; CC003 findings for refutations.
+
+    ``subjects_examined`` counts explored states across all models.
+    ``defects`` injects a seeded defect per model (tests only).  A
+    depth-bound truncation is itself a WARNING — an incomplete
+    exploration must never read as a proof.
+    """
+    report = AnalysisReport(pass_name="protocol")
+    names = sorted(models) if models is not None else sorted(MODELS)
+    defects = defects or {}
+    for name in names:
+        builder = MODELS.get(name)
+        if builder is None:
+            raise ValueError(
+                f"unknown protocol model {name!r}; have {sorted(MODELS)}"
+            )
+        model = builder(defects.get(name))
+        result = explore(model, max_depth=max_depth)
+        report.subjects_examined += result.states_explored
+        if result.truncated:
+            report.add(
+                Finding(
+                    code="CC000",
+                    severity=Severity.WARNING,
+                    location=f"{name}:depth",
+                    message=(
+                        f"exploration of {name!r} hit the depth bound "
+                        f"{max_depth}; the run is not exhaustive"
+                    ),
+                    fix_hint="raise --bound until the model is exhausted",
+                    details=result.to_dict(),
+                )
+            )
+        for violation in result.violations:
+            report.add(
+                Finding(
+                    code="CC003",
+                    severity=Severity.ERROR,
+                    location=f"{name}:{violation.invariant}",
+                    message=violation.message,
+                    fix_hint=(
+                        "the trace in details is a minimal schedule "
+                        "refuting the invariant; fix the protocol step "
+                        "order it exhibits"
+                    ),
+                    details=violation.to_dict(),
+                )
+            )
+    return report

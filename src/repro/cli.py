@@ -20,8 +20,17 @@ Subcommands mirror the workflow of the paper's prototype:
               and report planner choices plus service metrics
               (``--prometheus`` for text exposition, ``--slow`` for the
               slow-query log, ``--trace-out`` for a Chrome trace file)
-``lint``      run the concurrency/numeric-discipline AST linter over a
-              source tree (default: the installed ``repro`` package)
+``lint``      run the concurrency/numeric-discipline AST linter plus
+              the interprocedural lock-order analysis (CC001 cycles,
+              CC002 lock-held-across-fsync) over a source tree
+              (default: the installed ``repro`` package)
+``race-check`` drive the instrumented concurrency scenarios (metrics,
+              events, sharded) under the Eraser-style lockset race
+              detector and report CC004 data races
+``check-protocols`` exhaustively model-check the WAL, compactor, and
+              migration crash protocols over every interleaving and
+              crash point up to ``--bound``; CC003 findings carry the
+              minimal refuting schedule
 ``analyze-db`` static soundness checks over a saved database: dangling
               references, Merge cycles, size underflow, BWM placement,
               cache-dependency agreement, vacuous-bounds diagnostics;
@@ -42,7 +51,8 @@ Subcommands mirror the workflow of the paper's prototype:
               byte-identical (``--mode full`` for the larger corpus)
 
 Exit codes are uniform across the integrity-facing commands (``check``,
-``repair``, ``salvage``, ``lint``, ``analyze-db``, ``prove-rules``):
+``repair``, ``salvage``, ``lint``, ``race-check``, ``check-protocols``,
+``analyze-db``, ``prove-rules``):
 **0** clean (or fully healed/recovered), **2** problems remain or the
 input is unrecoverably corrupt, **1** any other library or usage error.
 
@@ -231,6 +241,30 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="restrict to specific rule codes (repeatable)")
     lint.add_argument("--json", action="store_true",
                       help="emit the findings as JSON")
+
+    race = commands.add_parser(
+        "race-check",
+        help="run the lockset race detector over instrumented scenarios",
+    )
+    race.add_argument("scenarios", nargs="*", default=None,
+                      help="scenario names to run (default: all of "
+                      "metrics, events, sharded)")
+    race.add_argument("--json", action="store_true",
+                      help="emit the findings as JSON")
+
+    protocols = commands.add_parser(
+        "check-protocols",
+        help="model-check the WAL/compactor/migration crash protocols",
+    )
+    protocols.add_argument("models", nargs="*", default=None,
+                           help="model names to check (default: all of "
+                           "wal, compactor, migration)")
+    protocols.add_argument("--bound", type=int, default=None, metavar="N",
+                           help="interleaving depth bound (default 64); "
+                           "hitting it is reported as a warning, never "
+                           "silently treated as a proof")
+    protocols.add_argument("--json", action="store_true",
+                           help="emit the findings as JSON")
 
     analyze = commands.add_parser(
         "analyze-db",
@@ -583,7 +617,7 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
     import json
     from pathlib import Path
 
-    from repro.analysis import lint_paths
+    from repro.analysis import AnalysisReport, check_lock_order, lint_paths
 
     if args.paths:
         paths = [Path(p) for p in args.paths]
@@ -591,7 +625,51 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
         import repro
 
         paths = [Path(repro.__file__).parent]
-    report = lint_paths(paths, rules=args.rule)
+    lint_report = lint_paths(paths, rules=args.rule)
+    lock_report = check_lock_order(paths, rules=args.rule)
+    # One merged report: the per-line AL rules and the interprocedural
+    # CC lock-order pass walk the same files, share the pragma syntax,
+    # and gate CI together.  Both honour --rule, so filtering to an AL
+    # code silently yields an empty lockgraph half (and vice versa).
+    report = AnalysisReport(pass_name="lint")
+    report.extend(lint_report)
+    report.extend(lock_report)
+    report.subjects_examined = lint_report.subjects_examined
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.describe(), file=out)
+    return 0 if report.ok else 2
+
+
+def _cmd_race_check(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.testing.racecheck import run_race_check
+
+    try:
+        report = run_race_check(args.scenarios or None)
+    except ValueError as exc:  # unknown scenario name: usage error
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.describe(), file=out)
+    return 0 if report.ok else 2
+
+
+def _cmd_check_protocols(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.analysis.protocol import DEFAULT_BOUND, check_protocols
+
+    bound = args.bound if args.bound is not None else DEFAULT_BOUND
+    try:
+        report = check_protocols(args.models or None, max_depth=bound)
+    except ValueError as exc:  # unknown model name: usage error
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
     else:
@@ -816,6 +894,8 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "serve-stats": _cmd_serve_stats,
     "lint": _cmd_lint,
+    "race-check": _cmd_race_check,
+    "check-protocols": _cmd_check_protocols,
     "analyze-db": _cmd_analyze_db,
     "prove-rules": _cmd_prove_rules,
     "shards": _cmd_shards,

@@ -138,6 +138,14 @@ class QueryTimeoutError(ServiceError):
     queued when the deadline passed, or the caller stopped waiting."""
 
 
+class LockTimeoutError(ServiceError):
+    """Raised when a bounded :meth:`ReadWriteLock.read_locked` /
+    ``write_locked`` acquisition does not obtain the lock within its
+    ``timeout``.  The attempt is abandoned cleanly: a timed-out writer
+    withdraws its waiting claim and wakes blocked readers, so the lock
+    is left exactly as if the attempt had never been made."""
+
+
 class ObservabilityError(ReproError):
     """Raised by the tracing / attribution / export layer
     (:mod:`repro.obs`) — malformed spans, empty exports, or metric

@@ -133,7 +133,10 @@ class ShardWAL:
             entry["line_sha256"] = sha256_hex(canonical.encode("utf-8"))
             line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
             plan.append_bytes(self.path, line.encode("utf-8") + b"\n")
-            plan.fsync(self.path)
+            # The append-before-apply discipline requires fsyncs to land
+            # in LSN order; releasing the lock here could interleave a
+            # later record's durability ahead of this one's.
+            plan.fsync(self.path)  # repro-lint: disable=CC002
             return entry
 
     def entries(self) -> List[Dict[str, object]]:
@@ -173,7 +176,10 @@ class ShardWAL:
         """
         with self._lock:
             plan.write_bytes(self.path, b"")
-            plan.fsync(self.path)
+            # The truncate must not race an in-flight append: a record
+            # fsynced after the truncate's fsync but before _next_lsn is
+            # reset would survive with a stale LSN.
+            plan.fsync(self.path)  # repro-lint: disable=CC002
             self._next_lsn = 1
 
     # ------------------------------------------------------------------

@@ -1,4 +1,13 @@
-"""Testing support: fault injection for crash-safety verification."""
+"""Testing support: fault injection and dynamic race detection.
+
+* :mod:`repro.testing.faults` — deterministic write/fsync fault plans
+  for crash-safety verification of the persistence layer.
+* :mod:`repro.testing.racecheck` — an opt-in Eraser-style lockset race
+  detector (with light happens-before tracking for fork/join edges):
+  tracked proxies wrap the shared structures, the RW locks report
+  acquisitions through monitor hooks, and unsynchronized accesses are
+  reported as ``CC004`` findings (``repro race-check``).
+"""
 
 from repro.testing.faults import (
     CountingFaults,
@@ -7,11 +16,27 @@ from repro.testing.faults import (
     NoFaults,
     WriteEvent,
 )
+from repro.testing.racecheck import (
+    SCENARIOS,
+    Race,
+    RaceMonitor,
+    TrackedDict,
+    TrackedLock,
+    instrument_sharded,
+    run_race_check,
+)
 
 __all__ = [
     "CountingFaults",
     "FaultPlan",
     "InjectedCrash",
     "NoFaults",
+    "Race",
+    "RaceMonitor",
+    "SCENARIOS",
+    "TrackedDict",
+    "TrackedLock",
     "WriteEvent",
+    "instrument_sharded",
+    "run_race_check",
 ]

@@ -48,6 +48,14 @@ class TestRuleRegistry:
         assert not LINT_RULES["AL003"].applies_to("src/repro/db/catalog.py")
         assert LINT_RULES["AL004"].applies_to("src/repro/anything.py")
 
+    def test_al002_scope_covers_the_shard_mutators(self):
+        rule = LINT_RULES["AL002"]
+        assert rule.applies_to("src/repro/shard/sharded.py")
+        assert rule.applies_to("src/repro/shard/compactor.py")
+        # ...but not the whole shard package: the WAL and manifest
+        # modules never touch a catalog.
+        assert not rule.applies_to("src/repro/shard/wal.py")
+
 
 class TestAL001RawLock:
     CODE = """
@@ -129,6 +137,105 @@ class TestAL002UnlockedMutation:
                 self.metrics.insert_image("nope")
         """
         assert _lint(code, "src/repro/service/executor.py") == []
+
+
+class TestAL002ShardScope:
+    """The rule's extension to the sharded tier's mutators."""
+
+    def test_catalog_mutation_in_sharded_module_flagged(self):
+        code = """
+        class ShardedCatalog:
+            def insert(self, image, shard):
+                shard.database.insert_image(image)
+        """
+        findings = _lint(code, "src/repro/shard/sharded.py")
+        assert [f.code for f in findings] == ["AL002"]
+
+    def test_commit_materialization_outside_lock_flagged(self):
+        code = """
+        class Compactor:
+            def run(self, shard, staged):
+                self._commit_materialization(shard, staged)
+        """
+        findings = _lint(code, "src/repro/shard/compactor.py")
+        assert [f.code for f in findings] == ["AL002"]
+        assert "_commit_materialization" in findings[0].message
+
+    def test_rollback_materialization_outside_lock_flagged(self):
+        code = """
+        class Compactor:
+            def bail(self, shard, staged):
+                self.catalog._rollback_materialization(shard, staged)
+        """
+        findings = _lint(code, "src/repro/shard/compactor.py")
+        assert [f.code for f in findings] == ["AL002"]
+
+    def test_committer_under_write_lock_clean(self):
+        code = """
+        class Compactor:
+            def run(self, shard, staged):
+                with shard.lock.write_locked():
+                    self._commit_materialization(shard, staged)
+        """
+        assert _lint(code, "src/repro/shard/compactor.py") == []
+
+    def test_same_call_outside_the_scoped_modules_ignored(self):
+        code = """
+        class Helper:
+            def run(self, shard, staged):
+                self._commit_materialization(shard, staged)
+        """
+        assert _lint(code, "src/repro/shard/wal.py") == []
+
+    def test_shipped_shard_pragmas_are_load_bearing(self):
+        # The WAL replayer's per-entry appliers mutate under a lock the
+        # *caller* holds; their function-level pragma is the only thing
+        # keeping the shipped tree clean.  Strip it and the mutator
+        # call sites must resurface.
+        source = (SRC_ROOT / "shard" / "sharded.py").read_text(
+            encoding="utf-8"
+        ).replace("# repro-lint: disable=AL002", "")
+        flagged = [
+            f
+            for f in lint_source(source, "src/repro/shard/sharded.py")
+            if f.code == "AL002"
+        ]
+        assert len(flagged) == 5
+
+
+class TestFunctionLevelPragma:
+    def test_pragma_on_def_line_covers_the_body(self):
+        code = """
+        class Service:
+            def replay(self, entry):  # repro-lint: disable=AL002
+                self._database.insert_image(entry.image)
+                self._database.delete_edited(entry.image_id)
+        """
+        assert _lint(code, "src/repro/service/executor.py") == []
+
+    def test_pragma_scope_ends_with_the_function(self):
+        code = """
+        class Service:
+            def replay(self, entry):  # repro-lint: disable=AL002
+                self._database.insert_image(entry.image)
+
+            def other(self, entry):
+                self._database.insert_image(entry.image)
+        """
+        findings = _lint(code, "src/repro/service/executor.py")
+        assert [f.code for f in findings] == ["AL002"]
+
+    def test_pragma_only_suppresses_its_codes(self):
+        code = """
+        import threading
+
+        class Service:
+            def replay(self, entry):  # repro-lint: disable=AL002
+                self._lock = threading.Lock()
+                self._database.insert_image(entry.image)
+        """
+        findings = _lint(code, "src/repro/service/executor.py")
+        assert [f.code for f in findings] == ["AL001"]
 
 
 class TestAL003MutationWithoutInvalidate:

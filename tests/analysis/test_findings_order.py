@@ -1,0 +1,63 @@
+"""Finding-ordering determinism: reports sort by (code, path, line).
+
+``--json`` reports feed CI artifact diffs and golden files, so the
+order must be stable across runs, hash seeds, and insertion order.
+"""
+
+import json
+import random
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+
+
+def _finding(code: str, location: str) -> Finding:
+    return Finding(
+        code=code,
+        severity=Severity.ERROR,
+        location=location,
+        message=f"{code} at {location}",
+    )
+
+
+FINDINGS = [
+    _finding("AL002", "src/repro/service/executor.py:40"),
+    _finding("AL001", "src/repro/service/executor.py:9"),
+    _finding("AL001", "src/repro/service/executor.py:10"),
+    _finding("AL001", "src/repro/service/cache.py:100"),
+    _finding("CC001", "src/repro/shard/sharded.py:1183"),
+    _finding("CC001", "flag-helmet-cycle"),  # semantic-pass location
+]
+
+
+class TestSortedFindings:
+    def test_code_then_path_then_numeric_line(self):
+        report = AnalysisReport(pass_name="lint", findings=list(FINDINGS))
+        ordered = [f.location for f in report.sorted_findings()]
+        assert ordered == [
+            "src/repro/service/cache.py:100",
+            "src/repro/service/executor.py:9",  # 9 before 10: numeric
+            "src/repro/service/executor.py:10",
+            "src/repro/service/executor.py:40",
+            "flag-helmet-cycle",  # CC after AL; no-line sorts whole-string
+            "src/repro/shard/sharded.py:1183",
+        ]
+
+    def test_insertion_order_is_irrelevant(self):
+        rng = random.Random(7)
+        baseline = None
+        for _ in range(5):
+            shuffled = list(FINDINGS)
+            rng.shuffle(shuffled)
+            report = AnalysisReport(pass_name="lint", findings=shuffled)
+            payload = json.dumps(report.to_dict(), sort_keys=True)
+            if baseline is None:
+                baseline = payload
+            assert payload == baseline
+
+    def test_describe_uses_the_same_order(self):
+        report = AnalysisReport(pass_name="lint", findings=list(FINDINGS))
+        lines = report.describe().splitlines()[1:]
+        locations = [line.split()[2].rstrip(":") for line in lines]
+        assert locations == [
+            f.location for f in report.sorted_findings()
+        ]

@@ -1,0 +1,308 @@
+"""Tests for the interprocedural lock-order analysis (CC001/CC002).
+
+Each seeded-defect fixture is a tiny module written to ``tmp_path`` and
+analyzed in isolation, so the assertions are about the analysis, not
+about the shipped tree — which gets its own "must be clean" test at the
+end (the acceptance gate for ``repro lint``).
+"""
+
+from pathlib import Path
+
+from repro.analysis import AnalysisReport, build_lock_graph, check_lock_order
+from repro.analysis.findings import Severity
+
+
+def _analyze(tmp_path: Path, source: str, **kwargs) -> AnalysisReport:
+    target = tmp_path / "fixture.py"
+    target.write_text(source, encoding="utf-8")
+    return check_lock_order([target], **kwargs)
+
+
+class TestCycleDetection:
+    def test_opposite_direct_orders_are_a_cycle(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            """
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._front_lock = threading.Lock()
+        self._back_lock = threading.Lock()
+
+    def forward(self):
+        with self._front_lock:
+            with self._back_lock:
+                pass
+
+    def backward(self):
+        with self._back_lock:
+            with self._front_lock:
+                pass
+""",
+        )
+        assert [f.code for f in report] == ["CC001"]
+        finding = report.findings[0]
+        assert finding.severity is Severity.ERROR
+        assert set(finding.details["cycle"]) == {
+            "Pair._front_lock",
+            "Pair._back_lock",
+        }
+        assert finding.details["sites"], "evidence sites must be attached"
+
+    def test_interprocedural_cycle_via_self_calls(self, tmp_path):
+        # Neither function nests two with-statements; the cycle only
+        # exists across call edges, which is the point of the pass.
+        report = _analyze(
+            tmp_path,
+            """
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._front_lock = threading.Lock()
+        self._back_lock = threading.Lock()
+
+    def _take_back(self):
+        with self._back_lock:
+            pass
+
+    def _take_front(self):
+        with self._front_lock:
+            pass
+
+    def forward(self):
+        with self._front_lock:
+            self._take_back()
+
+    def backward(self):
+        with self._back_lock:
+            self._take_front()
+""",
+        )
+        assert [f.code for f in report] == ["CC001"]
+        assert set(report.findings[0].details["cycle"]) == {
+            "Pair._front_lock",
+            "Pair._back_lock",
+        }
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            """
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._front_lock = threading.Lock()
+        self._back_lock = threading.Lock()
+
+    def forward(self):
+        with self._front_lock:
+            with self._back_lock:
+                pass
+
+    def also_forward(self):
+        with self._front_lock:
+            with self._back_lock:
+                pass
+""",
+        )
+        assert report.clean
+        assert report.subjects_examined == 1
+
+    def test_mutex_self_reacquire_is_a_self_cycle(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            """
+import threading
+
+
+class Nested:
+    def __init__(self):
+        self._nest_lock = threading.Lock()
+
+    def outer(self):
+        with self._nest_lock:
+            self.inner()
+
+    def inner(self):
+        with self._nest_lock:
+            pass
+""",
+        )
+        assert [f.code for f in report] == ["CC001"]
+        assert report.findings[0].details["cycle"] == ["Nested._nest_lock"]
+        assert "re-acquired" in report.findings[0].message
+
+    def test_rlock_self_reacquire_is_permitted(self, tmp_path):
+        # Identical shape, but the lock is reentrant: no finding.
+        report = _analyze(
+            tmp_path,
+            """
+import threading
+
+
+class Nested:
+    def __init__(self):
+        self._nest_lock = threading.RLock()
+
+    def outer(self):
+        with self._nest_lock:
+            self.inner()
+
+    def inner(self):
+        with self._nest_lock:
+            pass
+""",
+        )
+        assert report.clean
+
+    def test_pragma_on_acquisition_drops_the_edge(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            """
+import threading
+
+
+class Nested:
+    def __init__(self):
+        self._nest_lock = threading.Lock()
+
+    def outer(self):
+        with self._nest_lock:
+            with self._nest_lock:  # repro-lint: disable=CC001
+                pass
+""",
+        )
+        assert report.clean
+
+
+class TestIOUnderLock:
+    def test_fsync_under_mutex_is_cc002(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            """
+import os
+import threading
+
+
+class Flusher:
+    def __init__(self):
+        self._flush_lock = threading.Lock()
+
+    def flush(self, fd):
+        with self._flush_lock:
+            os.fsync(fd)
+""",
+        )
+        assert [f.code for f in report] == ["CC002"]
+        finding = report.findings[0]
+        assert finding.severity is Severity.WARNING
+        assert "Flusher._flush_lock" in finding.message
+
+    def test_cc002_pragma_suppresses(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            """
+import os
+import threading
+
+
+class Flusher:
+    def __init__(self):
+        self._flush_lock = threading.Lock()
+
+    def flush(self, fd):
+        with self._flush_lock:
+            os.fsync(fd)  # repro-lint: disable=CC002
+""",
+        )
+        assert report.clean
+
+    def test_commit_lock_is_exempt(self, tmp_path):
+        # db.root_lock exists to make the fsync-rename commit atomic;
+        # holding it across the I/O is its entire job.
+        report = _analyze(
+            tmp_path,
+            """
+import os
+
+from repro.db.persistence import root_lock
+
+
+def commit(base, fd):
+    with root_lock(base):
+        os.fsync(fd)
+""",
+        )
+        assert report.clean
+
+
+class TestRuleFilterAndGraph:
+    CYCLE_AND_IO = """
+import os
+import threading
+
+
+class Mixed:
+    def __init__(self):
+        self._one_lock = threading.Lock()
+        self._two_lock = threading.Lock()
+
+    def forward(self, fd):
+        with self._one_lock:
+            with self._two_lock:
+                os.fsync(fd)
+
+    def backward(self):
+        with self._two_lock:
+            with self._one_lock:
+                pass
+"""
+
+    def test_rule_filter_restricts_codes(self, tmp_path):
+        full = _analyze(tmp_path, self.CYCLE_AND_IO)
+        assert full.codes() == ["CC001", "CC002"]
+        only_io = _analyze(tmp_path, self.CYCLE_AND_IO, rules=["CC002"])
+        assert only_io.codes() == ["CC002"]
+        only_cycles = _analyze(tmp_path, self.CYCLE_AND_IO, rules=["cc001"])
+        assert only_cycles.codes() == ["CC001"]
+
+    def test_graph_is_deterministic(self, tmp_path):
+        target = tmp_path / "fixture.py"
+        target.write_text(self.CYCLE_AND_IO, encoding="utf-8")
+        first = build_lock_graph([target]).to_dict()
+        second = build_lock_graph([target]).to_dict()
+        assert first == second
+        assert first["nodes"] == {
+            "Mixed._one_lock": "mutex",
+            "Mixed._two_lock": "mutex",
+        }
+
+
+class TestShippedTree:
+    def test_shipped_tree_is_clean(self):
+        report = check_lock_order()
+        assert report.clean, report.describe()
+        assert report.subjects_examined > 50
+
+    def test_shipped_graph_is_not_vacuous(self):
+        # Zero findings must mean "the orders are consistent", not "no
+        # locks were found": the real tree has many lock classes and
+        # interprocedural hold-while-acquiring edges.
+        import repro
+
+        graph = build_lock_graph([Path(repro.__file__).parent])
+        assert len(graph.nodes) >= 10
+        assert len(graph.edges) >= 10
+        assert "service.rwlock" in graph.nodes
+        assert "shard.rwlock" in graph.nodes
+        assert any(
+            "via call" in site.note
+            for sites in graph.edges.values()
+            for site in sites
+        ), "interprocedural edges must exist"

@@ -52,4 +52,6 @@ def test_pyproject_declares_both_tools():
         for override in config["tool"]["mypy"]["overrides"]
         if override.get("disallow_untyped_defs")
     ]
-    assert ["repro.core.*", "repro.analysis.*"] in strict_modules
+    assert ["repro.core.*", "repro.analysis.*", "repro.shard.*"] in (
+        strict_modules
+    )

@@ -502,6 +502,86 @@ class TestLint:
         code, _ = run_cli("lint", str(target), "--rule", "AL004")
         assert code == 0
 
+    def test_lock_order_findings_merged(self, tmp_path):
+        import json
+        import textwrap
+
+        target = tmp_path / "repro" / "shard"
+        target.mkdir(parents=True)
+        (target / "cyclic.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+
+                class Pair:
+                    def __init__(self):
+                        self._one_lock = threading.Lock()
+                        self._two_lock = threading.Lock()
+
+                    def forward(self):
+                        with self._one_lock:
+                            with self._two_lock:
+                                pass
+
+                    def backward(self):
+                        with self._two_lock:
+                            with self._one_lock:
+                                pass
+                """
+            ),
+            encoding="utf-8",
+        )
+        code, output = run_cli("lint", str(target), "--json")
+        assert code == 2
+        payload = json.loads(output)
+        assert payload["counts"] == {"CC001": 1}
+        # --rule gates the lockgraph half too.
+        code, _ = run_cli("lint", str(target), "--rule", "CC002")
+        assert code == 0
+
+
+class TestRaceCheck:
+    def test_metrics_scenario_clean(self):
+        code, output = run_cli("race-check", "metrics")
+        assert code == 0
+        assert "0 errors" in output
+
+    def test_json_output(self):
+        import json
+
+        code, output = run_cli("race-check", "metrics", "--json")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["pass"] == "racecheck"
+        assert payload["ok"] is True
+        assert payload["subjects_examined"] > 0
+
+    def test_unknown_scenario_is_a_usage_error(self):
+        code, _ = run_cli("race-check", "bogus")
+        assert code == 1
+
+
+class TestCheckProtocols:
+    def test_all_models_proved(self):
+        code, output = run_cli("check-protocols")
+        assert code == 0
+        assert "0 errors" in output
+
+    def test_bound_truncation_warns_but_does_not_gate(self):
+        import json
+
+        code, output = run_cli(
+            "check-protocols", "wal", "--bound", "3", "--json"
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["counts"] == {"CC000": 1}
+
+    def test_unknown_model_is_a_usage_error(self):
+        code, _ = run_cli("check-protocols", "bogus")
+        assert code == 1
+
 
 class TestAnalyzeDb:
     def test_healthy_database(self, saved_database):
